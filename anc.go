@@ -1,0 +1,368 @@
+// Package anc is the public API of the Activation Network Clustering
+// library — a from-scratch implementation of "Clustering Activation
+// Networks" (ICDE 2022).
+//
+// An activation network is a relatively stable relation graph plus a stream
+// of timestamped interactions ("activations") along existing edges. Under
+// the time-decay scheme, an edge's activeness is the sum of exponentially
+// decayed activation impacts. The library maintains, incrementally and at a
+// cost bounded by the affected nodes only:
+//
+//   - the decaying activeness of every edge, via a single global decay
+//     factor (so nothing is touched as time passes, only on activations);
+//   - a similarity function combining structural cohesiveness (triangle
+//     structure, active neighbor sets, local reinforcement) and activeness;
+//   - a hierarchy of randomized Voronoi partitions ("pyramids") over the
+//     shortest-distance metric induced by the reciprocal similarity, which
+//     answers clustering queries — global, local, zoom-in and zoom-out —
+//     in time proportional to the result, not the graph.
+//
+// # Quick start
+//
+//	net, err := anc.NewNetwork(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}, anc.DefaultConfig())
+//	...
+//	net.Activate(0, 1, 1.0)                // interaction on edge (0,1) at t=1
+//	clusters := net.Clusters(net.SqrtLevel()) // ≈ √n clusters
+//	mine := net.ClusterOf(0, net.SqrtLevel())
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of every table and
+// figure in the paper.
+package anc
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"anc/internal/cluster"
+	"anc/internal/core"
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+	"anc/internal/similarity"
+)
+
+// Method selects the maintenance policy of a Network.
+type Method = core.Method
+
+// Maintenance policies (Section VI of the paper).
+const (
+	// ANCO is fully online: every activation triggers a bounded index
+	// update; no local reinforcement after initialization. Fastest.
+	ANCO = core.ANCO
+	// ANCOR is online with a local-reinforcement pass at fixed time
+	// intervals: slightly slower, better cluster quality over time.
+	ANCOR = core.ANCOR
+	// ANCF is offline: activations are buffered and Snapshot() recomputes
+	// reinforcement and rebuilds the index. Best quality, slowest.
+	ANCF = core.ANCF
+)
+
+// Config bundles every tunable of the system with the paper's defaults.
+type Config struct {
+	// Method is the maintenance policy: ANCO (default), ANCOR or ANCF.
+	Method Method
+	// Lambda is the exponential decay factor λ of edge activeness.
+	// Default 0.1.
+	Lambda float64
+	// Rep is the number of local-reinforcement initialization rounds.
+	// Default 7; 0 disables structural bootstrapping.
+	Rep int
+	// ReinforceInterval is the ANCOR reinforcement period (time units).
+	// Default 5.
+	ReinforceInterval float64
+	// Epsilon is the active-similarity threshold ε for active neighbor
+	// sets. Default 0.4.
+	Epsilon float64
+	// Mu is the core-node threshold μ. Default 4.
+	Mu int
+	// K is the number of pyramids in the index. Default 4.
+	K int
+	// Theta is the voting support threshold θ. Default 0.7.
+	Theta float64
+	// Seed makes pyramid seed selection reproducible. Default 1.
+	Seed int64
+	// Parallel updates the K·⌈log₂ n⌉ partitions concurrently.
+	Parallel bool
+}
+
+// DefaultConfig returns the paper's default parameters.
+func DefaultConfig() Config {
+	return Config{
+		Method:            ANCO,
+		Lambda:            0.1,
+		Rep:               7,
+		ReinforceInterval: 5,
+		Epsilon:           0.4,
+		Mu:                4,
+		K:                 4,
+		Theta:             0.7,
+		Seed:              1,
+	}
+}
+
+func (c Config) toOptions() core.Options {
+	sim := similarity.DefaultConfig()
+	sim.Epsilon = c.Epsilon
+	sim.Mu = c.Mu
+	return core.Options{
+		Method:            c.Method,
+		Lambda:            c.Lambda,
+		Rep:               c.Rep,
+		ReinforceInterval: c.ReinforceInterval,
+		Similarity:        sim,
+		Pyramid:           pyramid.Config{K: c.K, Theta: c.Theta, Parallel: c.Parallel},
+		Seed:              c.Seed,
+	}
+}
+
+// Network is an indexed activation network ready for activations and
+// clustering queries. It is not safe for concurrent use; wrap with a mutex
+// if queried from multiple goroutines.
+type Network struct {
+	inner *core.Network
+}
+
+// NewNetwork builds a network over n nodes (IDs 0..n-1) and the given
+// undirected edges. Self-loops and out-of-range endpoints are rejected;
+// duplicate edges are merged.
+func NewNetwork(n int, edges [][2]int, cfg Config) (*Network, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return FromGraph(b.Build(), cfg)
+}
+
+// LoadEdgeList builds a network from a whitespace-separated edge list
+// ("u v" per line, # comments). Arbitrary node IDs in the input are
+// remapped to dense IDs; the returned map translates original to dense.
+func LoadEdgeList(r io.Reader, cfg Config) (*Network, map[int64]int32, error) {
+	g, ids, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := FromGraph(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, ids, nil
+}
+
+// FromGraph builds a network over an already-constructed relation graph.
+// Most callers use NewNetwork or LoadEdgeList; FromGraph serves code that
+// works with the internal graph package directly (benchmarks, generators).
+func FromGraph(g *graph.Graph, cfg Config) (*Network, error) {
+	inner, err := core.New(g, cfg.toOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: inner}, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.inner.Graph().N() }
+
+// M returns the number of relation-graph edges.
+func (nw *Network) M() int { return nw.inner.Graph().M() }
+
+// Levels returns the number of granularity levels, ⌈log₂ n⌉.
+func (nw *Network) Levels() int { return nw.inner.Index().Levels() }
+
+// SqrtLevel returns the granularity level with Θ(√n) clusters — the
+// default reporting granularity of Problem 1.
+func (nw *Network) SqrtLevel() int { return pyramid.SqrtLevel(nw.N()) }
+
+// Now returns the network's current time (the largest activation timestamp
+// seen).
+func (nw *Network) Now() float64 { return nw.inner.Clock().Now() }
+
+// Activate records an interaction along the existing edge (u, v) at time
+// t. Timestamps must be non-decreasing. It returns an error if (u, v) is
+// not an edge of the relation graph.
+func (nw *Network) Activate(u, v int, t float64) error {
+	return nw.inner.ActivatePair(graph.NodeID(u), graph.NodeID(v), t)
+}
+
+// Snapshot finalizes buffered work: under ANCF it applies the reinforcement
+// rounds and rebuilds the index; under ANCOR it flushes the pending
+// reinforcement pass; under ANCO it is a no-op. Call it before querying if
+// exact method semantics at the current instant matter.
+func (nw *Network) Snapshot() { nw.inner.Snapshot() }
+
+// Clusters reports all clusters at the given granularity level using power
+// clustering (the paper's DirectedCluster). Level 1 is coarsest;
+// Levels() is finest.
+func (nw *Network) Clusters(level int) [][]int {
+	return toInts(nw.inner.Clusters(clampLevel(level, nw.Levels())).Clusters)
+}
+
+// EvenClusters reports all clusters using even clustering (connected
+// components of vote-surviving edges).
+func (nw *Network) EvenClusters(level int) [][]int {
+	return toInts(nw.inner.EvenClusters(clampLevel(level, nw.Levels())).Clusters)
+}
+
+// ClusterOf reports the cluster containing v at the given level, in time
+// proportional to the result (Lemma 9 of the paper).
+func (nw *Network) ClusterOf(v int, level int) []int {
+	members := nw.inner.LocalCluster(graph.NodeID(v), clampLevel(level, nw.Levels()))
+	out := make([]int, len(members))
+	for i, m := range members {
+		out[i] = int(m)
+	}
+	return out
+}
+
+// SmallestClusterOf reports the smallest cluster containing v (the finest
+// granularity), per Problem 1(2). Use View for subsequent zoom-outs.
+func (nw *Network) SmallestClusterOf(v int) []int {
+	return nw.ClusterOf(v, nw.Levels())
+}
+
+// Similarity returns the current (true, decayed) similarity of edge
+// (u, v), or an error if no such edge exists.
+func (nw *Network) Similarity(u, v int) (float64, error) {
+	e := nw.inner.Graph().FindEdge(graph.NodeID(u), graph.NodeID(v))
+	if e == graph.None {
+		return 0, fmt.Errorf("anc: no edge (%d, %d)", u, v)
+	}
+	return nw.inner.Similarity().At(e), nil
+}
+
+// Activeness returns the current time-decayed activeness of edge (u, v).
+func (nw *Network) Activeness(u, v int) (float64, error) {
+	e := nw.inner.Graph().FindEdge(graph.NodeID(u), graph.NodeID(v))
+	if e == graph.None {
+		return 0, fmt.Errorf("anc: no edge (%d, %d)", u, v)
+	}
+	return nw.inner.Similarity().Activeness().At(e), nil
+}
+
+// EstimateDistance returns an upper-bound estimate of the current distance
+// between u and v under the metric M_t (reciprocal-similarity shortest
+// distance), answered from the index in O(K·log n) — the Das Sarma sketch
+// query of the underlying oracle. +Inf means the index never co-locates
+// the nodes (different connected components).
+func (nw *Network) EstimateDistance(u, v int) float64 {
+	d := nw.inner.Index().EstimateDistance(graph.NodeID(u), graph.NodeID(v))
+	// Stored distances are anchored; true distance = anchored / g.
+	return d / nw.inner.Clock().G()
+}
+
+// EstimateAttraction returns a lower-bound estimate of the attraction
+// strength 1/dist(u, v) of Section IV-C of the paper.
+func (nw *Network) EstimateAttraction(u, v int) float64 {
+	d := nw.EstimateDistance(u, v)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return 1 / d
+}
+
+// ClusterEvent reports a real-time change in a watched node's direct
+// cluster connectivity: the edge to Other started (Joined) or stopped
+// passing the voting threshold at Level.
+type ClusterEvent struct {
+	Node, Other int
+	Level       int
+	Joined      bool
+	Time        float64
+}
+
+// Watch enables real-time change reporting for node v (the paper's
+// Remarks feature): subsequent Activate calls record a ClusterEvent
+// whenever v's connectivity at any level flips. Drain retrieves them.
+// The first Watch call pays a one-time O(K·log n·m) vote-index build.
+func (nw *Network) Watch(v int) {
+	w := nw.inner.Watch()
+	w.Add(graph.NodeID(v))
+}
+
+// Unwatch stops watching v.
+func (nw *Network) Unwatch(v int) { nw.inner.Watch().Remove(graph.NodeID(v)) }
+
+// Drain returns and clears the accumulated cluster events for all watched
+// nodes, in occurrence order.
+func (nw *Network) Drain() []ClusterEvent {
+	evs := nw.inner.Watch().Drain()
+	out := make([]ClusterEvent, len(evs))
+	for i, e := range evs {
+		out[i] = ClusterEvent{
+			Node: int(e.Node), Other: int(e.Other),
+			Level: e.Level, Joined: e.Joined, Time: e.Time,
+		}
+	}
+	return out
+}
+
+// Save serializes the network to w: the relation graph, configuration,
+// decayed similarity/activeness state and index seeds. Buffered work is
+// flushed first. Load reconstructs an equivalent network (identical
+// clusterings; the shortest-path forests are rebuilt deterministically).
+func (nw *Network) Save(w io.Writer) error { return nw.inner.Save(w) }
+
+// Load restores a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	inner, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: inner}, nil
+}
+
+// View opens a zoomable navigator positioned at the Θ(√n) granularity.
+type View struct {
+	inner *cluster.View
+}
+
+// View opens a navigator for repeated zoom-in/zoom-out queries.
+func (nw *Network) View() *View { return &View{inner: nw.inner.View()} }
+
+// Level reports the navigator's current granularity level.
+func (v *View) Level() int { return v.inner.Level() }
+
+// ZoomIn moves one level finer; false at the finest level.
+func (v *View) ZoomIn() bool { return v.inner.ZoomIn() }
+
+// ZoomOut moves one level coarser; false at the coarsest level.
+func (v *View) ZoomOut() bool { return v.inner.ZoomOut() }
+
+// Clusters reports all clusters at the current level.
+func (v *View) Clusters() [][]int { return toInts(v.inner.Clusters().Clusters) }
+
+// ClusterOf reports the cluster containing x at the current level.
+func (v *View) ClusterOf(x int) []int {
+	members := v.inner.ClusterOf(graph.NodeID(x))
+	out := make([]int, len(members))
+	for i, m := range members {
+		out[i] = int(m)
+	}
+	return out
+}
+
+func clampLevel(l, max int) int {
+	if l < 1 {
+		return 1
+	}
+	if l > max {
+		return max
+	}
+	return l
+}
+
+func toInts(cs [][]graph.NodeID) [][]int {
+	out := make([][]int, len(cs))
+	for i, c := range cs {
+		out[i] = make([]int, len(c))
+		for j, v := range c {
+			out[i][j] = int(v)
+		}
+	}
+	return out
+}

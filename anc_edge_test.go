@@ -1,0 +1,93 @@
+package anc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSingleNodeNetwork: the degenerate n=1, m=0 network must build and
+// answer every query sensibly.
+func TestSingleNodeNetwork(t *testing.T) {
+	net, err := NewNetwork(1, nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 1 || net.M() != 0 || net.Levels() != 1 {
+		t.Fatalf("n=%d m=%d levels=%d", net.N(), net.M(), net.Levels())
+	}
+	cs := net.Clusters(1)
+	if len(cs) != 1 || len(cs[0]) != 1 || cs[0][0] != 0 {
+		t.Fatalf("clusters = %v", cs)
+	}
+	if got := net.ClusterOf(0, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ClusterOf = %v", got)
+	}
+	if d := net.EstimateDistance(0, 0); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+// TestEdgelessNetwork: several nodes, no edges — all singletons at every
+// level, activations impossible.
+func TestEdgelessNetwork(t *testing.T) {
+	net, err := NewNetwork(5, nil, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= net.Levels(); l++ {
+		if got := len(net.Clusters(l)); got != 5 {
+			t.Fatalf("level %d: %d clusters, want 5 singletons", l, got)
+		}
+	}
+	if err := net.Activate(0, 1, 1); err == nil {
+		t.Fatal("activation accepted on missing edge")
+	}
+	if d := net.EstimateDistance(0, 4); !math.IsInf(d, 1) {
+		t.Fatalf("distance across isolated nodes = %v", d)
+	}
+	if a := net.EstimateAttraction(0, 4); a != 0 {
+		t.Fatalf("attraction across isolated nodes = %v", a)
+	}
+}
+
+// TestConfigValidationThroughFacade: invalid parameters surface as errors,
+// not panics.
+func TestConfigValidationThroughFacade(t *testing.T) {
+	n, edges := barbell()
+	cases := []func(*Config){
+		func(c *Config) { c.Lambda = -0.5 },
+		func(c *Config) { c.Epsilon = 2 },
+		func(c *Config) { c.Mu = 0 },
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.Theta = 0 },
+		func(c *Config) { c.Theta = 1.5 },
+		func(c *Config) { c.Rep = -1 },
+		func(c *Config) { c.Method = ANCOR; c.ReinforceInterval = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := NewNetwork(n, edges, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestMonotoneTimestampsEnforced: going backwards in time panics in the
+// decay layer; the facade documents non-decreasing timestamps.
+func TestMonotoneTimestampsEnforced(t *testing.T) {
+	n, edges := barbell()
+	net, err := NewNetwork(n, edges, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Activate(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards timestamp did not panic")
+		}
+	}()
+	net.Activate(0, 1, 5)
+}

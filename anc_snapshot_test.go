@@ -1,0 +1,48 @@
+package anc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeSaveLoad(t *testing.T) {
+	n, edges := barbell()
+	net, err := NewNetwork(n, edges, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 25; i++ {
+		if err := net.Activate(4, 5, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != net.N() || got.M() != net.M() || got.Now() != net.Now() {
+		t.Fatalf("restored shape mismatch: %d/%d t=%v", got.N(), got.M(), got.Now())
+	}
+	s1, _ := net.Similarity(4, 5)
+	s2, _ := got.Similarity(4, 5)
+	if s1 != s2 && (s1-s2)/s1 > 1e-9 {
+		t.Fatalf("similarity drifted: %v vs %v", s1, s2)
+	}
+	// Continue streaming on the restored network.
+	if err := got.Activate(0, 1, 26); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters(2)) == 0 {
+		t.Fatal("no clusters after restore")
+	}
+}
+
+func TestFacadeLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Command anccli builds an activation-network index over an edge-list file
+// and answers clustering queries, optionally after replaying an activation
+// stream.
+//
+// The graph file is a whitespace-separated edge list ("u v" per line, #
+// comments). The stream file has one "u v t" triple per line, timestamps
+// non-decreasing.
+//
+// Usage:
+//
+//	anccli -graph g.txt -cmd stats
+//	anccli -graph g.txt -cmd clusters -level 3
+//	anccli -graph g.txt -stream s.txt -cmd local -node 42
+//	anccli -graph g.txt -cmd zoom -node 42
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"anc"
+	"anc/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge-list file (required)")
+		streamPath = flag.String("stream", "", "activation stream file (u v t per line)")
+		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance")
+		level      = flag.Int("level", 0, "granularity level (0 = Θ(√n) default)")
+		node       = flag.Int("node", 0, "query node (original ID) for local/zoom/distance")
+		node2      = flag.Int("node2", 0, "second node for distance")
+		method     = flag.String("method", "anco", "anco | ancor | ancf")
+		lambda     = flag.Float64("lambda", 0.1, "decay factor λ")
+		rep        = flag.Int("rep", 7, "initialization reinforcement rounds")
+		epsilon    = flag.Float64("epsilon", 0.4, "active-similarity threshold ε")
+		mu         = flag.Int("mu", 4, "core threshold μ")
+		k          = flag.Int("k", 4, "number of pyramids")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "anccli: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := anc.DefaultConfig()
+	cfg.Lambda = *lambda
+	cfg.Rep = *rep
+	cfg.Epsilon = *epsilon
+	cfg.Mu = *mu
+	cfg.K = *k
+	switch strings.ToLower(*method) {
+	case "anco":
+		cfg.Method = anc.ANCO
+	case "ancor":
+		cfg.Method = anc.ANCOR
+	case "ancf":
+		cfg.Method = anc.ANCF
+	default:
+		fatalf("unknown method %q", *method)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	net, ids, err := anc.LoadEdgeList(f, cfg)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rev := make(map[int32]int64, len(ids))
+	for orig, dense := range ids {
+		rev[dense] = orig
+	}
+
+	if *streamPath != "" {
+		if err := replay(net, ids, *streamPath); err != nil {
+			fatalf("stream: %v", err)
+		}
+		net.Snapshot()
+	}
+
+	lvl := *level
+	if lvl == 0 {
+		lvl = net.SqrtLevel()
+	}
+	switch *cmd {
+	case "stats":
+		fmt.Printf("nodes: %d\nedges: %d\nlevels: %d\nsqrt-level: %d\ntime: %v\n",
+			net.N(), net.M(), net.Levels(), net.SqrtLevel(), net.Now())
+		f2, err := os.Open(*graphPath)
+		if err == nil {
+			if g, _, err := graph.ReadEdgeList(f2); err == nil {
+				s := graph.Summarize(g)
+				fmt.Printf("components: %d (largest %d)\ndegree: min %d / median %d / avg %.2f / max %d\n"+
+					"triangles: %d\nclustering coefficient: %.4f\n",
+					s.Components, s.LargestComp, s.MinDeg, s.MedianDeg, s.AvgDeg, s.MaxDeg,
+					s.Triangles, s.GlobalClustCoef)
+			}
+			f2.Close()
+		}
+	case "clusters":
+		cs := net.Clusters(lvl)
+		fmt.Printf("level %d: %d clusters\n", lvl, len(cs))
+		for i, c := range cs {
+			if len(c) < 3 {
+				continue // noise per the paper's convention
+			}
+			fmt.Printf("cluster %d (%d nodes):", i, len(c))
+			printMembers(c, rev, 20)
+		}
+	case "local":
+		dense, ok := ids[int64(*node)]
+		if !ok {
+			fatalf("node %d not in graph", *node)
+		}
+		members := net.ClusterOf(int(dense), lvl)
+		fmt.Printf("cluster of %d at level %d (%d nodes):", *node, lvl, len(members))
+		printMembers(members, rev, 50)
+	case "zoom":
+		dense, ok := ids[int64(*node)]
+		if !ok {
+			fatalf("node %d not in graph", *node)
+		}
+		v := net.View()
+		for {
+			members := v.ClusterOf(int(dense))
+			fmt.Printf("level %d: cluster size %d\n", v.Level(), len(members))
+			if !v.ZoomIn() {
+				break
+			}
+		}
+	case "distance":
+		du, ok := ids[int64(*node)]
+		if !ok {
+			fatalf("node %d not in graph", *node)
+		}
+		dv, ok := ids[int64(*node2)]
+		if !ok {
+			fatalf("node %d not in graph", *node2)
+		}
+		d := net.EstimateDistance(int(du), int(dv))
+		fmt.Printf("estimated distance(%d, %d) = %g\n", *node, *node2, d)
+		fmt.Printf("estimated attraction = %g\n", net.EstimateAttraction(int(du), int(dv)))
+	default:
+		fatalf("unknown command %q", *cmd)
+	}
+}
+
+func printMembers(members []int, rev map[int32]int64, max int) {
+	for i, m := range members {
+		if i == max {
+			fmt.Printf(" …(%d more)", len(members)-max)
+			break
+		}
+		fmt.Printf(" %d", rev[int32(m)])
+	}
+	fmt.Println()
+}
+
+// replay feeds "u v t" lines into the network.
+func replay(net *anc.Network, ids map[int64]int32, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || s[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 3 {
+			return fmt.Errorf("line %d: need 'u v t'", line)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 64)
+		v, err2 := strconv.ParseInt(fields[1], 10, 64)
+		t, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("line %d: parse error", line)
+		}
+		du, ok1 := ids[u]
+		dv, ok2 := ids[v]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("line %d: unknown node", line)
+		}
+		if err := net.Activate(int(du), int(dv), t); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "anccli: "+format+"\n", args...)
+	os.Exit(1)
+}

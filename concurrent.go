@@ -1,0 +1,92 @@
+package anc
+
+import (
+	"io"
+	"sync"
+)
+
+// ConcurrentNetwork wraps a Network with a readers–writer lock so that
+// clustering queries can run concurrently with each other while
+// activations serialize — the deployment shape of the paper's online
+// scenario (one ingest stream, many query clients). All methods mirror
+// Network.
+type ConcurrentNetwork struct {
+	mu  sync.RWMutex
+	net *Network
+}
+
+// NewConcurrent wraps an existing network. The caller must not keep using
+// the wrapped network directly.
+func NewConcurrent(net *Network) *ConcurrentNetwork {
+	return &ConcurrentNetwork{net: net}
+}
+
+// Activate records an interaction (exclusive lock).
+func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Activate(u, v, t)
+}
+
+// Snapshot finalizes buffered work (exclusive lock).
+func (c *ConcurrentNetwork) Snapshot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.Snapshot()
+}
+
+// Clusters reports all clusters at a level (shared lock).
+func (c *ConcurrentNetwork) Clusters(level int) [][]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Clusters(level)
+}
+
+// ClusterOf reports the local cluster of v (shared lock).
+func (c *ConcurrentNetwork) ClusterOf(v, level int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.ClusterOf(v, level)
+}
+
+// EstimateDistance answers a sketch distance query (shared lock).
+func (c *ConcurrentNetwork) EstimateDistance(u, v int) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.EstimateDistance(u, v)
+}
+
+// Similarity reads the current similarity of an edge (shared lock).
+func (c *ConcurrentNetwork) Similarity(u, v int) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Similarity(u, v)
+}
+
+// N returns the node count.
+func (c *ConcurrentNetwork) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.N()
+}
+
+// SqrtLevel returns the Θ(√n) granularity level.
+func (c *ConcurrentNetwork) SqrtLevel() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.SqrtLevel()
+}
+
+// Levels returns the number of granularity levels.
+func (c *ConcurrentNetwork) Levels() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Levels()
+}
+
+// Save snapshots the network (exclusive lock: Save flushes buffers).
+func (c *ConcurrentNetwork) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Save(w)
+}

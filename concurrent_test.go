@@ -1,0 +1,50 @@
+package anc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentNetworkRace exercises mixed readers and a writer; run with
+// -race (the suite's default CI invocation) to verify the locking.
+func TestConcurrentNetworkRace(t *testing.T) {
+	n, edges := barbell()
+	net, err := NewNetwork(n, edges, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(net)
+	var wg sync.WaitGroup
+	// One ingest goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 300; i++ {
+			if err := c.Activate(4, 5, float64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Several query goroutines.
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Clusters(c.SqrtLevel())
+				c.ClusterOf(q, 2)
+				c.EstimateDistance(0, 9)
+				if _, err := c.Similarity(4, 5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	c.Snapshot()
+	if c.N() != 10 || c.Levels() != 4 {
+		t.Fatalf("shape wrong after concurrent use")
+	}
+}

@@ -1,0 +1,93 @@
+// Zoomexplore: interactive-style exploration of the granularity hierarchy
+// on a mid-size network — the zoom-in / zoom-out operations of Problem 1.
+// It builds a 2,000-node collaboration-style graph, streams a burst of
+// activity into one community, and walks the zoom ladder around a node,
+// printing how its cluster grows as the view coarsens.
+//
+//	go run ./examples/zoomexplore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"anc"
+	"anc/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	pl := gen.Community(2000, 14000, 89, 0.15, rng)
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.3
+	cfg.Mu = 3
+	net, err := anc.FromGraph(pl.Graph, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d, %d zoom levels\n\n", net.N(), net.M(), net.Levels())
+
+	// Pick a focus node from a mid-size community (community sizes are
+	// power-law distributed, so node 0 often sits in a giant one).
+	sizes := map[int32]int{}
+	for _, c := range pl.Truth {
+		sizes[c]++
+	}
+	focus := 0
+	for v, c := range pl.Truth {
+		if sizes[c] >= 15 && sizes[c] <= 40 {
+			focus = v
+			break
+		}
+	}
+
+	// Heat up the focus community: all its internal edges interact for 20
+	// timestamps.
+	var hot [][2]int
+	for e := 0; e < pl.Graph.M(); e++ {
+		u, v := pl.Graph.Endpoints(int32(e))
+		if pl.Truth[u] == pl.Truth[focus] && pl.Truth[v] == pl.Truth[focus] {
+			hot = append(hot, [2]int{int(u), int(v)})
+		}
+	}
+	for ts := 1; ts <= 20; ts++ {
+		for _, e := range hot {
+			if err := net.Activate(e[0], e[1], float64(ts)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("heated community of node %d (size %d): %d internal edges × 20 timestamps\n\n", focus, sizes[pl.Truth[focus]], len(hot))
+
+	// Walk the ladder from the smallest cluster outward.
+	fmt.Printf("zooming out from node %d's smallest cluster:\n", focus)
+	v := net.View()
+	for v.ZoomIn() {
+	} // jump to the finest level
+	for {
+		members := v.ClusterOf(focus)
+		fromGroup := 0
+		for _, m := range members {
+			if pl.Truth[m] == pl.Truth[focus] {
+				fromGroup++
+			}
+		}
+		fmt.Printf("  level %2d: cluster size %4d (%4d from the focus community)\n",
+			v.Level(), len(members), fromGroup)
+		if !v.ZoomOut() {
+			break
+		}
+	}
+
+	// Report all clusters at the Θ(√n) granularity.
+	def := net.SqrtLevel()
+	cs := net.Clusters(def)
+	big := 0
+	for _, c := range cs {
+		if len(c) >= 3 {
+			big++
+		}
+	}
+	fmt.Printf("\nat the default level %d: %d clusters (%d with ≥3 members)\n", def, len(cs), big)
+}

@@ -1,0 +1,3 @@
+module anc
+
+go 1.22

@@ -1,0 +1,215 @@
+package anc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"anc"
+	"anc/internal/gen"
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+// TestEndToEndCommunityRecovery: generate a planted community graph,
+// stream community-biased activations, and verify the reported clustering
+// tracks the planted structure well at the matching granularity.
+func TestEndToEndCommunityRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := gen.Community(500, 3500, 16, 0.15, rng)
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.3
+	cfg.Mu = 3
+	net, err := anc.FromGraph(pl.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := gen.CommunityBiasedStream(pl.Graph, pl.Truth, 30, 0.05, 0.9, rng)
+	for _, a := range stream {
+		u, v := pl.Graph.Endpoints(a.Edge)
+		if err := net.Activate(int(u), int(v), a.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := 0.0
+	for l := 1; l <= net.Levels(); l++ {
+		labels := labelsFromClusters(net.Clusters(l), net.N())
+		if nmi := quality.NMI(quality.FilterNoise(labels, 3), pl.Truth); nmi > best {
+			best = nmi
+		}
+	}
+	if best < 0.5 {
+		t.Fatalf("best NMI across levels = %v, want ≥ 0.5", best)
+	}
+}
+
+// TestEndToEndDriftTracking: node 0's community goes quiet while it starts
+// interacting heavily with another community; its local cluster must
+// follow the activity.
+func TestEndToEndDriftTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Two explicit communities bridged by node 0's cross edges.
+	b := graph.NewBuilder(40)
+	for c := 0; c < 2; c++ {
+		base := graph.NodeID(c * 20)
+		for u := base; u < base+20; u++ {
+			for v := u + 1; v < base+20; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	// Node 0 knows five members of the other community.
+	for v := graph.NodeID(20); v < 25; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.25
+	cfg.Mu = 3
+	cfg.Lambda = 0.3
+	net, err := anc.FromGraph(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countSide := func(members []int, lo, hi int) int {
+		n := 0
+		for _, m := range members {
+			if m >= lo && m < hi && m != 0 {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Phase 1: node 0 interacts within its home community.
+	ts := 0.0
+	for step := 0; step < 15; step++ {
+		ts++
+		for _, h := range g.Neighbors(0) {
+			if h.To < 20 {
+				if err := net.Activate(0, int(h.To), ts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Background: both communities stay internally active.
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(graph.EdgeID(e))
+			if u != 0 && v != 0 && rng.Float64() < 0.3 {
+				net.Activate(int(u), int(v), ts)
+			}
+		}
+	}
+	level := net.SqrtLevel()
+	home := net.ClusterOf(0, level)
+	if countSide(home, 0, 20) <= countSide(home, 20, 40) {
+		t.Fatalf("phase 1: node 0 not grouped with home community: %v", home)
+	}
+
+	// Phase 2: node 0 abandons home and interacts only across the bridge,
+	// long enough for the home ties to decay.
+	for step := 0; step < 60; step++ {
+		ts++
+		for v := 20; v < 25; v++ {
+			if err := net.Activate(0, v, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(graph.EdgeID(e))
+			if u != 0 && v != 0 && rng.Float64() < 0.3 {
+				net.Activate(int(u), int(v), ts)
+			}
+		}
+	}
+	// Node 0's strongest ties are now the bridge edges.
+	sHome, _ := net.Similarity(0, int(g.Neighbors(0)[0].To))
+	sAway, _ := net.Similarity(0, 20)
+	if sAway <= sHome {
+		t.Fatalf("phase 2: bridge similarity %v not above decayed home %v", sAway, sHome)
+	}
+}
+
+// TestEndToEndSaveLoadContinuity: stream, snapshot, restore, continue;
+// final clusterings of the restored and original networks agree.
+func TestEndToEndSaveLoadContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pl := gen.Community(200, 1400, 10, 0.15, rng)
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.3
+	cfg.Mu = 3
+	net, err := anc.FromGraph(pl.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := gen.CommunityBiasedStream(pl.Graph, pl.Truth, 20, 0.05, 0.9, rng)
+	half := len(stream) / 2
+	feed := func(nw *anc.Network, acts []gen.Activation) {
+		for _, a := range acts {
+			u, v := pl.Graph.Endpoints(a.Edge)
+			if err := nw.Activate(int(u), int(v), a.T); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(net, stream[:half])
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := anc.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(net, stream[half:])
+	feed(restored, stream[half:])
+	for _, l := range []int{2, net.SqrtLevel()} {
+		a := labelsFromClusters(net.Clusters(l), net.N())
+		b := labelsFromClusters(restored.Clusters(l), restored.N())
+		if nmi := quality.NMI(a, b); nmi < 0.999 {
+			t.Fatalf("level %d: restored clustering diverged, NMI %v", l, nmi)
+		}
+	}
+}
+
+// TestEndToEndAllMethodsAgreeAtStart: with no activations the three
+// methods share S₀, so their clusterings coincide (paper: "They have the
+// same performance at time 0").
+func TestEndToEndAllMethodsAgreeAtStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pl := gen.Community(200, 1200, 10, 0.15, rng)
+	var nets []*anc.Network
+	for _, m := range []anc.Method{anc.ANCO, anc.ANCOR, anc.ANCF} {
+		cfg := anc.DefaultConfig()
+		cfg.Method = m
+		cfg.Epsilon = 0.3
+		cfg.Mu = 3
+		cfg.Seed = 77 // same seeds -> same pyramids
+		net, err := anc.FromGraph(pl.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, net)
+	}
+	l := nets[0].SqrtLevel()
+	ref := labelsFromClusters(nets[0].Clusters(l), nets[0].N())
+	for i, net := range nets[1:] {
+		got := labelsFromClusters(net.Clusters(l), net.N())
+		if nmi := quality.NMI(ref, got); nmi < 0.999 {
+			t.Fatalf("method %d differs at t=0: NMI %v", i+1, nmi)
+		}
+	}
+}
+
+func labelsFromClusters(cs [][]int, n int) []int32 {
+	labels := make([]int32, n)
+	for i, c := range cs {
+		for _, v := range c {
+			labels[v] = int32(i)
+		}
+	}
+	return labels
+}

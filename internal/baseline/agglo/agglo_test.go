@@ -1,0 +1,120 @@
+package agglo
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func pairedCliques(t testing.TB) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for base := graph.NodeID(0); base <= 6; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return g, w
+}
+
+func TestCutAtTwoRecoversCliques(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := Build(g, w)
+	labels := d.CutAt(2)
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(labels, truth); nmi < 0.99 {
+		t.Fatalf("NMI = %v, labels = %v", nmi, labels)
+	}
+}
+
+func TestDendrogramHierarchy(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := Build(g, w)
+	if d.NumMerges() != 11 { // connected graph: n-1 merges
+		t.Fatalf("merges = %d, want 11", d.NumMerges())
+	}
+	// The hierarchy is nested: each additional merge step can only merge
+	// clusters, never split them.
+	prev := d.Cut(0)
+	for s := 1; s <= d.NumMerges(); s++ {
+		cur := d.Cut(s)
+		// Every pair co-clustered in prev stays co-clustered in cur.
+		for u := 0; u < 12; u++ {
+			for v := u + 1; v < 12; v++ {
+				if prev[u] == prev[v] && cur[u] != cur[v] {
+					t.Fatalf("hierarchy not nested at step %d", s)
+				}
+			}
+		}
+		prev = cur
+	}
+	// Cut(0) = singletons, full cut = one cluster.
+	if quality.NumClusters(d.Cut(0)) != 12 {
+		t.Fatal("cut 0 not singletons")
+	}
+	if quality.NumClusters(d.Cut(d.NumMerges())) != 1 {
+		t.Fatal("full cut not a single cluster")
+	}
+}
+
+func TestCutClamping(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := Build(g, w)
+	if quality.NumClusters(d.Cut(-5)) != 12 {
+		t.Fatal("negative steps not clamped")
+	}
+	if quality.NumClusters(d.Cut(99)) != 1 {
+		t.Fatal("excess steps not clamped")
+	}
+}
+
+func TestZeroWeights(t *testing.T) {
+	g, w := pairedCliques(t)
+	for i := range w {
+		w[i] = 0
+	}
+	d := Build(g, w)
+	if d.NumMerges() != 0 {
+		t.Fatalf("zero-weight graph merged %d times", d.NumMerges())
+	}
+	if quality.NumClusters(d.CutAt(3)) != 12 {
+		t.Fatal("zero-weight cut not singletons")
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	w := []float64{1, 1, 1, 1}
+	d := Build(g, w)
+	if d.NumMerges() != 4 { // n - #components = 6 - 2
+		t.Fatalf("merges = %d, want 4", d.NumMerges())
+	}
+	labels := d.Cut(d.NumMerges())
+	if quality.NumClusters(labels) != 2 {
+		t.Fatalf("full cut clusters = %d, want 2", quality.NumClusters(labels))
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("components merged")
+	}
+}

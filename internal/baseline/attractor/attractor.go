@@ -1,0 +1,138 @@
+// Package attractor implements Attractor (Shao et al., KDD 2015) —
+// community detection by distance dynamics, the ATTR baseline and the
+// conceptual ancestor of the paper's local reinforcement. Edge distances
+// start from Jaccard distance and evolve under three interaction patterns
+// (direct, common-neighbor, exclusive-neighbor) until they polarize to
+// 0 (same community) or 1 (cut), or MaxIter is reached. As the paper notes,
+// each iteration costs O(d·m) and tens of iterations are typical — it is
+// the slow offline baseline of Table IV.
+package attractor
+
+import (
+	"math"
+
+	"anc/internal/graph"
+)
+
+// Params controls the dynamics.
+type Params struct {
+	// Cohesion is the λ parameter of Attractor's exclusive-neighbor
+	// pattern (0.5 in the original paper; named Cohesion here to avoid
+	// clashing with the decay factor λ).
+	Cohesion float64
+	// MaxIter bounds the number of iterations (paper: 3–50).
+	MaxIter int
+}
+
+// DefaultParams mirrors the original paper.
+func DefaultParams() Params { return Params{Cohesion: 0.5, MaxIter: 50} }
+
+// jaccard returns the closed-neighborhood Jaccard similarity of u, v.
+func jaccard(g *graph.Graph, u, v graph.NodeID) float64 {
+	common := 0
+	g.CommonNeighbors(u, v, func(graph.NodeID, graph.EdgeID, graph.EdgeID) { common++ })
+	inter := float64(common)
+	if g.FindEdge(u, v) != graph.None {
+		inter += 2 // u in Γ(v), v in Γ(u)
+	}
+	union := float64(g.Degree(u)+1) + float64(g.Degree(v)+1) - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Cluster runs the distance dynamics and returns a dense label per node:
+// connected components after removing edges whose distance converged to 1.
+func Cluster(g *graph.Graph, p Params) []int32 {
+	m := g.M()
+	d := make([]float64, m)
+	for e := 0; e < m; e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		d[e] = 1 - jaccard(g, u, v)
+	}
+	// sim of two (possibly non-adjacent) nodes, used by the exclusive
+	// pattern; adjacent pairs use 1-d to reflect the dynamic state.
+	simOf := func(u, v graph.NodeID) float64 {
+		if e := g.FindEdge(u, v); e != graph.None {
+			return 1 - d[e]
+		}
+		return jaccard(g, u, v)
+	}
+	delta := make([]float64, m)
+	for iter := 0; iter < p.MaxIter; iter++ {
+		converged := true
+		for e := 0; e < m; e++ {
+			if d[e] > 0 && d[e] < 1 {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		for e := 0; e < m; e++ {
+			de := d[e]
+			if de <= 0 || de >= 1 {
+				delta[e] = 0
+				continue
+			}
+			u, v := g.Endpoints(graph.EdgeID(e))
+			degU, degV := float64(g.Degree(u)), float64(g.Degree(v))
+			// Direct linear influence.
+			di := -(math.Sin(1-de)/degU + math.Sin(1-de)/degV)
+			// Common-neighbor influence.
+			ci := 0.0
+			g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+				ci += -(math.Sin(1-d[eu])*(1-d[ev]))/degU - (math.Sin(1-d[ev])*(1-d[eu]))/degV
+			})
+			// Exclusive-neighbor influence.
+			ei := 0.0
+			g.ExclusiveNeighbors(u, v, func(w graph.NodeID, ew graph.EdgeID) {
+				rho := simOf(w, v) - p.Cohesion
+				ei += -math.Sin(1-d[ew]) * rho / degU
+			})
+			g.ExclusiveNeighbors(v, u, func(w graph.NodeID, ew graph.EdgeID) {
+				rho := simOf(w, u) - p.Cohesion
+				ei += -math.Sin(1-d[ew]) * rho / degV
+			})
+			delta[e] = di + ci + ei
+		}
+		for e := 0; e < m; e++ {
+			d[e] += delta[e]
+			if d[e] < 0 {
+				d[e] = 0
+			}
+			if d[e] > 1 {
+				d[e] = 1
+			}
+		}
+	}
+	// Components over edges that did not converge to a cut.
+	labels := make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	var stack []graph.NodeID
+	for v := 0; v < g.N(); v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		labels[v] = id
+		stack = append(stack[:0], graph.NodeID(v))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(x) {
+				if labels[h.To] < 0 && d[h.Edge] < 1 {
+					labels[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,88 @@
+package attractor
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func build(t testing.TB, n int, edges [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSeparatesTwoCliques(t *testing.T) {
+	var edges [][2]graph.NodeID
+	for base := graph.NodeID(0); base <= 6; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				edges = append(edges, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	edges = append(edges, [2]graph.NodeID{5, 6})
+	g := build(t, 12, edges)
+	labels := Cluster(g, DefaultParams())
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(labels, truth); nmi < 0.9 {
+		t.Fatalf("NMI = %v, labels = %v", nmi, labels)
+	}
+}
+
+func TestSingleCliqueStaysTogether(t *testing.T) {
+	var edges [][2]graph.NodeID
+	for u := graph.NodeID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, [2]graph.NodeID{u, v})
+		}
+	}
+	g := build(t, 5, edges)
+	labels := Cluster(g, DefaultParams())
+	for _, l := range labels[1:] {
+		if l != labels[0] {
+			t.Fatalf("clique split: %v", labels)
+		}
+	}
+}
+
+func TestConvergesWithinMaxIter(t *testing.T) {
+	// A ring of 12 nodes: distances polarize or hit MaxIter; either way
+	// Cluster must terminate and label everyone.
+	var edges [][2]graph.NodeID
+	for v := 0; v < 12; v++ {
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(v), graph.NodeID((v + 1) % 12)})
+	}
+	g := build(t, 12, edges)
+	labels := Cluster(g, Params{Cohesion: 0.5, MaxIter: 10})
+	if len(labels) != 12 {
+		t.Fatal("missing labels")
+	}
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatal("unlabeled node")
+		}
+	}
+}
+
+func TestJaccardClosedNeighborhoods(t *testing.T) {
+	// Triangle: for adjacent u,v: Γ(u)=Γ(v)={0,1,2}, J = 1.
+	g := build(t, 3, [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}})
+	if j := jaccard(g, 0, 1); j != 1 {
+		t.Fatalf("jaccard(0,1) = %v, want 1", j)
+	}
+	// Path 0-1-2: Γ(0)={0,1}, Γ(2)={1,2}, intersection {1}, union 3.
+	g2 := build(t, 3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	if j := jaccard(g2, 0, 2); j != 1.0/3 {
+		t.Fatalf("jaccard(0,2) = %v, want 1/3", j)
+	}
+}

@@ -1,0 +1,172 @@
+// Package dynamo implements the DYNA online baseline, modeled on DynaMo
+// (Zhuang, Chang, Li, TKDE 2021): communities are initialized with Louvain
+// and maintained along edge-weight updates by local modularity-improving
+// moves around the changed edges. Crucially — and this is the inefficiency
+// the paper's Exp 2 exposes — under the time-decay scheme *every* edge
+// weight changes at every timestamp, so each Tick must touch all m edges
+// even when no activation arrived; its per-timestamp cost is Ω(m) plus the
+// local moves, versus ANC's activation-bounded updates.
+package dynamo
+
+import (
+	"anc/internal/baseline/louvain"
+	"anc/internal/graph"
+)
+
+// Dynamo maintains a modularity-oriented clustering under weight updates.
+type Dynamo struct {
+	g      *graph.Graph
+	w      []float64 // current edge weights (the caller's decayed activeness)
+	labels []int32
+	deg    []float64 // weighted degree per node
+	comTot []float64 // Σ deg over community, indexed by community label
+	totalW float64
+	// TouchedEdges counts edge-weight writes, the work measure of Exp 2.
+	TouchedEdges int64
+}
+
+// New initializes communities with Louvain on the initial weights (the
+// DYNA paper uses Louvain as its offline initializer).
+func New(g *graph.Graph, w []float64) *Dynamo {
+	d := &Dynamo{
+		g: g,
+		w: append([]float64(nil), w...),
+	}
+	d.labels = louvain.Cluster(g, d.w)
+	d.recomputeAggregates()
+	return d
+}
+
+func (d *Dynamo) recomputeAggregates() {
+	n := d.g.N()
+	d.deg = make([]float64, n)
+	d.totalW = 0
+	for e := 0; e < d.g.M(); e++ {
+		u, v := d.g.Endpoints(graph.EdgeID(e))
+		d.deg[u] += d.w[e]
+		d.deg[v] += d.w[e]
+		d.totalW += d.w[e]
+	}
+	d.comTot = make([]float64, n)
+	for v := 0; v < n; v++ {
+		d.comTot[d.labels[v]] += d.deg[v]
+	}
+}
+
+// Labels returns the current community of every node (aliases internal
+// state; copy before mutating).
+func (d *Dynamo) Labels() []int32 { return d.labels }
+
+// Tick applies the uniform decay factor to every edge weight, exploiting
+// that modularity is scale-invariant — an optimization DynaMo itself does
+// NOT have (it is the global-decay-factor idea of the paper under test).
+// Experiments that model DYNA faithfully use TickAsUpdates instead.
+func (d *Dynamo) Tick(decayFactor float64) {
+	for e := range d.w {
+		d.w[e] *= decayFactor
+	}
+	d.TouchedEdges += int64(len(d.w))
+	for v := range d.deg {
+		d.deg[v] *= decayFactor
+	}
+	for c := range d.comTot {
+		d.comTot[c] *= decayFactor
+	}
+	d.totalW *= decayFactor
+}
+
+// TickAsUpdates is the faithful DynaMo behaviour on a time-decay
+// activation network: every edge weight changes at every timestamp, so
+// every edge is a weight-update event whose endpoints re-evaluate their
+// community membership. This Ω(Σ deg) per-timestamp cost — even with zero
+// activations — is exactly the inefficiency the paper's Exp 2 exposes
+// ("the weight of all edges has to be updated at every timestamp").
+func (d *Dynamo) TickAsUpdates(decayFactor float64) {
+	for e := range d.w {
+		d.w[e] *= decayFactor
+	}
+	d.TouchedEdges += int64(len(d.w))
+	for v := range d.deg {
+		d.deg[v] *= decayFactor
+	}
+	for c := range d.comTot {
+		d.comTot[c] *= decayFactor
+	}
+	d.totalW *= decayFactor
+	// Per-edge update events: each endpoint reconsiders its community.
+	for v := 0; v < d.g.N(); v++ {
+		d.moveBest(graph.NodeID(v))
+	}
+	for e := 0; e < d.g.M(); e++ {
+		u, v := d.g.Endpoints(graph.EdgeID(e))
+		d.moveBest(u)
+		d.moveBest(v)
+	}
+}
+
+// UpdateEdge sets a new weight on e and repairs the clustering with local
+// moves around the endpoints (the DynaMo per-update rule).
+func (d *Dynamo) UpdateEdge(e graph.EdgeID, newW float64) {
+	u, v := d.g.Endpoints(e)
+	delta := newW - d.w[e]
+	d.w[e] = newW
+	d.TouchedEdges++
+	d.deg[u] += delta
+	d.deg[v] += delta
+	d.comTot[d.labels[u]] += delta
+	d.comTot[d.labels[v]] += delta
+	d.totalW += delta
+	// Local repair: endpoints and their neighbors reconsider membership.
+	frontier := []graph.NodeID{u, v}
+	for _, h := range d.g.Neighbors(u) {
+		frontier = append(frontier, h.To)
+	}
+	for _, h := range d.g.Neighbors(v) {
+		frontier = append(frontier, h.To)
+	}
+	for rounds := 0; rounds < 3; rounds++ {
+		moved := false
+		for _, x := range frontier {
+			if d.moveBest(x) {
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// moveBest moves x to the adjacent community with the largest modularity
+// gain, if positive. Returns whether x moved.
+func (d *Dynamo) moveBest(x graph.NodeID) bool {
+	if d.totalW <= 0 {
+		return false
+	}
+	old := d.labels[x]
+	neighW := map[int32]float64{}
+	for _, h := range d.g.Neighbors(x) {
+		neighW[d.labels[h.To]] += d.w[h.Edge]
+	}
+	m2 := 2 * d.totalW
+	d.comTot[old] -= d.deg[x]
+	best, bestGain := old, 0.0
+	baseIn := neighW[old]
+	for c, kin := range neighW {
+		gain := (kin - baseIn) - (d.comTot[c]-d.comTot[old])*d.deg[x]/m2
+		if gain > bestGain+1e-12 {
+			best, bestGain = c, gain
+		}
+	}
+	d.labels[x] = best
+	d.comTot[best] += d.deg[x]
+	return best != old
+}
+
+// Rebuild re-runs Louvain from scratch on the current weights (used when
+// drift accumulates; the experiments call it sparingly since DYNA's paper
+// refreshes periodically).
+func (d *Dynamo) Rebuild() {
+	d.labels = louvain.Cluster(d.g, d.w)
+	d.recomputeAggregates()
+}

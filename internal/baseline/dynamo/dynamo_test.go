@@ -1,0 +1,161 @@
+package dynamo
+
+import (
+	"math"
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func pairedCliques(t testing.TB) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for base := graph.NodeID(0); base <= 6; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return g, w
+}
+
+func TestInitMatchesLouvainQuality(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(d.Labels(), truth); nmi < 0.99 {
+		t.Fatalf("init NMI = %v", nmi)
+	}
+}
+
+func TestTickScalesEverything(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	labelsBefore := append([]int32(nil), d.Labels()...)
+	totalBefore := d.totalW
+	d.Tick(0.5)
+	if math.Abs(d.totalW-totalBefore/2) > 1e-12 {
+		t.Fatalf("totalW = %v, want %v", d.totalW, totalBefore/2)
+	}
+	for i, l := range d.Labels() {
+		if l != labelsBefore[i] {
+			t.Fatal("uniform decay changed communities")
+		}
+	}
+	if d.TouchedEdges != int64(g.M()) {
+		t.Fatalf("TouchedEdges = %d, want %d (every edge rewritten)", d.TouchedEdges, g.M())
+	}
+}
+
+// TestBridgeStrengtheningMerges: pumping weight into the bridge eventually
+// merges the cliques under local moves.
+func TestBridgeStrengtheningMerges(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	bridge := g.FindEdge(5, 6)
+	if d.Labels()[5] == d.Labels()[6] {
+		t.Fatal("cliques merged before update")
+	}
+	d.UpdateEdge(bridge, 200)
+	if d.Labels()[5] != d.Labels()[6] {
+		t.Fatalf("heavy bridge did not pull endpoints together: %v", d.Labels())
+	}
+}
+
+// TestWeakeningKeepsValidAggregates: internal sums stay consistent with a
+// full recompute after updates.
+func TestAggregateConsistency(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	d.UpdateEdge(0, 3.5)
+	d.UpdateEdge(graph.EdgeID(g.M()-1), 0.2)
+	d.Tick(0.9)
+	// Recompute from scratch and compare.
+	totW := 0.0
+	deg := make([]float64, g.N())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		totW += d.w[e]
+		deg[u] += d.w[e]
+		deg[v] += d.w[e]
+	}
+	if math.Abs(totW-d.totalW) > 1e-9 {
+		t.Fatalf("totalW drifted: %v vs %v", d.totalW, totW)
+	}
+	for v := range deg {
+		if math.Abs(deg[v]-d.deg[v]) > 1e-9 {
+			t.Fatalf("deg[%d] drifted", v)
+		}
+	}
+	comTot := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		comTot[d.labels[v]] += d.deg[v]
+	}
+	for c := range comTot {
+		if math.Abs(comTot[c]-d.comTot[c]) > 1e-9 {
+			t.Fatalf("comTot[%d] drifted: %v vs %v", c, d.comTot[c], comTot[c])
+		}
+	}
+}
+
+// TestTickAsUpdatesPreservesInvariants: the faithful per-edge tick keeps
+// the clustering valid, touches every edge, and stays consistent with a
+// full aggregate recompute.
+func TestTickAsUpdatesPreservesInvariants(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	before := d.TouchedEdges
+	d.TickAsUpdates(0.8)
+	if d.TouchedEdges-before != int64(g.M()) {
+		t.Fatalf("touched %d edges, want %d", d.TouchedEdges-before, g.M())
+	}
+	// The clique structure survives a uniform decay (modularity is scale
+	// invariant, so no move should break it).
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(d.Labels(), truth); nmi < 0.99 {
+		t.Fatalf("NMI after TickAsUpdates = %v", nmi)
+	}
+	// Aggregates consistent.
+	totW := 0.0
+	for e := 0; e < g.M(); e++ {
+		totW += d.w[e]
+	}
+	if math.Abs(totW-d.totalW) > 1e-9 {
+		t.Fatalf("totalW drifted: %v vs %v", d.totalW, totW)
+	}
+}
+
+func TestRebuildRestoresQuality(t *testing.T) {
+	g, w := pairedCliques(t)
+	d := New(g, w)
+	// Perturb: many noisy updates.
+	for e := 0; e < g.M(); e++ {
+		d.UpdateEdge(graph.EdgeID(e), 1+float64(e%3))
+	}
+	d.Rebuild()
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(d.Labels(), truth); nmi < 0.9 {
+		t.Fatalf("NMI after rebuild = %v", nmi)
+	}
+}

@@ -1,0 +1,166 @@
+// Package louvain implements the Louvain method (Blondel et al. 2008) for
+// weighted modularity maximization — the paper's offline baseline LOUV and
+// the initializer of the DYNA baseline. Local moving passes alternate with
+// graph aggregation until modularity stops improving.
+package louvain
+
+import (
+	"anc/internal/graph"
+)
+
+// MaxPasses bounds local-moving sweeps per aggregation level.
+const MaxPasses = 32
+
+// Cluster partitions g under edge weights w (positive; higher = stronger
+// tie) and returns a dense cluster label per node. Deterministic: nodes are
+// scanned in ID order.
+func Cluster(g *graph.Graph, w []float64) []int32 {
+	n := g.N()
+	// Working multigraph: adjacency maps with self-loops for aggregated
+	// internal weight.
+	adj := make([]map[int32]float64, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int32]float64, g.Degree(graph.NodeID(v)))
+	}
+	var totalW float64
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		adj[u][v] += w[e]
+		adj[v][u] += w[e]
+		totalW += w[e]
+	}
+	if totalW == 0 {
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(i)
+		}
+		return labels
+	}
+	// membership[v] maps original node -> current top-level community of
+	// the aggregated hierarchy.
+	membership := make([]int32, n)
+	for i := range membership {
+		membership[i] = int32(i)
+	}
+	cur := adj
+	for {
+		labels, improved := onePass(cur, totalW)
+		// Renumber labels densely.
+		remap := make(map[int32]int32)
+		for i, l := range labels {
+			if _, ok := remap[l]; !ok {
+				remap[l] = int32(len(remap))
+			}
+			labels[i] = remap[labels[i]]
+			_ = i
+		}
+		for v := range membership {
+			membership[v] = labels[membership[v]]
+		}
+		if !improved || len(remap) == len(cur) {
+			break
+		}
+		cur = aggregate(cur, labels, len(remap))
+	}
+	return dense(membership)
+}
+
+// onePass runs local moving over one (possibly aggregated) weighted graph.
+// Returns per-node community labels and whether any move happened.
+func onePass(adj []map[int32]float64, totalW float64) ([]int32, bool) {
+	n := len(adj)
+	labels := make([]int32, n)
+	deg := make([]float64, n)    // weighted degree, loops counted twice
+	comTot := make([]float64, n) // Σ deg over community members
+	for v := 0; v < n; v++ {
+		labels[v] = int32(v)
+		for u, wt := range adj[v] {
+			if int(u) == v {
+				deg[v] += 2 * wt
+			} else {
+				deg[v] += wt
+			}
+		}
+		comTot[v] = deg[v]
+	}
+	m2 := 2 * totalW
+	improvedEver := false
+	neighW := make(map[int32]float64)
+	for pass := 0; pass < MaxPasses; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			old := labels[v]
+			clear(neighW)
+			for u, wt := range adj[v] {
+				if int(u) == v {
+					continue
+				}
+				neighW[labels[u]] += wt
+			}
+			comTot[old] -= deg[v]
+			best, bestGain := old, 0.0
+			baseIn := neighW[old]
+			for c, kin := range neighW {
+				// ΔQ of joining c relative to staying alone, minus the
+				// same for rejoining old: compare kin - comTot[c]·deg[v]/m2.
+				gain := (kin - baseIn) - (comTot[c]-comTot[old])*deg[v]/m2
+				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && c < best && gain > 1e-12) {
+					best, bestGain = c, gain
+				}
+			}
+			labels[v] = best
+			comTot[best] += deg[v]
+			if best != old {
+				moved = true
+				improvedEver = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return labels, improvedEver
+}
+
+// aggregate collapses communities into super-nodes.
+func aggregate(adj []map[int32]float64, labels []int32, k int) []map[int32]float64 {
+	out := make([]map[int32]float64, k)
+	for i := range out {
+		out[i] = make(map[int32]float64)
+	}
+	for v := range adj {
+		cv := labels[v]
+		for u, wt := range adj[v] {
+			cu := labels[u]
+			if int(u) < v {
+				continue // count each undirected pair once (loops: u==v handled below)
+			}
+			if int(u) == v {
+				out[cv][cv] += wt
+				continue
+			}
+			if cu == cv {
+				out[cv][cv] += wt
+			} else {
+				out[cv][cu] += wt
+				out[cu][cv] += wt
+			}
+		}
+	}
+	return out
+}
+
+// dense renumbers arbitrary labels to 0..k-1 in first-appearance order.
+func dense(labels []int32) []int32 {
+	remap := make(map[int32]int32)
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		d, ok := remap[l]
+		if !ok {
+			d = int32(len(remap))
+			remap[l] = d
+		}
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package louvain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func unit(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func cliques(t testing.TB, k, size int, bridges [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(k * size)
+	for c := 0; c < k; c++ {
+		base := graph.NodeID(c * size)
+		for u := base; u < base+graph.NodeID(size); u++ {
+			for v := u + 1; v < base+graph.NodeID(size); v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, e := range bridges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRecoversCliques(t *testing.T) {
+	g := cliques(t, 3, 6, [][2]graph.NodeID{{5, 6}, {11, 12}})
+	labels := Cluster(g, unit(g.M()))
+	truth := make([]int32, g.N())
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(labels, truth); nmi < 0.99 {
+		t.Fatalf("NMI = %v, want ~1; labels = %v", nmi, labels)
+	}
+}
+
+func TestRespectsWeights(t *testing.T) {
+	// A 4-cycle 0-1-2-3 where heavy edges (0,1) and (2,3) should pair up.
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if (u == 0 && v == 1) || (u == 2 && v == 3) {
+			w[e] = 10
+		} else {
+			w[e] = 0.1
+		}
+	}
+	labels := Cluster(g, w)
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("weighted pairs not found: %v", labels)
+	}
+}
+
+func TestImprovesModularityOverSingletons(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			b.AddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v))
+		}
+		for i := 0; i < n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		w := make([]float64, g.M())
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()
+		}
+		labels := Cluster(g, w)
+		singles := make([]int32, n)
+		for i := range singles {
+			singles[i] = int32(i)
+		}
+		return quality.Modularity(g, w, labels) >= quality.Modularity(g, w, singles)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWeightsFallsBackToSingletons(t *testing.T) {
+	g := cliques(t, 1, 4, nil)
+	labels := Cluster(g, make([]float64, g.M()))
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("zero-weight graph not singletons: %v", labels)
+		}
+		seen[l] = true
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := cliques(t, 2, 5, [][2]graph.NodeID{{4, 5}})
+	w := unit(g.M())
+	a := Cluster(g, w)
+	b := Cluster(g, w)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Louvain not deterministic")
+		}
+	}
+}
+
+func TestLabelsAreDense(t *testing.T) {
+	g := cliques(t, 3, 4, nil)
+	labels := Cluster(g, unit(g.M()))
+	max := int32(-1)
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if l < 0 {
+			t.Fatal("negative label")
+		}
+		seen[l] = true
+		if l > max {
+			max = l
+		}
+	}
+	if int(max)+1 != len(seen) {
+		t.Fatalf("labels not dense: max=%d distinct=%d", max, len(seen))
+	}
+}

@@ -1,0 +1,82 @@
+package lwep
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func pairedCliques(t testing.TB) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for base := graph.NodeID(0); base <= 6; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return g, w
+}
+
+func TestInitialPropagationFindsCliques(t *testing.T) {
+	g, w := pairedCliques(t)
+	l := New(g, w)
+	truth := make([]int32, 12)
+	for v := range truth {
+		truth[v] = int32(v / 6)
+	}
+	if nmi := quality.NMI(l.Labels(), truth); nmi < 0.8 {
+		t.Fatalf("NMI = %v, labels = %v", nmi, l.Labels())
+	}
+}
+
+func TestUpdateBatchRunsRounds(t *testing.T) {
+	g, w := pairedCliques(t)
+	l := New(g, w)
+	before := l.RoundsRun
+	l.UpdateBatch([]graph.EdgeID{0, 1, 2, 3}, []float64{2, 2, 2, 2})
+	if l.RoundsRun <= before {
+		t.Fatal("no propagation rounds after update")
+	}
+	// The round budget grows linearly with batch size (the cost scaling
+	// the paper reports) and is capped.
+	if RoundBudget(4) >= RoundBudget(40) {
+		t.Fatal("budget not growing in batch size")
+	}
+	if RoundBudget(1<<20) != maxRounds {
+		t.Fatal("budget not capped")
+	}
+}
+
+func TestTickDecaysWeights(t *testing.T) {
+	g, w := pairedCliques(t)
+	l := New(g, w)
+	l.Tick(0.5)
+	for e := 0; e < g.M(); e++ {
+		if l.w[e] != 0.5 {
+			t.Fatalf("weight %d = %v", e, l.w[e])
+		}
+	}
+}
+
+func TestHeavyBridgeMergesCommunities(t *testing.T) {
+	g, w := pairedCliques(t)
+	l := New(g, w)
+	bridge := g.FindEdge(5, 6)
+	l.UpdateBatch([]graph.EdgeID{bridge}, []float64{100})
+	if l.Labels()[5] != l.Labels()[6] {
+		t.Fatalf("bridge endpoints still split: %v", l.Labels())
+	}
+}

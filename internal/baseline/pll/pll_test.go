@@ -1,0 +1,97 @@
+package pll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+	"anc/internal/metric"
+)
+
+func randomWeighted(rng *rand.Rand, n, extra int) (*graph.Graph, []float64) {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 0.1 + rng.Float64()*3
+	}
+	return g, w
+}
+
+// TestExactness is PLL's defining property: every query equals a
+// reference Dijkstra distance.
+func TestExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, w := randomWeighted(rng, 10+rng.Intn(40), 60)
+		wf := func(e graph.EdgeID) float64 { return w[e] }
+		ix := Build(g, wf)
+		for trial := 0; trial < 15; trial++ {
+			u := graph.NodeID(rng.Intn(g.N()))
+			v := graph.NodeID(rng.Intn(g.N()))
+			got := ix.Query(u, v)
+			want := metric.Distance(g, u, v, wf)
+			if math.IsInf(got, 1) != math.IsInf(want, 1) {
+				return false
+			}
+			if !math.IsInf(got, 1) && math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	w := []float64{1, 2}
+	ix := Build(g, func(e graph.EdgeID) float64 { return w[e] })
+	if d := ix.Query(0, 2); !math.IsInf(d, 1) {
+		t.Fatalf("cross-component distance = %v", d)
+	}
+	if d := ix.Query(2, 3); d != 2 {
+		t.Fatalf("distance = %v, want 2", d)
+	}
+	if d := ix.Query(1, 1); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+// TestPruningEffective: on a star graph, the hub is ranked first and
+// every label set stays tiny (pruning prevents quadratic labels).
+func TestPruningEffective(t *testing.T) {
+	n := 200
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, graph.NodeID(v))
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	ix := Build(g, func(e graph.EdgeID) float64 { return w[e] })
+	if got := ix.LabelEntries(); got > 2*n {
+		t.Fatalf("label entries = %d on a star, want ≤ %d", got, 2*n)
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("non-positive memory estimate")
+	}
+}

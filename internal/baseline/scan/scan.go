@@ -1,0 +1,113 @@
+// Package scan implements SCAN (Xu et al., KDD 2007), the structural
+// clustering baseline: nodes whose structural similarity to at least μ
+// neighbors reaches ε are cores; clusters are the connected regions of
+// structure-reachable nodes. Hubs and outliers (non-members) are reported
+// as singleton clusters so that quality metrics over full partitions are
+// well defined.
+//
+// For activation-network snapshots an optional weight vector filters the
+// graph: edges below MinWeight are treated as absent, which is how the
+// experiments let SCAN see the decayed snapshot.
+package scan
+
+import (
+	"math"
+
+	"anc/internal/graph"
+)
+
+// Params holds SCAN's two parameters plus the snapshot filter.
+type Params struct {
+	// Epsilon is the structural-similarity threshold (0, 1].
+	Epsilon float64
+	// Mu is the minimum ε-neighborhood size of a core.
+	Mu int
+	// Weights optionally filters edges: nil means all edges present;
+	// otherwise edge e exists iff Weights[e] >= MinWeight.
+	Weights   []float64
+	MinWeight float64
+}
+
+// Cluster runs SCAN and returns a dense label per node.
+func Cluster(g *graph.Graph, p Params) []int32 {
+	n := g.N()
+	present := func(e graph.EdgeID) bool {
+		return p.Weights == nil || p.Weights[e] >= p.MinWeight
+	}
+	// Effective degree under the filter (+1 for the closed neighborhood).
+	size := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, h := range g.Neighbors(graph.NodeID(v)) {
+			if present(h.Edge) {
+				size[v]++
+			}
+		}
+		size[v]++ // closed neighborhood includes v itself
+	}
+	// sim computes the structural similarity of adjacent u, v:
+	// |Γ(u)∩Γ(v)| / √(|Γ(u)||Γ(v)|) with closed neighborhoods.
+	sim := func(u, v graph.NodeID) float64 {
+		common := 2 // u and v are in both closed neighborhoods (adjacent)
+		g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+			if present(eu) && present(ev) {
+				common++
+			}
+		})
+		return float64(common) / math.Sqrt(float64(size[u])*float64(size[v]))
+	}
+	// epsNeighbors[v] = neighbors with sim ≥ ε (v itself always counts
+	// toward the core size, per the closed-neighborhood definition).
+	core := make([]bool, n)
+	epsAdj := make([][]graph.NodeID, n)
+	for e := 0; e < g.M(); e++ {
+		if !present(graph.EdgeID(e)) {
+			continue
+		}
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if sim(u, v) >= p.Epsilon {
+			epsAdj[u] = append(epsAdj[u], v)
+			epsAdj[v] = append(epsAdj[v], u)
+		}
+	}
+	for v := 0; v < n; v++ {
+		core[v] = len(epsAdj[v])+1 >= p.Mu
+	}
+	// Clusters: BFS from cores along ε-neighborhood links; border nodes
+	// join the first core cluster that reaches them.
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	var queue []graph.NodeID
+	for v := 0; v < n; v++ {
+		if !core[v] || labels[v] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		labels[v] = id
+		queue = append(queue[:0], graph.NodeID(v))
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if !core[x] {
+				continue // border node: absorbed but not expanded
+			}
+			for _, u := range epsAdj[x] {
+				if labels[u] < 0 {
+					labels[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	// Hubs/outliers become singletons.
+	for v := 0; v < n; v++ {
+		if labels[v] < 0 {
+			labels[v] = next
+			next++
+		}
+	}
+	return labels
+}

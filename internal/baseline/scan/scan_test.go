@@ -1,0 +1,97 @@
+package scan
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func twoCliquesBridge(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	for base := graph.NodeID(0); base <= 5; base += 5 {
+		for u := base; u < base+5; u++ {
+			for v := u + 1; v < base+5; v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestSeparatesCliques(t *testing.T) {
+	g := twoCliquesBridge(t)
+	labels := Cluster(g, Params{Epsilon: 0.6, Mu: 3})
+	truth := make([]int32, 10)
+	for v := range truth {
+		truth[v] = int32(v / 5)
+	}
+	if nmi := quality.NMI(labels, truth); nmi < 0.9 {
+		t.Fatalf("NMI = %v, labels = %v", nmi, labels)
+	}
+	if labels[4] == labels[5] {
+		t.Fatalf("bridge endpoints merged: %v", labels)
+	}
+}
+
+func TestHubsBecomeSingletons(t *testing.T) {
+	// Star: center similarity to leaves is low with closed neighborhoods
+	// of very different size; with strict ε nothing is a core.
+	b := graph.NewBuilder(6)
+	for v := graph.NodeID(1); v < 6; v++ {
+		if err := b.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	labels := Cluster(g, Params{Epsilon: 0.9, Mu: 3})
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("expected all singletons, got %v", labels)
+		}
+		seen[l] = true
+	}
+}
+
+func TestWeightFilterDropsDeadEdges(t *testing.T) {
+	g := twoCliquesBridge(t)
+	w := make([]float64, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if u < 5 && v < 5 {
+			w[e] = 1 // first clique alive
+		} else {
+			w[e] = 0.001 // second clique decayed to dust
+		}
+	}
+	labels := Cluster(g, Params{Epsilon: 0.6, Mu: 3, Weights: w, MinWeight: 0.01})
+	// First clique clusters together; second clique has no live edges, so
+	// all singletons there.
+	if labels[0] != labels[1] || labels[0] != labels[4] {
+		t.Fatalf("live clique split: %v", labels)
+	}
+	for u := 5; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			if labels[u] == labels[v] {
+				t.Fatalf("dead clique still clustered: %v", labels)
+			}
+		}
+	}
+}
+
+func TestEveryNodeLabeled(t *testing.T) {
+	g := twoCliquesBridge(t)
+	labels := Cluster(g, Params{Epsilon: 0.5, Mu: 2})
+	for v, l := range labels {
+		if l < 0 {
+			t.Fatalf("node %d unlabeled", v)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// tinyConfig keeps the experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{TargetN: 150, EffTargetN: 512, Steps: 10, SampleEvery: 5, Seed: 1, Quiet: true}
+}
+
+func TestExp1Smoke(t *testing.T) {
+	rows := Exp1StaticQuality(tinyConfig(), io.Discard)
+	if len(rows) != len(Exp1Datasets)*7 { // 4 baselines + 3 ANCF reps
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMethod := map[string][]Exp1Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = append(byMethod[r.Method], r)
+		if r.NMI < 0 || r.NMI > 1 || r.Purity < 0 || r.Purity > 1 {
+			t.Fatalf("score out of range: %+v", r)
+		}
+	}
+	// ANCF should be competitive on planted graphs: high absolute NMI.
+	// (At smoke scale every decent method scores well, so the paper's
+	// relative ordering is only asserted loosely here; the full-scale
+	// run in EXPERIMENTS.md carries the comparison.)
+	mean := func(rs []Exp1Row) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += r.NMI
+		}
+		return s / float64(len(rs))
+	}
+	if ancf := mean(byMethod["ANCF9"]); ancf < 0.6 {
+		t.Errorf("ANCF9 mean NMI %v below 0.6", ancf)
+	}
+	PrintExp1(io.Discard, rows)
+}
+
+func TestExp2TimeSmoke(t *testing.T) {
+	rows := Exp2ActivationTime(tinyConfig(), io.Discard)
+	if len(rows) != 5*8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perDataset := map[string]map[string]float64{}
+	for _, r := range rows {
+		if perDataset[r.Dataset] == nil {
+			perDataset[r.Dataset] = map[string]float64{}
+		}
+		perDataset[r.Dataset][r.Method] = r.Seconds
+		if r.Seconds < 0 {
+			t.Fatalf("negative time: %+v", r)
+		}
+	}
+	if raceEnabled {
+		t.Log("race detector active: skipping wall-clock assertions")
+		return
+	}
+	// The headline claim: ANCO's per-activation cost is below DYNA's on
+	// every dataset. The paper's gap is 3+ orders of magnitude at real
+	// sizes; at n=150 smoke scale the gap is a small constant factor, so
+	// only a 2× margin is asserted here — the scale run in EXPERIMENTS.md
+	// shows the widening gap.
+	for ds, m := range perDataset {
+		if m["ANCO"]*2 > m["DYNA"] {
+			t.Errorf("%s: ANCO %.3g not well below DYNA %.3g", ds, m["ANCO"], m["DYNA"])
+		}
+		if m["ANCO"] > m["ANCOR"]*3 {
+			t.Errorf("%s: ANCO %.3g should not be much slower than ANCOR %.3g", ds, m["ANCO"], m["ANCOR"])
+		}
+	}
+	PrintExp2Time(io.Discard, rows)
+}
+
+func TestExp2QualitySmoke(t *testing.T) {
+	pts := Exp2QualitySeries(tinyConfig(), io.Discard, []string{"CO"})
+	if len(pts) == 0 {
+		t.Fatal("no quality points")
+	}
+	for _, p := range pts {
+		if p.NMI < 0 || p.NMI > 1 {
+			t.Fatalf("NMI out of range: %+v", p)
+		}
+	}
+	means := MeanQuality(pts)
+	if len(means) == 0 {
+		t.Fatal("no means")
+	}
+	PrintExp2Quality(io.Discard, pts)
+}
+
+func TestExp3And4Smoke(t *testing.T) {
+	cfg := tinyConfig()
+	rows := Exp3IndexTime(cfg, io.Discard)
+	if len(rows) != len(EffSuite(cfg))*4 {
+		t.Fatalf("exp3 rows = %d", len(rows))
+	}
+	// Index time grows with k on the largest graph.
+	last := rows[len(rows)-4:]
+	if last[0].Seconds > last[3].Seconds*2 {
+		t.Errorf("k=2 slower than 2x k=16: %+v", last)
+	}
+	PrintExp3(io.Discard, rows)
+
+	mem := Exp4IndexMemory(cfg, io.Discard)
+	if len(mem) != len(EffSuite(cfg))*3 {
+		t.Fatalf("exp4 rows = %d", len(mem))
+	}
+	for i := 0; i+2 < len(mem); i += 3 {
+		if !(mem[i].Bytes < mem[i+1].Bytes && mem[i+1].Bytes < mem[i+2].Bytes) {
+			t.Errorf("memory not monotone in k: %+v", mem[i:i+3])
+		}
+	}
+	PrintExp4(io.Discard, mem)
+}
+
+func TestExp5Smoke(t *testing.T) {
+	rows := Exp5QueryTime(tinyConfig(), io.Discard)
+	if len(rows) == 0 {
+		t.Fatal("no exp5 rows")
+	}
+	PrintExp5(io.Discard, rows)
+}
+
+func TestExp6BatchSmoke(t *testing.T) {
+	rows := Exp6UpdateVsReconstruct(tinyConfig(), io.Discard, 4)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The single-update speedup must be large (the paper's headline is up
+	// to six orders of magnitude; at smoke scale require 3× on batch=1).
+	for _, r := range rows {
+		if r.Batch == 1 && r.Update*3 > r.Reconstruct {
+			t.Errorf("%s: single UPDATE %.3g not well below RECONSTRUCT %.3g", r.Dataset, r.Update, r.Reconstruct)
+		}
+	}
+	PrintExp6Batch(io.Discard, rows)
+}
+
+func TestExp6DaySmoke(t *testing.T) {
+	stats := Exp6DiurnalUpdates(tinyConfig(), io.Discard, 60)
+	if stats.Activations == 0 || stats.P95 <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.P95 < stats.P50 {
+		t.Fatal("p95 < p50")
+	}
+	PrintExp6Day(io.Discard, stats)
+}
+
+func TestExp6WorkloadSmoke(t *testing.T) {
+	rows := Exp6MixedWorkload(tinyConfig(), io.Discard, 800)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if raceEnabled {
+		t.Log("race detector active: skipping wall-clock assertions")
+		return
+	}
+	// ANCO beats DYNA at every query share (Fig 10 shape). Wall-clock at
+	// smoke scale is noisy, so a 1.5× tolerance absorbs scheduler jitter;
+	// the scale run in EXPERIMENTS.md shows the real (much larger) gap.
+	for _, r := range rows {
+		if r.ANCO > r.DYNA*1.5 {
+			t.Errorf("q=%v: ANCO %.3g slower than DYNA %.3g", r.QueryFrac, r.ANCO, r.DYNA)
+		}
+	}
+	PrintExp6Workload(io.Discard, rows)
+}
+
+func TestCaseStudySmoke(t *testing.T) {
+	obs := CaseStudy(tinyConfig(), io.Discard)
+	if len(obs) != 6 { // 3 years × 2 levels
+		t.Fatalf("observations = %d", len(obs))
+	}
+	byYearLevel := map[[2]int]CaseStudyObservation{}
+	for _, o := range obs {
+		byYearLevel[[2]int{o.Year, o.Level}] = o
+	}
+	// Year 10, level 3: v8 collaborates only with v7 so far; the
+	// dis-similarity to v7 must be far below that to v26 (never active).
+	o10 := byYearLevel[[2]int{10, 3}]
+	if o10.DisSim[7] >= o10.DisSim[26] {
+		t.Errorf("year 10: dissim(v7)=%v not below dissim(v26)=%v", o10.DisSim[7], o10.DisSim[26])
+	}
+	// Year 20: v0 and v11 are the active collaborators; v7 has faded.
+	o20 := byYearLevel[[2]int{20, 3}]
+	if o20.DisSim[0] >= o20.DisSim[7] {
+		t.Errorf("year 20: dissim(v0)=%v not below dissim(v7)=%v", o20.DisSim[0], o20.DisSim[7])
+	}
+	// Year 30: v26 active, v11 faded.
+	o30 := byYearLevel[[2]int{30, 3}]
+	if o30.DisSim[26] >= o30.DisSim[11] {
+		t.Errorf("year 30: dissim(v26)=%v not below dissim(v11)=%v", o30.DisSim[26], o30.DisSim[11])
+	}
+	PrintCaseStudy(io.Discard, obs)
+}
+
+func TestParamsSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	rows := ParamSensitivity(cfg, io.Discard)
+	if len(rows) != 4+6+6+8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	PrintParams(io.Discard, rows)
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	rows := Ablations(tinyConfig(), io.Discard)
+	if len(rows) < 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	PrintAblations(io.Discard, rows)
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rows := Table1Datasets(tinyConfig(), io.Discard)
+	if len(rows) != 17 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	PrintTable1(io.Discard, rows)
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"anc/internal/core"
+	"anc/internal/graph"
+)
+
+// CaseStudyFocus lists node v8's inspected neighbors from Figure 11.
+var CaseStudyFocus = []graph.NodeID{0, 5, 7, 11, 26}
+
+// CaseStudyObservation is one (year, level) snapshot of the Figure 11 case
+// study: for each focus neighbor of v8, whether it shares v8's cluster and
+// the current dis-similarity (1/S) of the connecting edge.
+type CaseStudyObservation struct {
+	Year        int
+	Level       int
+	SameCluster map[graph.NodeID]bool
+	DisSim      map[graph.NodeID]float64
+}
+
+// caseStudyGraph builds the 29-node collaboration network: five research
+// groups around v0, v5, v7, v11 and v26, with v8 linked to one member of
+// each — mirroring the DB2 subgraph of Section VI-C.
+func caseStudyGraph() (*graph.Graph, [][2]graph.NodeID) {
+	b := graph.NewBuilder(29)
+	var groups [][]graph.NodeID
+	groups = append(groups,
+		[]graph.NodeID{0, 1, 2, 3},         // v0's group
+		[]graph.NodeID{5, 4, 6, 9},         // v5's group
+		[]graph.NodeID{7, 13, 14, 15, 16},  // v7's group
+		[]graph.NodeID{11, 17, 18, 19, 20}, // v11's group
+		[]graph.NodeID{26, 23, 24, 25, 27}, // v26's group
+		[]graph.NodeID{10, 12, 21, 22, 28}, // background collaborators
+	)
+	var intra [][2]graph.NodeID
+	for _, grp := range groups {
+		for i := range grp {
+			for j := i + 1; j < len(grp); j++ {
+				b.AddEdge(grp[i], grp[j])
+				intra = append(intra, [2]graph.NodeID{grp[i], grp[j]})
+			}
+		}
+	}
+	for _, f := range CaseStudyFocus {
+		b.AddEdge(8, f)
+	}
+	// Light cross-links so the graph is connected and realistic.
+	for _, e := range [][2]graph.NodeID{{3, 4}, {9, 13}, {16, 17}, {20, 23}, {10, 0}, {12, 26}, {21, 7}, {22, 11}, {28, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(), intra
+}
+
+// CaseStudy reproduces Figure 11: a 30-year activation history in which
+// v8 collaborates with v7 in years 5–11, with v11 in 11–22, with v0 in
+// 11–30, with v5 in 17–26 and with v26 in 23–30, while each group stays
+// internally active. Snapshots at years 10, 20 and 30 are reported at
+// granularity levels 2 and 3.
+func CaseStudy(cfg Config, w io.Writer) []CaseStudyObservation {
+	g, intra := caseStudyGraph()
+	opts := ancOptions(core.ANCOR, 3, cfg.Seed)
+	opts.Lambda = 0.35 // yearly decay: old collaborations fade in a few years
+	opts.Similarity.Mu = 3
+	opts.ReinforceInterval = 1
+	nw, err := core.New(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	active := func(year int, from, to int) bool { return year >= from && year <= to }
+	var obs []CaseStudyObservation
+	for year := 1; year <= 30; year++ {
+		t := float64(year)
+		// Groups collaborate internally every year.
+		for _, e := range intra {
+			nw.ActivatePair(e[0], e[1], t)
+		}
+		pairs := map[graph.NodeID][2]int{
+			7:  {5, 11},
+			11: {11, 22},
+			0:  {11, 30},
+			5:  {17, 26},
+			26: {23, 30},
+		}
+		for nb, span := range pairs {
+			if active(year, span[0], span[1]) {
+				nw.ActivatePair(8, nb, t)
+			}
+		}
+		if year == 10 || year == 20 || year == 30 {
+			nw.Flush()
+			for _, level := range []int{2, 3} {
+				o := CaseStudyObservation{
+					Year: year, Level: level,
+					SameCluster: map[graph.NodeID]bool{},
+					DisSim:      map[graph.NodeID]float64{},
+				}
+				members := nw.LocalCluster(8, level)
+				inCluster := map[graph.NodeID]bool{}
+				for _, m := range members {
+					inCluster[m] = true
+				}
+				for _, f := range CaseStudyFocus {
+					o.SameCluster[f] = inCluster[f]
+					e := g.FindEdge(8, f)
+					o.DisSim[f] = 1 / nw.Similarity().At(e)
+				}
+				obs = append(obs, o)
+			}
+			logf(cfg, w, "# case study year %d recorded\n", year)
+		}
+	}
+	return obs
+}
+
+// PrintCaseStudy renders the Figure 11 snapshots.
+func PrintCaseStudy(w io.Writer, obs []CaseStudyObservation) {
+	t := newTable(w)
+	t.row("year", "level", "neighbor", "same cluster", "dis-similarity 1/S")
+	for _, o := range obs {
+		keys := make([]graph.NodeID, 0, len(o.SameCluster))
+		for k := range o.SameCluster {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			t.row(o.Year, o.Level, fmt.Sprintf("v%d", k), o.SameCluster[k], o.DisSim[k])
+		}
+	}
+	t.flush()
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"anc/internal/plot"
+)
+
+// ChartExp2Quality renders the Figure 4 NMI series of one dataset as an
+// ASCII line chart (one series per method).
+func ChartExp2Quality(w io.Writer, pts []Exp2QualityPoint, dataset string) {
+	byMethod := map[string]*plot.Series{}
+	var order []string
+	for _, p := range pts {
+		if p.Dataset != dataset {
+			continue
+		}
+		s, ok := byMethod[p.Method]
+		if !ok {
+			s = &plot.Series{Name: p.Method}
+			byMethod[p.Method] = s
+			order = append(order, p.Method)
+		}
+		s.X = append(s.X, float64(p.Timestamp))
+		s.Y = append(s.Y, p.NMI)
+	}
+	var series []plot.Series
+	for _, m := range order {
+		series = append(series, *byMethod[m])
+	}
+	plot.Lines(w, fmt.Sprintf("Figure 4 (%s): NMI over timestamps", dataset), series, 60, 12)
+}
+
+// ChartExp3 renders Figure 5 as a log-scale bar chart (one bar per
+// dataset × k).
+func ChartExp3(w io.Writer, rows []Exp3Row) {
+	var bars []plot.Bar
+	for _, r := range rows {
+		bars = append(bars, plot.Bar{Label: fmt.Sprintf("%s k=%d", r.Dataset, r.K), Value: r.Seconds})
+	}
+	plot.Bars(w, "Figure 5: index construction time (log scale)", bars, 46, true)
+}
+
+// ChartExp4 renders Figure 6 as a log-scale bar chart in megabytes.
+func ChartExp4(w io.Writer, rows []Exp4Row) {
+	var bars []plot.Bar
+	for _, r := range rows {
+		bars = append(bars, plot.Bar{Label: fmt.Sprintf("%s k=%d", r.Dataset, r.K), Value: float64(r.Bytes) / (1 << 20)})
+	}
+	plot.Bars(w, "Figure 6: index memory, MB (log scale)", bars, 46, true)
+}
+
+// ChartExp6Batch renders Figure 8 as paired UPDATE/RECONSTRUCT bars.
+func ChartExp6Batch(w io.Writer, rows []Exp6BatchRow) {
+	var bars []plot.Bar
+	for _, r := range rows {
+		bars = append(bars,
+			plot.Bar{Label: fmt.Sprintf("%s b=%d UPD", r.Dataset, r.Batch), Value: r.Update},
+			plot.Bar{Label: fmt.Sprintf("%s b=%d REC", r.Dataset, r.Batch), Value: r.Reconstruct})
+	}
+	plot.Bars(w, "Figure 8: UPDATE vs RECONSTRUCT seconds (log scale)", bars, 46, true)
+}
+
+// ChartExp6Day renders the Figure 9 per-minute series as a sparkline plus
+// the p95 marker line.
+func ChartExp6Day(w io.Writer, s Exp6DayStats) {
+	vals := make([]float64, len(s.PerMinute))
+	for i, d := range s.PerMinute {
+		vals[i] = d.Seconds()
+	}
+	// Downsample to 120 columns for terminal width.
+	const cols = 120
+	if len(vals) > cols {
+		ds := make([]float64, cols)
+		per := len(vals) / cols
+		for i := 0; i < cols; i++ {
+			max := 0.0
+			for j := i * per; j < (i+1)*per && j < len(vals); j++ {
+				if vals[j] > max {
+					max = vals[j]
+				}
+			}
+			ds[i] = max
+		}
+		vals = ds
+	}
+	fmt.Fprintf(w, "Figure 9: per-minute update time over the day (max-downsampled)\n  %s\n", plot.Spark(vals))
+	fmt.Fprintf(w, "  p50=%v p95=%v max=%v\n", round(s.P50), round(s.P95), round(s.Max))
+}
+
+// ChartExp6Workload renders Figure 10 as grouped log-scale bars.
+func ChartExp6Workload(w io.Writer, rows []Exp6WorkloadRow) {
+	var bars []plot.Bar
+	for _, r := range rows {
+		q := int(r.QueryFrac * 100)
+		bars = append(bars,
+			plot.Bar{Label: fmt.Sprintf("%d%% ANCO", q), Value: r.ANCO},
+			plot.Bar{Label: fmt.Sprintf("%d%% DYNA", q), Value: r.DYNA},
+			plot.Bar{Label: fmt.Sprintf("%d%% LWEP", q), Value: r.LWEP})
+	}
+	plot.Bars(w, "Figure 10: workload time, seconds (log scale)", bars, 46, true)
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

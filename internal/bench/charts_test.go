@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChartExp2Quality(t *testing.T) {
+	pts := []Exp2QualityPoint{
+		{Dataset: "CO", Method: "ANCO", Timestamp: 10, NMI: 0.5},
+		{Dataset: "CO", Method: "ANCO", Timestamp: 20, NMI: 0.4},
+		{Dataset: "CO", Method: "DYNA", Timestamp: 10, NMI: 0.6},
+		{Dataset: "CO", Method: "DYNA", Timestamp: 20, NMI: 0.3},
+		{Dataset: "FB", Method: "ANCO", Timestamp: 10, NMI: 0.9},
+	}
+	var buf bytes.Buffer
+	ChartExp2Quality(&buf, pts, "CO")
+	out := buf.String()
+	if !strings.Contains(out, "o=ANCO") || !strings.Contains(out, "x=DYNA") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Contains(out, "FB") {
+		t.Fatal("other dataset leaked into chart")
+	}
+}
+
+func TestChartBars(t *testing.T) {
+	var buf bytes.Buffer
+	ChartExp3(&buf, []Exp3Row{{Dataset: "CA", K: 2, Seconds: 0.01}, {Dataset: "CA", K: 4, Seconds: 0.02}})
+	if !strings.Contains(buf.String(), "CA k=4") {
+		t.Fatal("exp3 chart labels missing")
+	}
+	buf.Reset()
+	ChartExp4(&buf, []Exp4Row{{Dataset: "CA", K: 4, Bytes: 1 << 20}})
+	if !strings.Contains(buf.String(), "MB") {
+		t.Fatal("exp4 chart title missing")
+	}
+	buf.Reset()
+	ChartExp6Batch(&buf, []Exp6BatchRow{{Dataset: "DB", Batch: 1, Update: 1e-5, Reconstruct: 1e-2}})
+	if !strings.Contains(buf.String(), "UPD") || !strings.Contains(buf.String(), "REC") {
+		t.Fatal("exp6 batch chart labels missing")
+	}
+	buf.Reset()
+	ChartExp6Workload(&buf, []Exp6WorkloadRow{{QueryFrac: 0.01, ANCO: 1, DYNA: 10, LWEP: 100}})
+	if !strings.Contains(buf.String(), "1% ANCO") {
+		t.Fatal("workload chart labels missing")
+	}
+}
+
+func TestChartExp6Day(t *testing.T) {
+	per := make([]time.Duration, 300)
+	for i := range per {
+		per[i] = time.Duration(i) * time.Microsecond
+	}
+	s := Exp6DayStats{Minutes: 300, PerMinute: per, P50: 150 * time.Microsecond, P95: 285 * time.Microsecond, Max: 299 * time.Microsecond}
+	var buf bytes.Buffer
+	ChartExp6Day(&buf, s)
+	out := buf.String()
+	if !strings.Contains(out, "p95=") {
+		t.Fatalf("day chart summary missing:\n%s", out)
+	}
+	// Downsampled to ≤ 120 glyphs.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "▁") || strings.Contains(line, "█") {
+			if n := len([]rune(strings.TrimSpace(line))); n > 121 {
+				t.Fatalf("sparkline too wide: %d", n)
+			}
+		}
+	}
+}

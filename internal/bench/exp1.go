@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"io"
+
+	"anc/internal/baseline/attractor"
+	"anc/internal/baseline/louvain"
+	"anc/internal/baseline/lwep"
+	"anc/internal/baseline/scan"
+	"anc/internal/core"
+	"anc/internal/dataset"
+	"anc/internal/quality"
+)
+
+// Exp1Row is one (method, dataset) cell group of Table III.
+type Exp1Row struct {
+	Method      string
+	Dataset     string
+	Modularity  float64
+	Conductance float64
+	NMI         float64
+	Purity      float64
+	F1          float64
+	ARI         float64
+	Clusters    int
+}
+
+// Exp1Datasets are the paper's four static quality datasets.
+var Exp1Datasets = []string{"LA", "DB", "AM", "YT"}
+
+// Exp1StaticQuality reproduces Table III: static-network clustering
+// quality of ANCF (rep = 1, 5, 9) against SCAN, ATTR, LOUV and LWEP on
+// the LA / DB / AM / YT counterparts with planted ground truth.
+func Exp1StaticQuality(cfg Config, w io.Writer) []Exp1Row {
+	var rows []Exp1Row
+	for di, name := range Exp1Datasets {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		pl := genCounterpart(spec, cfg.TargetN, cfg.Seed+int64(di))
+		g := pl.Graph
+		uw := unitWeights(g.M())
+		truthK := quality.NumClusters(pl.Truth)
+		logf(cfg, w, "# exp1 %s: n=%d m=%d truth clusters=%d\n", name, g.N(), g.M(), truthK)
+
+		score := func(method string, labels []int32) {
+			labels = quality.FilterNoise(labels, 3)
+			rows = append(rows, Exp1Row{
+				Method:      method,
+				Dataset:     name,
+				Modularity:  quality.Modularity(g, uw, labels),
+				Conductance: quality.Conductance(g, uw, labels),
+				NMI:         quality.NMI(labels, pl.Truth),
+				Purity:      quality.Purity(labels, pl.Truth),
+				F1:          quality.F1(labels, pl.Truth),
+				ARI:         quality.ARI(labels, pl.Truth),
+				Clusters:    quality.NumClusters(labels),
+			})
+		}
+
+		score("SCAN", scan.Cluster(g, scan.Params{Epsilon: 0.5, Mu: 3}))
+		score("ATTR", attractor.Cluster(g, attractor.DefaultParams()))
+		score("LOUV", louvain.Cluster(g, uw))
+		score("LWEP", lwep.New(g, uw).Labels())
+		for _, rep := range []int{1, 5, 9} {
+			nw, err := core.New(g, ancOptions(core.ANCF, rep, cfg.Seed))
+			if err != nil {
+				panic(err)
+			}
+			c, _ := nw.ClustersNear(truthK)
+			score(methodName("ANCF", rep), c.Labels)
+		}
+	}
+	return rows
+}
+
+func methodName(base string, rep int) string {
+	return base + string(rune('0'+rep))
+}
+
+// PrintExp1 renders the rows grouped like Table III.
+func PrintExp1(w io.Writer, rows []Exp1Row) {
+	t := newTable(w)
+	t.row("method", "dataset", "Modularity", "Conductance", "NMI", "Purity", "F1", "ARI", "#clusters")
+	for _, r := range rows {
+		t.row(r.Method, r.Dataset, r.Modularity, r.Conductance, r.NMI, r.Purity, r.F1, r.ARI, r.Clusters)
+	}
+	t.flush()
+}
+
+// snapshotWeights exposes an activeness snapshot for baselines needing
+// weighted graphs (kept here for reuse by Exp 2).
+func snapshotWeights(tr *activenessTracker) []float64 {
+	out := make([]float64, len(tr.act))
+	copy(out, tr.act)
+	return out
+}

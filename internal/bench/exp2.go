@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"anc/internal/baseline/attractor"
+	"anc/internal/baseline/dynamo"
+	"anc/internal/baseline/louvain"
+	"anc/internal/baseline/lwep"
+	"anc/internal/baseline/scan"
+	"anc/internal/core"
+	"anc/internal/dataset"
+	"anc/internal/gen"
+	"anc/internal/graph"
+	"anc/internal/quality"
+	"anc/internal/spectral"
+)
+
+// Exp2TimeRow is one cell of Table IV: amortized cost per activation for
+// online methods, or per-snapshot recomputation time for offline ones.
+type Exp2TimeRow struct {
+	Method  string
+	Offline bool
+	Dataset string
+	// Seconds is per activation (online) or per snapshot (offline).
+	Seconds float64
+}
+
+// Exp2ActivationTime reproduces Table IV on the five small dataset
+// counterparts: activation networks with λ=0.1, Steps timestamps, 5% of
+// edges activated per timestamp.
+func Exp2ActivationTime(cfg Config, w io.Writer) []Exp2TimeRow {
+	var rows []Exp2TimeRow
+	const lambda = 0.1
+	for di, spec := range dataset.Small() {
+		pl := genCounterpart(spec, cfg.TargetN, cfg.Seed+int64(di))
+		g := pl.Graph
+		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(di)))
+		stream := gen.CommunityBiasedStream(g, pl.Truth, cfg.Steps, 0.05, 0.85, rng)
+		logf(cfg, w, "# exp2 %s: n=%d m=%d activations=%d\n", spec.Name, g.N(), g.M(), len(stream))
+
+		// --- Online methods: total stream time / #activations.
+		onlineSeconds := func(run func()) float64 {
+			return timeIt(run).Seconds() / float64(len(stream))
+		}
+
+		nwO, err := core.New(g, ancOptions(core.ANCO, 7, cfg.Seed))
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Exp2TimeRow{"ANCO", false, spec.Name, onlineSeconds(func() {
+			for _, a := range stream {
+				nwO.Activate(a.Edge, a.T)
+			}
+		})})
+
+		nwR, err := core.New(g, ancOptions(core.ANCOR, 7, cfg.Seed))
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Exp2TimeRow{"ANCOR", false, spec.Name, onlineSeconds(func() {
+			for _, a := range stream {
+				nwR.Activate(a.Edge, a.T)
+			}
+		})})
+
+		trD := newActivenessTracker(g.M(), lambda)
+		dy := dynamo.New(g, trD.act)
+		rows = append(rows, Exp2TimeRow{"DYNA", false, spec.Name, onlineSeconds(func() {
+			at := 0
+			for ts := 1; ts <= cfg.Steps; ts++ {
+				dy.TickAsUpdates(trD.tick())
+				for ; at < len(stream) && stream[at].T <= float64(ts); at++ {
+					trD.activate(stream[at].Edge)
+					dy.UpdateEdge(stream[at].Edge, trD.act[stream[at].Edge])
+				}
+			}
+		})})
+
+		trL := newActivenessTracker(g.M(), lambda)
+		lw := lwep.New(g, trL.act)
+		rows = append(rows, Exp2TimeRow{"LWEP", false, spec.Name, onlineSeconds(func() {
+			at := 0
+			for ts := 1; ts <= cfg.Steps; ts++ {
+				lw.Tick(trL.tick())
+				var edges []graph.EdgeID
+				var nw []float64
+				for ; at < len(stream) && stream[at].T <= float64(ts); at++ {
+					trL.activate(stream[at].Edge)
+					edges = append(edges, stream[at].Edge)
+					nw = append(nw, trL.act[stream[at].Edge])
+				}
+				lw.UpdateBatch(edges, nw)
+			}
+		})})
+
+		// --- Offline methods: one snapshot recomputation on the final
+		// decayed weights, amortized per snapshot.
+		tr := newActivenessTracker(g.M(), lambda)
+		for ts, at := 1, 0; ts <= cfg.Steps; ts++ {
+			tr.tick()
+			for ; at < len(stream) && stream[at].T <= float64(ts); at++ {
+				tr.activate(stream[at].Edge)
+			}
+		}
+		snap := snapshotWeights(tr)
+
+		rows = append(rows, Exp2TimeRow{"SCAN", true, spec.Name, timeIt(func() {
+			scan.Cluster(g, scan.Params{Epsilon: 0.5, Mu: 3, Weights: snap, MinWeight: 0.05})
+		}).Seconds()})
+		rows = append(rows, Exp2TimeRow{"ATTR", true, spec.Name, timeIt(func() {
+			attractor.Cluster(g, attractor.DefaultParams())
+		}).Seconds()})
+		rows = append(rows, Exp2TimeRow{"LOUV", true, spec.Name, timeIt(func() {
+			louvain.Cluster(g, snap)
+		}).Seconds()})
+		nwF, err := core.New(g, ancOptions(core.ANCF, 7, cfg.Seed))
+		if err != nil {
+			panic(err)
+		}
+		for _, a := range stream {
+			nwF.Activate(a.Edge, a.T)
+		}
+		rows = append(rows, Exp2TimeRow{"ANCF", true, spec.Name, timeIt(func() {
+			nwF.Snapshot()
+		}).Seconds()})
+	}
+	return rows
+}
+
+// PrintExp2Time renders Table IV.
+func PrintExp2Time(w io.Writer, rows []Exp2TimeRow) {
+	t := newTable(w)
+	t.row("method", "kind", "dataset", "seconds (per activation | per snapshot)")
+	for _, r := range rows {
+		kind := "online"
+		if r.Offline {
+			kind = "offline"
+		}
+		t.row(r.Method, kind, r.Dataset, r.Seconds)
+	}
+	t.flush()
+}
+
+// Exp2QualityPoint is one (dataset, method, timestamp) sample of Figure 4.
+type Exp2QualityPoint struct {
+	Dataset   string
+	Method    string
+	Timestamp int
+	NMI       float64
+	Purity    float64
+	F1        float64
+	ARI       float64
+}
+
+// Exp2QualitySeries reproduces Figure 4: clustering quality over the
+// activation stream, scored at sampled timestamps against spectral-
+// clustering ground truth on the decayed snapshot (2√n clusters, as in
+// Section VI-A).
+func Exp2QualitySeries(cfg Config, w io.Writer, datasets []string) []Exp2QualityPoint {
+	if datasets == nil {
+		for _, s := range dataset.Small() {
+			datasets = append(datasets, s.Name)
+		}
+	}
+	var pts []Exp2QualityPoint
+	const lambda = 0.1
+	for di, name := range datasets {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		pl := genCounterpart(spec, cfg.TargetN, cfg.Seed+int64(di))
+		g := pl.Graph
+		rng := rand.New(rand.NewSource(cfg.Seed + 200 + int64(di)))
+		stream := gen.CommunityBiasedStream(g, pl.Truth, cfg.Steps, 0.05, 0.85, rng)
+		logf(cfg, w, "# exp2-quality %s: n=%d m=%d\n", name, g.N(), g.M())
+
+		// Method states.
+		nwO, _ := core.New(g, ancOptions(core.ANCO, 7, cfg.Seed))
+		nwR, _ := core.New(g, ancOptions(core.ANCOR, 7, cfg.Seed))
+		nwF, _ := core.New(g, ancOptions(core.ANCF, 7, cfg.Seed))
+		trD := newActivenessTracker(g.M(), lambda)
+		dy := dynamo.New(g, trD.act)
+		trL := newActivenessTracker(g.M(), lambda)
+		lw := lwep.New(g, trL.act)
+		tr := newActivenessTracker(g.M(), lambda)
+		attrLabels := attractor.Cluster(g, attractor.DefaultParams()) // weight-free, computed once
+
+		truthK := quality.NumClusters(pl.Truth)
+		gtRng := rand.New(rand.NewSource(cfg.Seed + 999))
+
+		at := 0
+		for ts := 1; ts <= cfg.Steps; ts++ {
+			decay := tr.tick()
+			trD.tick()
+			trL.tick()
+			dy.Tick(decay)
+			lw.Tick(decay)
+			var batchE []graph.EdgeID
+			var batchW []float64
+			for ; at < len(stream) && stream[at].T <= float64(ts); at++ {
+				a := stream[at]
+				nwO.Activate(a.Edge, a.T)
+				nwR.Activate(a.Edge, a.T)
+				nwF.Activate(a.Edge, a.T)
+				tr.activate(a.Edge)
+				trD.activate(a.Edge)
+				trL.activate(a.Edge)
+				dy.UpdateEdge(a.Edge, trD.act[a.Edge])
+				batchE = append(batchE, a.Edge)
+				batchW = append(batchW, trL.act[a.Edge])
+			}
+			lw.UpdateBatch(batchE, batchW)
+			if ts%cfg.SampleEvery != 0 && ts != cfg.Steps {
+				continue
+			}
+			// Ground truth on the decayed snapshot.
+			snap := snapshotWeights(tr)
+			truth := spectral.Cluster(g, snap, spectral.Params{K: truthK}, gtRng)
+
+			record := func(method string, labels []int32) {
+				labels = quality.FilterNoise(labels, 3)
+				pts = append(pts, Exp2QualityPoint{
+					Dataset: name, Method: method, Timestamp: ts,
+					NMI:    quality.NMI(labels, truth),
+					Purity: quality.Purity(labels, truth),
+					F1:     quality.F1(labels, truth),
+					ARI:    quality.ARI(labels, truth),
+				})
+			}
+			cO, _ := nwO.ClustersNear(truthK)
+			record("ANCO", cO.Labels)
+			cR, _ := nwR.ClustersNear(truthK)
+			record("ANCOR", cR.Labels)
+			nwF.Snapshot()
+			cF, _ := nwF.ClustersNear(truthK)
+			record("ANCF", cF.Labels)
+			record("DYNA", append([]int32(nil), dy.Labels()...))
+			record("LWEP", append([]int32(nil), lw.Labels()...))
+			record("SCAN", scan.Cluster(g, scan.Params{Epsilon: 0.5, Mu: 3, Weights: snap, MinWeight: 0.05}))
+			record("LOUV", louvain.Cluster(g, snap))
+			record("ATTR", attrLabels)
+		}
+	}
+	return pts
+}
+
+// PrintExp2Quality renders the Figure 4 series as one row per sample.
+func PrintExp2Quality(w io.Writer, pts []Exp2QualityPoint) {
+	t := newTable(w)
+	t.row("dataset", "method", "t", "NMI", "Purity", "F1", "ARI")
+	for _, p := range pts {
+		t.row(p.Dataset, p.Method, p.Timestamp, p.NMI, p.Purity, p.F1, p.ARI)
+	}
+	t.flush()
+}
+
+// MeanQuality aggregates the series per (dataset, method) for summary
+// reporting and tests.
+func MeanQuality(pts []Exp2QualityPoint) map[string]Exp2QualityPoint {
+	sums := map[string]Exp2QualityPoint{}
+	counts := map[string]int{}
+	for _, p := range pts {
+		key := p.Dataset + "/" + p.Method
+		s := sums[key]
+		s.Dataset, s.Method = p.Dataset, p.Method
+		s.NMI += p.NMI
+		s.Purity += p.Purity
+		s.F1 += p.F1
+		s.ARI += p.ARI
+		sums[key] = s
+		counts[key]++
+	}
+	for key, s := range sums {
+		c := float64(counts[key])
+		s.NMI /= c
+		s.Purity /= c
+		s.F1 /= c
+		s.ARI /= c
+		sums[key] = s
+	}
+	return sums
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"anc/internal/baseline/dynamo"
+	"anc/internal/baseline/lwep"
+	"anc/internal/cluster"
+	"anc/internal/core"
+	"anc/internal/dataset"
+	"anc/internal/gen"
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+)
+
+// Exp6BatchRow is one point of Figure 8: UPDATE vs RECONSTRUCT time for a
+// batch of weight changes.
+type Exp6BatchRow struct {
+	Dataset     string
+	N, M        int
+	Batch       int
+	Update      float64 // seconds, incremental UPDATE
+	Reconstruct float64 // seconds, full RECONSTRUCT
+}
+
+// Exp6UpdateVsReconstruct reproduces Figure 8: apply batches of 2⁰…2¹⁰
+// weight changes either incrementally (UPDATE: Algorithms 1–3 per
+// partition) or by rebuilding every partition (RECONSTRUCT).
+func Exp6UpdateVsReconstruct(cfg Config, w io.Writer, maxBatchLog int) []Exp6BatchRow {
+	var rows []Exp6BatchRow
+	suite := []string{"DB", "YT"}
+	for i, name := range suite {
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed+int64(i))
+		g := pl.Graph
+		weights := unitWeights(g.M())
+		ix, err := pyramid.Build(g, func(e graph.EdgeID) float64 { return weights[e] },
+			pyramid.Config{K: 4, Theta: 0.7}, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 77))
+		for bl := 0; bl <= maxBatchLog; bl += 2 {
+			batch := 1 << uint(bl)
+			edges, factors := randomWeightChanges(g.M(), batch, rng)
+			upd := timeIt(func() {
+				for j, e := range edges {
+					weights[e] *= factors[j]
+					ix.UpdateEdge(e, weights[e])
+				}
+			}).Seconds()
+			// RECONSTRUCT: write the (already-updated) weights and rebuild.
+			rec := timeIt(func() { ix.Reconstruct() }).Seconds()
+			rows = append(rows, Exp6BatchRow{name, g.N(), g.M(), batch, upd, rec})
+			logf(cfg, w, "# exp6 %s batch=%d update=%.4fs reconstruct=%.4fs\n", name, batch, upd, rec)
+		}
+	}
+	return rows
+}
+
+// PrintExp6Batch renders Figure 8 as a table.
+func PrintExp6Batch(w io.Writer, rows []Exp6BatchRow) {
+	t := newTable(w)
+	t.row("dataset", "n", "batch", "UPDATE s", "RECONSTRUCT s", "speedup")
+	for _, r := range rows {
+		speedup := 0.0
+		if r.Update > 0 {
+			speedup = r.Reconstruct / r.Update
+		}
+		t.row(r.Dataset, r.N, r.Batch, r.Update, r.Reconstruct, speedup)
+	}
+	t.flush()
+}
+
+// Exp6DayStats summarizes Figure 9: per-minute batched update times over a
+// bursty day on the TW2 counterpart.
+type Exp6DayStats struct {
+	Minutes     int
+	Activations int
+	P50, P95    time.Duration
+	Max         time.Duration
+	Total       time.Duration
+	// PerMinute carries the full series for plotting.
+	PerMinute []time.Duration
+}
+
+// Exp6DiurnalUpdates reproduces Figure 9: 1440 per-minute activation
+// batches with diurnal rate and bursts, λ=0.01, processed by ANCO.
+func Exp6DiurnalUpdates(cfg Config, w io.Writer, minutes int) Exp6DayStats {
+	spec, err := dataset.ByName("TW2")
+	if err != nil {
+		panic(err)
+	}
+	pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed)
+	g := pl.Graph
+	opts := ancOptions(core.ANCO, 0, cfg.Seed)
+	opts.Lambda = 0.01
+	nw, err := core.New(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	batches := gen.DefaultDiurnal().Generate(g, minutes, rand.New(rand.NewSource(cfg.Seed+5)))
+	stats := Exp6DayStats{Minutes: minutes, PerMinute: make([]time.Duration, minutes)}
+	for minute, batch := range batches {
+		stats.Activations += len(batch)
+		d := timeIt(func() {
+			for _, a := range batch {
+				nw.Activate(a.Edge, a.T)
+			}
+		})
+		stats.PerMinute[minute] = d
+		stats.Total += d
+	}
+	stats.P50 = percentile(stats.PerMinute, 0.50)
+	stats.P95 = percentile(stats.PerMinute, 0.95)
+	stats.Max = percentile(stats.PerMinute, 1.0)
+	logf(cfg, w, "# exp6-day: %d activations, p95=%v\n", stats.Activations, stats.P95)
+	return stats
+}
+
+// PrintExp6Day renders the Figure 9 summary.
+func PrintExp6Day(w io.Writer, s Exp6DayStats) {
+	t := newTable(w)
+	t.row("minutes", "activations", "p50", "p95", "max", "total")
+	t.row(s.Minutes, s.Activations, s.P50.String(), s.P95.String(), s.Max.String(), s.Total.String())
+	t.flush()
+}
+
+// Exp6WorkloadRow is one bar group of Figure 10: total time to process a
+// mixed update/query workload at a query share.
+type Exp6WorkloadRow struct {
+	QueryFrac float64
+	ANCO      float64 // seconds
+	DYNA      float64
+	LWEP      float64
+}
+
+// Exp6MixedWorkload reproduces Figure 10: a day-scale stream on the TW2
+// counterpart where a fraction of activations are replaced by local
+// clustering queries; ANCO versus DYNA and LWEP total processing time.
+func Exp6MixedWorkload(cfg Config, w io.Writer, ops int) []Exp6WorkloadRow {
+	spec, err := dataset.ByName("TW2")
+	if err != nil {
+		panic(err)
+	}
+	pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed)
+	g := pl.Graph
+	base := make([]gen.Activation, ops)
+	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	for i := range base {
+		base[i] = gen.Activation{Edge: graph.EdgeID(rng.Intn(g.M())), T: float64(i+1) * 0.01}
+	}
+	var rows []Exp6WorkloadRow
+	for _, qf := range []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32} {
+		work := gen.MixedWorkload(g, base, qf, rand.New(rand.NewSource(cfg.Seed+10)))
+		row := Exp6WorkloadRow{QueryFrac: qf}
+
+		// ANCO: activations via bounded update; queries via local cluster.
+		nw, err := core.New(g, ancOptions(core.ANCO, 0, cfg.Seed))
+		if err != nil {
+			panic(err)
+		}
+		level := pyramid.SqrtLevel(g.N())
+		row.ANCO = timeIt(func() {
+			for _, op := range work {
+				if op.IsQuery {
+					cluster.Local(nw.Index(), level, op.Node)
+				} else {
+					nw.Activate(op.Act.Edge, op.Act.T)
+				}
+			}
+		}).Seconds()
+
+		// DYNA: every 100 ops is one "timestamp" (decay over all edges);
+		// queries read the label map locally.
+		trD := newActivenessTracker(g.M(), 0.01)
+		dy := dynamo.New(g, trD.act)
+		row.DYNA = timeIt(func() {
+			for i, op := range work {
+				if i%100 == 99 {
+					dy.TickAsUpdates(trD.tick())
+				}
+				if op.IsQuery {
+					lbl := dy.Labels()[op.Node]
+					for v, l := range dy.Labels() { // collect the community
+						if l == lbl {
+							_ = v
+						}
+					}
+				} else {
+					trD.activate(op.Act.Edge)
+					dy.UpdateEdge(op.Act.Edge, trD.act[op.Act.Edge])
+				}
+			}
+		}).Seconds()
+
+		// LWEP: batches per "timestamp", full-scan queries.
+		trL := newActivenessTracker(g.M(), 0.01)
+		lw := lwep.New(g, trL.act)
+		row.LWEP = timeIt(func() {
+			var edges []graph.EdgeID
+			var nws []float64
+			for i, op := range work {
+				if op.IsQuery {
+					lbl := lw.Labels()[op.Node]
+					for v, l := range lw.Labels() {
+						if l == lbl {
+							_ = v
+						}
+					}
+				} else {
+					trL.activate(op.Act.Edge)
+					edges = append(edges, op.Act.Edge)
+					nws = append(nws, trL.act[op.Act.Edge])
+				}
+				if i%100 == 99 {
+					lw.Tick(trL.tick())
+					lw.UpdateBatch(edges, nws)
+					edges, nws = edges[:0], nws[:0]
+				}
+			}
+		}).Seconds()
+
+		rows = append(rows, row)
+		logf(cfg, w, "# exp6-workload q=%.0f%%: ANCO=%.3fs DYNA=%.3fs LWEP=%.3fs\n",
+			qf*100, row.ANCO, row.DYNA, row.LWEP)
+	}
+	return rows
+}
+
+// PrintExp6Workload renders Figure 10 as a table.
+func PrintExp6Workload(w io.Writer, rows []Exp6WorkloadRow) {
+	t := newTable(w)
+	t.row("query%", "ANCO s", "DYNA s", "LWEP s")
+	for _, r := range rows {
+		t.row(r.QueryFrac*100, r.ANCO, r.DYNA, r.LWEP)
+	}
+	t.flush()
+}

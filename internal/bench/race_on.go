@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// assertions in the smoke tests are skipped under -race because the
+// detector's slowdown distorts relative timings.
+const raceEnabled = true

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"io"
+
+	"anc/internal/dataset"
+	"anc/internal/graph"
+)
+
+// Table1Row describes one dataset counterpart: the paper's original sizes
+// and the generated counterpart's actual sizes at the configured scale.
+type Table1Row struct {
+	Name, FullName, Type string
+	OrigN, OrigM         int
+	GenN, GenM           int
+	IntraFrac            float64
+}
+
+// Table1Datasets regenerates Table I: every dataset spec plus the actual
+// size and community purity of its synthetic counterpart at the quality
+// scale.
+func Table1Datasets(cfg Config, w io.Writer) []Table1Row {
+	var rows []Table1Row
+	for i, s := range dataset.TableI {
+		pl := genCounterpart(s, cfg.TargetN, cfg.Seed+int64(i))
+		intra := 0
+		for e := 0; e < pl.Graph.M(); e++ {
+			u, v := pl.Graph.Endpoints(graph.EdgeID(e))
+			if pl.Truth[u] == pl.Truth[v] {
+				intra++
+			}
+		}
+		rows = append(rows, Table1Row{
+			Name: s.Name, FullName: s.FullName, Type: s.Type,
+			OrigN: s.N, OrigM: s.M,
+			GenN: pl.Graph.N(), GenM: pl.Graph.M(),
+			IntraFrac: float64(intra) / float64(pl.Graph.M()),
+		})
+		logf(cfg, w, "# table1 %s generated\n", s.Name)
+	}
+	return rows
+}
+
+// PrintTable1 renders the dataset inventory.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	t := newTable(w)
+	t.row("name", "dataset", "type", "orig n", "orig m", "gen n", "gen m", "intra frac")
+	for _, r := range rows {
+		t.row(r.Name, r.FullName, r.Type, r.OrigN, r.OrigM, r.GenN, r.GenM, r.IntraFrac)
+	}
+	t.flush()
+}

@@ -1,0 +1,221 @@
+// Package cluster implements the query side of Section V-B: evaluating the
+// voting function H_l over the pyramids index, extracting clusters with
+// even clustering (connected components of surviving edges) or power
+// clustering (degree-ordered directed search — the paper's
+// DirectedCluster), answering local cluster queries for a single node in
+// output-proportional time (Lemma 9), and the zoom-in / zoom-out
+// navigation of Problem 1.
+package cluster
+
+import (
+	"sort"
+
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+)
+
+// Clustering is a partition of the node set: Labels[v] is the cluster ID of
+// node v (dense, starting at 0), and Clusters lists the members of each
+// cluster.
+type Clustering struct {
+	Labels   []int32
+	Clusters [][]graph.NodeID
+}
+
+// NumClusters returns the number of clusters.
+func (c *Clustering) NumClusters() int { return len(c.Clusters) }
+
+// SizesAtLeast returns how many clusters have at least minSize members —
+// the paper treats clusters below 3 nodes as noise.
+func (c *Clustering) SizesAtLeast(minSize int) int {
+	n := 0
+	for _, cl := range c.Clusters {
+		if len(cl) >= minSize {
+			n++
+		}
+	}
+	return n
+}
+
+// keepFunc reports whether an edge survives the vote at the queried level.
+type keepFunc func(e graph.EdgeID) bool
+
+func voteKeep(ix *pyramid.Index, level int) keepFunc {
+	min := ix.MinSupport()
+	return func(e graph.EdgeID) bool { return ix.Votes(e, level) >= min }
+}
+
+// Even reports the even clustering at the given granularity level: the
+// connected components of the graph restricted to edges whose vote passes
+// the θ·K support threshold. O(n + m) plus vote evaluation (Lemma 8).
+func Even(ix *pyramid.Index, level int) *Clustering {
+	g := ix.Graph()
+	keep := voteKeep(ix, level)
+	labels := make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var clusters [][]graph.NodeID
+	var queue []graph.NodeID
+	for v := 0; v < g.N(); v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(len(clusters))
+		labels[v] = id
+		queue = append(queue[:0], graph.NodeID(v))
+		var members []graph.NodeID
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			members = append(members, x)
+			for _, h := range g.Neighbors(x) {
+				if labels[h.To] < 0 && keep(h.Edge) {
+					labels[h.To] = id
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		clusters = append(clusters, members)
+	}
+	return &Clustering{Labels: labels, Clusters: clusters}
+}
+
+// Power reports the power clustering (the paper's DirectedCluster) at the
+// given level: surviving edges are directed from the higher-degree to the
+// lower-degree endpoint (ties by smaller node ID first), nodes are scanned
+// in that rank order, and each still-unclustered node absorbs every
+// unclustered node reachable through directed surviving edges. Power
+// clustering avoids the error amplification of even clustering: a single
+// mis-voted edge cannot merge two whole clusters. O(n + m) plus votes.
+func Power(ix *pyramid.Index, level int) *Clustering {
+	g := ix.Graph()
+	keep := voteKeep(ix, level)
+	rank := g.DegreeRank()
+	pos := make([]int32, g.N()) // rank position of each node
+	for i, v := range rank {
+		pos[v] = int32(i)
+	}
+	labels := make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var clusters [][]graph.NodeID
+	var stack []graph.NodeID
+	for _, v := range rank {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(len(clusters))
+		labels[v] = id
+		stack = append(stack[:0], v)
+		var members []graph.NodeID
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, x)
+			for _, h := range g.Neighbors(x) {
+				// Follow the edge only in its high-rank -> low-rank direction.
+				if pos[x] < pos[h.To] && labels[h.To] < 0 && keep(h.Edge) {
+					labels[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		clusters = append(clusters, members)
+	}
+	return &Clustering{Labels: labels, Clusters: clusters}
+}
+
+// Local answers the local cluster query of Problem 1(2): the cluster
+// containing v at the given level, computed by searching outward from v
+// over surviving edges only. The cost is proportional to the total degree
+// of the reported nodes (Lemma 9), independent of the graph size. The
+// result is sorted by node ID. Local semantics match Even: Local(ix, l, v)
+// equals the Even cluster of v.
+func Local(ix *pyramid.Index, level int, v graph.NodeID) []graph.NodeID {
+	g := ix.Graph()
+	keep := voteKeep(ix, level)
+	seen := map[graph.NodeID]bool{v: true}
+	queue := []graph.NodeID{v}
+	var members []graph.NodeID
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		members = append(members, x)
+		for _, h := range g.Neighbors(x) {
+			if !seen[h.To] && keep(h.Edge) {
+				seen[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// View is a stateful navigator over the granularity hierarchy, providing
+// the repeated zoom-in / zoom-out operations of Problem 1.
+type View struct {
+	ix    *pyramid.Index
+	level int
+}
+
+// NewView opens a navigator at the Θ(√n)-cluster granularity.
+func NewView(ix *pyramid.Index) *View {
+	return &View{ix: ix, level: pyramid.SqrtLevel(ix.Graph().N())}
+}
+
+// NewViewAt opens a navigator at an explicit level, clamped to the valid
+// range [1, Levels].
+func NewViewAt(ix *pyramid.Index, level int) *View {
+	v := &View{ix: ix, level: level}
+	v.clamp()
+	return v
+}
+
+func (v *View) clamp() {
+	if v.level < 1 {
+		v.level = 1
+	}
+	if v.level > v.ix.Levels() {
+		v.level = v.ix.Levels()
+	}
+}
+
+// Level returns the current granularity level.
+func (v *View) Level() int { return v.level }
+
+// ZoomIn moves to a finer granularity (more, smaller clusters). Returns
+// false if already at the finest level.
+func (v *View) ZoomIn() bool {
+	if v.level >= v.ix.Levels() {
+		return false
+	}
+	v.level++
+	return true
+}
+
+// ZoomOut moves to a coarser granularity. Returns false at the coarsest
+// level.
+func (v *View) ZoomOut() bool {
+	if v.level <= 1 {
+		return false
+	}
+	v.level--
+	return true
+}
+
+// Clusters reports the power clustering at the current level.
+func (v *View) Clusters() *Clustering { return Power(v.ix, v.level) }
+
+// ClusterOf reports the local cluster of node x at the current level.
+func (v *View) ClusterOf(x graph.NodeID) []graph.NodeID { return Local(v.ix, v.level, x) }
+
+// SmallestClusterOf answers Problem 1(2): the smallest cluster containing
+// x, i.e. its local cluster at the finest granularity. The returned View is
+// positioned there so the caller can zoom out repeatedly.
+func SmallestClusterOf(ix *pyramid.Index, x graph.NodeID) ([]graph.NodeID, *View) {
+	v := NewViewAt(ix, ix.Levels())
+	return v.ClusterOf(x), v
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+)
+
+func TestActivateBatch(t *testing.T) {
+	g := cliquePairGraph(t)
+	for _, m := range []Method{ANCO, ANCOR, ANCF} {
+		nw, err := New(g, options(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		batch := []graph.EdgeID{0, 1, 2, g.FindEdge(5, 6)}
+		nw.ActivateBatch(batch, 1)
+		nw.ActivateBatch(batch, 2)
+		if nw.Stats.Activations != int64(2*len(batch)) {
+			t.Fatalf("%v: activations = %d", m, nw.Stats.Activations)
+		}
+		if m == ANCOR && len(nw.pending) != 0 {
+			t.Fatalf("ANCOR batch left pending reinforcement")
+		}
+		if m != ANCF {
+			if msg := nw.Index().Validate(); msg != "" {
+				t.Fatalf("%v: %s", m, msg)
+			}
+		}
+	}
+}
+
+// TestActivateBatchEquivalentToLoop: for ANCO a batch is exactly the same
+// as individual activations.
+func TestActivateBatchEquivalentToLoop(t *testing.T) {
+	g := cliquePairGraph(t)
+	a, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []graph.EdgeID{3, 7, 3, g.FindEdge(5, 6)}
+	a.ActivateBatch(batch, 5)
+	for _, e := range batch {
+		b.Activate(e, 5)
+	}
+	for e := 0; e < g.M(); e++ {
+		if a.Index().Weight(graph.EdgeID(e)) != b.Index().Weight(graph.EdgeID(e)) {
+			t.Fatalf("weights diverge at edge %d", e)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package core wires the paper's pieces into the three Activation Network
+// Clustering methods evaluated in Section VI:
+//
+//   - ANCO  — fully online: every activation applies its unit impact to the
+//     similarity and triggers a bounded index update; no local
+//     reinforcement after initialization.
+//   - ANCOR — online with periodic reinforcement: like ANCO, plus a local
+//     reinforcement pass over the recently activated edges every
+//     ReinforceInterval time units (5 timestamps by default).
+//   - ANCF  — offline: activations are buffered; Snapshot() applies Rep
+//     rounds of local reinforcement to the activated edges and
+//     reconstructs the pyramids from scratch, modeling the paper's
+//     per-snapshot recomputation.
+//
+// A Network owns the decay clock, the similarity store and the pyramids
+// index, and exposes the clustering queries of Problem 1.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anc/internal/cluster"
+	"anc/internal/decay"
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+	"anc/internal/similarity"
+)
+
+// Method selects the update policy of a Network.
+type Method uint8
+
+const (
+	// ANCO is the fully online method (fastest updates).
+	ANCO Method = iota
+	// ANCOR is online with local reinforcement at intervals.
+	ANCOR
+	// ANCF is the offline method that recomputes per snapshot.
+	ANCF
+)
+
+// String returns the paper's name of the method.
+func (m Method) String() string {
+	switch m {
+	case ANCO:
+		return "ANCO"
+	case ANCOR:
+		return "ANCOR"
+	case ANCF:
+		return "ANCF"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Options configures a Network. The zero value is not valid; start from
+// DefaultOptions.
+type Options struct {
+	// Method selects ANCO, ANCOR or ANCF.
+	Method Method
+	// Lambda is the decay factor λ of the time-decay scheme.
+	Lambda float64
+	// Rep is the number of local-reinforcement repetitions used to
+	// initialize S₀ (and, for ANCF, per snapshot). Paper default: 7.
+	Rep int
+	// ReinforceInterval is the ANCOR reinforcement period in time units.
+	// Paper default: 5 timestamps.
+	ReinforceInterval float64
+	// Similarity holds ε, μ and the similarity clamps.
+	Similarity similarity.Config
+	// Pyramid holds K, θ and the parallel-update switch.
+	Pyramid pyramid.Config
+	// Seed drives pyramid seed selection for reproducible experiments.
+	Seed int64
+	// RescaleEvery overrides the batched-rescale period in activations;
+	// 0 keeps the decay package default.
+	RescaleEvery int
+}
+
+// DefaultOptions returns the paper's default parameters (Table II): λ=0.1,
+// rep=7, reinforcement interval 5, k=4 pyramids, θ=0.7.
+func DefaultOptions() Options {
+	return Options{
+		Method:            ANCO,
+		Lambda:            0.1,
+		Rep:               7,
+		ReinforceInterval: 5,
+		Similarity:        similarity.DefaultConfig(),
+		Pyramid:           pyramid.DefaultConfig(),
+	}
+}
+
+// Network is an indexed activation network: the relation graph, the decayed
+// similarity state and the pyramids index, kept mutually consistent under
+// the activation stream.
+type Network struct {
+	g     *graph.Graph
+	opts  Options
+	clock *decay.Clock
+	sim   *similarity.Store
+	ix    *pyramid.Index
+
+	pending     []graph.EdgeID // edges awaiting reinforcement (ANCOR/ANCF)
+	pendingMark []bool
+	lastFlush   float64
+	watcher     *Watcher
+
+	// Stats counts work done, for the experiment harness.
+	Stats struct {
+		Activations  int64
+		Flushes      int64
+		Reconstructs int64
+	}
+}
+
+// New builds a Network over g: the similarity store starts from uniform
+// activeness 1 and S₀ = 1, then Opts.Rep rounds of local reinforcement over
+// all edges fold the structural cohesiveness into S₀ (Section IV-C), and
+// the pyramids are built on the resulting weights.
+func New(g *graph.Graph, opts Options) (*Network, error) {
+	if opts.Lambda < 0 {
+		return nil, fmt.Errorf("core: negative lambda %v", opts.Lambda)
+	}
+	if opts.Rep < 0 {
+		return nil, fmt.Errorf("core: negative rep %d", opts.Rep)
+	}
+	if opts.Method == ANCOR && opts.ReinforceInterval <= 0 {
+		return nil, fmt.Errorf("core: ANCOR needs a positive ReinforceInterval")
+	}
+	clock := decay.NewClock(opts.Lambda)
+	if opts.RescaleEvery > 0 {
+		clock.SetRescaleEvery(opts.RescaleEvery)
+	}
+	sim, err := similarity.New(g, clock, 1, opts.Similarity)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < opts.Rep; r++ {
+		for e := 0; e < g.M(); e++ {
+			sim.Reinforce(graph.EdgeID(e))
+		}
+	}
+	ix, err := pyramid.Build(g, sim.Weight, opts.Pyramid, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	clock.Register(ix)
+	return &Network{
+		g:           g,
+		opts:        opts,
+		clock:       clock,
+		sim:         sim,
+		ix:          ix,
+		pendingMark: make([]bool, g.M()),
+	}, nil
+}
+
+// Graph returns the relation graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Options returns the construction options.
+func (nw *Network) Options() Options { return nw.opts }
+
+// Clock returns the decay clock.
+func (nw *Network) Clock() *decay.Clock { return nw.clock }
+
+// Similarity returns the similarity store.
+func (nw *Network) Similarity() *similarity.Store { return nw.sim }
+
+// Index returns the pyramids index.
+func (nw *Network) Index() *pyramid.Index { return nw.ix }
+
+// Activate feeds the activation (e, t) into the network under the
+// configured method policy.
+func (nw *Network) Activate(e graph.EdgeID, t float64) {
+	nw.Stats.Activations++
+	switch nw.opts.Method {
+	case ANCO:
+		// ANCO applies no local reinforcement after initialization
+		// (Section VI); the activation's unit impact still changes S and
+		// triggers a bounded index update.
+		nw.ix.UpdateEdge(e, nw.sim.ActivateNoReinforce(e, t))
+	case ANCOR:
+		if t >= nw.lastFlush+nw.opts.ReinforceInterval {
+			nw.Flush()
+			nw.lastFlush = t
+		}
+		nw.ix.UpdateEdge(e, nw.sim.ActivateNoReinforce(e, t))
+		nw.addPending(e)
+	case ANCF:
+		nw.sim.ActivateNoReinforce(e, t)
+		nw.addPending(e)
+	}
+}
+
+// ActivateBatch feeds a batch of same-or-increasing-timestamp activations
+// and then flushes pending reinforcement once — the per-minute batch
+// processing of Exp 6 (Figure 9).
+func (nw *Network) ActivateBatch(edges []graph.EdgeID, t float64) {
+	for _, e := range edges {
+		nw.Activate(e, t)
+	}
+	if nw.opts.Method == ANCOR {
+		nw.Flush()
+		nw.lastFlush = t
+	}
+}
+
+// ActivatePair is Activate keyed by endpoints; it returns an error when the
+// relation graph has no such edge (activations only occur along existing
+// edges in an activation network).
+func (nw *Network) ActivatePair(u, v graph.NodeID, t float64) error {
+	e := nw.g.FindEdge(u, v)
+	if e == graph.None {
+		return fmt.Errorf("core: no edge (%d, %d) in the relation graph", u, v)
+	}
+	nw.Activate(e, t)
+	return nil
+}
+
+func (nw *Network) addPending(e graph.EdgeID) {
+	if !nw.pendingMark[e] {
+		nw.pendingMark[e] = true
+		nw.pending = append(nw.pending, e)
+	}
+}
+
+// Flush applies one local reinforcement pass to every pending trigger edge
+// and pushes the resulting weight changes into the index incrementally.
+// ANCOR calls it automatically at interval boundaries; it is exported for
+// end-of-stream synchronization.
+func (nw *Network) Flush() {
+	if len(nw.pending) == 0 {
+		return
+	}
+	nw.Stats.Flushes++
+	for _, e := range nw.pending {
+		nw.ix.UpdateEdge(e, nw.sim.Reinforce(e))
+		nw.pendingMark[e] = false
+	}
+	nw.pending = nw.pending[:0]
+}
+
+// Snapshot realizes the ANCF policy at the current time: Rep rounds of
+// local reinforcement over the edges activated since the last snapshot
+// ("updates the index P for each snapshot of S_t with rep repetitions of
+// local reinforcement", Section VI), followed by a full index
+// reconstruction — the offline recomputation whose cost Table IV charges
+// ANCF. Reinforcement is restricted to the snapshot's trigger edges:
+// reinforcing the entire edge set at every snapshot compounds across the
+// stream and polarizes S (Attractor-style), washing out the temporal
+// signal the activeness carries. For other methods Snapshot is a cheaper
+// Flush.
+func (nw *Network) Snapshot() {
+	if nw.opts.Method != ANCF {
+		nw.Flush()
+		return
+	}
+	nw.Stats.Reconstructs++
+	for r := 0; r < nw.opts.Rep; r++ {
+		for _, e := range nw.pending {
+			nw.sim.Reinforce(e)
+		}
+	}
+	for _, e := range nw.pending {
+		nw.ix.SetWeight(e, nw.sim.Weight(e))
+		nw.pendingMark[e] = false
+	}
+	nw.pending = nw.pending[:0]
+	nw.ix.Reconstruct()
+}
+
+// Clusters reports the power clustering (the paper's DirectedCluster) at
+// the given granularity level.
+func (nw *Network) Clusters(level int) *cluster.Clustering {
+	return cluster.Power(nw.ix, level)
+}
+
+// EvenClusters reports the even clustering at the given level.
+func (nw *Network) EvenClusters(level int) *cluster.Clustering {
+	return cluster.Even(nw.ix, level)
+}
+
+// LocalCluster reports the cluster containing v at the given level in
+// output-proportional time (Lemma 9).
+func (nw *Network) LocalCluster(v graph.NodeID, level int) []graph.NodeID {
+	return cluster.Local(nw.ix, level, v)
+}
+
+// View opens a zoomable navigator at the Θ(√n) granularity.
+func (nw *Network) View() *cluster.View { return cluster.NewView(nw.ix) }
+
+// ClustersNear reports, among all granularity levels, the power clustering
+// whose non-noise cluster count is closest to target — how the experiments
+// align our granularities with a baseline's fixed cluster count.
+func (nw *Network) ClustersNear(target int) (*cluster.Clustering, int) {
+	var best *cluster.Clustering
+	bestLevel := 1
+	bestGap := int(^uint(0) >> 1)
+	for l := 1; l <= nw.ix.Levels(); l++ {
+		c := nw.Clusters(l)
+		gap := c.SizesAtLeast(3) - target
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			best, bestLevel, bestGap = c, l, gap
+		}
+	}
+	return best, bestLevel
+}

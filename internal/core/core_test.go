@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+)
+
+// cliquePairGraph: two K6s bridged by one edge.
+func cliquePairGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for base := graph.NodeID(0); base <= 6; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func options(m Method) Options {
+	o := DefaultOptions()
+	o.Method = m
+	o.Similarity.Epsilon = 0.2
+	o.Similarity.Mu = 3
+	o.Seed = 42
+	return o
+}
+
+func TestNewValidation(t *testing.T) {
+	g := cliquePairGraph(t)
+	o := options(ANCO)
+	o.Lambda = -1
+	if _, err := New(g, o); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	o = options(ANCOR)
+	o.ReinforceInterval = 0
+	if _, err := New(g, o); err == nil {
+		t.Error("ANCOR with zero interval accepted")
+	}
+	o = options(ANCO)
+	o.Rep = -1
+	if _, err := New(g, o); err == nil {
+		t.Error("negative rep accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if ANCO.String() != "ANCO" || ANCOR.String() != "ANCOR" || ANCF.String() != "ANCF" {
+		t.Fatal("method names wrong")
+	}
+}
+
+// TestInitializationSeparatesCliques: after rep rounds of reinforcement at
+// t=0, the clustering at a suitable level separates the two cliques.
+func TestInitializationSeparatesCliques(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := nw.ClustersNear(2)
+	if c.Labels[0] == c.Labels[11] {
+		t.Fatalf("cliques merged at every granularity: labels=%v", c.Labels)
+	}
+	// The bridge edge must have much lower similarity than clique edges.
+	bridge := g.FindEdge(5, 6)
+	intra := g.FindEdge(0, 1)
+	if nw.Similarity().Anchored(bridge) >= nw.Similarity().Anchored(intra) {
+		t.Fatalf("bridge S=%v not below intra-clique S=%v",
+			nw.Similarity().Anchored(bridge), nw.Similarity().Anchored(intra))
+	}
+}
+
+// TestANCOActivationsKeepIndexValid: the invariant check passes after a
+// random online stream.
+func TestANCOActivationsKeepIndexValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := cliquePairGraph(t)
+		o := options(ANCO)
+		o.RescaleEvery = 16
+		nw, err := New(g, o)
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for i := 0; i < 100; i++ {
+			now += rng.Float64()
+			nw.Activate(graph.EdgeID(rng.Intn(g.M())), now)
+		}
+		return nw.Index().Validate() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestANCORFlushesAtIntervals: reinforcement passes happen once per
+// interval, and the index stays valid.
+func TestANCORFlushesAtIntervals(t *testing.T) {
+	g := cliquePairGraph(t)
+	o := options(ANCOR)
+	o.ReinforceInterval = 5
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for ts := 1; ts <= 20; ts++ {
+		for i := 0; i < 3; i++ {
+			nw.Activate(graph.EdgeID(rng.Intn(g.M())), float64(ts))
+		}
+	}
+	if nw.Stats.Flushes < 3 {
+		t.Fatalf("flushes = %d, want >= 3 over 20 timestamps at interval 5", nw.Stats.Flushes)
+	}
+	if msg := nw.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	nw.Flush() // manual end-of-stream flush drains pending
+	nw.Flush() // second call is a no-op
+	if len(nw.pending) != 0 {
+		t.Fatal("pending not drained")
+	}
+}
+
+// TestANCFSnapshotReconstructs: ANCF buffers activations and rebuilds on
+// Snapshot; the index reflects the stream only after the snapshot.
+func TestANCFSnapshotReconstructs(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := g.FindEdge(5, 6)
+	wBefore := nw.Index().Weight(bridge)
+	for i := 0; i < 10; i++ {
+		nw.Activate(bridge, float64(i+1))
+	}
+	if nw.Index().Weight(bridge) != wBefore {
+		t.Fatal("ANCF updated the index before Snapshot")
+	}
+	nw.Snapshot()
+	if nw.Stats.Reconstructs != 1 {
+		t.Fatalf("reconstructs = %d", nw.Stats.Reconstructs)
+	}
+	if nw.Index().Weight(bridge) >= wBefore {
+		t.Fatalf("bridge weight did not drop after activations: %v -> %v",
+			wBefore, nw.Index().Weight(bridge))
+	}
+	if msg := nw.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestActivationsPullNodesTogether: repeatedly activating the bridge makes
+// the two cliques merge at a coarse level (the case-study behaviour).
+func TestActivationsPullNodesTogether(t *testing.T) {
+	g := cliquePairGraph(t)
+	o := options(ANCO)
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := g.FindEdge(5, 6)
+	before := nw.Index().Weight(bridge)
+	for i := 1; i <= 200; i++ {
+		nw.Activate(bridge, float64(i)*0.05)
+	}
+	// Heavy bridge activity accrues ~200 unit impacts on S(bridge), so its
+	// distance weight must collapse by orders of magnitude, while the
+	// quiet intra-clique edges only decay (weight grows).
+	if after := nw.Index().Weight(bridge); after > before/50 {
+		t.Fatalf("bridge weight only %v -> %v; want ≥ 50x drop", before, after)
+	}
+	if msg := nw.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestActivatePair(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ActivatePair(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ActivatePair(0, 7, 2); err == nil {
+		t.Fatal("activation on a non-edge accepted")
+	}
+	if nw.Stats.Activations != 1 {
+		t.Fatalf("activations = %d", nw.Stats.Activations)
+	}
+}
+
+// TestLocalClusterMatchesGlobal: local query equals the even-cluster
+// restriction (cross-package integration).
+func TestLocalClusterMatchesGlobal(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= nw.Index().Levels(); l++ {
+		ec := nw.EvenClusters(l)
+		local := nw.LocalCluster(0, l)
+		count := 0
+		for x := 0; x < g.N(); x++ {
+			if ec.Labels[x] == ec.Labels[0] {
+				count++
+			}
+		}
+		if len(local) != count {
+			t.Fatalf("level %d: local size %d, even size %d", l, len(local), count)
+		}
+	}
+}
+
+// TestViewNavigation: zooming in yields at least as many power clusters.
+func TestViewNavigation(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := nw.View()
+	coarse := v.Clusters().NumClusters()
+	for v.ZoomIn() {
+	}
+	fine := v.Clusters().NumClusters()
+	if fine < coarse {
+		t.Fatalf("finest level has %d clusters < coarse %d", fine, coarse)
+	}
+}
+
+// TestDecayDriftsApartWithRescales: long quiet periods with interleaved
+// activations elsewhere keep the system numerically sane (no NaN/Inf
+// weights) thanks to batched rescale.
+func TestDecayDriftsApartWithRescales(t *testing.T) {
+	g := cliquePairGraph(t)
+	o := options(ANCO)
+	o.Lambda = 0.5
+	o.RescaleEvery = 8
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.FindEdge(0, 1)
+	for i := 1; i <= 500; i++ {
+		nw.Activate(e, float64(i))
+	}
+	for e := 0; e < g.M(); e++ {
+		w := nw.Index().Weight(graph.EdgeID(e))
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			t.Fatalf("edge %d weight degenerated: %v", e, w)
+		}
+	}
+	if msg := nw.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestClustersNearPicksClosest: the helper returns the level whose cluster
+// count is nearest the target.
+func TestClustersNearPicksClosest(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lvl := nw.ClustersNear(1)
+	if lvl < 1 || lvl > nw.Index().Levels() {
+		t.Fatalf("level %d out of range", lvl)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"anc/internal/decay"
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+	"anc/internal/similarity"
+)
+
+// snapshotV1 is the on-disk representation of a Network. Anchored values
+// are saved after a Rescale, so they equal true values at Now and the
+// restored clock anchors at Now.
+type snapshotV1 struct {
+	Magic string
+	Opts  Options
+	Now   float64
+	N     int32
+	Edges [][2]int32
+	S     []float64
+	Act   []float64
+	Seeds [][]int32
+}
+
+const snapshotMagic = "ANCSNAP1"
+
+// Save serializes the network — graph, options, decayed state and index
+// seed sets — so Load can reconstruct an equivalent network. Pending
+// reinforcement work is flushed first (Snapshot semantics), and the
+// anchored state is rescaled to the current time. The shortest-path
+// forests themselves are not stored; Load rebuilds them deterministically
+// from the saved seeds and weights, trading O(index build) load time for a
+// compact file.
+func (nw *Network) Save(w io.Writer) error {
+	nw.Snapshot()
+	nw.clock.Rescale()
+	s, act := nw.sim.ExportState()
+	snap := snapshotV1{
+		Magic: snapshotMagic,
+		Opts:  nw.opts,
+		Now:   nw.clock.Now(),
+		N:     int32(nw.g.N()),
+		S:     s,
+		Act:   act,
+	}
+	for _, e := range nw.g.Edges() {
+		snap.Edges = append(snap.Edges, [2]int32{e.U, e.V})
+	}
+	for _, seeds := range nw.ix.SeedSets() {
+		snap.Seeds = append(snap.Seeds, append([]int32(nil), seeds...))
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var snap snapshotV1
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return nil, fmt.Errorf("core: not an ANC snapshot (magic %q)", snap.Magic)
+	}
+	b := graph.NewBuilder(int(snap.N))
+	for _, e := range snap.Edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("core: corrupt snapshot: %w", err)
+		}
+	}
+	g := b.Build()
+	if len(snap.S) != g.M() || len(snap.Act) != g.M() {
+		return nil, fmt.Errorf("core: snapshot state size mismatch")
+	}
+	opts := snap.Opts
+	clock := decay.NewClock(opts.Lambda)
+	if opts.RescaleEvery > 0 {
+		clock.SetRescaleEvery(opts.RescaleEvery)
+	}
+	sim, err := similarity.New(g, clock, 1, opts.Similarity)
+	if err != nil {
+		return nil, err
+	}
+	sim.RestoreState(snap.S, snap.Act)
+	clock.RestoreTime(snap.Now, snap.Now)
+	seedSets := make([][]graph.NodeID, len(snap.Seeds))
+	for i, s := range snap.Seeds {
+		seedSets[i] = s
+	}
+	var ix *pyramid.Index
+	if len(seedSets) == 0 {
+		// Legacy or hand-built snapshot without seeds: draw fresh ones.
+		ix, err = pyramid.Build(g, sim.Weight, opts.Pyramid, rand.New(rand.NewSource(opts.Seed)))
+	} else {
+		ix, err = pyramid.BuildWithSeeds(g, sim.Weight, opts.Pyramid, seedSets)
+	}
+	if err != nil {
+		return nil, err
+	}
+	clock.Register(ix)
+	return &Network{
+		g:           g,
+		opts:        opts,
+		clock:       clock,
+		sim:         sim,
+		ix:          ix,
+		pendingMark: make([]bool, g.M()),
+		lastFlush:   snap.Now,
+	}, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"anc/internal/graph"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := cliquePairGraph(t)
+	o := options(ANCO)
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 1; i <= 200; i++ {
+		nw.Activate(graph.EdgeID(rng.Intn(g.M())), float64(i)*0.1)
+	}
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph().N() != g.N() || got.Graph().M() != g.M() {
+		t.Fatalf("graph size changed: %d/%d", got.Graph().N(), got.Graph().M())
+	}
+	if got.Clock().Now() != nw.Clock().Now() {
+		t.Fatalf("time changed: %v vs %v", got.Clock().Now(), nw.Clock().Now())
+	}
+	// True similarity and activeness values must survive exactly.
+	for e := 0; e < g.M(); e++ {
+		a, b := nw.Similarity().At(graph.EdgeID(e)), got.Similarity().At(graph.EdgeID(e))
+		if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+			t.Fatalf("S[%d]: %v vs %v", e, a, b)
+		}
+		aa := nw.Similarity().Activeness().At(graph.EdgeID(e))
+		ba := got.Similarity().Activeness().At(graph.EdgeID(e))
+		if math.Abs(aa-ba) > 1e-9*math.Max(1, math.Abs(aa)) {
+			t.Fatalf("act[%d]: %v vs %v", e, aa, ba)
+		}
+	}
+	// Same seeds + same weights => identical Voronoi partitions, hence
+	// identical clusterings at every level.
+	for l := 1; l <= nw.Index().Levels(); l++ {
+		a := nw.Clusters(l)
+		b := got.Clusters(l)
+		if len(a.Clusters) != len(b.Clusters) {
+			t.Fatalf("level %d: %d vs %d clusters", l, len(a.Clusters), len(b.Clusters))
+		}
+		for v := 0; v < g.N(); v++ {
+			// Labels may be permuted; check co-membership on a sample pair.
+			for u := 0; u < v; u++ {
+				if (a.Labels[u] == a.Labels[v]) != (b.Labels[u] == b.Labels[v]) {
+					t.Fatalf("level %d: co-membership of (%d,%d) changed", l, u, v)
+				}
+			}
+		}
+	}
+	if msg := got.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestLoadedNetworkKeepsWorking: activations continue seamlessly after a
+// round trip.
+func TestLoadedNetworkKeepsWorking(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCOR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		nw.Activate(graph.EdgeID(i%g.M()), float64(i))
+	}
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 51; i <= 120; i++ {
+		got.Activate(graph.EdgeID(i%g.M()), float64(i))
+	}
+	got.Flush()
+	if msg := got.Index().Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+// TestSaveFlushesPending: an ANCF network with buffered activations saves
+// its post-snapshot state.
+func TestSaveFlushesPending(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := g.FindEdge(5, 6)
+	for i := 1; i <= 10; i++ {
+		nw.Activate(bridge, float64(i))
+	}
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded network reflects the snapshotted (reinforced) state.
+	if math.Abs(got.Index().Weight(bridge)-nw.Index().Weight(bridge)) > 1e-9 {
+		t.Fatalf("bridge weight %v vs %v", got.Index().Weight(bridge), nw.Index().Weight(bridge))
+	}
+	if len(got.pending) != 0 {
+		t.Fatal("loaded network has pending work")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"anc/internal/graph"
+)
+
+// ClusterEvent reports that a watched node's direct cluster connectivity
+// changed at a granularity level: the edge to Other started (Joined) or
+// stopped passing the voting threshold. This is the paper's Remarks
+// feature (Section V-C): because updates are local and vote counts are
+// maintained in real time, changes on user-specified nodes are reported at
+// a cost equal to the reporting itself.
+type ClusterEvent struct {
+	Node   graph.NodeID
+	Other  graph.NodeID
+	Level  int
+	Joined bool
+	// Time is the network time when the change was detected.
+	Time float64
+}
+
+// Watcher delivers ClusterEvents for a set of watched nodes. Obtain one
+// with Network.Watch; events are appended during Activate/Flush/Snapshot
+// and drained with Drain.
+type Watcher struct {
+	nw      *Network
+	watched map[graph.NodeID]map[int]bool // node -> levels (nil = all levels)
+	events  []ClusterEvent
+}
+
+// Watch enables real-time change reporting and returns the watcher. The
+// first call enables vote tracking on the index (a one-time O(K·L·m)
+// initialization); subsequent calls return the same watcher.
+func (nw *Network) Watch() *Watcher {
+	if nw.watcher != nil {
+		return nw.watcher
+	}
+	w := &Watcher{nw: nw, watched: map[graph.NodeID]map[int]bool{}}
+	vt := nw.ix.EnableVoteTracking()
+	vt.OnFlip(func(l int, e graph.EdgeID, pass bool) {
+		u, v := nw.g.Endpoints(e)
+		w.emit(u, v, l, pass)
+		w.emit(v, u, l, pass)
+	})
+	nw.watcher = w
+	return w
+}
+
+func (w *Watcher) emit(node, other graph.NodeID, level int, joined bool) {
+	levels, ok := w.watched[node]
+	if !ok || (levels != nil && !levels[level]) {
+		return
+	}
+	w.events = append(w.events, ClusterEvent{
+		Node: node, Other: other, Level: level, Joined: joined,
+		Time: w.nw.clock.Now(),
+	})
+}
+
+// Add watches a node at the given levels; no levels means all levels.
+func (w *Watcher) Add(node graph.NodeID, levels ...int) {
+	if len(levels) == 0 {
+		w.watched[node] = nil
+		return
+	}
+	set := w.watched[node]
+	if set == nil {
+		set = map[int]bool{}
+	}
+	for _, l := range levels {
+		set[l] = true
+	}
+	w.watched[node] = set
+}
+
+// Remove stops watching a node.
+func (w *Watcher) Remove(node graph.NodeID) { delete(w.watched, node) }
+
+// Drain returns and clears the accumulated events.
+func (w *Watcher) Drain() []ClusterEvent {
+	out := w.events
+	w.events = nil
+	return out
+}

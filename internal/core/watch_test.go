@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"anc/internal/graph"
+)
+
+// watchGraph: two triangles with a bridge; activations on the bridge make
+// its endpoints join clusters.
+func watchGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestWatcherReportsFlips(t *testing.T) {
+	g := watchGraph(t)
+	o := options(ANCO)
+	o.Similarity.Mu = 2
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nw.Watch()
+	w.Add(2) // watch a bridge endpoint at all levels
+	bridge := g.FindEdge(2, 3)
+	// Drive the bridge weight down hard: at some point its vote at some
+	// level must flip, producing at least one event for node 2.
+	for i := 1; i <= 400; i++ {
+		nw.Activate(bridge, float64(i)*0.02)
+	}
+	events := w.Drain()
+	if len(events) == 0 {
+		t.Fatal("no events for watched node despite heavy bridge activity")
+	}
+	for _, ev := range events {
+		if ev.Node != 2 {
+			t.Fatalf("event for unwatched node: %+v", ev)
+		}
+		if ev.Other != 3 && ev.Other != 0 && ev.Other != 1 {
+			t.Fatalf("event with non-adjacent other: %+v", ev)
+		}
+		if ev.Level < 1 || ev.Level > nw.Index().Levels() {
+			t.Fatalf("bad level: %+v", ev)
+		}
+	}
+	// Drain clears.
+	if len(w.Drain()) != 0 {
+		t.Fatal("drain did not clear")
+	}
+}
+
+func TestWatcherLevelFilter(t *testing.T) {
+	g := watchGraph(t)
+	o := options(ANCO)
+	o.Similarity.Mu = 2
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nw.Watch()
+	w.Add(2, 2) // only level 2
+	w.Add(3, 2)
+	bridge := g.FindEdge(2, 3)
+	for i := 1; i <= 400; i++ {
+		nw.Activate(bridge, float64(i)*0.02)
+	}
+	for _, ev := range w.Drain() {
+		if ev.Level != 2 {
+			t.Fatalf("event outside watched level: %+v", ev)
+		}
+	}
+}
+
+func TestWatcherRemove(t *testing.T) {
+	g := watchGraph(t)
+	o := options(ANCO)
+	o.Similarity.Mu = 2
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nw.Watch()
+	w.Add(2)
+	w.Remove(2)
+	bridge := g.FindEdge(2, 3)
+	for i := 1; i <= 300; i++ {
+		nw.Activate(bridge, float64(i)*0.02)
+	}
+	if evs := w.Drain(); len(evs) != 0 {
+		t.Fatalf("events after Remove: %v", evs)
+	}
+}
+
+func TestWatchIdempotent(t *testing.T) {
+	g := watchGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Watch() != nw.Watch() {
+		t.Fatal("Watch not idempotent")
+	}
+}
+
+// TestWatcherEventsMatchVotes: every Joined event corresponds to the edge
+// currently passing the threshold when it was the last event for that
+// (edge, level).
+func TestWatcherEventsConsistent(t *testing.T) {
+	g := watchGraph(t)
+	o := options(ANCO)
+	o.Similarity.Mu = 2
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nw.Watch()
+	w.Add(2)
+	w.Add(3)
+	bridge := g.FindEdge(2, 3)
+	for i := 1; i <= 500; i++ {
+		nw.Activate(bridge, float64(i)*0.02)
+	}
+	last := map[[3]int32]bool{} // (node, other, level) -> joined
+	for _, ev := range w.Drain() {
+		last[[3]int32{int32(ev.Node), int32(ev.Other), int32(ev.Level)}] = ev.Joined
+	}
+	min := nw.Index().MinSupport()
+	for key, joined := range last {
+		e := g.FindEdge(graph.NodeID(key[0]), graph.NodeID(key[1]))
+		pass := nw.Index().Votes(e, int(key[2])) >= min
+		if pass != joined {
+			t.Fatalf("final event state %v disagrees with votes (%v) for %v", joined, pass, key)
+		}
+	}
+}

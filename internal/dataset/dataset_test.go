@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anc/internal/graph"
+)
+
+func TestTableIComplete(t *testing.T) {
+	if len(TableI) != 17 {
+		t.Fatalf("TableI has %d datasets, want 17", len(TableI))
+	}
+	seen := map[string]bool{}
+	for _, s := range TableI {
+		if seen[s.Name] {
+			t.Fatalf("duplicate dataset %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.N <= 0 || s.M <= 0 || s.Type == "" || s.FullName == "" {
+			t.Fatalf("incomplete spec: %+v", s)
+		}
+	}
+	// Spot-check paper numbers.
+	co, _ := ByName("CO")
+	if co.N != 1893 || co.M != 13835 {
+		t.Fatalf("CO spec wrong: %+v", co)
+	}
+	tw, _ := ByName("TW")
+	if tw.N != 41652230 || tw.M != 1202513046 {
+		t.Fatalf("TW spec wrong: %+v", tw)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSmallList(t *testing.T) {
+	small := Small()
+	want := []string{"CO", "FB", "CA", "MI", "LA"}
+	if len(small) != len(want) {
+		t.Fatalf("small = %v", small)
+	}
+	for i, s := range small {
+		if s.Name != want[i] {
+			t.Fatalf("small[%d] = %s, want %s", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestGeneratePreservesAverageDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, _ := ByName("FB") // 4039 nodes, 88234 edges, avg deg ≈ 43.7
+	pl := s.Generate(0.25, rng)
+	n := pl.Graph.N()
+	wantN := int(0.25 * float64(s.N))
+	if n != wantN {
+		t.Fatalf("n = %d, want %d", n, wantN)
+	}
+	avg := 2 * float64(pl.Graph.M()) / float64(n)
+	wantAvg := 2 * 88234.0 / 4039
+	if math.Abs(avg-wantAvg) > wantAvg*0.3 {
+		t.Fatalf("avg degree %v, want ≈ %v", avg, wantAvg)
+	}
+}
+
+func TestGenerateFloorsTinyScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, _ := ByName("CO")
+	pl := s.Generate(0.0001, rng)
+	if pl.Graph.N() < 64 {
+		t.Fatalf("n = %d below floor", pl.Graph.N())
+	}
+}
+
+func TestGenerateCommunityStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, _ := ByName("CA") // collaboration: strongly modular
+	pl := s.Generate(0.2, rng)
+	intra := 0
+	for e := 0; e < pl.Graph.M(); e++ {
+		u, v := pl.Graph.Endpoints(graph.EdgeID(e))
+		if pl.Truth[u] == pl.Truth[v] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(pl.Graph.M())
+	if frac < 0.7 {
+		t.Fatalf("intra fraction %v for collaboration network", frac)
+	}
+}

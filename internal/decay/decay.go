@@ -1,0 +1,204 @@
+// Package decay implements the time-decay scheme of Section IV-A: the
+// activeness of an edge is the sum of exponentially decayed activations,
+//
+//	a_t(e) = Σ_{(e,t_i): t_i ≤ t} exp(-λ (t - t_i)),
+//
+// maintained with a single *global decay factor* g(t, t*) = exp(-λ (t - t*))
+// so that the per-edge state — the anchored activeness a*_t(e) = a_t(e) /
+// g(t, t*) — only changes when that edge is activated (Observation 1,
+// Definition 1). A batched rescale periodically folds g into the anchored
+// values and advances the anchor time t*, keeping floats in range; its cost
+// is amortized over the activations that triggered it (Lemma 1).
+package decay
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultRescaleEvery is the default number of activations between batched
+// rescales of the anchored state.
+const DefaultRescaleEvery = 4096
+
+// Clock tracks the global decay state shared by every anchored quantity:
+// the decay factor λ, the current time t, and the anchor time t*.
+type Clock struct {
+	lambda   float64
+	now      float64 // current time t
+	anchor   float64 // anchor time t*
+	pending  int     // activations since last rescale
+	every    int     // rescale period in activations (0 disables)
+	rescalee []Rescalable
+}
+
+// Rescalable is implemented by stores of anchored values. OnRescale is
+// called with the factor each anchored value must be multiplied by when the
+// anchor time advances: g(t, t*) for positively maintainable (PosM)
+// quantities, 1/g for negatively maintainable (NegM) ones (Definition 2).
+// The callee knows its own polarity; it receives g and applies g or 1/g.
+type Rescalable interface {
+	OnRescale(g float64)
+}
+
+// NewClock returns a clock with decay factor lambda ≥ 0, at time 0.
+func NewClock(lambda float64) *Clock {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic(fmt.Sprintf("decay: invalid lambda %v", lambda))
+	}
+	return &Clock{lambda: lambda, every: DefaultRescaleEvery}
+}
+
+// SetRescaleEvery sets the batched-rescale period in activations.
+// A period of 0 disables automatic rescaling.
+func (c *Clock) SetRescaleEvery(every int) { c.every = every }
+
+// Register adds a store of anchored values to be notified on rescale.
+func (c *Clock) Register(r Rescalable) { c.rescalee = append(c.rescalee, r) }
+
+// Lambda returns the decay factor λ.
+func (c *Clock) Lambda() float64 { return c.lambda }
+
+// Now returns the current time t.
+func (c *Clock) Now() float64 { return c.now }
+
+// Anchor returns the anchor time t*.
+func (c *Clock) Anchor() float64 { return c.anchor }
+
+// G returns the global decay factor g(t, t*) = exp(-λ (t - t*)).
+func (c *Clock) G() float64 { return math.Exp(-c.lambda * (c.now - c.anchor)) }
+
+// Advance moves the current time forward to t. Time never goes backwards;
+// Advance panics if t < Now(), since an activation stream is ordered.
+func (c *Clock) Advance(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("decay: time moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Activated records that one activation arrived and triggers a batched
+// rescale when the period is reached.
+func (c *Clock) Activated() {
+	c.pending++
+	if c.every > 0 && c.pending >= c.every {
+		c.Rescale()
+	}
+}
+
+// RestoreTime sets the clock to a saved (now, anchor) state without
+// touching registered stores. It exists for snapshot persistence, where
+// anchored values are saved after a Rescale (so anchor == now and the
+// stored values are true values); the caller restores those values
+// directly and then re-aligns the clock with this method.
+func (c *Clock) RestoreTime(now, anchor float64) {
+	if anchor > now {
+		panic(fmt.Sprintf("decay: anchor %v after now %v", anchor, now))
+	}
+	c.now = now
+	c.anchor = anchor
+	c.pending = 0
+}
+
+// Rescale folds the current global decay factor into every registered
+// anchored store and advances the anchor time to now.
+func (c *Clock) Rescale() {
+	g := c.G()
+	for _, r := range c.rescalee {
+		r.OnRescale(g)
+	}
+	c.anchor = c.now
+	c.pending = 0
+}
+
+// Activeness stores the anchored activeness a* of every edge and the
+// per-node anchored weighted degree Σ_{x∈N(v)} a*(v,x), which the active
+// similarity needs as its denominator (Section IV-B). Both are PosM, so a
+// rescale multiplies them by g.
+type Activeness struct {
+	clock *Clock
+	edge  []float64 // anchored activeness per edge ID
+	node  []float64 // anchored weighted degree per node ID
+	ends  func(e int32) (int32, int32)
+}
+
+// NewActiveness returns the activeness store for a graph with m edges and
+// n nodes. Initial activeness is initial on every edge (the paper's online
+// methods start from a_0(e) = 1; pass 0 for a cold start). ends maps an
+// edge ID to its endpoints so node sums can be maintained.
+func NewActiveness(clock *Clock, n, m int, initial float64, ends func(e int32) (int32, int32)) *Activeness {
+	a := &Activeness{
+		clock: clock,
+		edge:  make([]float64, m),
+		node:  make([]float64, n),
+		ends:  ends,
+	}
+	if initial != 0 {
+		for i := range a.edge {
+			a.edge[i] = initial
+		}
+		for e := 0; e < m; e++ {
+			u, v := ends(int32(e))
+			a.node[u] += initial
+			a.node[v] += initial
+		}
+	}
+	clock.Register(a)
+	return a
+}
+
+// OnRescale implements Rescalable: activeness is PosM so anchored values
+// absorb ×g.
+func (a *Activeness) OnRescale(g float64) {
+	for i := range a.edge {
+		a.edge[i] *= g
+	}
+	for i := range a.node {
+		a.node[i] *= g
+	}
+}
+
+// Activate applies the activation (e, t): advances the clock and adds
+// 1/g(t, t*) to the anchored activeness of e (Definition 1), keeping the
+// node sums in step. O(1) plus the amortized rescale cost.
+func (a *Activeness) Activate(e int32, t float64) {
+	a.clock.Advance(t)
+	inc := 1 / a.clock.G()
+	a.edge[e] += inc
+	u, v := a.ends(e)
+	a.node[u] += inc
+	a.node[v] += inc
+	a.clock.Activated()
+}
+
+// Restore overwrites every anchored edge activeness with the given values
+// and recomputes the node sums. Snapshot-persistence hook; values must be
+// anchored at the clock's current anchor time.
+func (a *Activeness) Restore(values []float64) {
+	if len(values) != len(a.edge) {
+		panic("decay: Restore length mismatch")
+	}
+	copy(a.edge, values)
+	for i := range a.node {
+		a.node[i] = 0
+	}
+	for e := range a.edge {
+		u, v := a.ends(int32(e))
+		a.node[u] += a.edge[e]
+		a.node[v] += a.edge[e]
+	}
+}
+
+// Anchored returns the anchored activeness a*_t(e).
+func (a *Activeness) Anchored(e int32) float64 { return a.edge[e] }
+
+// At returns the true activeness a_t(e) = a*_t(e) × g(t, t*).
+func (a *Activeness) At(e int32) float64 { return a.edge[e] * a.clock.G() }
+
+// NodeAnchored returns the anchored weighted degree Σ_{x∈N(v)} a*_t(v, x).
+func (a *Activeness) NodeAnchored(v int32) float64 { return a.node[v] }
+
+// NodeAt returns the true weighted degree at the current time.
+func (a *Activeness) NodeAt(v int32) float64 { return a.node[v] * a.clock.G() }
+
+// Clock returns the clock the store is anchored to.
+func (a *Activeness) Clock() *Clock { return a.clock }

@@ -1,0 +1,31 @@
+package decay
+
+import (
+	"testing"
+)
+
+// BenchmarkActivateWithRescale measures the amortized per-activation cost
+// including periodic batched rescales (Lemma 1's O(1) amortized claim).
+func BenchmarkActivateWithRescale(b *testing.B) {
+	c := NewClock(0.5)
+	c.SetRescaleEvery(DefaultRescaleEvery)
+	ends := func(e int32) (int32, int32) { return e % 1000, (e + 1) % 1000 }
+	a := NewActiveness(c, 1000, 100000, 1, ends)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Activate(int32(i%100000), float64(i)*1e-4)
+	}
+}
+
+// BenchmarkRescale measures one full batched rescale over a large store.
+func BenchmarkRescale(b *testing.B) {
+	c := NewClock(0.5)
+	c.SetRescaleEvery(0)
+	ends := func(e int32) (int32, int32) { return e % 1000, (e + 1) % 1000 }
+	NewActiveness(c, 1000, 1_000_000, 1, ends)
+	c.Advance(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Rescale()
+	}
+}

@@ -1,0 +1,273 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func TestPairFromIndexBijective(t *testing.T) {
+	idx := int64(0)
+	for v := 1; v < 60; v++ {
+		for u := 0; u < v; u++ {
+			gu, gv := pairFromIndex(idx)
+			if gu != u || gv != v {
+				t.Fatalf("pairFromIndex(%d) = (%d,%d), want (%d,%d)", idx, gu, gv, u, v)
+			}
+			idx++
+		}
+	}
+}
+
+func TestSamplePairsDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	total := int64(200000)
+	p := 0.03
+	count := 0
+	samplePairs(total, p, rng, func(int64) { count++ })
+	want := float64(total) * p
+	if math.Abs(float64(count)-want) > want*0.1 {
+		t.Fatalf("sampled %d, want ≈ %v", count, want)
+	}
+	// Degenerate cases.
+	samplePairs(0, 0.5, rng, func(int64) { t.Fatal("visited with total 0") })
+	samplePairs(100, 0, rng, func(int64) { t.Fatal("visited with p 0") })
+	count = 0
+	samplePairs(50, 1, rng, func(int64) { count++ })
+	if count != 50 {
+		t.Fatalf("p=1 visited %d of 50", count)
+	}
+}
+
+func TestPlantedPartitionStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pl := PlantedPartition([]int{30, 30, 30}, 0.5, 0.01, rng)
+	if pl.Graph.N() != 90 {
+		t.Fatalf("n = %d", pl.Graph.N())
+	}
+	intra, inter := 0, 0
+	for e := 0; e < pl.Graph.M(); e++ {
+		u, v := pl.Graph.Endpoints(graph.EdgeID(e))
+		if pl.Truth[u] == pl.Truth[v] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < inter*5 {
+		t.Fatalf("intra=%d inter=%d: community structure too weak", intra, inter)
+	}
+}
+
+func TestPowerLawSizesSumExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(2000)
+		k := 2 + rng.Intn(20)
+		sizes := PowerLawSizes(n, k, 3, 2.5, rng)
+		sum := 0
+		for _, s := range sizes {
+			if s < 3 {
+				return false
+			}
+			sum += s
+		}
+		return sum == n && len(sizes) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunityCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 2000, 10000
+	pl := Community(n, m, 30, 0.2, rng)
+	if pl.Graph.N() != n {
+		t.Fatalf("n = %d", pl.Graph.N())
+	}
+	got := float64(pl.Graph.M())
+	if math.Abs(got-float64(m)) > float64(m)*0.25 {
+		t.Fatalf("m = %v, want ≈ %d", got, m)
+	}
+	// The planted structure should be recoverable in principle: most
+	// edges intra.
+	intra := 0
+	for e := 0; e < pl.Graph.M(); e++ {
+		u, v := pl.Graph.Endpoints(graph.EdgeID(e))
+		if pl.Truth[u] == pl.Truth[v] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(pl.Graph.M())
+	if frac < 0.65 {
+		t.Fatalf("intra fraction = %v, want ≈ 0.8", frac)
+	}
+	if quality.NumClusters(pl.Truth) != 30 {
+		t.Fatalf("truth clusters = %d", quality.NumClusters(pl.Truth))
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := ErdosRenyi(500, 0.02, rng)
+	want := 0.02 * 500 * 499 / 2
+	if math.Abs(float64(g.M())-want) > want*0.15 {
+		t.Fatalf("m = %d, want ≈ %v", g.M(), want)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := BarabasiAlbert(500, 3, rng)
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// m ≈ 3(n - 4) + 6.
+	if g.M() < 3*(500-4) {
+		t.Fatalf("m = %d too small", g.M())
+	}
+	// Power-law-ish: the max degree should far exceed the attach count.
+	maxDeg := 0
+	for v := 0; v < 500; v++ {
+		if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 15 {
+		t.Fatalf("max degree %d: no hubs formed", maxDeg)
+	}
+}
+
+func TestUniformStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := ErdosRenyi(100, 0.1, rng)
+	stream := UniformStream(g, 10, 0.05, rng)
+	per := int(0.05 * float64(g.M()))
+	if len(stream) != 10*per {
+		t.Fatalf("stream len %d, want %d", len(stream), 10*per)
+	}
+	// Within a timestamp, edges are distinct; timestamps non-decreasing.
+	lastT := 0.0
+	seen := map[graph.EdgeID]bool{}
+	for _, a := range stream {
+		if a.T < lastT {
+			t.Fatal("timestamps decrease")
+		}
+		if a.T > lastT {
+			lastT = a.T
+			seen = map[graph.EdgeID]bool{}
+		}
+		if seen[a.Edge] {
+			t.Fatalf("edge %d repeated within timestamp %v", a.Edge, a.T)
+		}
+		seen[a.Edge] = true
+	}
+}
+
+func TestCommunityBiasedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := Community(300, 1500, 8, 0.2, rng)
+	stream := CommunityBiasedStream(pl.Graph, pl.Truth, 20, 0.05, 0.9, rng)
+	intra := 0
+	for _, a := range stream {
+		u, v := pl.Graph.Endpoints(a.Edge)
+		if pl.Truth[u] == pl.Truth[v] {
+			intra++
+		}
+	}
+	if frac := float64(intra) / float64(len(stream)); frac < 0.8 {
+		t.Fatalf("intra activation fraction %v, want ≈ 0.9", frac)
+	}
+}
+
+func TestDiurnalBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := ErdosRenyi(200, 0.05, rng)
+	batches := DefaultDiurnal().Generate(g, 1440, rng)
+	if len(batches) != 1440 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	sizes := make([]int, len(batches))
+	lastT := -1.0
+	for i, b := range batches {
+		sizes[i] = len(b)
+		if len(b) == 0 {
+			t.Fatalf("minute %d empty", i)
+		}
+		for _, a := range b {
+			if a.T < lastT {
+				t.Fatal("timestamps decrease across batches")
+			}
+			lastT = a.T
+		}
+	}
+	// Diurnal shape: the midnight trough is well below the afternoon peak.
+	trough := (sizes[0] + sizes[1] + sizes[2]) / 3
+	peak := (sizes[720] + sizes[721] + sizes[722]) / 3
+	if peak <= trough {
+		t.Fatalf("no diurnal shape: trough %d, peak %d", trough, peak)
+	}
+}
+
+func TestChurnStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pl := Community(300, 2000, 8, 0.2, rng)
+	stream := ChurnStream(pl.Graph, pl.Truth, 40, 0.05, [2]int32{0, 1}, rng)
+	if len(stream) == 0 {
+		t.Fatal("empty churn stream")
+	}
+	// First half: all intra. Second half: a sizeable share of the
+	// activations crosses the merge pair.
+	cross := func(a Activation) bool {
+		u, v := pl.Graph.Endpoints(a.Edge)
+		cu, cv := pl.Truth[u], pl.Truth[v]
+		return (cu == 0 && cv == 1) || (cu == 1 && cv == 0)
+	}
+	firstCross, secondCross, secondTotal := 0, 0, 0
+	for _, a := range stream {
+		if a.T <= 20 {
+			if cross(a) {
+				firstCross++
+			}
+		} else {
+			secondTotal++
+			if cross(a) {
+				secondCross++
+			}
+		}
+	}
+	if firstCross != 0 {
+		t.Fatalf("first half has %d cross activations", firstCross)
+	}
+	if secondTotal == 0 || float64(secondCross)/float64(secondTotal) < 0.2 {
+		t.Fatalf("second half cross share too low: %d/%d", secondCross, secondTotal)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := ErdosRenyi(100, 0.1, rng)
+	base := UniformStream(g, 10, 0.1, rng)
+	ops := MixedWorkload(g, base, 0.3, rng)
+	if len(ops) != len(base) {
+		t.Fatal("length changed")
+	}
+	q := 0
+	for _, op := range ops {
+		if op.IsQuery {
+			q++
+			if int(op.Node) >= g.N() {
+				t.Fatal("query node out of range")
+			}
+		}
+	}
+	frac := float64(q) / float64(len(ops))
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Fatalf("query fraction %v, want ≈ 0.3", frac)
+	}
+}

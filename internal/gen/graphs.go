@@ -1,0 +1,225 @@
+// Package gen provides the synthetic workload generators of the
+// experiments: community-structured relation graphs (planted partition
+// with power-law community sizes, Erdős–Rényi, Barabási–Albert) and
+// activation streams (uniform, community-biased, bursty diurnal, and mixed
+// update/query workloads). Every generator takes an explicit *rand.Rand so
+// experiments are reproducible.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"anc/internal/graph"
+)
+
+// Planted holds a generated graph together with its planted ground truth.
+type Planted struct {
+	Graph *graph.Graph
+	// Truth is the planted community of every node.
+	Truth []int32
+}
+
+// PlantedPartition generates a graph with the given community sizes: node
+// pairs inside a community are edges with probability pIn, across
+// communities with pOut. Sparse sampling uses geometric skipping, so the
+// cost is proportional to the number of edges, not n².
+func PlantedPartition(sizes []int, pIn, pOut float64, rng *rand.Rand) *Planted {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	truth := make([]int32, n)
+	starts := make([]int, len(sizes))
+	{
+		at := 0
+		for c, s := range sizes {
+			starts[c] = at
+			for i := 0; i < s; i++ {
+				truth[at+i] = int32(c)
+			}
+			at += s
+		}
+	}
+	b := graph.NewBuilder(n)
+	// Intra-community edges.
+	for c, s := range sizes {
+		base := starts[c]
+		samplePairs(int64(s)*int64(s-1)/2, pIn, rng, func(idx int64) {
+			u, v := pairFromIndex(idx)
+			b.AddEdge(graph.NodeID(base+u), graph.NodeID(base+v))
+		})
+	}
+	// Inter-community edges: sample over the full upper triangle and keep
+	// only cross pairs (acceptable since pOut is small).
+	samplePairs(int64(n)*int64(n-1)/2, pOut, rng, func(idx int64) {
+		u, v := pairFromIndex(idx)
+		if truth[u] != truth[v] {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	})
+	return &Planted{Graph: b.Build(), Truth: truth}
+}
+
+// samplePairs visits each index in [0, total) independently with
+// probability p, using geometric skips.
+func samplePairs(total int64, p float64, rng *rand.Rand, visit func(idx int64)) {
+	if p <= 0 || total <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := int64(0); i < total; i++ {
+			visit(i)
+		}
+		return
+	}
+	logq := math.Log(1 - p)
+	i := int64(0)
+	for {
+		skip := int64(math.Log(1-rng.Float64()) / logq)
+		i += skip
+		if i >= total {
+			return
+		}
+		visit(i)
+		i++
+	}
+}
+
+// pairFromIndex maps a linear index over the strict upper triangle to a
+// pair (u, v) with u < v, enumerating v = 1, 2, … and u < v.
+func pairFromIndex(idx int64) (int, int) {
+	// idx = v(v-1)/2 + u. Solve v = floor((1+sqrt(1+8idx))/2).
+	v := int64((1 + math.Sqrt(float64(1+8*idx))) / 2)
+	for v*(v-1)/2 > idx {
+		v--
+	}
+	for (v+1)*v/2 <= idx {
+		v++
+	}
+	u := idx - v*(v-1)/2
+	return int(u), int(v)
+}
+
+// PowerLawSizes draws k community sizes from a truncated power law with
+// exponent gamma over [minSize, maxSize], scaled to sum to n exactly.
+func PowerLawSizes(n, k, minSize int, gamma float64, rng *rand.Rand) []int {
+	if k < 1 {
+		k = 1
+	}
+	raw := make([]float64, k)
+	sum := 0.0
+	for i := range raw {
+		u := rng.Float64()
+		raw[i] = math.Pow(u, -1/(gamma-1)) // Pareto ≥ 1
+		sum += raw[i]
+	}
+	sizes := make([]int, k)
+	used := 0
+	for i := range raw {
+		sizes[i] = minSize + int(raw[i]/sum*float64(n-k*minSize))
+		used += sizes[i]
+	}
+	// Distribute the rounding remainder.
+	for i := 0; used < n; i = (i + 1) % k {
+		sizes[i]++
+		used++
+	}
+	for i := 0; used > n; i = (i + 1) % k {
+		if sizes[i] > minSize {
+			sizes[i]--
+			used--
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// Community generates an LFR-lite community graph: k power-law-sized
+// communities over n nodes, calibrated so the expected edge count is
+// roughly m with mixing fraction mu of inter-community edges.
+func Community(n, m, k int, mu float64, rng *rand.Rand) *Planted {
+	if k < 1 {
+		k = 1
+	}
+	sizes := PowerLawSizes(n, k, 3, 2.5, rng)
+	intraPairs := int64(0)
+	for _, s := range sizes {
+		intraPairs += int64(s) * int64(s-1) / 2
+	}
+	totalPairs := int64(n) * int64(n-1) / 2
+	interPairs := totalPairs - intraPairs
+	wantIntra := float64(m) * (1 - mu)
+	wantInter := float64(m) * mu
+	// Dense small communities may not have enough intra pairs to absorb
+	// the target; route the overflow into inter-community edges so the
+	// total edge count stays calibrated.
+	if wantIntra > float64(intraPairs) {
+		wantInter += wantIntra - float64(intraPairs)
+		wantIntra = float64(intraPairs)
+	}
+	pIn := 0.0
+	if intraPairs > 0 {
+		pIn = wantIntra / float64(intraPairs)
+	}
+	pOut := 0.0
+	if interPairs > 0 {
+		pOut = wantInter / float64(interPairs)
+	}
+	if pIn > 1 {
+		pIn = 1
+	}
+	if pOut > 1 {
+		pOut = 1
+	}
+	// PlantedPartition samples pOut over all pairs and filters, so rescale
+	// to keep the expected inter count.
+	pOutAll := pOut * float64(interPairs) / float64(totalPairs)
+	return PlantedPartition(sizes, pIn, pOutAll, rng)
+}
+
+// ErdosRenyi generates G(n, p) with geometric skipping.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	samplePairs(int64(n)*int64(n-1)/2, p, rng, func(idx int64) {
+		u, v := pairFromIndex(idx)
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	})
+	return b.Build()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new node
+// attaches to degree attachments sampled proportionally to degree.
+func BarabasiAlbert(n, attach int, rng *rand.Rand) *graph.Graph {
+	if attach < 1 {
+		attach = 1
+	}
+	b := graph.NewBuilder(n)
+	// Repeated-endpoint list for preferential sampling.
+	var targets []graph.NodeID
+	start := attach + 1
+	if start > n {
+		start = n
+	}
+	for u := 0; u < start; u++ {
+		for v := u + 1; v < start; v++ {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			targets = append(targets, graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for v := start; v < n; v++ {
+		chosen := map[graph.NodeID]bool{}
+		for len(chosen) < attach {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			b.AddEdge(graph.NodeID(v), t)
+			targets = append(targets, graph.NodeID(v), t)
+		}
+	}
+	return b.Build()
+}

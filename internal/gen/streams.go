@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"anc/internal/graph"
+)
+
+// Activation is one stream element: edge e activated at time T.
+type Activation struct {
+	Edge graph.EdgeID
+	T    float64
+}
+
+// UniformStream generates the Exp 2 workload: timestamps 1..steps, each
+// activating frac·m randomly chosen edges (with replacement across steps,
+// without within a step).
+func UniformStream(g *graph.Graph, steps int, frac float64, rng *rand.Rand) []Activation {
+	m := g.M()
+	per := int(frac * float64(m))
+	if per < 1 {
+		per = 1
+	}
+	var out []Activation
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for ts := 1; ts <= steps; ts++ {
+		// Partial shuffle picks `per` distinct edges.
+		for i := 0; i < per; i++ {
+			j := i + rng.Intn(m-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			out = append(out, Activation{Edge: graph.EdgeID(perm[i]), T: float64(ts)})
+		}
+	}
+	return out
+}
+
+// CommunityBiasedStream is UniformStream with activations drawn mostly
+// from intra-community edges (probability bias), modeling users who
+// interact mainly inside their community — the regime where clustering
+// quality over time is meaningful.
+func CommunityBiasedStream(g *graph.Graph, truth []int32, steps int, frac, bias float64, rng *rand.Rand) []Activation {
+	var intra, inter []graph.EdgeID
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if truth[u] == truth[v] {
+			intra = append(intra, graph.EdgeID(e))
+		} else {
+			inter = append(inter, graph.EdgeID(e))
+		}
+	}
+	per := int(frac * float64(g.M()))
+	if per < 1 {
+		per = 1
+	}
+	var out []Activation
+	for ts := 1; ts <= steps; ts++ {
+		for i := 0; i < per; i++ {
+			pool := intra
+			if (rng.Float64() >= bias && len(inter) > 0) || len(intra) == 0 {
+				pool = inter
+			}
+			out = append(out, Activation{Edge: pool[rng.Intn(len(pool))], T: float64(ts)})
+		}
+	}
+	return out
+}
+
+// DiurnalBursty generates the Fig 9 workload: minutes per-minute batches
+// over a day, with a sinusoidal diurnal base rate and Pareto-distributed
+// bursts, as seen in real Twitter activation traces.
+type DiurnalBursty struct {
+	// BaseRate is the mean activations per minute at the diurnal peak.
+	BaseRate float64
+	// BurstProb is the per-minute probability of a burst.
+	BurstProb float64
+	// BurstScale multiplies the rate during a burst (Pareto tail).
+	BurstScale float64
+}
+
+// DefaultDiurnal mirrors the Figure 9 setup at laptop scale.
+func DefaultDiurnal() DiurnalBursty {
+	return DiurnalBursty{BaseRate: 200, BurstProb: 0.02, BurstScale: 10}
+}
+
+// Generate returns per-minute activation batches for `minutes` minutes.
+func (d DiurnalBursty) Generate(g *graph.Graph, minutes int, rng *rand.Rand) [][]Activation {
+	out := make([][]Activation, minutes)
+	m := g.M()
+	for min := 0; min < minutes; min++ {
+		phase := 2 * math.Pi * float64(min) / 1440
+		rate := d.BaseRate * (0.55 + 0.45*math.Sin(phase-math.Pi/2))
+		if rng.Float64() < d.BurstProb {
+			// Pareto(α=1.5) burst multiplier, capped.
+			mult := math.Pow(1-rng.Float64(), -1/1.5)
+			if mult > d.BurstScale {
+				mult = d.BurstScale
+			}
+			rate *= mult
+		}
+		count := int(rate)
+		if count < 1 {
+			count = 1
+		}
+		batch := make([]Activation, count)
+		for i := range batch {
+			batch[i] = Activation{
+				Edge: graph.EdgeID(rng.Intn(m)),
+				T:    float64(min) + float64(i)/float64(count+1),
+			}
+		}
+		out[min] = batch
+	}
+	return out
+}
+
+// ChurnStream models community drift: for the first half of the
+// timestamps, activations are biased into the planted communities; for the
+// second half, the two communities in mergePair interact with each other
+// as intensely as internally, pulling them together. It exercises the
+// index's ability to track structural change over time.
+func ChurnStream(g *graph.Graph, truth []int32, steps int, frac float64, mergePair [2]int32, rng *rand.Rand) []Activation {
+	var intra, crossPair []graph.EdgeID
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		cu, cv := truth[u], truth[v]
+		if cu == cv {
+			intra = append(intra, graph.EdgeID(e))
+		}
+		if (cu == mergePair[0] && cv == mergePair[1]) || (cu == mergePair[1] && cv == mergePair[0]) {
+			crossPair = append(crossPair, graph.EdgeID(e))
+		}
+	}
+	per := int(frac * float64(g.M()))
+	if per < 1 {
+		per = 1
+	}
+	var out []Activation
+	for ts := 1; ts <= steps; ts++ {
+		secondHalf := ts > steps/2
+		for i := 0; i < per; i++ {
+			pool := intra
+			if secondHalf && len(crossPair) > 0 && rng.Intn(2) == 0 {
+				pool = crossPair
+			}
+			if len(pool) == 0 {
+				pool = intra
+			}
+			out = append(out, Activation{Edge: pool[rng.Intn(len(pool))], T: float64(ts)})
+		}
+	}
+	return out
+}
+
+// Op is one element of a mixed workload: either an activation or a local
+// clustering query at a node.
+type Op struct {
+	// IsQuery selects between the two variants.
+	IsQuery bool
+	// Act is valid when !IsQuery.
+	Act Activation
+	// Node is the query node when IsQuery.
+	Node graph.NodeID
+}
+
+// MixedWorkload replaces queryFrac of the activations of a base stream
+// with local-cluster queries at random nodes — the Figure 10 workload.
+func MixedWorkload(g *graph.Graph, base []Activation, queryFrac float64, rng *rand.Rand) []Op {
+	out := make([]Op, len(base))
+	for i, a := range base {
+		if rng.Float64() < queryFrac {
+			out[i] = Op{IsQuery: true, Node: graph.NodeID(rng.Intn(g.N()))}
+		} else {
+			out[i] = Op{Act: a}
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package graph
+
+import "sort"
+
+// Components returns the connected-component label of every node (dense,
+// 0-based) and the number of components.
+func Components(g *Graph) (labels []int32, count int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []NodeID
+	for v := 0; v < n; v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[v] = id
+		stack = append(stack[:0], NodeID(v))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(x) {
+				if labels[h.To] < 0 {
+					labels[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// Stats summarizes a graph's shape: used by the generator tools and the
+// dataset-counterpart validation.
+type Stats struct {
+	N, M            int
+	Components      int
+	LargestComp     int
+	MinDeg, MaxDeg  int
+	AvgDeg          float64
+	MedianDeg       int
+	Triangles       int64
+	GlobalClustCoef float64 // 3·triangles / #wedges
+}
+
+// Summarize computes Stats in O(n + m·d) time (triangle listing bounded
+// by the arboricity-style merge over sorted adjacency lists).
+func Summarize(g *Graph) Stats {
+	s := Stats{N: g.N(), M: g.M(), MinDeg: int(^uint(0) >> 1)}
+	if g.N() == 0 {
+		s.MinDeg = 0
+		return s
+	}
+	labels, count := Components(g)
+	s.Components = count
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComp {
+			s.LargestComp = sz
+		}
+	}
+	degs := make([]int, g.N())
+	var wedges int64
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(NodeID(v))
+		degs[v] = d
+		if d < s.MinDeg {
+			s.MinDeg = d
+		}
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+		wedges += int64(d) * int64(d-1) / 2
+	}
+	sort.Ints(degs)
+	s.MedianDeg = degs[len(degs)/2]
+	s.AvgDeg = 2 * float64(g.M()) / float64(g.N())
+	// Count each triangle once: for each edge (u, v), common neighbors w
+	// with w > v > u contribute a new triangle... simpler: count all
+	// (edge, common neighbor) incidences and divide by 3.
+	var inc int64
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(EdgeID(e))
+		g.CommonNeighbors(u, v, func(NodeID, EdgeID, EdgeID) { inc++ })
+	}
+	s.Triangles = inc / 3
+	if wedges > 0 {
+		s.GlobalClustCoef = 3 * float64(s.Triangles) / float64(wedges)
+	}
+	return s
+}
+
+// Subgraph extracts the induced subgraph over keep (dense relabeling in
+// keep order) and returns it with the old-to-new node mapping. Useful for
+// case studies that zoom into a region of a larger network.
+func Subgraph(g *Graph, keep []NodeID) (*Graph, map[NodeID]NodeID) {
+	remap := make(map[NodeID]NodeID, len(keep))
+	for _, v := range keep {
+		if _, dup := remap[v]; dup {
+			continue
+		}
+		remap[v] = NodeID(len(remap))
+	}
+	b := NewBuilder(len(remap))
+	for _, v := range keep {
+		nv := remap[v]
+		for _, h := range g.Neighbors(v) {
+			if nu, ok := remap[h.To]; ok && nv < nu {
+				b.AddEdge(nv, nu)
+			}
+		}
+	}
+	return b.Build(), remap
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	labels, count := Components(g)
+	if count != 4 {
+		t.Fatalf("components = %d, want 4", count)
+	}
+	if labels[0] != labels[2] || labels[3] != labels[4] {
+		t.Fatalf("grouping wrong: %v", labels)
+	}
+	if labels[0] == labels[3] || labels[5] == labels[6] {
+		t.Fatalf("separate components merged: %v", labels)
+	}
+}
+
+func TestSummarizeTriangle(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	s := Summarize(g)
+	if s.Triangles != 1 {
+		t.Fatalf("triangles = %d, want 1", s.Triangles)
+	}
+	if s.Components != 1 || s.LargestComp != 4 {
+		t.Fatalf("components wrong: %+v", s)
+	}
+	if s.MinDeg != 1 || s.MaxDeg != 3 {
+		t.Fatalf("degree range wrong: %+v", s)
+	}
+	// Wedges: deg 1,2,2,3 -> 0+1+1+3 = 5; coefficient = 3/5.
+	if s.GlobalClustCoef != 0.6 {
+		t.Fatalf("clustering coefficient = %v, want 0.6", s.GlobalClustCoef)
+	}
+}
+
+func TestSummarizeComplete(t *testing.T) {
+	b := NewBuilder(5)
+	for u := NodeID(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	s := Summarize(b.Build())
+	if s.Triangles != 10 { // C(5,3)
+		t.Fatalf("triangles = %d, want 10", s.Triangles)
+	}
+	if s.GlobalClustCoef != 1 {
+		t.Fatalf("K5 coefficient = %v", s.GlobalClustCoef)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewBuilder(0).Build())
+	if s.N != 0 || s.MinDeg != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	b := NewBuilder(6)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	sub, remap := Subgraph(g, []NodeID{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 { // path 1-2-3 induced
+		t.Fatalf("sub n=%d m=%d", sub.N(), sub.M())
+	}
+	if remap[1] != 0 || remap[2] != 1 || remap[3] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+	// Duplicates in keep are ignored.
+	sub2, _ := Subgraph(g, []NodeID{0, 0, 1})
+	if sub2.N() != 2 || sub2.M() != 1 {
+		t.Fatalf("dup keep: n=%d m=%d", sub2.N(), sub2.M())
+	}
+}
+
+// TestComponentsPartitionProperty: labels form a partition where nodes
+// share a label iff connected (checked against union-find).
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		b := NewBuilder(n)
+		type edge struct{ u, v NodeID }
+		var edges []edge
+		for i := 0; i < n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+				edges = append(edges, edge{u, v})
+			}
+		}
+		g := b.Build()
+		labels, count := Components(g)
+		// Union-find reference.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range edges {
+			parent[find(int(e.u))] = find(int(e.v))
+		}
+		roots := map[int]bool{}
+		for v := 0; v < n; v++ {
+			roots[find(v)] = true
+		}
+		if len(roots) != count {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (labels[u] == labels[v]) != (find(u) == find(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary text input must never panic, and accepted
+// inputs must produce an internally consistent graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n\n10 20\n")
+	f.Add("0 0\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("9223372036854775807 1\n")
+	f.Add("-5 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, ids, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() != len(ids) {
+			t.Fatalf("n=%d but %d ids", g.N(), len(ids))
+		}
+		// Internal consistency: every adjacency entry points back.
+		for v := 0; v < g.N(); v++ {
+			for _, h := range g.Neighbors(NodeID(v)) {
+				if g.Other(h.Edge, NodeID(v)) != h.To {
+					t.Fatalf("adjacency/edge mismatch at %d", v)
+				}
+			}
+		}
+		// Round trip preserves shape.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

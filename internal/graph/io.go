@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line,
+// '#' or '%' comments allowed) and returns the graph. Node IDs in the input
+// may be arbitrary non-negative integers; they are remapped to a dense
+// [0, n) range in first-appearance order. The mapping from original to dense
+// IDs is returned so callers can translate queries.
+func ReadEdgeList(r io.Reader) (*Graph, map[int64]NodeID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]NodeID)
+	var raw []Edge
+	intern := func(x int64) NodeID {
+		if id, ok := ids[x]; ok {
+			return id
+		}
+		id := NodeID(len(ids))
+		ids[x] = id
+		return id
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || s[0] == '#' || s[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: need two fields, got %q", line, s)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if a == b {
+			continue // drop self-loops silently, as is conventional for these datasets
+		}
+		raw = append(raw, Edge{intern(a), intern(b)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	builder := NewBuilder(len(ids))
+	for _, e := range raw {
+		if err := builder.AddEdge(e.U, e.V); err != nil {
+			return nil, nil, err
+		}
+	}
+	return builder.Build(), ids, nil
+}
+
+// WriteEdgeList writes the graph as a "u v" per-line edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(EdgeID(e))
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+// Package metric implements the distance metric M_t of Section IV-C: the
+// pairwise shortest distance on the relation graph under the reciprocal
+// similarity edge weight 1/S_t. The attraction strength of two nodes is
+// 1/dist(u, v) — the maximum over u-v paths of the harmonic mean of edge
+// similarities divided by the hop count, which is how the shortest distance
+// propagates local structural coherence (the paper's key observation).
+//
+// The package also provides the plain and multi-source Dijkstra primitives
+// shared by the pyramids index and used as the brute-force reference in
+// tests of the incremental update algorithms.
+package metric
+
+import (
+	"math"
+
+	"anc/internal/graph"
+	"anc/internal/pq"
+)
+
+// WeightFunc maps an edge ID to its positive weight (normally 1/S*).
+type WeightFunc func(e graph.EdgeID) float64
+
+// Inf is the distance of unreachable nodes.
+var Inf = math.Inf(1)
+
+// Dijkstra computes single-source shortest distances from src under w.
+// Returns dist (Inf for unreachable) and parent (graph.None for roots and
+// unreachable nodes).
+func Dijkstra(g *graph.Graph, src graph.NodeID, w WeightFunc) (dist []float64, parent []graph.NodeID) {
+	return MultiSourceDijkstra(g, []graph.NodeID{src}, w)
+}
+
+// MultiSourceDijkstra runs Dijkstra with every node of srcs at distance 0
+// (the super-source construction of the Voronoi partition in Section V-A).
+// parent[v] is v's predecessor on its shortest path from the closest
+// source; sources have parent None.
+func MultiSourceDijkstra(g *graph.Graph, srcs []graph.NodeID, w WeightFunc) (dist []float64, parent []graph.NodeID) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]graph.NodeID, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = graph.None
+	}
+	h := pq.New(n)
+	for _, s := range srcs {
+		dist[s] = 0
+		h.Push(s, 0)
+	}
+	for h.Len() > 0 {
+		x, d := h.Pop()
+		if d > dist[x] {
+			continue
+		}
+		for _, half := range g.Neighbors(x) {
+			nd := d + w(half.Edge)
+			if nd < dist[half.To] {
+				dist[half.To] = nd
+				parent[half.To] = x
+				h.Push(half.To, nd)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Distance returns dist(u, v) under w, or Inf if disconnected. O(m log n);
+// intended for reference computations and small queries — index-backed
+// queries go through the pyramids.
+func Distance(g *graph.Graph, u, v graph.NodeID, w WeightFunc) float64 {
+	if u == v {
+		return 0
+	}
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[u] = 0
+	h := pq.New(n)
+	h.Push(u, 0)
+	for h.Len() > 0 {
+		x, d := h.Pop()
+		if x == v {
+			return d
+		}
+		if d > dist[x] {
+			continue
+		}
+		for _, half := range g.Neighbors(x) {
+			nd := d + w(half.Edge)
+			if nd < dist[half.To] {
+				dist[half.To] = nd
+				h.Push(half.To, nd)
+			}
+		}
+	}
+	return Inf
+}
+
+// Attraction returns the attraction strength 1/dist(u, v) of Section IV-C:
+// the maximum over all u-v paths of the harmonic mean of the edge
+// similarities on the path divided by the number of hops. Zero for
+// disconnected pairs; Inf never occurs for u ≠ v since weights are positive.
+func Attraction(g *graph.Graph, u, v graph.NodeID, w WeightFunc) float64 {
+	d := Distance(g, u, v, w)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	if d == 0 {
+		return Inf
+	}
+	return 1 / d
+}
+
+// PathAttraction evaluates the attraction of one explicit path given edge
+// similarities s: (harmonic mean of s over the path) / hops. It exists to
+// let tests verify that Attraction equals the max over paths.
+func PathAttraction(sims []float64) float64 {
+	if len(sims) == 0 {
+		return Inf
+	}
+	sumInv := 0.0
+	for _, s := range sims {
+		if s <= 0 {
+			return 0
+		}
+		sumInv += 1 / s
+	}
+	// harmonic mean / hops = (len/sumInv) / len = 1/sumInv.
+	return 1 / sumInv
+}

@@ -1,0 +1,244 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+)
+
+func build(t testing.TB, n int, edges [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func unitWeight(graph.EdgeID) float64 { return 1 }
+
+func TestDijkstraPath(t *testing.T) {
+	// 0-1-2-3 path plus shortcut 0-3 with heavy weight.
+	g := build(t, 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	w := func(e graph.EdgeID) float64 {
+		u, v := g.Endpoints(e)
+		if u == 0 && v == 3 {
+			return 10
+		}
+		return 1
+	}
+	dist, parent := Dijkstra(g, 0, w)
+	want := []float64{0, 1, 2, 3}
+	for v, d := range dist {
+		if d != want[v] {
+			t.Errorf("dist[%d] = %v, want %v", v, d, want[v])
+		}
+	}
+	if parent[0] != graph.None || parent[1] != 0 || parent[2] != 1 || parent[3] != 2 {
+		t.Errorf("parents = %v", parent)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := build(t, 4, [][2]graph.NodeID{{0, 1}, {2, 3}})
+	dist, parent := Dijkstra(g, 0, unitWeight)
+	if !math.IsInf(dist[2], 1) || !math.IsInf(dist[3], 1) {
+		t.Errorf("unreachable dist = %v", dist)
+	}
+	if parent[2] != graph.None {
+		t.Errorf("unreachable parent = %v", parent[2])
+	}
+}
+
+func TestMultiSourceVoronoi(t *testing.T) {
+	// Path 0-1-2-3-4 with sources {0, 4}: node 2 ties, goes to the source
+	// whose relaxation wins deterministically (via smaller dist first; tie
+	// at equal distance keeps first setter — node 1 relaxes 2 before 3 does
+	// because heap breaks ties by smaller node ID).
+	g := build(t, 5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	dist, parent := MultiSourceDijkstra(g, []graph.NodeID{0, 4}, unitWeight)
+	wantDist := []float64{0, 1, 2, 1, 0}
+	for v := range wantDist {
+		if dist[v] != wantDist[v] {
+			t.Errorf("dist[%d] = %v, want %v", v, dist[v], wantDist[v])
+		}
+	}
+	if parent[1] != 0 || parent[3] != 4 {
+		t.Errorf("parents = %v", parent)
+	}
+}
+
+func TestDistanceSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		weights := make([]float64, g.M())
+		for i := range weights {
+			weights[i] = 0.1 + rng.Float64()*5
+		}
+		w := func(e graph.EdgeID) float64 { return weights[e] }
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		du := Distance(g, u, v, w)
+		dv := Distance(g, v, u, w)
+		if math.IsInf(du, 1) && math.IsInf(dv, 1) {
+			return true
+		}
+		return math.Abs(du-dv) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriangleInequalityProperty: shortest distances always satisfy the
+// triangle inequality, making M_t a true metric on connected components.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		weights := make([]float64, g.M())
+		for i := range weights {
+			weights[i] = 0.1 + rng.Float64()
+		}
+		w := func(e graph.EdgeID) float64 { return weights[e] }
+		a := graph.NodeID(rng.Intn(n))
+		bn := graph.NodeID(rng.Intn(n))
+		c := graph.NodeID(rng.Intn(n))
+		dab := Distance(g, a, bn, w)
+		dbc := Distance(g, bn, c, w)
+		dac := Distance(g, a, c, w)
+		if math.IsInf(dab, 1) || math.IsInf(dbc, 1) {
+			return true
+		}
+		return dac <= dab+dbc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistanceMatchesDijkstra: the early-exit Distance equals the full
+// single-source run.
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		weights := make([]float64, g.M())
+		for i := range weights {
+			weights[i] = 0.5 + rng.Float64()
+		}
+		w := func(e graph.EdgeID) float64 { return weights[e] }
+		src := graph.NodeID(rng.Intn(n))
+		dist, _ := Dijkstra(g, src, w)
+		for v := 0; v < n; v++ {
+			d := Distance(g, src, graph.NodeID(v), w)
+			if math.IsInf(d, 1) != math.IsInf(dist[v], 1) {
+				return false
+			}
+			if !math.IsInf(d, 1) && math.Abs(d-dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttractionIsHarmonicMeanOverHops verifies the paper's formulation:
+// on a single path graph, attraction(ends) = (harmonic mean of sims)/hops.
+func TestAttractionIsHarmonicMeanOverHops(t *testing.T) {
+	sims := []float64{2, 0.5, 1, 4}
+	edges := make([][2]graph.NodeID, len(sims))
+	for i := range sims {
+		edges[i] = [2]graph.NodeID{graph.NodeID(i), graph.NodeID(i + 1)}
+	}
+	g := build(t, len(sims)+1, edges)
+	w := func(e graph.EdgeID) float64 {
+		u, _ := g.Endpoints(e)
+		return 1 / sims[u] // edge i connects (i, i+1); u = i
+	}
+	got := Attraction(g, 0, graph.NodeID(len(sims)), w)
+	// Harmonic mean H = L / Σ 1/s; attraction = H / L = 1 / Σ 1/s.
+	sumInv := 0.0
+	for _, s := range sims {
+		sumInv += 1 / s
+	}
+	want := 1 / sumInv
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("attraction = %v, want %v", got, want)
+	}
+	if pa := PathAttraction(sims); math.Abs(pa-want) > 1e-12 {
+		t.Fatalf("PathAttraction = %v, want %v", pa, want)
+	}
+}
+
+func TestAttractionEdgeCases(t *testing.T) {
+	g := build(t, 3, [][2]graph.NodeID{{0, 1}})
+	if a := Attraction(g, 0, 2, unitWeight); a != 0 {
+		t.Errorf("disconnected attraction = %v, want 0", a)
+	}
+	if a := Attraction(g, 1, 1, unitWeight); !math.IsInf(a, 1) {
+		t.Errorf("self attraction = %v, want +Inf", a)
+	}
+	if pa := PathAttraction(nil); !math.IsInf(pa, 1) {
+		t.Errorf("empty path attraction = %v", pa)
+	}
+	if pa := PathAttraction([]float64{1, 0}); pa != 0 {
+		t.Errorf("zero-similarity path attraction = %v", pa)
+	}
+}
+
+// TestAttractionMaxOverPaths: adding a better path can only increase
+// attraction (monotonicity of max over paths).
+func TestAttractionMaxOverPaths(t *testing.T) {
+	// Two parallel routes 0->1->3 and 0->2->3 with different similarities.
+	g := build(t, 4, [][2]graph.NodeID{{0, 1}, {1, 3}, {0, 2}, {2, 3}})
+	sims := map[graph.EdgeID]float64{}
+	for e := 0; e < g.M(); e++ {
+		u, _ := g.Endpoints(graph.EdgeID(e))
+		if u == 0 {
+			sims[graph.EdgeID(e)] = 1
+		} else {
+			sims[graph.EdgeID(e)] = 1
+		}
+	}
+	// Route via 1: sims (2, 2); route via 2: sims (1, 1).
+	sims[g.FindEdge(0, 1)] = 2
+	sims[g.FindEdge(1, 3)] = 2
+	w := func(e graph.EdgeID) float64 { return 1 / sims[e] }
+	got := Attraction(g, 0, 3, w)
+	if want := 1.0; math.Abs(got-want) > 1e-12 { // via 1: 1/(0.5+0.5) = 1
+		t.Fatalf("attraction = %v, want %v (best path should win)", got, want)
+	}
+}

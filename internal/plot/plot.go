@@ -1,0 +1,154 @@
+// Package plot renders small ASCII charts for the benchmark harness:
+// log-scale grouped bar charts (Figures 5, 6, 8, 10 of the paper), line
+// series over time (Figures 4 and 9), and sparklines for compact
+// summaries. Plain text keeps the harness dependency-free and the output
+// diffable in EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart. With logScale, bar lengths are
+// proportional to log10 of the value range — appropriate for the paper's
+// runtime figures that span orders of magnitude. Non-positive values
+// render as empty bars.
+func Bars(w io.Writer, title string, bars []Bar, width int, logScale bool) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(bars) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range bars {
+		if b.Value > 0 {
+			lo = math.Min(lo, b.Value)
+			hi = math.Max(hi, b.Value)
+		}
+	}
+	scale := func(v float64) int {
+		if v <= 0 || math.IsInf(lo, 1) {
+			return 0
+		}
+		if !logScale {
+			return int(v / hi * float64(width))
+		}
+		if hi == lo {
+			return width
+		}
+		// Map [lo, hi] onto [1, width] in log space.
+		f := (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+		n := 1 + int(f*float64(width-1))
+		if n < 1 {
+			n = 1
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	for _, b := range bars {
+		fmt.Fprintf(w, "  %-*s |%s %.4g\n", labelW, b.Label, strings.Repeat("█", scale(b.Value)), b.Value)
+	}
+}
+
+// Series is one named line of a multi-series chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Lines renders multi-series data as an aligned character grid: rows are
+// descending Y buckets, columns are X samples, and each series paints its
+// marker. Collisions show the later series' marker.
+func Lines(w io.Writer, title string, series []Series, width, height int) {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	loX, hiX := math.Inf(1), math.Inf(-1)
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			loX, hiX = math.Min(loX, s.X[i]), math.Max(hiX, s.X[i])
+			loY, hiY = math.Min(loY, s.Y[i]), math.Max(hiY, s.Y[i])
+		}
+	}
+	if math.IsInf(loX, 1) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	if hiX == loX {
+		hiX = loX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := "ox+*#@%&"
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			c := int((s.X[i] - loX) / (hiX - loX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-loY)/(hiY-loY)*float64(height-1))
+			grid[r][c] = m
+		}
+	}
+	for r, row := range grid {
+		yVal := hiY - (hiY-loY)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "  %8.3g |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "  %8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "  %8s  %-*.3g%*.3g\n", "", width/2, loX, width-width/2, hiX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+}
+
+// Spark renders values as a one-line unicode sparkline.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ticks)-1))
+		}
+		b.WriteRune(ticks[idx])
+	}
+	return b.String()
+}

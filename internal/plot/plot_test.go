@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarsLinear(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "title", []Bar{{"a", 1}, {"bb", 2}, {"ccc", 4}}, 20, false)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The largest bar is the longest.
+	if strings.Count(lines[3], "█") <= strings.Count(lines[1], "█") {
+		t.Fatalf("bar lengths not monotone:\n%s", out)
+	}
+	// Labels aligned to the widest.
+	if !strings.Contains(lines[1], "a   |") {
+		t.Fatalf("label padding wrong: %q", lines[1])
+	}
+}
+
+func TestBarsLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "log", []Bar{{"small", 1e-6}, {"mid", 1e-3}, {"big", 1}}, 30, true)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	small := strings.Count(lines[1], "█")
+	mid := strings.Count(lines[2], "█")
+	big := strings.Count(lines[3], "█")
+	if !(small < mid && mid < big) {
+		t.Fatalf("log bars not monotone: %d %d %d", small, mid, big)
+	}
+	// Log spacing: the two gaps should be roughly equal (3 decades each).
+	if d1, d2 := mid-small, big-mid; d1 <= 0 || d2 <= 0 || d1*2 < d2 || d2*2 < d1 {
+		t.Fatalf("log spacing off: %d vs %d", d1, d2)
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "empty", nil, 10, false)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty chart not flagged")
+	}
+	buf.Reset()
+	Bars(&buf, "zeros", []Bar{{"z", 0}}, 10, true)
+	if !strings.Contains(buf.String(), "z") {
+		t.Fatal("zero bar missing")
+	}
+	buf.Reset()
+	Bars(&buf, "default width", []Bar{{"a", 1}}, 0, false)
+	if !strings.Contains(buf.String(), "█") {
+		t.Fatal("default width broken")
+	}
+}
+
+func TestLines(t *testing.T) {
+	var buf bytes.Buffer
+	Lines(&buf, "series", []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}, 20, 6)
+	out := buf.String()
+	if !strings.Contains(out, "o=up") || !strings.Contains(out, "x=down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Lines(&buf, "none", nil, 10, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty not flagged")
+	}
+}
+
+func TestLinesConstantY(t *testing.T) {
+	var buf bytes.Buffer
+	Lines(&buf, "flat", []Series{{Name: "c", X: []float64{0, 1}, Y: []float64{5, 5}}}, 10, 4)
+	if !strings.Contains(buf.String(), "o") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if s := Spark(nil); s != "" {
+		t.Fatalf("empty spark = %q", s)
+	}
+	s := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("spark len = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("spark extremes wrong: %q", s)
+	}
+	// Constant input renders the lowest tick everywhere.
+	flat := []rune(Spark([]float64{2, 2, 2}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat spark = %q", string(flat))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package pq implements an indexed binary min-heap keyed by float64
+// priority, supporting decrease-key and arbitrary update in O(log n).
+//
+// It is the queue behind every Dijkstra in this repository — Voronoi
+// partition construction and the bounded update algorithms (Algorithms 1
+// and 3 of the paper) — where the item set is a dense range of node IDs and
+// the same node may be re-prioritized many times while queued.
+package pq
+
+// Heap is an indexed min-heap over items identified by dense int32 IDs in
+// [0, capacity). Priorities are float64 distances; ties are broken by
+// smaller item ID so the pop order is deterministic.
+type Heap struct {
+	items []int32   // heap order -> item
+	pos   []int32   // item -> heap index, -1 if absent
+	prio  []float64 // item -> priority (valid while in heap)
+}
+
+// New returns a heap able to hold items 0..capacity-1.
+func New(capacity int) *Heap {
+	h := &Heap{
+		pos:  make([]int32, capacity),
+		prio: make([]float64, capacity),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of queued items.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Contains reports whether item x is queued.
+func (h *Heap) Contains(x int32) bool { return h.pos[x] >= 0 }
+
+// Priority returns the queued priority of x; only meaningful if Contains(x).
+func (h *Heap) Priority(x int32) float64 { return h.prio[x] }
+
+// Push inserts x with priority p, or updates x's priority if already queued
+// (either direction). This matches the "reinsert/update" behaviour the
+// paper's Example 6 notes for priority-queue implementations.
+func (h *Heap) Push(x int32, p float64) {
+	if i := h.pos[x]; i >= 0 {
+		old := h.prio[x]
+		h.prio[x] = p
+		if p < old {
+			h.up(int(i))
+		} else if p > old {
+			h.down(int(i))
+		}
+		return
+	}
+	h.prio[x] = p
+	h.pos[x] = int32(len(h.items))
+	h.items = append(h.items, x)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the item with the smallest priority.
+// It panics if the heap is empty.
+func (h *Heap) Pop() (x int32, p float64) {
+	if len(h.items) == 0 {
+		panic("pq: Pop on empty heap")
+	}
+	x = h.items[0]
+	p = h.prio[x]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[x] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return x, p
+}
+
+// Remove deletes x from the heap if present.
+func (h *Heap) Remove(x int32) {
+	i := h.pos[x]
+	if i < 0 {
+		return
+	}
+	last := len(h.items) - 1
+	h.swap(int(i), last)
+	h.items = h.items[:last]
+	h.pos[x] = -1
+	if int(i) < last {
+		h.down(int(i))
+		h.up(int(h.pos[h.items[i]]))
+	}
+}
+
+// Reset empties the heap in O(len) without reallocating.
+func (h *Heap) Reset() {
+	for _, x := range h.items {
+		h.pos[x] = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	pa, pb := h.prio[a], h.prio[b]
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = int32(i)
+	h.pos[h.items[j]] = int32(j)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,169 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(10)
+	h.Push(3, 5.0)
+	h.Push(7, 1.0)
+	h.Push(1, 3.0)
+	wantItems := []int32{7, 1, 3}
+	wantPrios := []float64{1, 3, 5}
+	for i := range wantItems {
+		x, p := h.Pop()
+		if x != wantItems[i] || p != wantPrios[i] {
+			t.Fatalf("pop %d = (%d,%g), want (%d,%g)", i, x, p, wantItems[i], wantPrios[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining", h.Len())
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(1, 5) // decrease
+	x, p := h.Pop()
+	if x != 1 || p != 5 {
+		t.Fatalf("got (%d,%g), want (1,5)", x, p)
+	}
+}
+
+func TestIncreaseKey(t *testing.T) {
+	h := New(4)
+	h.Push(0, 10)
+	h.Push(1, 5)
+	h.Push(1, 30) // increase
+	x, p := h.Pop()
+	if x != 0 || p != 10 {
+		t.Fatalf("got (%d,%g), want (0,10)", x, p)
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	h := New(5)
+	h.Push(4, 1)
+	h.Push(2, 1)
+	h.Push(3, 1)
+	var got []int32
+	for h.Len() > 0 {
+		x, _ := h.Pop()
+		got = append(got, x)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ties not broken by ID: %v", got)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New(6)
+	for i := int32(0); i < 6; i++ {
+		h.Push(i, float64(10-i))
+	}
+	h.Remove(5) // currently minimum
+	h.Remove(0) // currently maximum
+	h.Remove(0) // no-op on absent item
+	var got []int32
+	for h.Len() > 0 {
+		x, _ := h.Pop()
+		got = append(got, x)
+	}
+	want := []int32{4, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestContainsAndPriority(t *testing.T) {
+	h := New(3)
+	h.Push(2, 7)
+	if !h.Contains(2) || h.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	if h.Priority(2) != 7 {
+		t.Fatal("Priority wrong")
+	}
+	h.Pop()
+	if h.Contains(2) {
+		t.Fatal("Contains true after pop")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(8)
+	for i := int32(0); i < 8; i++ {
+		h.Push(i, float64(i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Len after Reset")
+	}
+	for i := int32(0); i < 8; i++ {
+		if h.Contains(i) {
+			t.Fatalf("item %d still contained after Reset", i)
+		}
+	}
+	h.Push(3, 1)
+	if h.Len() != 1 {
+		t.Fatal("push after Reset broken")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty Pop")
+		}
+	}()
+	New(1).Pop()
+}
+
+// TestHeapSortProperty: pushing random priorities (with random updates) and
+// draining yields non-decreasing priorities matching a reference sort.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := New(n)
+		final := make(map[int32]float64)
+		for i := 0; i < n*2; i++ {
+			x := int32(rng.Intn(n))
+			p := rng.Float64() * 100
+			h.Push(x, p)
+			final[x] = p
+		}
+		var want []float64
+		for _, p := range final {
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		var got []float64
+		for h.Len() > 0 {
+			_, p := h.Pop()
+			got = append(got, p)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package pyramid
+
+import (
+	"math"
+
+	"anc/internal/graph"
+)
+
+// EstimateDistance returns the Das Sarma sketch estimate of the anchored
+// distance between u and v: the minimum, over every Voronoi partition of
+// every pyramid, of dist(u, seed) + dist(seed, v) for partitions where u
+// and v share a seed (the common-landmark query of the underlying oracle
+// [Das Sarma et al., WSDM 2010]). The estimate never underestimates the
+// true shortest distance; with K pyramids × ⌈log₂ n⌉ levels of random
+// seeds, the expected stretch is O(log n). It returns +Inf when no
+// partition co-locates the two nodes (only possible across connected
+// components). O(K·log n).
+func (ix *Index) EstimateDistance(u, v graph.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	best := math.Inf(1)
+	for p := range ix.parts {
+		for l := range ix.parts[p] {
+			part := ix.parts[p][l]
+			su := part.Seed(u)
+			if su == graph.None || su != part.Seed(v) {
+				continue
+			}
+			if d := part.Dist(u) + part.Dist(v); d < best {
+				best = d
+			}
+		}
+	}
+	// The direct edge, when present, is also a path.
+	if e := ix.g.FindEdge(u, v); e != graph.None && ix.weights[e] < best {
+		best = ix.weights[e]
+	}
+	return best
+}
+
+// EstimateAttraction returns the attraction strength 1/dist(u, v)
+// (Section IV-C) computed from the sketch estimate: a lower bound on the
+// true attraction. Zero when the sketch finds no common landmark.
+func (ix *Index) EstimateAttraction(u, v graph.NodeID) float64 {
+	d := ix.EstimateDistance(u, v)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return 1 / d
+}

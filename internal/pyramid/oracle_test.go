@@ -1,0 +1,128 @@
+package pyramid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+	"anc/internal/metric"
+)
+
+// TestEstimateNeverUnderestimates: the sketch estimate is always ≥ the
+// true shortest distance, and finite for connected pairs when some
+// partition co-locates them.
+func TestEstimateNeverUnderestimates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20+rng.Intn(20), 50)
+		w := randomWeights(rng, g.M())
+		ix := buildIndex(t, g, w, Config{K: 4, Theta: 0.7}, seed)
+		wf := func(e graph.EdgeID) float64 { return w[e] }
+		for trial := 0; trial < 10; trial++ {
+			u := graph.NodeID(rng.Intn(g.N()))
+			v := graph.NodeID(rng.Intn(g.N()))
+			est := ix.EstimateDistance(u, v)
+			truth := metric.Distance(g, u, v, wf)
+			if math.IsInf(truth, 1) {
+				if !math.IsInf(est, 1) {
+					return false // cannot co-locate across components
+				}
+				continue
+			}
+			if est < truth-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateFiniteAtTopLevel: the coarsest level has few seeds, so any
+// connected pair shares one with high probability; with 4 pyramids the
+// estimate is essentially always finite on a connected graph.
+func TestEstimateFiniteOnConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 50, 80) // chain backbone: connected
+	w := randomWeights(rng, g.M())
+	ix := buildIndex(t, g, w, Config{K: 4, Theta: 0.7}, 11)
+	infinite := 0
+	for u := 0; u < g.N(); u++ {
+		if math.IsInf(ix.EstimateDistance(0, graph.NodeID(u)), 1) {
+			infinite++
+		}
+	}
+	if infinite > 0 {
+		t.Fatalf("%d unreachable estimates on a connected graph", infinite)
+	}
+}
+
+// TestEstimateSelfAndAdjacent: d(u,u) = 0; adjacent estimates never exceed
+// the direct edge weight.
+func TestEstimateSelfAndAdjacent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 30, 40)
+	w := randomWeights(rng, g.M())
+	ix := buildIndex(t, g, w, Config{K: 2, Theta: 0.7}, 3)
+	if d := ix.EstimateDistance(5, 5); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if est := ix.EstimateDistance(u, v); est > w[e]+1e-9 {
+			t.Fatalf("adjacent estimate %v exceeds edge weight %v", est, w[e])
+		}
+	}
+}
+
+// TestEstimateStretchBounded: on a modest connected graph, the average
+// stretch of the sketch should be small (the oracle's O(log n) guarantee
+// leaves plenty of slack; we assert a loose 5× average).
+func TestEstimateStretchBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 60, 120)
+	w := randomWeights(rng, g.M())
+	ix := buildIndex(t, g, w, Config{K: 4, Theta: 0.7}, 29)
+	wf := func(e graph.EdgeID) float64 { return w[e] }
+	totalStretch, count := 0.0, 0
+	for trial := 0; trial < 60; trial++ {
+		u := graph.NodeID(rng.Intn(g.N()))
+		v := graph.NodeID(rng.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		truth := metric.Distance(g, u, v, wf)
+		est := ix.EstimateDistance(u, v)
+		if math.IsInf(truth, 1) || math.IsInf(est, 1) {
+			continue
+		}
+		totalStretch += est / truth
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no valid pairs")
+	}
+	if avg := totalStretch / float64(count); avg > 5 {
+		t.Fatalf("average stretch %v too large", avg)
+	}
+}
+
+// TestEstimateAttraction: reciprocal relationship and edge cases.
+func TestEstimateAttraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 20, 30)
+	w := randomWeights(rng, g.M())
+	ix := buildIndex(t, g, w, Config{K: 2, Theta: 0.7}, 5)
+	if a := ix.EstimateAttraction(3, 3); !math.IsInf(a, 1) {
+		t.Fatalf("self attraction = %v", a)
+	}
+	d := ix.EstimateDistance(0, 10)
+	a := ix.EstimateAttraction(0, 10)
+	if !math.IsInf(d, 1) && math.Abs(a*d-1) > 1e-12 {
+		t.Fatalf("attraction %v != 1/dist %v", a, 1/d)
+	}
+}

@@ -1,0 +1,76 @@
+package pyramid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anc/internal/graph"
+)
+
+// TestParallelBuildMatchesSequential: construction with Parallel set gives
+// the same partitions as sequential construction (seed sets are drawn
+// sequentially either way).
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomGraph(rng, 60, 120)
+	w := randomWeights(rng, g.M())
+	seq := buildIndex(t, g, w, Config{K: 3, Theta: 0.7}, 99)
+	par := buildIndex(t, g, w, Config{K: 3, Theta: 0.7, Parallel: true}, 99)
+	for p := 0; p < 3; p++ {
+		for l := 1; l <= seq.Levels(); l++ {
+			a, b := seq.Partition(p, l), par.Partition(p, l)
+			sa, sb := a.Seeds(), b.Seeds()
+			if len(sa) != len(sb) {
+				t.Fatalf("seed counts differ at p%d l%d", p, l)
+			}
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("seeds differ at p%d l%d", p, l)
+				}
+			}
+			for v := 0; v < g.N(); v++ {
+				da, db := a.Dist(graph.NodeID(v)), b.Dist(graph.NodeID(v))
+				if math.IsInf(da, 1) != math.IsInf(db, 1) || (!math.IsInf(da, 1) && math.Abs(da-db) > 1e-12) {
+					t.Fatalf("dist differs at p%d l%d node %d: %v vs %v", p, l, v, da, db)
+				}
+			}
+		}
+	}
+	if msg := par.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestBuildWithSeedsValidation: wrong seed-set count is rejected.
+func TestBuildWithSeedsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := randomGraph(rng, 20, 20)
+	w := randomWeights(rng, g.M())
+	wf := func(e graph.EdgeID) float64 { return w[e] }
+	if _, err := BuildWithSeeds(g, wf, Config{K: 2, Theta: 0.7}, nil); err == nil {
+		t.Fatal("accepted empty seed sets")
+	}
+}
+
+// TestSeedSetsRoundTrip: SeedSets -> BuildWithSeeds reproduces the index.
+func TestSeedSetsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := randomGraph(rng, 40, 60)
+	w := randomWeights(rng, g.M())
+	ix := buildIndex(t, g, w, Config{K: 2, Theta: 0.7}, 7)
+	wf := func(e graph.EdgeID) float64 { return w[e] }
+	clone, err := BuildWithSeeds(g, wf, Config{K: 2, Theta: 0.7}, ix.SeedSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		for l := 1; l <= ix.Levels(); l++ {
+			for v := 0; v < g.N(); v++ {
+				if ix.Partition(p, l).Seed(graph.NodeID(v)) != clone.Partition(p, l).Seed(graph.NodeID(v)) {
+					t.Fatalf("seed assignment differs at p%d l%d node %d", p, l, v)
+				}
+			}
+		}
+	}
+}

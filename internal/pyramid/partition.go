@@ -1,0 +1,317 @@
+// Package pyramid implements the distance index of Section V: a constant
+// number k of pyramids, each a suite of ⌈log₂ n⌉ Voronoi partitions with
+// 2^l uniformly random seeds at granularity level l, built by one
+// multi-source Dijkstra per partition and maintained incrementally under
+// edge-weight changes with the bounded update algorithms (Algorithms 1–3).
+//
+// All stored distances are anchored: the true distance is the stored value
+// divided by the global decay factor (the metric is NegM, Lemma 10), so a
+// batched rescale multiplies every stored distance by 1/g and never changes
+// any shortest-path tree or Voronoi assignment.
+package pyramid
+
+import (
+	"math"
+
+	"anc/internal/graph"
+	"anc/internal/pq"
+)
+
+// Partition is one Voronoi partition: a seed set, the seed assignment of
+// every node, the (anchored) distance of every node to its seed, and the
+// shortest-path forest rooted at the seeds, stored with parent and children
+// pointers so Algorithm 3 can enumerate an orphaned subtree in time
+// proportional to its size.
+type Partition struct {
+	g       *graph.Graph
+	weights []float64 // shared with the owning Index; indexed by edge ID
+	seeds   []graph.NodeID
+
+	seedOf   []graph.NodeID // seed of v; None if unreachable from all seeds
+	dist     []float64      // anchored dist(seed, v); +Inf if unreachable
+	parent   []graph.NodeID // SPT parent; None for seeds and unreachable
+	children [][]graph.NodeID
+
+	heap    *pq.Heap
+	inTree  []bool         // scratch: marks the orphaned subtree
+	changed []graph.NodeID // scratch: nodes whose seed/dist changed
+	stamp   []int32        // scratch: dedup stamp for changed
+	stampID int32
+}
+
+// newPartition builds a Voronoi partition over g for the given seed set,
+// using the shared weight slice.
+func newPartition(g *graph.Graph, weights []float64, seeds []graph.NodeID) *Partition {
+	n := g.N()
+	p := &Partition{
+		g:        g,
+		weights:  weights,
+		seeds:    seeds,
+		seedOf:   make([]graph.NodeID, n),
+		dist:     make([]float64, n),
+		parent:   make([]graph.NodeID, n),
+		children: make([][]graph.NodeID, n),
+		heap:     pq.New(n),
+		inTree:   make([]bool, n),
+		stamp:    make([]int32, n),
+	}
+	p.rebuild()
+	return p
+}
+
+// rebuild recomputes the whole partition with one multi-source Dijkstra.
+func (p *Partition) rebuild() {
+	n := p.g.N()
+	for v := 0; v < n; v++ {
+		p.seedOf[v] = graph.None
+		p.dist[v] = math.Inf(1)
+		p.parent[v] = graph.None
+		p.children[v] = p.children[v][:0]
+	}
+	p.heap.Reset()
+	for _, s := range p.seeds {
+		p.dist[s] = 0
+		p.seedOf[s] = s
+		p.heap.Push(s, 0)
+	}
+	for p.heap.Len() > 0 {
+		x, d := p.heap.Pop()
+		if d > p.dist[x] {
+			continue
+		}
+		for _, h := range p.g.Neighbors(x) {
+			nd := d + p.weights[h.Edge]
+			if nd < p.dist[h.To] {
+				p.relink(h.To, graph.NodeID(x))
+				p.dist[h.To] = nd
+				p.seedOf[h.To] = p.seedOf[x]
+				p.heap.Push(h.To, nd)
+			}
+		}
+	}
+}
+
+// relink sets the SPT parent of a to b, maintaining children lists.
+// Pass b == graph.None to detach a.
+func (p *Partition) relink(a, b graph.NodeID) {
+	if old := p.parent[a]; old != graph.None {
+		cs := p.children[old]
+		for i, c := range cs {
+			if c == a {
+				cs[i] = cs[len(cs)-1]
+				p.children[old] = cs[:len(cs)-1]
+				break
+			}
+		}
+	}
+	p.parent[a] = b
+	if b != graph.None {
+		p.children[b] = append(p.children[b], a)
+	}
+}
+
+// Seeds returns the seed set (aliases internal storage; do not modify).
+func (p *Partition) Seeds() []graph.NodeID { return p.seeds }
+
+// Seed returns the seed of v, or graph.None if v is unreachable.
+func (p *Partition) Seed(v graph.NodeID) graph.NodeID { return p.seedOf[v] }
+
+// Dist returns the anchored distance from v to its seed (+Inf if
+// unreachable).
+func (p *Partition) Dist(v graph.NodeID) float64 { return p.dist[v] }
+
+// Parent returns v's parent in the shortest-path forest.
+func (p *Partition) Parent(v graph.NodeID) graph.NodeID { return p.parent[v] }
+
+// markChanged records that v's seed or distance changed during an update.
+func (p *Partition) markChanged(v graph.NodeID) {
+	if p.stamp[v] != p.stampID {
+		p.stamp[v] = p.stampID
+		p.changed = append(p.changed, v)
+	}
+}
+
+// probe is Algorithm 2: it re-evaluates a's distance via its neighbor b
+// and adopts b's seed if that improves a. Returns true if a changed.
+func (p *Partition) probe(a, b graph.NodeID, e graph.EdgeID) bool {
+	if math.IsInf(p.dist[b], 1) {
+		return false
+	}
+	d := p.dist[b] + p.weights[e]
+	if p.dist[a] > d {
+		p.relink(a, b)
+		p.dist[a] = d
+		p.seedOf[a] = p.seedOf[b]
+		p.markChanged(a)
+		return true
+	}
+	return false
+}
+
+// updateDecrease is Algorithm 1: the weight of e(u, v) decreased (the new
+// value is already in the shared weight slice). It probes both endpoints
+// and then relaxes outward; only nodes whose distance to their seed
+// improves are touched (Lemmas 11–12).
+func (p *Partition) updateDecrease(e graph.EdgeID) {
+	u, v := p.g.Endpoints(e)
+	p.heap.Reset()
+	if p.probe(u, v, e) {
+		p.heap.Push(u, p.dist[u])
+	}
+	if p.probe(v, u, e) {
+		p.heap.Push(v, p.dist[v])
+	}
+	for p.heap.Len() > 0 {
+		x, d := p.heap.Pop()
+		if d > p.dist[x] {
+			continue
+		}
+		for _, h := range p.g.Neighbors(x) {
+			if p.probe(h.To, graph.NodeID(x), h.Edge) {
+				p.heap.Push(h.To, p.dist[h.To])
+			}
+		}
+	}
+}
+
+// updateIncrease is Algorithm 3: the weight of e(u, v) increased. If e is
+// not a tree edge nothing is affected. Otherwise the subtree rooted at the
+// child endpoint is orphaned (distance reset to +Inf) and repaired by a
+// Dijkstra seeded with the subtree's outside boundary.
+func (p *Partition) updateIncrease(e graph.EdgeID) {
+	u, v := p.g.Endpoints(e)
+	var o graph.NodeID
+	switch {
+	case p.parent[v] == u:
+		o = v
+	case p.parent[u] == v:
+		o = u
+	default:
+		return // e is not on any shortest-path tree: nothing affected
+	}
+	// Collect and orphan the subtree rooted at o.
+	p.heap.Reset()
+	var sub []graph.NodeID
+	stack := []graph.NodeID{o}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sub = append(sub, x)
+		p.inTree[x] = true
+		stack = append(stack, p.children[x]...)
+	}
+	for _, x := range sub {
+		p.relink(x, graph.None)
+		p.dist[x] = math.Inf(1)
+		p.seedOf[x] = graph.None
+		p.children[x] = p.children[x][:0]
+		p.markChanged(x)
+	}
+	// Seed the repair with outside boundary nodes at their (unchanged)
+	// distances.
+	for _, x := range sub {
+		for _, h := range p.g.Neighbors(x) {
+			if !p.inTree[h.To] && !math.IsInf(p.dist[h.To], 1) {
+				p.heap.Push(h.To, p.dist[h.To])
+			}
+		}
+	}
+	for _, x := range sub {
+		p.inTree[x] = false
+	}
+	for p.heap.Len() > 0 {
+		x, d := p.heap.Pop()
+		if d > p.dist[x] {
+			continue
+		}
+		for _, h := range p.g.Neighbors(x) {
+			if p.probe(h.To, graph.NodeID(x), h.Edge) {
+				p.heap.Push(h.To, p.dist[h.To])
+			}
+		}
+	}
+}
+
+// update applies a weight change on edge e. The shared weight slice must
+// already hold the new value; old is the previous value. It returns the
+// nodes whose seed or distance changed (valid until the next call).
+func (p *Partition) update(e graph.EdgeID, old, new float64) []graph.NodeID {
+	p.stampID++
+	p.changed = p.changed[:0]
+	switch {
+	case new < old:
+		p.updateDecrease(e)
+	case new > old:
+		p.updateIncrease(e)
+	}
+	return p.changed
+}
+
+// onRescale multiplies every stored distance by the NegM factor 1/g.
+// Assignments and tree structure are unchanged (Lemma 10).
+func (p *Partition) onRescale(invG float64) {
+	for i := range p.dist {
+		p.dist[i] *= invG
+	}
+}
+
+// validate checks the full optimality certificate of the partition:
+// seeds at distance 0, every non-seed supported by its parent edge, no
+// relaxable edge, children consistent with parents. It returns a
+// description of the first violation, or "" if the partition is a correct
+// Voronoi partition for the current weights. Exposed for tests and the
+// paper's invariants; O(n + m).
+func (p *Partition) validate() string {
+	n := p.g.N()
+	isSeed := make([]bool, n)
+	for _, s := range p.seeds {
+		isSeed[s] = true
+	}
+	const eps = 1e-6
+	for v := 0; v < n; v++ {
+		x := graph.NodeID(v)
+		switch {
+		case isSeed[x]:
+			if p.dist[x] != 0 || p.seedOf[x] != x || p.parent[x] != graph.None {
+				return "seed state corrupt"
+			}
+		case math.IsInf(p.dist[x], 1):
+			if p.seedOf[x] != graph.None || p.parent[x] != graph.None {
+				return "unreachable node has seed or parent"
+			}
+		default:
+			pa := p.parent[x]
+			if pa == graph.None {
+				return "reachable non-seed without parent"
+			}
+			e := p.g.FindEdge(x, pa)
+			if e == graph.None {
+				return "parent not adjacent"
+			}
+			if math.Abs(p.dist[x]-(p.dist[pa]+p.weights[e])) > eps*(1+math.Abs(p.dist[x])) {
+				return "distance unsupported by parent edge"
+			}
+			if p.seedOf[x] != p.seedOf[pa] {
+				return "seed differs from parent seed"
+			}
+		}
+	}
+	for e := 0; e < p.g.M(); e++ {
+		u, v := p.g.Endpoints(graph.EdgeID(e))
+		w := p.weights[e]
+		if !math.IsInf(p.dist[u], 1) && p.dist[v] > p.dist[u]+w+eps*(1+p.dist[u]) {
+			return "relaxable edge (v side)"
+		}
+		if !math.IsInf(p.dist[v], 1) && p.dist[u] > p.dist[v]+w+eps*(1+p.dist[v]) {
+			return "relaxable edge (u side)"
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, c := range p.children[v] {
+			if p.parent[c] != graph.NodeID(v) {
+				return "children list inconsistent"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,100 @@
+package pyramid
+
+import (
+	"math/rand"
+	"testing"
+
+	"anc/internal/graph"
+)
+
+func benchGraph(b *testing.B, n int) (*graph.Graph, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, n, n*4)
+	return g, randomWeights(rng, g.M())
+}
+
+func BenchmarkPartitionBuild(b *testing.B) {
+	g, w := benchGraph(b, 4096)
+	seeds := sampleSeeds(perm(g.N()), 64, rand.New(rand.NewSource(2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		newPartition(g, w, seeds)
+	}
+}
+
+func perm(n int) []graph.NodeID {
+	p := make([]graph.NodeID, n)
+	for i := range p {
+		p[i] = graph.NodeID(i)
+	}
+	return p
+}
+
+func BenchmarkUpdateDecrease(b *testing.B) {
+	g, w := benchGraph(b, 4096)
+	ix, err := Build(g, func(e graph.EdgeID) float64 { return w[e] }, DefaultConfig(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := graph.EdgeID(rng.Intn(g.M()))
+		w[e] *= 0.9
+		ix.UpdateEdge(e, w[e])
+	}
+}
+
+func BenchmarkUpdateIncrease(b *testing.B) {
+	g, w := benchGraph(b, 4096)
+	ix, err := Build(g, func(e graph.EdgeID) float64 { return w[e] }, DefaultConfig(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := graph.EdgeID(rng.Intn(g.M()))
+		w[e] *= 1.1
+		ix.UpdateEdge(e, w[e])
+	}
+}
+
+func BenchmarkEstimateDistance(b *testing.B) {
+	g, w := benchGraph(b, 4096)
+	ix, err := Build(g, func(e graph.EdgeID) float64 { return w[e] }, DefaultConfig(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.EstimateDistance(graph.NodeID(rng.Intn(g.N())), graph.NodeID(rng.Intn(g.N())))
+	}
+}
+
+func BenchmarkVotesPollVsTracked(b *testing.B) {
+	g, w := benchGraph(b, 2048)
+	b.Run("poll", func(b *testing.B) {
+		ix, _ := Build(g, func(e graph.EdgeID) float64 { return w[e] }, DefaultConfig(), rand.New(rand.NewSource(3)))
+		l := SqrtLevel(g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < g.M(); e++ {
+				ix.Votes(graph.EdgeID(e), l)
+			}
+		}
+	})
+	b.Run("tracked", func(b *testing.B) {
+		ix, _ := Build(g, func(e graph.EdgeID) float64 { return w[e] }, DefaultConfig(), rand.New(rand.NewSource(3)))
+		ix.EnableVoteTracking()
+		l := SqrtLevel(g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < g.M(); e++ {
+				ix.Votes(graph.EdgeID(e), l)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package pyramid
+
+import (
+	"fmt"
+
+	"anc/internal/graph"
+)
+
+// VoteTracker maintains, in real time, the per-level per-edge vote counts
+// of the voting function H_l — the paper's Remarks in Section V-C. With it,
+// clustering queries and change reports on user-specified nodes read votes
+// in O(1) instead of polling K partitions per edge. It exploits the local
+// feature of the update: only edges incident to nodes whose seed changed
+// can change their vote.
+type VoteTracker struct {
+	ix     *Index
+	same   [][][]uint64 // [pyramid][level-1] bitset over edge IDs
+	counts [][]uint8    // [level-1][edge] votes
+	// onFlip, when set, is called whenever an edge's vote count crosses
+	// the ⌈θ·K⌉ support threshold — i.e. the edge joins (pass=true) or
+	// leaves (pass=false) the surviving edge set of level l. This is the
+	// primitive behind real-time change reporting on watched nodes (the
+	// paper's Remarks, Section V-C).
+	onFlip func(l int, e graph.EdgeID, pass bool)
+}
+
+// OnFlip registers the support-threshold crossing callback. Pass nil to
+// unregister. Callbacks fire during UpdateEdge; they must not mutate the
+// index.
+func (vt *VoteTracker) OnFlip(fn func(l int, e graph.EdgeID, pass bool)) { vt.onFlip = fn }
+
+// EnableVoteTracking attaches a VoteTracker to the index and initializes
+// it from the current partitions. Subsequent UpdateEdge calls keep it
+// exact. Memory: K·Levels·m bits + Levels·m bytes.
+func (ix *Index) EnableVoteTracking() *VoteTracker {
+	vt := &VoteTracker{ix: ix}
+	words := (ix.g.M() + 63) / 64
+	vt.same = make([][][]uint64, ix.cfg.K)
+	for p := range vt.same {
+		vt.same[p] = make([][]uint64, ix.levels)
+		for l := range vt.same[p] {
+			vt.same[p][l] = make([]uint64, words)
+		}
+	}
+	vt.counts = make([][]uint8, ix.levels)
+	for l := range vt.counts {
+		vt.counts[l] = make([]uint8, ix.g.M())
+	}
+	ix.votes = vt
+	vt.rebuild()
+	return vt
+}
+
+// Votes returns the tracked vote count of edge e at level l.
+func (vt *VoteTracker) Votes(e graph.EdgeID, l int) int { return int(vt.counts[l-1][e]) }
+
+// sameSeed recomputes whether the endpoints of e share a seed in the
+// partition of pyramid p at level l.
+func (vt *VoteTracker) sameSeed(p, l int, e graph.EdgeID) bool {
+	part := vt.ix.parts[p][l-1]
+	u, v := vt.ix.g.Endpoints(e)
+	s := part.Seed(u)
+	return s != graph.None && s == part.Seed(v)
+}
+
+func (vt *VoteTracker) get(p, l int, e graph.EdgeID) bool {
+	return vt.same[p][l-1][e/64]&(1<<(uint(e)%64)) != 0
+}
+
+func (vt *VoteTracker) set(p, l int, e graph.EdgeID, b bool) {
+	if b {
+		vt.same[p][l-1][e/64] |= 1 << (uint(e) % 64)
+	} else {
+		vt.same[p][l-1][e/64] &^= 1 << (uint(e) % 64)
+	}
+}
+
+// refreshEdge re-evaluates one (pyramid, level, edge) membership and fixes
+// the count on change.
+func (vt *VoteTracker) refreshEdge(p, l int, e graph.EdgeID) {
+	old := vt.get(p, l, e)
+	now := vt.sameSeed(p, l, e)
+	if old == now {
+		return
+	}
+	vt.set(p, l, e, now)
+	min := uint8(vt.ix.MinSupport())
+	before := vt.counts[l-1][e]
+	if now {
+		vt.counts[l-1][e]++
+	} else {
+		vt.counts[l-1][e]--
+	}
+	after := vt.counts[l-1][e]
+	if vt.onFlip != nil && (before >= min) != (after >= min) {
+		vt.onFlip(l, e, after >= min)
+	}
+}
+
+// apply processes the changed-node set reported by one partition update:
+// every edge incident to a changed node (plus the trigger edge, whose
+// weight changed but whose endpoints may not have moved) is re-evaluated.
+// Cost O(Σ_{x∈changed} deg x) — the same bound as the update itself.
+func (vt *VoteTracker) apply(p, l int, trigger graph.EdgeID, changed []graph.NodeID) {
+	vt.refreshEdge(p, l, trigger)
+	for _, x := range changed {
+		for _, h := range vt.ix.g.Neighbors(x) {
+			vt.refreshEdge(p, l, h.Edge)
+		}
+	}
+}
+
+// rebuild recomputes all memberships and counts from the partitions.
+func (vt *VoteTracker) rebuild() {
+	for l := 1; l <= vt.ix.levels; l++ {
+		cs := vt.counts[l-1]
+		for e := range cs {
+			cs[e] = 0
+		}
+		for p := 0; p < vt.ix.cfg.K; p++ {
+			bs := vt.same[p][l-1]
+			for w := range bs {
+				bs[w] = 0
+			}
+			for e := 0; e < vt.ix.g.M(); e++ {
+				if vt.sameSeed(p, l, graph.EdgeID(e)) {
+					vt.set(p, l, graph.EdgeID(e), true)
+					cs[e]++
+				}
+			}
+		}
+	}
+}
+
+// validate cross-checks the tracked counts against a fresh recomputation.
+func (vt *VoteTracker) validate() string {
+	for l := 1; l <= vt.ix.levels; l++ {
+		for e := 0; e < vt.ix.g.M(); e++ {
+			want := 0
+			for p := 0; p < vt.ix.cfg.K; p++ {
+				if vt.sameSeed(p, l, graph.EdgeID(e)) {
+					want++
+				}
+			}
+			if int(vt.counts[l-1][e]) != want {
+				return fmt.Sprintf("vote tracker: level %d edge %d has %d, want %d", l, e, vt.counts[l-1][e], want)
+			}
+		}
+	}
+	return ""
+}
+
+func (vt *VoteTracker) memoryBytes() int64 {
+	var total int64
+	for p := range vt.same {
+		for l := range vt.same[p] {
+			total += int64(len(vt.same[p][l])) * 8
+		}
+	}
+	for l := range vt.counts {
+		total += int64(len(vt.counts[l]))
+	}
+	return total
+}

@@ -1,0 +1,298 @@
+// Package quality implements the five clustering-quality measures of the
+// paper's experiments (Section VI-A): Normalized Mutual Information,
+// Purity and pairwise F1 against ground truth, and the structural measures
+// Modularity (Newman 2006) and Conductance (Yang & Leskovec 2015).
+//
+// Partitions are dense label vectors; FilterNoise mirrors the paper's rule
+// of discarding clusters with fewer than 3 nodes before scoring.
+package quality
+
+import (
+	"math"
+
+	"anc/internal/graph"
+)
+
+// NumClusters returns the number of distinct labels (assuming dense or
+// sparse non-negative labels; negative labels are ignored).
+func NumClusters(labels []int32) int {
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// FilterNoise relabels clusters with fewer than minSize members to -1
+// (noise), returning a fresh vector. The paper removes clusters below 3
+// nodes before scoring.
+func FilterNoise(labels []int32, minSize int) []int32 {
+	counts := map[int32]int{}
+	for _, l := range labels {
+		if l >= 0 {
+			counts[l]++
+		}
+	}
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		if l >= 0 && counts[l] >= minSize {
+			out[i] = l
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// contingency builds the joint count table over items where both labelings
+// are non-negative.
+func contingency(a, b []int32) (table map[[2]int32]float64, rowSum, colSum map[int32]float64, n float64) {
+	table = map[[2]int32]float64{}
+	rowSum = map[int32]float64{}
+	colSum = map[int32]float64{}
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			continue
+		}
+		table[[2]int32{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+		n++
+	}
+	return
+}
+
+// NMI returns the normalized mutual information (Strehl & Ghosh 2002,
+// geometric-mean normalization) between a predicted labeling and the
+// ground truth. Range [0, 1]; 1 iff the partitions are identical up to
+// renaming. Noise labels (< 0) are excluded pairwise.
+func NMI(pred, truth []int32) float64 {
+	table, rowSum, colSum, n := contingency(pred, truth)
+	if n == 0 {
+		return 0
+	}
+	mi := 0.0
+	for key, nij := range table {
+		pij := nij / n
+		pi := rowSum[key[0]] / n
+		pj := colSum[key[1]] / n
+		if pij > 0 {
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	ha, hb := 0.0, 0.0
+	for _, s := range rowSum {
+		p := s / n
+		ha -= p * math.Log(p)
+	}
+	for _, s := range colSum {
+		p := s / n
+		hb -= p * math.Log(p)
+	}
+	if ha <= 0 || hb <= 0 {
+		// One side is a single cluster: NMI is 1 only if both are.
+		if ha <= 0 && hb <= 0 {
+			return 1
+		}
+		return 0
+	}
+	v := mi / math.Sqrt(ha*hb)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Purity returns the purity of pred against truth: the fraction of items
+// whose cluster's dominant ground-truth class matches them.
+func Purity(pred, truth []int32) float64 {
+	table, _, _, n := contingency(pred, truth)
+	if n == 0 {
+		return 0
+	}
+	best := map[int32]float64{}
+	for key, c := range table {
+		if c > best[key[0]] {
+			best[key[0]] = c
+		}
+	}
+	total := 0.0
+	for _, c := range best {
+		total += c
+	}
+	return total / n
+}
+
+// F1 returns the pairwise F1 measure: precision and recall over node
+// pairs co-clustered in pred versus truth.
+func F1(pred, truth []int32) float64 {
+	p, r := PairPrecisionRecall(pred, truth)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// PairPrecisionRecall computes pairwise precision and recall using the
+// pair-counting identities over the contingency table (O(table) rather
+// than O(n²)).
+func PairPrecisionRecall(pred, truth []int32) (precision, recall float64) {
+	table, rowSum, colSum, n := contingency(pred, truth)
+	if n == 0 {
+		return 0, 0
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	tpfp, tpfn, tp := 0.0, 0.0, 0.0
+	for _, s := range rowSum {
+		tpfp += choose2(s)
+	}
+	for _, s := range colSum {
+		tpfn += choose2(s)
+	}
+	for _, c := range table {
+		tp += choose2(c)
+	}
+	if tpfp > 0 {
+		precision = tp / tpfp
+	}
+	if tpfn > 0 {
+		recall = tp / tpfn
+	}
+	return
+}
+
+// ARI returns the Adjusted Rand Index (Hubert & Arabie 1985) between a
+// predicted labeling and the ground truth: pair-counting agreement
+// corrected for chance. 1 for identical partitions, ~0 for independent
+// ones; can be negative for adversarial disagreement. Noise labels (< 0)
+// are excluded pairwise.
+func ARI(pred, truth []int32) float64 {
+	table, rowSum, colSum, n := contingency(pred, truth)
+	if n < 2 {
+		return 0
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumIJ, sumI, sumJ float64
+	for _, c := range table {
+		sumIJ += choose2(c)
+	}
+	for _, s := range rowSum {
+		sumI += choose2(s)
+	}
+	for _, s := range colSum {
+		sumJ += choose2(s)
+	}
+	total := choose2(n)
+	expected := sumI * sumJ / total
+	maxIdx := (sumI + sumJ) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial in the same way
+	}
+	return (sumIJ - expected) / (maxIdx - expected)
+}
+
+// Modularity returns the weighted Newman modularity of the partition:
+// Q = Σ_c [ in_c/(2W) − (tot_c/(2W))² ], with loops absent (our relation
+// graphs are simple). Noise labels (< 0) count as singleton communities.
+func Modularity(g *graph.Graph, w []float64, labels []int32) float64 {
+	var totalW float64
+	deg := make([]float64, g.N())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		totalW += w[e]
+		deg[u] += w[e]
+		deg[v] += w[e]
+	}
+	if totalW == 0 {
+		return 0
+	}
+	lab := normalizeNoise(labels)
+	in := map[int32]float64{}
+	tot := map[int32]float64{}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		if lab[u] == lab[v] {
+			in[lab[u]] += w[e]
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		tot[lab[v]] += deg[v]
+	}
+	m2 := 2 * totalW
+	q := 0.0
+	for _, inW := range in {
+		q += 2 * inW / m2
+	}
+	for _, totW := range tot {
+		q -= (totW / m2) * (totW / m2)
+	}
+	return q
+}
+
+// Conductance returns the average conductance over clusters with at least
+// 2 nodes: φ(C) = cut(C) / min(vol(C), vol(V\C)); lower is better.
+// Clusters spanning the whole graph or with zero volume are skipped.
+func Conductance(g *graph.Graph, w []float64, labels []int32) float64 {
+	lab := normalizeNoise(labels)
+	vol := map[int32]float64{}
+	cut := map[int32]float64{}
+	size := map[int32]int{}
+	var totalVol float64
+	for v := 0; v < g.N(); v++ {
+		size[lab[v]]++
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		vol[lab[u]] += w[e]
+		vol[lab[v]] += w[e]
+		totalVol += 2 * w[e]
+		if lab[u] != lab[v] {
+			cut[lab[u]] += w[e]
+			cut[lab[v]] += w[e]
+		}
+	}
+	sum, count := 0.0, 0
+	for c, volC := range vol {
+		if size[c] < 2 {
+			continue
+		}
+		other := totalVol - volC
+		den := math.Min(volC, other)
+		if den <= 0 {
+			continue
+		}
+		sum += cut[c] / den
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// normalizeNoise gives each noise-labeled node its own fresh community so
+// structural measures treat them as singletons.
+func normalizeNoise(labels []int32) []int32 {
+	max := int32(-1)
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	out := make([]int32, len(labels))
+	next := max + 1
+	for i, l := range labels {
+		if l < 0 {
+			out[i] = next
+			next++
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}

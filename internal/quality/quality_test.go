@@ -1,0 +1,268 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anc/internal/graph"
+)
+
+func TestNMIPerfectAndRenamed(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	b := []int32{5, 5, 9, 9, 7, 7} // same partition, renamed
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %v", got)
+	}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI under renaming = %v", got)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// A perfectly crossed design: 4 items, pred splits {01|23}, truth
+	// splits {02|13} — MI is 0.
+	pred := []int32{0, 0, 1, 1}
+	truth := []int32{0, 1, 0, 1}
+	if got := NMI(pred, truth); math.Abs(got) > 1e-12 {
+		t.Fatalf("NMI of independent partitions = %v, want 0", got)
+	}
+}
+
+func TestNMISingleCluster(t *testing.T) {
+	one := []int32{0, 0, 0, 0}
+	two := []int32{0, 0, 1, 1}
+	if got := NMI(one, two); got != 0 {
+		t.Fatalf("NMI(single, split) = %v, want 0", got)
+	}
+	if got := NMI(one, one); got != 1 {
+		t.Fatalf("NMI(single, single) = %v, want 1", got)
+	}
+}
+
+func TestNMISymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(5))
+			b[i] = int32(rng.Intn(4))
+		}
+		x, y := NMI(a, b), NMI(b, a)
+		return math.Abs(x-y) < 1e-12 && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pred := []int32{0, 0, 0, 1, 1, 1}
+	truth := []int32{0, 0, 1, 1, 1, 1}
+	// Cluster 0: dominant truth 0 (2 of 3); cluster 1: truth 1 (3 of 3).
+	if got := Purity(pred, truth); math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("purity = %v, want 5/6", got)
+	}
+	if got := Purity(truth, truth); got != 1 {
+		t.Fatalf("self purity = %v", got)
+	}
+}
+
+func TestF1PerfectAndDegenerate(t *testing.T) {
+	a := []int32{0, 0, 1, 1}
+	if got := F1(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("F1(a,a) = %v", got)
+	}
+	allSingle := []int32{0, 1, 2, 3}
+	// No predicted pairs: precision undefined -> 0 by convention, F1 = 0.
+	if got := F1(allSingle, a); got != 0 {
+		t.Fatalf("F1 singletons = %v", got)
+	}
+}
+
+func TestPairPrecisionRecallHandCase(t *testing.T) {
+	pred := []int32{0, 0, 0, 1}
+	truth := []int32{0, 0, 1, 1}
+	// Pred pairs: (0,1),(0,2),(1,2) = 3. Truth pairs: (0,1),(2,3) = 2.
+	// TP: (0,1) = 1.
+	p, r := PairPrecisionRecall(pred, truth)
+	if math.Abs(p-1.0/3) > 1e-12 || math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("p,r = %v,%v, want 1/3, 1/2", p, r)
+	}
+}
+
+func TestNoiseExcludedFromGroundTruthMeasures(t *testing.T) {
+	pred := []int32{0, 0, -1, 1}
+	truth := []int32{0, 0, 0, 1}
+	if got := NMI(pred, truth); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI with noise = %v, want 1 (noise excluded)", got)
+	}
+	if got := Purity(pred, truth); got != 1 {
+		t.Fatalf("purity with noise = %v", got)
+	}
+}
+
+func TestFilterNoise(t *testing.T) {
+	labels := []int32{0, 0, 0, 1, 1, 2}
+	out := FilterNoise(labels, 3)
+	want := []int32{0, 0, 0, -1, -1, -1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("FilterNoise = %v, want %v", out, want)
+		}
+	}
+	if NumClusters(out) != 1 {
+		t.Fatalf("NumClusters = %d", NumClusters(out))
+	}
+}
+
+func TestARI(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	renamed := []int32{7, 7, 3, 3, 9, 9}
+	if got := ARI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI(a,a) = %v", got)
+	}
+	if got := ARI(a, renamed); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ARI under renaming = %v", got)
+	}
+	// Crossed design: expected ≈ 0.
+	pred := []int32{0, 0, 1, 1}
+	truth := []int32{0, 1, 0, 1}
+	if got := ARI(pred, truth); math.Abs(got) > 0.5 {
+		t.Fatalf("ARI of independent partitions = %v", got)
+	}
+	// Symmetric.
+	if ARI(pred, truth) != ARI(truth, pred) {
+		t.Fatal("ARI not symmetric")
+	}
+	// Degenerate: identical trivial partitions.
+	one := []int32{0, 0, 0}
+	if got := ARI(one, one); got != 1 {
+		t.Fatalf("ARI trivial = %v", got)
+	}
+	if got := ARI([]int32{0}, []int32{0}); got != 0 {
+		t.Fatalf("ARI single item = %v", got)
+	}
+}
+
+// TestARIBoundedProperty: ARI ≤ 1 always; ≥ -1 in practice.
+func TestARIBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(5))
+			b[i] = int32(rng.Intn(4))
+		}
+		ari := ARI(a, b)
+		return ari <= 1+1e-12 && ari >= -1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ring builds a cycle graph with unit weights.
+func ring(t testing.TB, n int) (*graph.Graph, []float64) {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if err := b.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return g, w
+}
+
+func TestModularityKnownValues(t *testing.T) {
+	// Two triangles joined by one edge; the natural split has known Q.
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	split := []int32{0, 0, 0, 1, 1, 1}
+	// m = 7. in_0 = 3, in_1 = 3. tot_0 = 7 (deg 2+2+3), tot_1 = 7.
+	// Q = 2·3/14 + 2·3/14 − 2·(7/14)² = 6/7 − 1/2 = 5/14.
+	want := 5.0 / 14
+	if got := Modularity(g, w, split); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Q = %v, want %v", got, want)
+	}
+	// One big community: Q = 1 − 1 = 0.
+	all := []int32{0, 0, 0, 0, 0, 0}
+	if got := Modularity(g, w, all); math.Abs(got) > 1e-12 {
+		t.Fatalf("Q(single) = %v, want 0", got)
+	}
+}
+
+func TestModularityRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		if g.M() == 0 {
+			return true
+		}
+		w := make([]float64, g.M())
+		for i := range w {
+			w[i] = rng.Float64() + 0.1
+		}
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(rng.Intn(4))
+		}
+		q := Modularity(g, w, labels)
+		return q >= -1.0-1e-9 && q <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	g, w := ring(t, 8)
+	// Split the ring into two arcs of 4: each side cuts 2 edges,
+	// vol = 8 per side, φ = 2/8 = 0.25 each, average 0.25.
+	labels := []int32{0, 0, 0, 0, 1, 1, 1, 1}
+	if got := Conductance(g, w, labels); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("conductance = %v, want 0.25", got)
+	}
+	// Whole-graph cluster: skipped (den 0), result 0.
+	all := make([]int32, 8)
+	if got := Conductance(g, w, all); got != 0 {
+		t.Fatalf("conductance(all) = %v", got)
+	}
+}
+
+func TestConductanceSingletonsSkipped(t *testing.T) {
+	g, w := ring(t, 6)
+	labels := []int32{0, 0, 0, -1, -1, -1} // three noise singletons
+	got := Conductance(g, w, labels)
+	// Only the size-3 cluster counts: cut 2, vol 6, φ = 2/6.
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("conductance = %v, want 1/3", got)
+	}
+}

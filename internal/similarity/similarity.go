@@ -1,0 +1,371 @@
+// Package similarity implements Section IV-B/C of the paper: the active
+// similarity σ, active neighbor sets and node types (core / p-core /
+// periphery), the local reinforcement process (direct consolidation, triadic
+// consolidation, wedge stretch), and the maintained similarity function S_t
+// whose inverse 1/S_t is the edge weight of the distance metric M_t.
+//
+// All dynamic quantities are kept *anchored* under the global decay factor
+// (package decay): activeness and S_t are PosM, so their anchored values
+// only change on activations and absorb ×g at batched rescales. The active
+// similarity σ is NeuM — a pure ratio in which g cancels (Lemma 3) — so the
+// cached σ values and the derived node types never change under pure decay.
+//
+// The package maintains, per edge, the anchored numerator of σ
+//
+//	num(u,v) = Σ_{x ∈ N(u)∩N(v)} (a(u,x) + a(v,x))
+//
+// so that σ(u,v) = num(u,v) / (A(u) + A(v)) is an O(1) read, where A(v) is
+// the weighted degree kept by decay.Activeness. An activation on (u,v)
+// changes num only on edges incident to u or v, giving the paper's
+// O(deg u + deg v) maintenance cost per activation (Lemma 5) exactly.
+package similarity
+
+import (
+	"fmt"
+	"math"
+
+	"anc/internal/decay"
+	"anc/internal/graph"
+)
+
+// NodeType classifies a node by its active neighbor set (Section IV-B).
+type NodeType uint8
+
+const (
+	// Core nodes have at least μ active neighbors and lead communities.
+	Core NodeType = iota
+	// PCore nodes are not cores but have degree ≥ μ: potential cores.
+	PCore
+	// Periphery nodes have degree < μ and can never become cores.
+	Periphery
+)
+
+// String returns the paper's name for the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Core:
+		return "core"
+	case PCore:
+		return "p-core"
+	case Periphery:
+		return "periphery"
+	default:
+		return fmt.Sprintf("NodeType(%d)", uint8(t))
+	}
+}
+
+// Config holds the similarity parameters of Table II.
+type Config struct {
+	// Epsilon is the active-similarity threshold ε defining active
+	// neighbor sets N_ε(v).
+	Epsilon float64
+	// Mu is the core threshold μ: |N_ε(v)| ≥ μ makes v a core.
+	Mu int
+	// SMin and SMax clamp the maintained similarity so the reciprocal
+	// edge weight 1/S stays finite and positive under wedge stretch.
+	SMin, SMax float64
+}
+
+// DefaultConfig mirrors the paper's defaults (ε and μ are graph-dependent;
+// these are the mid-range values of Table II).
+func DefaultConfig() Config {
+	return Config{Epsilon: 0.4, Mu: 4, SMin: 1e-9, SMax: 1e12}
+}
+
+func (c *Config) validate() error {
+	if c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("similarity: epsilon %v outside [0,1]", c.Epsilon)
+	}
+	if c.Mu < 1 {
+		return fmt.Errorf("similarity: mu %d < 1", c.Mu)
+	}
+	if !(c.SMin > 0) || !(c.SMax > c.SMin) {
+		return fmt.Errorf("similarity: need 0 < SMin < SMax, got %v, %v", c.SMin, c.SMax)
+	}
+	return nil
+}
+
+// Store maintains the similarity function S_t and every quantity it is
+// derived from, on top of a fixed relation graph and a decay clock.
+type Store struct {
+	g     *graph.Graph
+	act   *decay.Activeness
+	clock *decay.Clock
+	cfg   Config
+
+	s     []float64 // anchored similarity S* per edge (PosM)
+	num   []float64 // anchored σ numerator per edge (PosM)
+	prev  []float64 // last-seen anchored activeness per edge (PosM)
+	sigma []float64 // cached σ per edge (NeuM: scale-free)
+	cnt   []int32   // |N_ε(v)| per node, derived from sigma
+}
+
+// New builds a similarity store over g with the given clock and an initial
+// uniform edge activeness (the paper's online methods use 1). The initial
+// similarity is S_0 = 1 on every edge; apply Reinforce over all edges in
+// repetitions (see core.Build) to fold structural cohesiveness into S_0.
+func New(g *graph.Graph, clock *decay.Clock, initialActiveness float64, cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		g:     g,
+		clock: clock,
+		cfg:   cfg,
+		s:     make([]float64, g.M()),
+		num:   make([]float64, g.M()),
+		prev:  make([]float64, g.M()),
+		sigma: make([]float64, g.M()),
+		cnt:   make([]int32, g.N()),
+	}
+	st.act = decay.NewActiveness(clock, g.N(), g.M(), initialActiveness,
+		func(e int32) (int32, int32) { return g.Endpoints(e) })
+	for i := range st.s {
+		st.s[i] = 1
+		st.prev[i] = st.act.Anchored(int32(i))
+	}
+	st.RebuildSigma()
+	clock.Register(st)
+	return st, nil
+}
+
+// RebuildSigma recomputes every σ numerator, cached σ, and active-neighbor
+// count from scratch. O(Σ_e (deg u + deg v)) — triangle-listing cost. It is
+// called at construction; the incremental path keeps everything exact, so
+// callers only need it after out-of-band mutation in tests.
+func (st *Store) RebuildSigma() {
+	for i := range st.cnt {
+		st.cnt[i] = 0
+	}
+	for e := 0; e < st.g.M(); e++ {
+		u, v := st.g.Endpoints(int32(e))
+		num := 0.0
+		st.g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+			num += st.act.Anchored(eu) + st.act.Anchored(ev)
+		})
+		st.num[e] = num
+		st.sigma[e] = st.sigmaFromNum(int32(e), u, v)
+		if st.sigma[e] >= st.cfg.Epsilon {
+			st.cnt[u]++
+			st.cnt[v]++
+		}
+	}
+}
+
+func (st *Store) sigmaFromNum(e int32, u, v graph.NodeID) float64 {
+	den := st.act.NodeAnchored(u) + st.act.NodeAnchored(v)
+	if den <= 0 {
+		return 0
+	}
+	return st.num[e] / den
+}
+
+// OnRescale implements decay.Rescalable. S, num and the activeness shadow
+// are PosM and absorb ×g; σ and the counts are NeuM and unchanged.
+func (st *Store) OnRescale(g float64) {
+	for i := range st.s {
+		st.s[i] *= g
+		st.num[i] *= g
+		st.prev[i] *= g
+	}
+}
+
+// ExportState returns copies of the anchored similarity and activeness of
+// every edge — the snapshot-persistence payload. Call after a clock
+// Rescale so the anchored values equal the true values.
+func (st *Store) ExportState() (s, act []float64) {
+	s = append([]float64(nil), st.s...)
+	act = make([]float64, st.g.M())
+	for e := range act {
+		act[e] = st.act.Anchored(int32(e))
+	}
+	return s, act
+}
+
+// RestoreState overwrites the similarity and activeness state with saved
+// values (anchored at the clock's current anchor) and rebuilds the derived
+// σ caches and active counts.
+func (st *Store) RestoreState(s, act []float64) {
+	if len(s) != len(st.s) || len(act) != st.g.M() {
+		panic("similarity: RestoreState length mismatch")
+	}
+	copy(st.s, s)
+	st.act.Restore(act)
+	copy(st.prev, act)
+	st.RebuildSigma()
+}
+
+// Graph returns the underlying relation graph.
+func (st *Store) Graph() *graph.Graph { return st.g }
+
+// Activeness returns the underlying activeness store.
+func (st *Store) Activeness() *decay.Activeness { return st.act }
+
+// Clock returns the decay clock.
+func (st *Store) Clock() *decay.Clock { return st.clock }
+
+// Config returns the parameters the store was built with.
+func (st *Store) Config() Config { return st.cfg }
+
+// Anchored returns the anchored similarity S*_t(e).
+func (st *Store) Anchored(e graph.EdgeID) float64 { return st.s[e] }
+
+// At returns the true similarity S_t(e) = S*_t(e) × g(t, t*).
+func (st *Store) At(e graph.EdgeID) float64 { return st.s[e] * st.clock.G() }
+
+// Weight returns the anchored reciprocal similarity 1/S*_t(e): the edge
+// weight of the distance metric M_t as stored in the index. True distances
+// are anchored distances divided by g (the metric is NegM, Lemma 6), which
+// never changes shortest-path comparisons.
+func (st *Store) Weight(e graph.EdgeID) float64 { return 1 / st.s[e] }
+
+// Sigma returns the active similarity σ(u, v) of edge e. O(1).
+func (st *Store) Sigma(e graph.EdgeID) float64 { return st.sigma[e] }
+
+// ActiveNeighborCount returns |N_ε(v)|.
+func (st *Store) ActiveNeighborCount(v graph.NodeID) int { return int(st.cnt[v]) }
+
+// NodeType classifies v as core, p-core or periphery.
+func (st *Store) NodeType(v graph.NodeID) NodeType {
+	if int(st.cnt[v]) >= st.cfg.Mu {
+		return Core
+	}
+	if st.g.Degree(v) >= st.cfg.Mu {
+		return PCore
+	}
+	return Periphery
+}
+
+// Activate processes the activation (e, t): advances the clock, bumps the
+// activeness of e, exactly maintains σ on all edges incident to the
+// endpoints, applies the activation's direct unit impact to S_t(e), and
+// applies the local reinforcement. It returns the new anchored weight 1/S*
+// of e so callers can propagate the change into the distance index. Cost
+// O(deg u + deg v) per Lemma 5.
+//
+// Like the activeness (Equation 1), the similarity accrues a decayed unit
+// impact per activation — "the similarity S_t(e) decays at the same ratio λ
+// as the edge weight a_t(e)" (Section IV-C) — which is what lets the online
+// method ANCO update the index on every activation even though it applies
+// no further local reinforcement after initialization (Section VI). The
+// reinforcement terms AF/TF/WSF are layered on top per method policy.
+func (st *Store) Activate(e graph.EdgeID, t float64) (newWeight float64) {
+	st.ActivateNoReinforce(e, t)
+	return st.Reinforce(e)
+}
+
+// ActivateNoReinforce updates activeness, σ and the direct unit impact on
+// S for activation (e, t) but applies no local reinforcement — the ANCO
+// path, also used by ANCOR between reinforcement intervals. It returns the
+// new anchored weight 1/S*(e).
+func (st *Store) ActivateNoReinforce(e graph.EdgeID, t float64) (newWeight float64) {
+	u, v := st.g.Endpoints(e)
+	st.act.Activate(e, t)
+	st.refreshAround(e, u, v)
+	st.s[e] = st.clampAnchored(st.s[e] + 1/st.clock.G())
+	return 1 / st.s[e]
+}
+
+// refreshAround exactly updates σ numerators, cached σ, and active counts
+// after the activeness of edge e(u,v) changed. Numerators change only on
+// edges (w,u) and (w,v) for common neighbors w; denominators change for all
+// edges incident to u or v. The activeness delta is recovered from the
+// shadow copy so the arithmetic stays consistent across batched rescales
+// (both sides absorb the same ×g).
+func (st *Store) refreshAround(e graph.EdgeID, u, v graph.NodeID) {
+	delta := st.act.Anchored(e) - st.prev[e]
+	st.prev[e] = st.act.Anchored(e)
+	st.g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+		st.num[eu] += delta
+		st.num[ev] += delta
+	})
+	st.refreshIncidentSigma(u)
+	st.refreshIncidentSigma(v)
+}
+
+// refreshIncidentSigma re-evaluates σ for every edge incident to x and
+// adjusts the active counts of both endpoints on threshold crossings.
+func (st *Store) refreshIncidentSigma(x graph.NodeID) {
+	eps := st.cfg.Epsilon
+	for _, h := range st.g.Neighbors(x) {
+		old := st.sigma[h.Edge]
+		nu := st.sigmaFromNum(h.Edge, x, h.To)
+		if nu == old {
+			continue
+		}
+		st.sigma[h.Edge] = nu
+		wasActive, isActive := old >= eps, nu >= eps
+		if wasActive != isActive {
+			d := int32(1)
+			if wasActive {
+				d = -1
+			}
+			st.cnt[x] += d
+			st.cnt[h.To] += d
+		}
+	}
+}
+
+// Reinforce applies the local reinforcement of Section IV-B to the trigger
+// edge e(u, v): for each trigger node the update rule selected by its node
+// type combines direct consolidation AF, triadic consolidation TF and wedge
+// stretch WSF. Both trigger nodes contribute deltas computed against the
+// pre-update S values (symmetric, order-independent), and the result is
+// clamped to [SMin, SMax]. The updated function remains PosM (Lemma 4)
+// because every term is a product of PosM factors and scale-free σ values.
+// It returns the new anchored weight 1/S*(e). Cost O(deg u + deg v).
+func (st *Store) Reinforce(e graph.EdgeID) (newWeight float64) {
+	u, v := st.g.Endpoints(e)
+	delta := st.reinforceDelta(e, u, v) + st.reinforceDelta(e, v, u)
+	st.s[e] = st.clampAnchored(st.s[e] + delta)
+	return 1 / st.s[e]
+}
+
+// reinforceDelta computes the contribution of trigger node u on edge
+// e(u, v) without applying it.
+func (st *Store) reinforceDelta(e graph.EdgeID, u, v graph.NodeID) float64 {
+	deg := float64(st.g.Degree(u))
+	if deg == 0 {
+		return 0
+	}
+	typ := st.NodeType(u)
+	var af, tf, wsf float64
+	if typ == Core || typ == PCore {
+		// Direct consolidation: AF = F(e) σ(u,v) / deg(u).
+		af = st.s[e] * st.sigma[e] / deg
+		// Triadic consolidation over common neighbors.
+		st.g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+			tf += math.Sqrt(st.s[eu]*st.s[ev]) * st.sigma[eu] / deg
+		})
+	}
+	if typ == Periphery || typ == PCore {
+		// Wedge stretch over exclusive neighbors of u.
+		st.g.ExclusiveNeighbors(u, v, func(w graph.NodeID, ew graph.EdgeID) {
+			wsf += st.s[ew] * st.sigma[ew] / deg
+		})
+	}
+	switch typ {
+	case Core:
+		return af + tf
+	case Periphery:
+		return -wsf
+	default: // PCore
+		return af + tf - wsf
+	}
+}
+
+// clampAnchored clamps an anchored similarity into the configured range,
+// expressed in anchored units (the clamp tracks the current decay scale so
+// the bound applies to the true similarity).
+func (st *Store) clampAnchored(s float64) float64 {
+	g := st.clock.G()
+	lo, hi := st.cfg.SMin/g, st.cfg.SMax/g
+	switch {
+	case math.IsNaN(s), s < lo:
+		return lo
+	case s > hi:
+		return hi
+	default:
+		return s
+	}
+}

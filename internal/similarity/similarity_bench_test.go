@@ -1,0 +1,72 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"anc/internal/decay"
+	"anc/internal/graph"
+)
+
+func benchStore(b *testing.B, n, extra int) (*Store, *graph.Graph) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	gb := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		gb.AddEdge(graph.NodeID(rng.Intn(v)), graph.NodeID(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			gb.AddEdge(u, v)
+		}
+	}
+	g := gb.Build()
+	st, err := New(g, decay.NewClock(0.1), 1, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, g
+}
+
+// BenchmarkActivate measures the full similarity maintenance per
+// activation: activeness bump, exact σ refresh, unit impact, local
+// reinforcement — the Lemma 5 primitive.
+func BenchmarkActivate(b *testing.B) {
+	st, g := benchStore(b, 4096, 16384)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Activate(graph.EdgeID(rng.Intn(g.M())), float64(i)*1e-3)
+	}
+}
+
+// BenchmarkActivateNoReinforce isolates the σ maintenance (the ANCO path).
+func BenchmarkActivateNoReinforce(b *testing.B) {
+	st, g := benchStore(b, 4096, 16384)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.ActivateNoReinforce(graph.EdgeID(rng.Intn(g.M())), float64(i)*1e-3)
+	}
+}
+
+// BenchmarkReinforce isolates the local reinforcement arithmetic.
+func BenchmarkReinforce(b *testing.B) {
+	st, g := benchStore(b, 4096, 16384)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reinforce(graph.EdgeID(rng.Intn(g.M())))
+	}
+}
+
+// BenchmarkRebuildSigma is the from-scratch cost the incremental path
+// avoids (triangle-listing over the whole graph).
+func BenchmarkRebuildSigma(b *testing.B) {
+	st, _ := benchStore(b, 4096, 16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.RebuildSigma()
+	}
+}

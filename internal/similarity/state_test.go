@@ -1,0 +1,94 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"anc/internal/decay"
+	"anc/internal/graph"
+)
+
+func TestAccessors(t *testing.T) {
+	g := twoTriangles(t)
+	clock := decay.NewClock(0.1)
+	cfg := DefaultConfig()
+	st, err := New(g, clock, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph() != g || st.Clock() != clock {
+		t.Fatal("accessors wrong")
+	}
+	if st.Activeness() == nil {
+		t.Fatal("nil activeness")
+	}
+	if st.Config() != cfg {
+		t.Fatal("config accessor wrong")
+	}
+	if s := (NodeType(9)).String(); s != "NodeType(9)" {
+		t.Fatalf("unknown node type string = %q", s)
+	}
+}
+
+func TestExportRestoreState(t *testing.T) {
+	g := twoTriangles(t)
+	clock := decay.NewClock(0.2)
+	clock.SetRescaleEvery(0)
+	st, err := New(g, clock, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		st.Activate(graph.EdgeID(i%g.M()), float64(i)*0.3)
+	}
+	clock.Rescale()
+	s, act := st.ExportState()
+
+	clock2 := decay.NewClock(0.2)
+	st2, err := New(g, clock2, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.RestoreState(s, act)
+	clock2.RestoreTime(clock.Now(), clock.Anchor())
+	for e := 0; e < g.M(); e++ {
+		if math.Abs(st.At(graph.EdgeID(e))-st2.At(graph.EdgeID(e))) > 1e-9 {
+			t.Fatalf("S[%d] mismatch", e)
+		}
+		if math.Abs(st.Sigma(graph.EdgeID(e))-st2.Sigma(graph.EdgeID(e))) > 1e-9 {
+			t.Fatalf("σ[%d] mismatch", e)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if st.ActiveNeighborCount(graph.NodeID(v)) != st2.ActiveNeighborCount(graph.NodeID(v)) {
+			t.Fatalf("count[%d] mismatch", v)
+		}
+	}
+	// Length mismatches panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length accepted")
+		}
+	}()
+	st2.RestoreState(s[:1], act)
+}
+
+// TestSMaxClamp: the upper clamp engages under runaway reinforcement.
+func TestSMaxClamp(t *testing.T) {
+	g := twoTriangles(t)
+	cfg := Config{Epsilon: 0.1, Mu: 2, SMin: 1e-9, SMax: 5}
+	st, err := New(g, decay.NewClock(0), 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		for e := 0; e < g.M(); e++ {
+			st.Reinforce(graph.EdgeID(e))
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		if st.Anchored(graph.EdgeID(e)) > 5+1e-9 {
+			t.Fatalf("S[%d] = %v exceeds SMax", e, st.Anchored(graph.EdgeID(e)))
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package spectral implements normalized spectral clustering (Ng, Jordan,
+// Weiss 2001), which the paper uses to generate ground-truth clusters on
+// activation-network snapshots (Section VI-A). The embedding is computed
+// with orthogonal (subspace) iteration on the normalized affinity
+// D^{-1/2} W D^{-1/2} — shifted so its spectrum is non-negative — followed
+// by row normalization and k-means++. Pure stdlib; adequate at the snapshot
+// scales the paper uses it for (thousands of nodes).
+package spectral
+
+import (
+	"math"
+	"math/rand"
+
+	"anc/internal/graph"
+)
+
+// Params controls the embedding and k-means.
+type Params struct {
+	// K is the number of clusters (the paper uses 2√n on snapshots).
+	K int
+	// Dim is the embedding dimension; 0 means min(K, 32). Smaller Dim
+	// trades fidelity for speed on large K.
+	Dim int
+	// Iters is the number of subspace iterations (default 40).
+	Iters int
+	// KMeansIters bounds Lloyd iterations (default 50).
+	KMeansIters int
+}
+
+func (p *Params) defaults() {
+	if p.Dim <= 0 {
+		p.Dim = p.K
+		if p.Dim > 32 {
+			p.Dim = 32
+		}
+	}
+	if p.Iters <= 0 {
+		p.Iters = 40
+	}
+	if p.KMeansIters <= 0 {
+		p.KMeansIters = 50
+	}
+}
+
+// Cluster runs spectral clustering of g under non-negative edge weights w
+// and returns a dense label per node. rng drives k-means++ seeding and the
+// initial random subspace.
+func Cluster(g *graph.Graph, w []float64, p Params, rng *rand.Rand) []int32 {
+	p.defaults()
+	n := g.N()
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.K >= n {
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(i)
+		}
+		return labels
+	}
+	emb := Embed(g, w, p.Dim, p.Iters, rng)
+	// Row-normalize (NJW step).
+	for v := 0; v < n; v++ {
+		row := emb[v]
+		norm := 0.0
+		for _, x := range row {
+			norm += x * x
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for j := range row {
+				row[j] /= norm
+			}
+		}
+	}
+	return KMeans(emb, p.K, p.KMeansIters, rng)
+}
+
+// Embed returns the dim-dimensional spectral embedding: the dominant
+// invariant subspace of (I + D^{-1/2} W D^{-1/2}) / 2, whose top
+// eigenvectors are the bottom eigenvectors of the normalized Laplacian.
+// Rows are node embeddings.
+func Embed(g *graph.Graph, w []float64, dim, iters int, rng *rand.Rand) [][]float64 {
+	n := g.N()
+	invSqrtDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := 0.0
+		for _, h := range g.Neighbors(graph.NodeID(v)) {
+			d += w[h.Edge]
+		}
+		if d > 0 {
+			invSqrtDeg[v] = 1 / math.Sqrt(d)
+		}
+	}
+	// X: n × dim random start.
+	x := make([][]float64, n)
+	for v := range x {
+		x[v] = make([]float64, dim)
+		for j := range x[v] {
+			x[v][j] = rng.NormFloat64()
+		}
+	}
+	y := make([][]float64, n)
+	for v := range y {
+		y[v] = make([]float64, dim)
+	}
+	for it := 0; it < iters; it++ {
+		// y = (X + M X) / 2, with M = D^{-1/2} W D^{-1/2}.
+		for v := 0; v < n; v++ {
+			copy(y[v], x[v])
+		}
+		for v := 0; v < n; v++ {
+			for _, h := range g.Neighbors(graph.NodeID(v)) {
+				c := w[h.Edge] * invSqrtDeg[v] * invSqrtDeg[h.To]
+				for j := 0; j < dim; j++ {
+					y[v][j] += c * x[h.To][j]
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			for j := 0; j < dim; j++ {
+				y[v][j] /= 2
+			}
+		}
+		orthonormalize(y)
+		x, y = y, x
+	}
+	return x
+}
+
+// orthonormalize runs modified Gram–Schmidt over the columns of x (n×d).
+// Degenerate columns are re-randomized deterministically from the column
+// index so the subspace keeps full rank.
+func orthonormalize(x [][]float64) {
+	if len(x) == 0 {
+		return
+	}
+	n, d := len(x), len(x[0])
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			dot := 0.0
+			for v := 0; v < n; v++ {
+				dot += x[v][j] * x[v][k]
+			}
+			for v := 0; v < n; v++ {
+				x[v][j] -= dot * x[v][k]
+			}
+		}
+		norm := 0.0
+		for v := 0; v < n; v++ {
+			norm += x[v][j] * x[v][j]
+		}
+		if norm < 1e-24 {
+			// Rank-deficient: inject a deterministic pseudo-random column.
+			s := uint64(j)*2654435761 + 12345
+			for v := 0; v < n; v++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				x[v][j] = float64(int64(s>>11))/float64(1<<52) - 0.5
+			}
+			norm = 0
+			for v := 0; v < n; v++ {
+				norm += x[v][j] * x[v][j]
+			}
+		}
+		norm = math.Sqrt(norm)
+		for v := 0; v < n; v++ {
+			x[v][j] /= norm
+		}
+	}
+}
+
+// KMeans clusters the rows of points into k clusters with k-means++
+// seeding and Lloyd iterations, returning a dense label per row. Empty
+// clusters are reseeded from the farthest point.
+func KMeans(points [][]float64, k, iters int, rng *rand.Rand) []int32 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	d := len(points[0])
+	centers := kmeansppInit(points, k, rng)
+	labels := make([]int32, n)
+	dists := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, pt := range points {
+			best, bestD := int32(0), math.Inf(1)
+			for c := range centers {
+				dd := sqDist(pt, centers[c])
+				if dd < bestD {
+					best, bestD = int32(c), dd
+				}
+			}
+			dists[i] = bestD
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, pt := range points {
+			c := labels[i]
+			counts[c]++
+			for j := 0; j < d; j++ {
+				centers[c][j] += pt[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Reseed from the currently worst-fit point.
+				far, farD := 0, -1.0
+				for i := range points {
+					if dists[i] > farD {
+						far, farD = i, dists[i]
+					}
+				}
+				copy(centers[c], points[far])
+				dists[far] = 0
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < d; j++ {
+				centers[c][j] *= inv
+			}
+		}
+	}
+	return labels
+}
+
+func kmeansppInit(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(points[i], centers[0])
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, x := range d2 {
+			total += x
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, x := range d2 {
+				acc += x
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centers = append(centers, c)
+		for i := range d2 {
+			if dd := sqDist(points[i], c); dd < d2[i] {
+				d2[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

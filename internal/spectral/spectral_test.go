@@ -1,0 +1,128 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/quality"
+)
+
+func plantedTwo(t testing.TB, size int, rng *rand.Rand) (*graph.Graph, []float64, []int32) {
+	t.Helper()
+	n := 2 * size
+	b := graph.NewBuilder(n)
+	truth := make([]int32, n)
+	for v := range truth {
+		truth[v] = int32(v / size)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := 0.05
+			if truth[u] == truth[v] {
+				p = 0.7
+			}
+			if rng.Float64() < p {
+				if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := b.Build()
+	w := make([]float64, g.M())
+	for i := range w {
+		w[i] = 1
+	}
+	return g, w, truth
+}
+
+func TestRecoverPlantedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, w, truth := plantedTwo(t, 25, rng)
+	labels := Cluster(g, w, Params{K: 2}, rng)
+	if nmi := quality.NMI(labels, truth); nmi < 0.8 {
+		t.Fatalf("NMI = %v", nmi)
+	}
+}
+
+func TestKGreaterEqualN(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	w := []float64{1, 1}
+	labels := Cluster(g, w, Params{K: 10}, rand.New(rand.NewSource(1)))
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatalf("k >= n should give singletons: %v", labels)
+		}
+		seen[l] = true
+	}
+}
+
+func TestEmbeddingOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, w, _ := plantedTwo(t, 20, rng)
+	emb := Embed(g, w, 4, 30, rng)
+	// Columns of the n×4 embedding must be orthonormal.
+	for a := 0; a < 4; a++ {
+		for b2 := a; b2 < 4; b2++ {
+			dot := 0.0
+			for v := range emb {
+				dot += emb[v][a] * emb[v][b2]
+			}
+			want := 0.0
+			if a == b2 {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("col %d·%d = %v, want %v", a, b2, dot, want)
+			}
+		}
+	}
+}
+
+func TestKMeansSeparatesObviousBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts [][]float64
+	var truth []int32
+	for c := 0; c < 3; c++ {
+		cx := float64(c) * 10
+		for i := 0; i < 20; i++ {
+			pts = append(pts, []float64{cx + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1})
+			truth = append(truth, int32(c))
+		}
+	}
+	labels := KMeans(pts, 3, 50, rng)
+	if nmi := quality.NMI(labels, truth); nmi < 0.99 {
+		t.Fatalf("NMI = %v", nmi)
+	}
+}
+
+func TestKMeansMoreClustersThanPoints(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	labels := KMeans(pts, 5, 10, rand.New(rand.NewSource(1)))
+	if len(labels) != 2 {
+		t.Fatal("bad label count")
+	}
+}
+
+func TestKMeansEmpty(t *testing.T) {
+	if labels := KMeans(nil, 3, 10, rand.New(rand.NewSource(1))); labels != nil {
+		t.Fatal("expected nil for empty input")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	g, w, _ := plantedTwo(t, 15, rand.New(rand.NewSource(11)))
+	a := Cluster(g, w, Params{K: 2}, rand.New(rand.NewSource(42)))
+	b := Cluster(g, w, Params{K: 2}, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic under fixed seed")
+		}
+	}
+}

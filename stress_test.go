@@ -1,0 +1,113 @@
+package anc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"anc"
+	"anc/internal/core"
+	"anc/internal/gen"
+	"anc/internal/graph"
+	"anc/internal/similarity"
+)
+
+// TestStressLongStreamKeepsIndexExact streams tens of thousands of
+// activations through ANCO on a 2,000-node graph and then certifies the
+// full shortest-path optimality of every partition — the end-to-end
+// soundness guarantee behind every efficiency claim. Skipped with -short.
+func TestStressLongStreamKeepsIndexExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	pl := gen.Community(2000, 14000, 50, 0.2, rng)
+	opts := core.DefaultOptions()
+	opts.Similarity = similarity.Config{Epsilon: 0.3, Mu: 3, SMin: 1e-9, SMax: 1e12}
+	opts.Rep = 3
+	opts.Seed = 99
+	opts.RescaleEvery = 1024
+	nw, err := core.New(pl.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		now += rng.Float64() * 0.01
+		nw.Activate(graph.EdgeID(rng.Intn(pl.Graph.M())), now)
+	}
+	if msg := nw.Index().Validate(); msg != "" {
+		t.Fatalf("after 20k activations: %s", msg)
+	}
+}
+
+// TestStressChurnTracksCommunityMerge verifies the system-level behaviour
+// on a drifting workload: after two communities start interacting heavily
+// (gen.ChurnStream), the index merges them at some granularity while the
+// structure-only phase kept them apart.
+func TestStressChurnTracksCommunityMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(5))
+	pl := gen.Community(400, 2800, 10, 0.1, rng)
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.3
+	cfg.Mu = 3
+	cfg.Lambda = 0.2
+	net, err := anc.FromGraph(pl.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Representatives of the merging communities.
+	var a, b int = -1, -1
+	for v, c := range pl.Truth {
+		if c == 0 && a < 0 {
+			a = v
+		}
+		if c == 1 && b < 0 {
+			b = v
+		}
+	}
+	if a < 0 || b < 0 {
+		t.Skip("communities 0/1 empty")
+	}
+	coLevel := func() int {
+		// Number of levels at which a and b share a cluster.
+		n := 0
+		for l := 1; l <= net.Levels(); l++ {
+			mine := net.ClusterOf(a, l)
+			for _, m := range mine {
+				if m == b {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	stream := gen.ChurnStream(pl.Graph, pl.Truth, 60, 0.08, [2]int32{0, 1}, rng)
+	half := 0
+	for i, act := range stream {
+		if act.T > 30 {
+			half = i
+			break
+		}
+	}
+	for _, act := range stream[:half] {
+		u, v := pl.Graph.Endpoints(act.Edge)
+		if err := net.Activate(int(u), int(v), act.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := coLevel()
+	for _, act := range stream[half:] {
+		u, v := pl.Graph.Endpoints(act.Edge)
+		if err := net.Activate(int(u), int(v), act.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := coLevel()
+	if after <= before {
+		t.Fatalf("churn did not pull communities together: co-levels %d -> %d", before, after)
+	}
+}
