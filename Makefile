@@ -1,0 +1,35 @@
+# Development and CI entry points. `make check` is what every PR must
+# pass: vet, build, the full test suite, the race detector, and a short
+# fuzz smoke over the corruption-facing decoders.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz-smoke bench clean
+
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each -fuzz run accepts a single target, so the smoke lists them
+# explicitly: snapshot loading and WAL replay are the two paths fed by
+# potentially corrupt bytes.
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+clean:
+	$(GO) clean ./...

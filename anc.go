@@ -180,8 +180,14 @@ func (nw *Network) SqrtLevel() int { return pyramid.SqrtLevel(nw.N()) }
 func (nw *Network) Now() float64 { return nw.inner.Clock().Now() }
 
 // Activate records an interaction along the existing edge (u, v) at time
-// t. Timestamps must be non-decreasing. It returns an error if (u, v) is
-// not an edge of the relation graph.
+// t.
+//
+// Ingest contract (the authoritative statement, relied on by every layer
+// below): timestamps are finite — NaN and ±Inf are rejected — and
+// non-decreasing across the lifetime of the network; t may equal Now() but
+// never precede it. Violations, like activations on edges absent from the
+// relation graph, return an error before any state is modified, so a bad
+// record can never corrupt the anchored activeness or the index.
 func (nw *Network) Activate(u, v int, t float64) error {
 	return nw.inner.ActivatePair(graph.NodeID(u), graph.NodeID(v), t)
 }
@@ -302,12 +308,16 @@ func (nw *Network) Drain() []ClusterEvent {
 }
 
 // Save serializes the network to w: the relation graph, configuration,
-// decayed similarity/activeness state and index seeds. Buffered work is
-// flushed first. Load reconstructs an equivalent network (identical
-// clusterings; the shortest-path forests are rebuilt deterministically).
+// decayed similarity/activeness state and index seeds, followed by a
+// version+CRC32C trailer so Load detects corruption instead of decoding
+// it. Buffered work is flushed first. Load reconstructs an equivalent
+// network (identical clusterings; the shortest-path forests are rebuilt
+// deterministically).
 func (nw *Network) Save(w io.Writer) error { return nw.inner.Save(w) }
 
-// Load restores a network saved with Save.
+// Load restores a network saved with Save. Torn, truncated or bit-flipped
+// snapshots are rejected with an error (CRC and bounds checks), never
+// decoded into a silently wrong network.
 func Load(r io.Reader) (*Network, error) {
 	inner, err := core.Load(r)
 	if err != nil {

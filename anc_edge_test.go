@@ -73,8 +73,9 @@ func TestConfigValidationThroughFacade(t *testing.T) {
 	}
 }
 
-// TestMonotoneTimestampsEnforced: going backwards in time panics in the
-// decay layer; the facade documents non-decreasing timestamps.
+// TestMonotoneTimestampsEnforced: backwards, NaN and infinite timestamps
+// are rejected with an error before any state changes — the ingest
+// contract documented on Network.Activate.
 func TestMonotoneTimestampsEnforced(t *testing.T) {
 	n, edges := barbell()
 	net, err := NewNetwork(n, edges, testConfig())
@@ -84,10 +85,24 @@ func TestMonotoneTimestampsEnforced(t *testing.T) {
 	if err := net.Activate(0, 1, 10); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("backwards timestamp did not panic")
+	before, err := net.Similarity(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := net.Activate(0, 1, bad); err == nil {
+			t.Errorf("timestamp %v accepted", bad)
 		}
-	}()
-	net.Activate(0, 1, 5)
+	}
+	// Rejection happens before any mutation: state and time are untouched.
+	if after, _ := net.Similarity(0, 1); after != before {
+		t.Fatalf("similarity changed by rejected activations: %v -> %v", before, after)
+	}
+	if net.Now() != 10 {
+		t.Fatalf("time moved by rejected activations: %v", net.Now())
+	}
+	// Equal timestamps remain legal (non-decreasing, not increasing).
+	if err := net.Activate(0, 1, 10); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
 }

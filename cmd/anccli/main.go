@@ -12,10 +12,19 @@
 //	anccli -graph g.txt -cmd clusters -level 3
 //	anccli -graph g.txt -stream s.txt -cmd local -node 42
 //	anccli -graph g.txt -cmd zoom -node 42
+//
+// With -wal-dir the replayed stream is made durable: activations are
+// write-ahead logged and checkpointed in the directory, and a later run
+// with the same -wal-dir recovers the network (checkpoint + WAL tail)
+// instead of rebuilding it, so a crash between runs loses nothing:
+//
+//	anccli -graph g.txt -stream s1.txt -wal-dir state/ -checkpoint-every 10000 -cmd clusters
+//	anccli -graph g.txt -stream s2.txt -wal-dir state/ -cmd clusters   # resumes from state/
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +49,9 @@ func main() {
 		epsilon    = flag.Float64("epsilon", 0.4, "active-similarity threshold ε")
 		mu         = flag.Int("mu", 4, "core threshold μ")
 		k          = flag.Int("k", 4, "number of pyramids")
+
+		walDir          = flag.String("wal-dir", "", "durability directory (WAL + checkpoints); recovered if it already holds state")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "activations between automatic checkpoints (0 = checkpoint only on exit)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -79,8 +91,35 @@ func main() {
 		rev[dense] = orig
 	}
 
+	activate := net.Activate
+	if *walDir != "" {
+		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery}
+		d, err := anc.Recover(*walDir, dcfg)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "anccli: recovered %d activations from %s (t=%v)\n",
+				d.LoggedActivations(), *walDir, d.Now())
+			net = d.Unwrap() // single-threaded queries below
+		case errors.Is(err, anc.ErrNoDurableState):
+			if d, err = anc.NewDurable(net, *walDir, dcfg); err != nil {
+				fatalf("wal-dir: %v", err)
+			}
+		default:
+			fatalf("wal-dir: %v", err)
+		}
+		activate = d.Activate
+		defer func() {
+			if err := d.Checkpoint(); err != nil {
+				fatalf("checkpoint: %v", err)
+			}
+			if err := d.Close(); err != nil {
+				fatalf("wal close: %v", err)
+			}
+		}()
+	}
+
 	if *streamPath != "" {
-		if err := replay(net, ids, *streamPath); err != nil {
+		if err := replay(activate, ids, *streamPath); err != nil {
 			fatalf("stream: %v", err)
 		}
 		net.Snapshot()
@@ -164,8 +203,9 @@ func printMembers(members []int, rev map[int32]int64, max int) {
 	fmt.Println()
 }
 
-// replay feeds "u v t" lines into the network.
-func replay(net *anc.Network, ids map[int64]int32, path string) error {
+// replay feeds "u v t" lines into the network through activate (the plain
+// or the durable, logging ingest path).
+func replay(activate func(u, v int, t float64) error, ids map[int64]int32, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -195,7 +235,7 @@ func replay(net *anc.Network, ids map[int64]int32, path string) error {
 		if !ok1 || !ok2 {
 			return fmt.Errorf("line %d: unknown node", line)
 		}
-		if err := net.Activate(int(du), int(dv), t); err != nil {
+		if err := activate(int(du), int(dv), t); err != nil {
 			return fmt.Errorf("line %d: %v", line, err)
 		}
 	}

@@ -42,6 +42,22 @@ func (c *ConcurrentNetwork) Clusters(level int) [][]int {
 	return c.net.Clusters(level)
 }
 
+// EvenClusters reports all even-clustering clusters at a level (shared
+// lock).
+func (c *ConcurrentNetwork) EvenClusters(level int) [][]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.EvenClusters(level)
+}
+
+// SmallestClusterOf reports the finest-granularity cluster containing v
+// (shared lock).
+func (c *ConcurrentNetwork) SmallestClusterOf(v int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.SmallestClusterOf(v)
+}
+
 // ClusterOf reports the local cluster of v (shared lock).
 func (c *ConcurrentNetwork) ClusterOf(v, level int) []int {
 	c.mu.RLock()
@@ -68,6 +84,21 @@ func (c *ConcurrentNetwork) N() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.net.N()
+}
+
+// M returns the relation-graph edge count.
+func (c *ConcurrentNetwork) M() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.M()
+}
+
+// Now returns the current network time — the largest activation timestamp
+// seen (shared lock).
+func (c *ConcurrentNetwork) Now() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Now()
 }
 
 // SqrtLevel returns the Θ(√n) granularity level.

@@ -26,17 +26,30 @@ func TestConcurrentNetworkRace(t *testing.T) {
 			}
 		}
 	}()
-	// Several query goroutines.
+	// Several query goroutines, covering every read-side wrapper.
 	for q := 0; q < 4; q++ {
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				c.Clusters(c.SqrtLevel())
+				c.EvenClusters(c.SqrtLevel())
 				c.ClusterOf(q, 2)
+				if len(c.SmallestClusterOf(q)) == 0 {
+					t.Errorf("empty smallest cluster of %d", q)
+					return
+				}
 				c.EstimateDistance(0, 9)
 				if _, err := c.Similarity(4, 5); err != nil {
 					t.Error(err)
+					return
+				}
+				if c.M() != 21 {
+					t.Error("edge count changed under concurrency")
+					return
+				}
+				if now := c.Now(); now < 0 || now > 300 {
+					t.Errorf("implausible time %v", now)
 					return
 				}
 			}
@@ -44,7 +57,16 @@ func TestConcurrentNetworkRace(t *testing.T) {
 	}
 	wg.Wait()
 	c.Snapshot()
-	if c.N() != 10 || c.Levels() != 4 {
+	if c.N() != 10 || c.M() != 21 || c.Levels() != 4 {
 		t.Fatalf("shape wrong after concurrent use")
+	}
+	if c.Now() != 300 {
+		t.Fatalf("Now = %v after 300 activations", c.Now())
+	}
+	if got := canonClusters(c.EvenClusters(2)); got == "" {
+		t.Fatal("EvenClusters empty")
+	}
+	if got := c.SmallestClusterOf(7); len(got) == 0 {
+		t.Fatal("SmallestClusterOf empty")
 	}
 }

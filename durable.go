@@ -1,0 +1,460 @@
+package anc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"anc/internal/graph"
+	"anc/internal/wal"
+)
+
+// SyncPolicy selects when the write-ahead log fsyncs; see the wal package
+// for the exact guarantees of each policy.
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies for DurableConfig.Sync.
+const (
+	// SyncAlways fsyncs after every activation: an acknowledged Activate
+	// survives any crash. The default.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs every SyncEvery activations: bounded loss window,
+	// much higher throughput.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS: survives process crashes, not
+	// power loss.
+	SyncNever = wal.SyncNever
+)
+
+// ErrNoDurableState is wrapped by Recover when dir holds no usable
+// checkpoint — distinguish "nothing there yet" (start with NewDurable)
+// from "something there, but corrupt".
+var ErrNoDurableState = errors.New("anc: no durable state")
+
+// DurableConfig tunes the durability subsystem. The zero value is usable:
+// 4 MiB WAL segments, fsync on every activation, checkpoints only when
+// Checkpoint is called.
+type DurableConfig struct {
+	// SegmentSize is the WAL segment rotation threshold in bytes
+	// (default 4 MiB).
+	SegmentSize int64
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the record period of SyncInterval (default 64).
+	SyncEvery int
+	// CheckpointEvery, when positive, writes a checkpoint automatically
+	// every that many logged activations. 0 checkpoints only on demand.
+	CheckpointEvery int
+
+	// openFile lets tests interpose the fault-injection harness between
+	// the WAL and the disk.
+	openFile func(path string) (wal.File, error)
+}
+
+func (c DurableConfig) walOptions() wal.Options {
+	return wal.Options{
+		SegmentSize: c.SegmentSize,
+		Sync:        c.Sync,
+		SyncEvery:   c.SyncEvery,
+		OpenFile:    c.openFile,
+	}
+}
+
+// DurableNetwork wraps a Network with a write-ahead log and checkpointing
+// so the activation stream survives a crash: Activate logs the record
+// first (fsynced per the configured policy) and only then applies it to
+// the in-memory network — log-then-apply — so the durable history is
+// always a superset of the applied one. Queries take a shared lock and run
+// concurrently, activations serialize, mirroring ConcurrentNetwork.
+//
+// The directory holds numbered WAL segments plus checkpoint-<index>.snap
+// files, where <index> is the count of logged activations the checkpoint
+// state includes. Recover loads the newest checkpoint that passes its CRC
+// and replays the WAL tail from exactly that index.
+type DurableNetwork struct {
+	mu              sync.RWMutex
+	net             *Network
+	w               *wal.Writer
+	dir             string
+	cfg             DurableConfig
+	sinceCheckpoint int
+}
+
+const activationRecordSize = 16 // u uint32, v uint32, t float64 bits
+
+func encodeActivation(u, v int, t float64) []byte {
+	var b [activationRecordSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(u))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(v))
+	binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(t))
+	return b[:]
+}
+
+func decodeActivation(b []byte) (u, v int, t float64, err error) {
+	if len(b) != activationRecordSize {
+		return 0, 0, 0, fmt.Errorf("anc: activation record of %d bytes", len(b))
+	}
+	u = int(binary.LittleEndian.Uint32(b[0:4]))
+	v = int(binary.LittleEndian.Uint32(b[4:8]))
+	t = math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+	return u, v, t, nil
+}
+
+func checkpointName(index uint64) string {
+	return fmt.Sprintf("checkpoint-%016x.snap", index)
+}
+
+type checkpointInfo struct {
+	index uint64
+	path  string
+}
+
+func listCheckpoints(dir string) ([]checkpointInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cps []checkpointInfo
+	for _, e := range entries {
+		var index uint64
+		if _, err := fmt.Sscanf(e.Name(), "checkpoint-%016x.snap", &index); err == nil &&
+			e.Name() == checkpointName(index) {
+			cps = append(cps, checkpointInfo{index: index, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].index < cps[j].index })
+	return cps, nil
+}
+
+// NewDurable makes net durable in dir: it writes an initial checkpoint of
+// the network as handed in and opens a fresh WAL. The directory is created
+// if needed; if it already holds durable state the call fails — use
+// Recover for that. The caller must stop using net directly.
+func NewDurable(net *Network, dir string, cfg DurableConfig) (*DurableNetwork, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(cps) > 0 {
+		return nil, fmt.Errorf("anc: %s already holds durable state; use Recover", dir)
+	}
+	d := &DurableNetwork{net: net, dir: dir, cfg: cfg}
+	// Checkpoint first, then open the log: recovery requires a checkpoint
+	// to replay onto, so an empty WAL without one is never observable.
+	if err := d.writeCheckpoint(0); err != nil {
+		return nil, err
+	}
+	w, err := wal.OpenWriter(dir, 0, cfg.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	d.w = w
+	return d, nil
+}
+
+// Recover rebuilds the durable network persisted in dir: it loads the
+// newest checkpoint whose CRC verifies (falling back to the previous one
+// if the newest is corrupt; corrupt checkpoint files are renamed aside
+// with a .corrupt suffix), replays the WAL tail from the checkpoint's
+// index — stopping cleanly at the first torn or corrupt frame — and
+// reopens the log for appending, truncating that tail. The recovered
+// in-memory state is exactly the reference state of the durably persisted
+// activation prefix.
+func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
+	cps, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w in %s", ErrNoDurableState, dir)
+		}
+		return nil, err
+	}
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoDurableState, dir)
+	}
+	os.Remove(filepath.Join(dir, "checkpoint.tmp")) // a crashed half-written checkpoint
+	var lastErr error
+	for i := len(cps) - 1; i >= 0; i-- {
+		cp := cps[i]
+		net, err := loadCheckpoint(cp.path)
+		if err != nil {
+			// Quarantine the corrupt file so checkpoint retention never
+			// counts it among the healthy ones (pruning by index alone
+			// could otherwise discard the last valid fallback), then try
+			// the previous checkpoint.
+			os.Rename(cp.path, cp.path+".corrupt")
+			lastErr = err
+			continue
+		}
+		next, err := wal.Replay(dir, cp.index, func(_ uint64, rec []byte) error {
+			u, v, t, err := decodeActivation(rec)
+			if err != nil {
+				return err
+			}
+			return net.Activate(u, v, t)
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Open at the checkpoint's index, not at next: the WAL tail
+		// [cp.index, next) was replayed into memory but is not covered by
+		// any checkpoint yet, so it must survive on disk until the next
+		// checkpoint — passing next would let OpenWriter discard it as
+		// stale, losing acknowledged records on the next crash.
+		w, err := wal.OpenWriter(dir, cp.index, cfg.walOptions())
+		if err != nil {
+			return nil, err
+		}
+		if w.NextIndex() != next {
+			// The writer's scan and the replay disagree on where the log
+			// ends — the directory changed underneath us. Fall back rather
+			// than append at an inconsistent position.
+			w.Close()
+			lastErr = fmt.Errorf("anc: wal end moved during recovery: replayed to %d, writer at %d", next, w.NextIndex())
+			continue
+		}
+		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg}, nil
+	}
+	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
+}
+
+func loadCheckpoint(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Activate validates the record, appends it to the WAL and then applies it
+// to the in-memory network (log-then-apply). A nil return means the
+// activation is applied and — under SyncAlways — durable; under
+// SyncInterval/SyncNever it is durable after the next fsync. WAL errors
+// leave the in-memory network unchanged.
+func (d *DurableNetwork) Activate(u, v int, t float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Validate before logging, so replay never sees a record the network
+	// would reject (the ingest contract of Network.Activate).
+	g := d.net.inner.Graph()
+	if u < 0 || v < 0 || u >= g.N() || v >= g.N() || g.FindEdge(graph.NodeID(u), graph.NodeID(v)) == graph.None {
+		return fmt.Errorf("anc: no edge (%d, %d)", u, v)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < d.net.Now() {
+		return fmt.Errorf("anc: invalid activation timestamp %v (now %v)", t, d.net.Now())
+	}
+	if _, err := d.w.Append(encodeActivation(u, v, t)); err != nil {
+		return fmt.Errorf("anc: wal: %w", err)
+	}
+	if err := d.net.Activate(u, v, t); err != nil {
+		return err
+	}
+	d.sinceCheckpoint++
+	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
+		return d.checkpointLocked()
+	}
+	return nil
+}
+
+// Sync fsyncs the WAL, making every acknowledged activation durable — the
+// explicit barrier for SyncInterval/SyncNever configurations.
+func (d *DurableNetwork) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Sync()
+}
+
+// Checkpoint atomically persists the current network state and truncates
+// the WAL prefix it makes redundant: the snapshot is written to a temp
+// file, fsynced, then renamed into place, so a crash mid-checkpoint leaves
+// the previous checkpoint intact. The two newest checkpoints are retained
+// (the older as a fallback should the newer be corrupted at rest); WAL
+// segments wholly below the older one are deleted.
+func (d *DurableNetwork) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DurableNetwork) checkpointLocked() error {
+	if err := d.writeCheckpoint(d.w.NextIndex()); err != nil {
+		return err
+	}
+	d.sinceCheckpoint = 0
+	cps, err := listCheckpoints(d.dir)
+	if err != nil {
+		return err
+	}
+	for len(cps) > 2 {
+		if err := os.Remove(cps[0].path); err != nil {
+			return err
+		}
+		cps = cps[1:]
+	}
+	return d.w.TruncateBefore(cps[0].index)
+}
+
+// writeCheckpoint persists the network state as checkpoint-<index>.snap
+// via the write-temp / fsync / rename dance. Note Save flushes buffered
+// reinforcement (Snapshot semantics) before serializing.
+func (d *DurableNetwork) writeCheckpoint(index uint64) error {
+	tmp := filepath.Join(d.dir, "checkpoint.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.net.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, checkpointName(index))); err != nil {
+		return err
+	}
+	syncDir(d.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals are durable;
+// best-effort (some platforms refuse to fsync directories).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// Close checkpoints nothing: it fsyncs and closes the WAL. Call Checkpoint
+// first for a fast next recovery.
+func (d *DurableNetwork) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Close()
+}
+
+// LoggedActivations returns how many activations have ever been accepted
+// into the log (the next WAL index).
+func (d *DurableNetwork) LoggedActivations() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.w.NextIndex()
+}
+
+// DurableActivations returns how many logged activations are known to
+// have been fsynced.
+func (d *DurableNetwork) DurableActivations() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.w.DurableIndex()
+}
+
+// Unwrap returns the wrapped network for single-threaded, read-only use —
+// e.g. feeding query helpers that take a *Network. Mutating it directly
+// bypasses the log and forfeits the durability guarantee.
+func (d *DurableNetwork) Unwrap() *Network { return d.net }
+
+// Snapshot finalizes buffered work on the wrapped network (exclusive
+// lock). Note that under ANCF this mutates state outside the log; only the
+// activation history itself is replayed on recovery.
+func (d *DurableNetwork) Snapshot() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.net.Snapshot()
+}
+
+// N returns the node count.
+func (d *DurableNetwork) N() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.N()
+}
+
+// M returns the relation-graph edge count.
+func (d *DurableNetwork) M() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.M()
+}
+
+// Levels returns the number of granularity levels.
+func (d *DurableNetwork) Levels() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Levels()
+}
+
+// SqrtLevel returns the Θ(√n) granularity level.
+func (d *DurableNetwork) SqrtLevel() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.SqrtLevel()
+}
+
+// Now returns the current network time.
+func (d *DurableNetwork) Now() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Now()
+}
+
+// Clusters reports all clusters at a level (shared lock).
+func (d *DurableNetwork) Clusters(level int) [][]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Clusters(level)
+}
+
+// EvenClusters reports all even-clustering clusters at a level (shared
+// lock).
+func (d *DurableNetwork) EvenClusters(level int) [][]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.EvenClusters(level)
+}
+
+// ClusterOf reports the local cluster of v (shared lock).
+func (d *DurableNetwork) ClusterOf(v, level int) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.ClusterOf(v, level)
+}
+
+// SmallestClusterOf reports the finest-granularity cluster containing v
+// (shared lock).
+func (d *DurableNetwork) SmallestClusterOf(v int) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.SmallestClusterOf(v)
+}
+
+// Similarity reads the current similarity of an edge (shared lock).
+func (d *DurableNetwork) Similarity(u, v int) (float64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Similarity(u, v)
+}
+
+// EstimateDistance answers a sketch distance query (shared lock).
+func (d *DurableNetwork) EstimateDistance(u, v int) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.EstimateDistance(u, v)
+}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"anc/internal/cluster"
@@ -118,14 +119,8 @@ type Network struct {
 // all edges fold the structural cohesiveness into S₀ (Section IV-C), and
 // the pyramids are built on the resulting weights.
 func New(g *graph.Graph, opts Options) (*Network, error) {
-	if opts.Lambda < 0 {
-		return nil, fmt.Errorf("core: negative lambda %v", opts.Lambda)
-	}
-	if opts.Rep < 0 {
-		return nil, fmt.Errorf("core: negative rep %d", opts.Rep)
-	}
-	if opts.Method == ANCOR && opts.ReinforceInterval <= 0 {
-		return nil, fmt.Errorf("core: ANCOR needs a positive ReinforceInterval")
+	if err := validateOptions(opts); err != nil {
+		return nil, err
 	}
 	clock := decay.NewClock(opts.Lambda)
 	if opts.RescaleEvery > 0 {
@@ -170,9 +165,44 @@ func (nw *Network) Similarity() *similarity.Store { return nw.sim }
 // Index returns the pyramids index.
 func (nw *Network) Index() *pyramid.Index { return nw.ix }
 
+// validateOptions rejects parameter combinations that would corrupt or
+// panic the pipeline. It is shared by New and the snapshot loader, so a
+// corrupt snapshot cannot smuggle in values New would refuse.
+func validateOptions(opts Options) error {
+	if opts.Lambda < 0 || math.IsNaN(opts.Lambda) || math.IsInf(opts.Lambda, 0) {
+		return fmt.Errorf("core: invalid lambda %v", opts.Lambda)
+	}
+	if opts.Rep < 0 {
+		return fmt.Errorf("core: negative rep %d", opts.Rep)
+	}
+	if opts.Method == ANCOR && !(opts.ReinforceInterval > 0) {
+		return fmt.Errorf("core: ANCOR needs a positive ReinforceInterval")
+	}
+	return nil
+}
+
+// checkTime enforces the ingest contract of anc.Network.Activate — the
+// single authoritative statement of the rule: timestamps are finite and
+// non-decreasing. Rejecting here, before any state is touched, keeps a bad
+// ingest record from corrupting the anchored activeness (a NaN impact
+// poisons every σ it reaches; a backwards timestamp breaks Observation 1).
+func (nw *Network) checkTime(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("core: non-finite activation timestamp %v", t)
+	}
+	if t < nw.clock.Now() {
+		return fmt.Errorf("core: activation timestamp %v precedes current time %v (timestamps must be non-decreasing)", t, nw.clock.Now())
+	}
+	return nil
+}
+
 // Activate feeds the activation (e, t) into the network under the
-// configured method policy.
-func (nw *Network) Activate(e graph.EdgeID, t float64) {
+// configured method policy. It returns an error — before touching any
+// state — when t violates the ingest contract (see anc.Network.Activate).
+func (nw *Network) Activate(e graph.EdgeID, t float64) error {
+	if err := nw.checkTime(t); err != nil {
+		return err
+	}
 	nw.Stats.Activations++
 	switch nw.opts.Method {
 	case ANCO:
@@ -191,19 +221,24 @@ func (nw *Network) Activate(e graph.EdgeID, t float64) {
 		nw.sim.ActivateNoReinforce(e, t)
 		nw.addPending(e)
 	}
+	return nil
 }
 
 // ActivateBatch feeds a batch of same-or-increasing-timestamp activations
 // and then flushes pending reinforcement once — the per-minute batch
-// processing of Exp 6 (Figure 9).
-func (nw *Network) ActivateBatch(edges []graph.EdgeID, t float64) {
+// processing of Exp 6 (Figure 9). The first contract violation aborts the
+// batch and is returned.
+func (nw *Network) ActivateBatch(edges []graph.EdgeID, t float64) error {
 	for _, e := range edges {
-		nw.Activate(e, t)
+		if err := nw.Activate(e, t); err != nil {
+			return err
+		}
 	}
 	if nw.opts.Method == ANCOR {
 		nw.Flush()
 		nw.lastFlush = t
 	}
+	return nil
 }
 
 // ActivatePair is Activate keyed by endpoints; it returns an error when the
@@ -214,8 +249,7 @@ func (nw *Network) ActivatePair(u, v graph.NodeID, t float64) error {
 	if e == graph.None {
 		return fmt.Errorf("core: no edge (%d, %d) in the relation graph", u, v)
 	}
-	nw.Activate(e, t)
-	return nil
+	return nw.Activate(e, t)
 }
 
 func (nw *Network) addPending(e graph.EdgeID) {

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"math/rand"
 
 	"anc/internal/decay"
@@ -26,10 +30,36 @@ type snapshotV1 struct {
 	Seeds [][]int32
 }
 
-const snapshotMagic = "ANCSNAP1"
+// Snapshot file layout (version 2):
+//
+//	8 bytes  fileMagic "ANCSNP2\n"
+//	payload  gob(snapshotV1)
+//	16 bytes trailer, little-endian:
+//	           uint32  format version (snapshotVersion)
+//	           uint64  payload byte count
+//	           uint32  CRC32C (Castagnoli) of the payload
+//
+// Load verifies the trailer before the gob decoder ever sees the payload:
+// a torn or bit-flipped snapshot is reported as corruption instead of
+// being decoded into a silently wrong network. Files without the magic are
+// decoded as legacy (pre-CRC) snapshots.
+const (
+	snapshotMagic   = "ANCSNAP1"
+	fileMagic       = "ANCSNP2\n"
+	snapshotVersion = 2
+	trailerSize     = 4 + 8 + 4
+
+	// maxIsolatedNodes bounds how far a snapshot's node count may exceed
+	// what its edge list supports, so a corrupt header cannot demand a
+	// multi-gigabyte allocation from a few bytes of input.
+	maxIsolatedNodes = 1 << 20
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Save serializes the network — graph, options, decayed state and index
-// seed sets — so Load can reconstruct an equivalent network. Pending
+// seed sets — so Load can reconstruct an equivalent network, then appends
+// a version+CRC32C trailer so corruption is detected at load time. Pending
 // reinforcement work is flushed first (Snapshot semantics), and the
 // anchored state is rescaled to the current time. The shortest-path
 // forests themselves are not stored; Load rebuilds them deterministically
@@ -53,17 +83,115 @@ func (nw *Network) Save(w io.Writer) error {
 	for _, seeds := range nw.ix.SeedSets() {
 		snap.Seeds = append(snap.Seeds, append([]int32(nil), seeds...))
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, fileMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], snapshotVersion)
+	binary.LittleEndian.PutUint64(trailer[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(trailer[12:16], crc32.Checksum(payload.Bytes(), snapshotCRC))
+	_, err := w.Write(trailer[:])
+	return err
 }
 
-// Load reconstructs a network saved with Save.
+// Load reconstructs a network saved with Save. The snapshot's CRC trailer
+// is verified before decoding, and every decoded field is bounds-checked,
+// so a torn, truncated or bit-flipped file yields an error — never a
+// panic, an absurd allocation or a silently wrong network. Snapshots from
+// before the trailer was introduced load through a legacy path.
 func Load(r io.Reader) (*Network, error) {
-	var snap snapshotV1
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	head := make([]byte, len(fileMagic))
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("core: reading snapshot: %w", err)
 	}
+	var snap snapshotV1
+	if string(head) == fileMagic {
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading snapshot: %w", err)
+		}
+		if len(body) < trailerSize {
+			return nil, fmt.Errorf("core: snapshot truncated (no trailer)")
+		}
+		payload, trailer := body[:len(body)-trailerSize], body[len(body)-trailerSize:]
+		version := binary.LittleEndian.Uint32(trailer[0:4])
+		length := binary.LittleEndian.Uint64(trailer[4:12])
+		crc := binary.LittleEndian.Uint32(trailer[12:16])
+		if version != snapshotVersion {
+			return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+		}
+		if length != uint64(len(payload)) {
+			return nil, fmt.Errorf("core: snapshot truncated: trailer says %d payload bytes, have %d", length, len(payload))
+		}
+		if got := crc32.Checksum(payload, snapshotCRC); got != crc {
+			return nil, fmt.Errorf("core: snapshot corrupt: CRC mismatch (got %08x, want %08x)", got, crc)
+		}
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		}
+	} else {
+		// Legacy (pre-CRC) snapshot: the stream starts with gob data.
+		dec := gob.NewDecoder(io.MultiReader(bytes.NewReader(head[:n]), r))
+		if err := dec.Decode(&snap); err != nil {
+			return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		}
+	}
+	return restore(&snap)
+}
+
+// validate bounds-checks every decoded field before any of it is used to
+// size an allocation or index a slice.
+func (snap *snapshotV1) validate() error {
 	if snap.Magic != snapshotMagic {
-		return nil, fmt.Errorf("core: not an ANC snapshot (magic %q)", snap.Magic)
+		return fmt.Errorf("core: not an ANC snapshot (magic %q)", snap.Magic)
+	}
+	if err := validateOptions(snap.Opts); err != nil {
+		return fmt.Errorf("core: corrupt snapshot: %w", err)
+	}
+	if math.IsNaN(snap.Now) || math.IsInf(snap.Now, 0) || snap.Now < 0 {
+		return fmt.Errorf("core: corrupt snapshot: invalid time %v", snap.Now)
+	}
+	if snap.N < 0 {
+		return fmt.Errorf("core: corrupt snapshot: negative node count %d", snap.N)
+	}
+	if int64(snap.N) > 2*int64(len(snap.Edges))+maxIsolatedNodes {
+		return fmt.Errorf("core: corrupt snapshot: implausible node count %d for %d edges", snap.N, len(snap.Edges))
+	}
+	if len(snap.S) != len(snap.Edges) || len(snap.Act) != len(snap.Edges) {
+		return fmt.Errorf("core: snapshot state size mismatch")
+	}
+	for i, v := range snap.S {
+		if !(v > 0) || math.IsInf(v, 1) {
+			return fmt.Errorf("core: corrupt snapshot: similarity[%d] = %v", i, v)
+		}
+	}
+	for i, v := range snap.Act {
+		if !(v >= 0) || math.IsInf(v, 1) {
+			return fmt.Errorf("core: corrupt snapshot: activeness[%d] = %v", i, v)
+		}
+	}
+	for i, set := range snap.Seeds {
+		for _, s := range set {
+			if s < 0 || s >= snap.N {
+				return fmt.Errorf("core: corrupt snapshot: seed %d of set %d outside [0, %d)", s, i, snap.N)
+			}
+		}
+	}
+	return nil
+}
+
+// restore rebuilds the in-memory network from a decoded snapshot.
+func restore(snap *snapshotV1) (*Network, error) {
+	if err := snap.validate(); err != nil {
+		return nil, err
 	}
 	b := graph.NewBuilder(int(snap.N))
 	for _, e := range snap.Edges {
@@ -73,6 +201,8 @@ func Load(r io.Reader) (*Network, error) {
 	}
 	g := b.Build()
 	if len(snap.S) != g.M() || len(snap.Act) != g.M() {
+		// Duplicate edges were merged by the builder: the per-edge state
+		// no longer lines up.
 		return nil, fmt.Errorf("core: snapshot state size mismatch")
 	}
 	opts := snap.Opts

@@ -106,6 +106,65 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsCorruption: every single-byte flip and every truncation
+// of a valid snapshot must be detected by the CRC trailer (or the frame
+// bookkeeping) — a torn or bit-flipped snapshot is never decoded into a
+// silently wrong network.
+func TestLoadRejectsCorruption(t *testing.T) {
+	g := cliquePairGraph(t)
+	nw, err := New(g, options(ANCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		nw.Activate(graph.EdgeID(i%g.M()), float64(i))
+	}
+	var buf bytes.Buffer
+	if err := nw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	// Bit flips. Flipping inside the payload or trailer must error;
+	// flipping the magic diverts to the legacy gob path, which must also
+	// error (the stream is not valid gob), never panic.
+	for off := 0; off < len(valid); off++ {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x40
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d accepted", off)
+		}
+	}
+	// Truncations.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := Load(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestLoadRejectsOversizedHeader: a tiny forged snapshot announcing a huge
+// node count must be rejected by the bounds checks, not allocated.
+func TestLoadRejectsOversizedHeader(t *testing.T) {
+	snap := snapshotV1{
+		Magic: snapshotMagic,
+		Opts:  DefaultOptions(),
+		N:     1<<31 - 1,
+		Edges: [][2]int32{{0, 1}},
+		S:     []float64{1},
+		Act:   []float64{1},
+	}
+	if err := snap.validate(); err == nil {
+		t.Fatal("implausible node count accepted")
+	}
+	snap.N = -5
+	if err := snap.validate(); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
+
 // TestSaveFlushesPending: an ANCF network with buffered activations saves
 // its post-snapshot state.
 func TestSaveFlushesPending(t *testing.T) {

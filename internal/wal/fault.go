@@ -1,0 +1,137 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by a Fault-wrapped file once its crash point has
+// been reached: the process is considered dead and nothing further reaches
+// the disk.
+var ErrCrashed = errors.New("wal: injected crash")
+
+// ErrInjectedWrite is the transient write error injected by
+// Fault.FailWriteAt.
+var ErrInjectedWrite = errors.New("wal: injected write error")
+
+// ErrInjectedSync is the sync error injected by Fault.FailSyncs.
+var ErrInjectedSync = errors.New("wal: injected sync error")
+
+// Fault is a fault-injection harness for the WAL's write path: its Open
+// method is an Options.OpenFile that wraps real files and injects short
+// writes, write errors, and a crash after exactly N bytes have reached the
+// disk — across every file it opened, in write order. It models the two
+// failure classes recovery must survive: a syscall failing mid-stream, and
+// the process dying with an arbitrary byte prefix persisted.
+//
+// A Fault is safe for concurrent use.
+type Fault struct {
+	mu        sync.Mutex
+	limited   bool
+	remaining int64 // byte budget until crash, valid when limited
+	crashed   bool
+	failAt    int // fail the failAt-th Write call (1-based); 0 = off
+	writes    int
+	failSyncs bool
+}
+
+// NewFault returns a harness that (until configured) passes everything
+// through.
+func NewFault() *Fault { return &Fault{} }
+
+// CrashAt arms a crash after n total bytes have been written through the
+// harness: the write that crosses the boundary is short (its prefix is
+// persisted), it returns ErrCrashed, and every later operation fails.
+func (f *Fault) CrashAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limited, f.remaining, f.crashed = true, n, false
+}
+
+// FailWriteAt makes the nth Write call (1-based, counted across files)
+// return ErrInjectedWrite without persisting anything.
+func (f *Fault) FailWriteAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
+	f.writes = 0
+}
+
+// FailSyncs makes every Sync return ErrInjectedSync.
+func (f *Fault) FailSyncs(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs = on
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Open implements Options.OpenFile: a real append-mode file behind the
+// fault layer.
+func (f *Fault) Open(path string) (File, error) {
+	real, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fault: f, f: real}, nil
+}
+
+type faultFile struct {
+	fault *Fault
+	f     *os.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fault
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.writes++
+	if f.failAt > 0 && f.writes == f.failAt {
+		return 0, ErrInjectedWrite
+	}
+	if !f.limited {
+		return ff.f.Write(p)
+	}
+	if f.remaining <= 0 {
+		f.crashed = true
+		return 0, ErrCrashed
+	}
+	n := int64(len(p))
+	if n <= f.remaining {
+		f.remaining -= n
+		return ff.f.Write(p)
+	}
+	// Short write at the crash boundary: only the prefix reaches the disk.
+	short := f.remaining
+	f.remaining = 0
+	f.crashed = true
+	n2, err := ff.f.Write(p[:short])
+	if err != nil {
+		return n2, err
+	}
+	return n2, ErrCrashed
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fault
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.failSyncs {
+		return ErrInjectedSync
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,501 @@
+// Package wal implements the append-only write-ahead log that makes an
+// activation network durable: every accepted activation is framed,
+// checksummed and appended to a segment file before it is applied to the
+// in-memory state. Because the decayed state is a pure function of the
+// activation history (the tie-decay property), a log of (edge, t) records
+// plus a periodic checkpoint is sufficient to reconstruct the exact
+// in-memory network after a crash.
+//
+// # Frame format
+//
+// Each record is stored as one frame, little-endian:
+//
+//	offset  size  field
+//	0       4     length  — payload byte count (1 .. MaxRecordSize)
+//	4       4     crc     — CRC32C (Castagnoli) of the payload
+//	8       len   payload — opaque record bytes
+//
+// A frame with length 0 is never written; on read it marks the end of the
+// valid prefix (it is what zero-filled preallocation or a torn header looks
+// like). Recovery therefore stops cleanly at the first frame that is torn
+// (fewer bytes than the header or payload announce) or corrupt (CRC
+// mismatch), and the writer truncates that tail before appending again —
+// the log is always a valid prefix of what was attempted.
+//
+// # Segments
+//
+// The log is a directory of segment files named %016x.wal, where the name
+// is the global index of the segment's first record. The writer rotates to
+// a new segment when the current one would exceed Options.SegmentSize.
+// Record indices are contiguous across segments, so a reader can skip
+// whole segments below a checkpoint without scanning them.
+//
+// # Durability
+//
+// Options.Sync selects the fsync policy: SyncAlways fsyncs after every
+// record (every acknowledged record survives a crash), SyncInterval fsyncs
+// every SyncEvery records (bounded loss window), SyncNever leaves flushing
+// to the OS (contents survive process crashes but not power loss).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	headerSize = 8
+	// MaxRecordSize bounds a single record; larger frames are treated as
+	// corruption on read and rejected on write.
+	MaxRecordSize = 16 << 20
+	// DefaultSegmentSize is the rotation threshold when Options.SegmentSize
+	// is zero.
+	DefaultSegmentSize = 4 << 20
+	// DefaultSyncEvery is the SyncInterval period when Options.SyncEvery is
+	// zero.
+	DefaultSyncEvery = 64
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when the writer fsyncs the active segment.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs after every appended record.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs every Options.SyncEvery appended records.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS flushes at its leisure.
+	SyncNever
+)
+
+// File is the subset of *os.File the writer needs, factored out so tests
+// can inject faults (short writes, write errors, crash-at-byte-N) between
+// the WAL and the disk.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a Writer. The zero value selects SyncAlways, 4 MiB
+// segments and OS files.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes (default 4 MiB).
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the record period of SyncInterval (default 64).
+	SyncEvery int
+	// OpenFile opens a segment for appending; nil means os.OpenFile with
+	// O_CREATE|O_WRONLY|O_APPEND. Tests substitute a fault-injecting
+	// implementation.
+	OpenFile func(path string) (File, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.OpenFile == nil {
+		o.OpenFile = func(path string) (File, error) {
+			return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		}
+	}
+	return o
+}
+
+// SegmentName returns the file name of the segment whose first record has
+// the given global index.
+func SegmentName(base uint64) string { return fmt.Sprintf("%016x.wal", base) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	if len(name) != 20 || filepath.Ext(name) != ".wal" {
+		return 0, false
+	}
+	var base uint64
+	if _, err := fmt.Sscanf(name[:16], "%016x", &base); err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// segInfo describes one scanned segment: its base index, the number of
+// valid records and the byte size of the valid prefix.
+type segInfo struct {
+	base    uint64
+	path    string
+	records uint64
+	good    int64 // byte length of the valid frame prefix
+	torn    bool  // a torn/corrupt frame follows the valid prefix
+}
+
+// listSegments returns the directory's segments sorted by base index.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if base, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segInfo{base: base, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// scanSegment walks a segment's frames, calling fn (when non-nil) with the
+// payload of each valid frame in order. It stops at the first torn or
+// corrupt frame and reports the valid prefix; I/O errors other than EOF
+// are returned as errors.
+func scanSegment(path string, fn func(payload []byte) error) (records uint64, good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	var (
+		hdr [headerSize]byte
+		buf []byte
+	)
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return records, good, false, nil // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			return records, good, true, nil // torn header
+		}
+		if err != nil {
+			return records, good, true, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > MaxRecordSize {
+			return records, good, true, nil // padding or corrupt length
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, good, true, nil // torn payload
+			}
+			return records, good, true, err
+		}
+		if crc32.Checksum(buf, castagnoli) != crc {
+			return records, good, true, nil // corrupt payload
+		}
+		if fn != nil {
+			if err := fn(buf); err != nil {
+				return records, good, false, err
+			}
+		}
+		records++
+		good += headerSize + int64(length)
+	}
+}
+
+// Replay reads the log in dir and calls fn(index, payload) for every valid
+// record with index ≥ from, in index order. It stops cleanly — without
+// error — at the first torn or corrupt frame; everything after it is
+// unreachable tail by the prefix property. The returned next is the index
+// one past the last record delivered (or from, if none were). Errors come
+// only from the filesystem or from fn.
+func Replay(dir string, from uint64, fn func(index uint64, payload []byte) error) (next uint64, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return from, err
+	}
+	next = from
+	for i, s := range segs {
+		// Skip segments wholly below from: every record of s is < the next
+		// segment's base.
+		if i+1 < len(segs) && segs[i+1].base <= from {
+			continue
+		}
+		// A segment starting beyond the contiguous position means the
+		// records in between were lost with their segment; nothing at or
+		// after this point is a continuation of the prefix — stop rather
+		// than silently skip indices.
+		if s.base > next {
+			break
+		}
+		idx := s.base
+		var stop bool
+		records, _, torn, err := scanSegment(s.path, func(payload []byte) error {
+			if idx >= from {
+				if err := fn(idx, payload); err != nil {
+					return err
+				}
+				next = idx + 1
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return next, err
+		}
+		if torn {
+			stop = true
+		}
+		// A gap to the next segment means the tail of this one was lost;
+		// later records are not a contiguous continuation — stop.
+		if i+1 < len(segs) && s.base+records != segs[i+1].base {
+			stop = true
+		}
+		if stop {
+			break
+		}
+	}
+	return next, nil
+}
+
+// Writer appends checksummed frames to the log in dir.
+type Writer struct {
+	dir    string
+	opts   Options
+	seg    File
+	bases  []uint64 // base index of every live segment, ascending
+	base   uint64   // base index of the active segment
+	size   int64    // bytes written to the active segment
+	next   uint64   // global index of the next record
+	acked  uint64   // records known durable (covered by an fsync)
+	unsync int      // records appended since the last fsync
+	broken error    // sticky failure: a write/sync error tore the tail
+}
+
+// OpenWriter opens the log in dir for appending, creating the directory if
+// needed. It scans the existing segments, truncates the torn tail of the
+// last valid one, removes unreachable later segments, and positions the
+// writer after the last valid record. start is the caller's low-water
+// mark (the index of the first record it would ever need again — in
+// practice the latest checkpoint's index): if the scanned log ends below
+// start, the stale segments are deleted wholesale and a fresh segment
+// starts exactly at start, keeping indices contiguous.
+func OpenWriter(dir string, start uint64, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Scan forward from start to find the end of the contiguous valid
+	// prefix, mirroring Replay: segments wholly below start are kept as-is
+	// without scanning (a checkpoint covers them; TruncateBefore collects
+	// them), and a segment whose base lies beyond the contiguous prefix (a
+	// gap — its predecessors' tail records are missing) is unreachable and
+	// removed along with everything after it.
+	end := start
+	keep := segs[:0]
+	truncated := false
+	for i := range segs {
+		s := &segs[i]
+		if i+1 < len(segs) && segs[i+1].base <= start {
+			keep = append(keep, *s)
+			continue
+		}
+		if !truncated && s.base > end {
+			truncated = true // records [end, s.base) are missing
+		}
+		if truncated {
+			if err := os.Remove(s.path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		records, good, torn, err := scanSegment(s.path, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.records, s.good, s.torn = records, good, torn
+		if torn {
+			if err := os.Truncate(s.path, good); err != nil {
+				return nil, err
+			}
+			truncated = true
+		}
+		end = s.base + records
+		keep = append(keep, *s)
+	}
+	segs = keep
+	w := &Writer{dir: dir, opts: opts}
+	if len(segs) == 0 || end < start {
+		// Nothing (or nothing the caller can use) — start fresh at start.
+		for _, s := range segs {
+			if err := os.Remove(s.path); err != nil {
+				return nil, err
+			}
+		}
+		w.next, w.acked = start, start
+		if err := w.openSegment(start, 0); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	for _, s := range segs {
+		w.bases = append(w.bases, s.base)
+	}
+	w.next, w.acked = end, end
+	if last.good < opts.SegmentSize {
+		// Resume the last segment.
+		f, err := opts.OpenFile(last.path)
+		if err != nil {
+			return nil, err
+		}
+		w.seg, w.base, w.size = f, last.base, last.good
+		return w, nil
+	}
+	if err := w.openSegment(end, 0); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) openSegment(base uint64, size int64) error {
+	f, err := w.opts.OpenFile(filepath.Join(w.dir, SegmentName(base)))
+	if err != nil {
+		return err
+	}
+	w.seg, w.base, w.size = f, base, size
+	w.bases = append(w.bases, base)
+	return nil
+}
+
+// NextIndex returns the global index the next appended record will get —
+// equivalently, the number of records ever accepted into the log.
+func (w *Writer) NextIndex() uint64 { return w.next }
+
+// DurableIndex returns the index one past the last record known to have
+// been fsynced. Records in [DurableIndex, NextIndex) are written but may
+// not survive a power loss.
+func (w *Writer) DurableIndex() uint64 { return w.acked }
+
+// Append frames rec, writes it to the active segment (rotating first if it
+// would overflow) and applies the fsync policy. It returns the record's
+// global index. After a write or sync failure the writer is broken — the
+// on-disk tail may be torn — and every subsequent call returns the same
+// error; recovery is to reopen with OpenWriter, which truncates the tail.
+func (w *Writer) Append(rec []byte) (uint64, error) {
+	if w.broken != nil {
+		return 0, w.broken
+	}
+	if len(rec) == 0 {
+		return 0, errors.New("wal: empty record")
+	}
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	frame := make([]byte, headerSize+len(rec))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, castagnoli))
+	copy(frame[headerSize:], rec)
+	if w.size > 0 && w.size+int64(len(frame)) > w.opts.SegmentSize {
+		if err := w.rotate(); err != nil {
+			w.broken = err
+			return 0, err
+		}
+	}
+	n, err := w.seg.Write(frame)
+	w.size += int64(n)
+	if err != nil {
+		w.broken = fmt.Errorf("wal: append: %w", err)
+		return 0, w.broken
+	}
+	idx := w.next
+	w.next++
+	w.unsync++
+	switch w.opts.Sync {
+	case SyncAlways:
+		if err := w.Sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if w.unsync >= w.opts.SyncEvery {
+			if err := w.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return idx, nil
+}
+
+// rotate fsyncs and closes the active segment and opens the next one.
+func (w *Writer) rotate() error {
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync on rotate: %w", err)
+	}
+	w.acked = w.next
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close on rotate: %w", err)
+	}
+	return w.openSegment(w.next, 0)
+}
+
+// Sync fsyncs the active segment, making every appended record durable.
+func (w *Writer) Sync() error {
+	if w.broken != nil {
+		return w.broken
+	}
+	if err := w.seg.Sync(); err != nil {
+		w.broken = fmt.Errorf("wal: sync: %w", err)
+		return w.broken
+	}
+	w.acked = w.next
+	w.unsync = 0
+	return nil
+}
+
+// TruncateBefore removes segments every record of which has index < index
+// — called after a checkpoint at index makes the prefix redundant. The
+// active segment is never removed.
+func (w *Writer) TruncateBefore(index uint64) error {
+	kept := w.bases[:0]
+	for i, base := range w.bases {
+		// A segment's records span [base, nextBase); it is disposable when
+		// the following segment starts at or below index.
+		if i+1 < len(w.bases) && w.bases[i+1] <= index && base != w.base {
+			if err := os.Remove(filepath.Join(w.dir, SegmentName(base))); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, base)
+	}
+	w.bases = kept
+	return nil
+}
+
+// Close fsyncs (under SyncAlways/SyncInterval) and closes the active
+// segment.
+func (w *Writer) Close() error {
+	if w.broken != nil {
+		return w.seg.Close()
+	}
+	if w.opts.Sync != SyncNever {
+		if err := w.Sync(); err != nil {
+			w.seg.Close()
+			return err
+		}
+	}
+	return w.seg.Close()
+}

@@ -1,0 +1,506 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+func appendN(t *testing.T, w *Writer, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		idx, err := w.Append(rec(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("append %d got index %d", i, idx)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string, from uint64) (next uint64, got [][]byte) {
+	t.Helper()
+	next, err := Replay(dir, from, func(idx uint64, payload []byte) error {
+		if idx != from+uint64(len(got)) {
+			t.Fatalf("out-of-order index %d", idx)
+		}
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, got
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if w.NextIndex() != 10 || w.DurableIndex() != 10 {
+		t.Fatalf("next=%d durable=%d", w.NextIndex(), w.DurableIndex())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	next, got := replayAll(t, dir, 0)
+	if next != 10 || len(got) != 10 {
+		t.Fatalf("next=%d records=%d", next, len(got))
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, rec(i)) {
+			t.Fatalf("record %d = %q", i, g)
+		}
+	}
+	// Replay from the middle.
+	next, got = replayAll(t, dir, 7)
+	if next != 10 || len(got) != 3 || !bytes.Equal(got[0], rec(7)) {
+		t.Fatalf("partial replay next=%d n=%d", next, len(got))
+	}
+}
+
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentSize: 64} // a few records per segment
+	w, err := OpenWriter(dir, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	next, got := replayAll(t, dir, 0)
+	if next != 20 || len(got) != 20 {
+		t.Fatalf("next=%d records=%d", next, len(got))
+	}
+	// Reopen and continue: indices must continue contiguously.
+	w, err = OpenWriter(dir, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != 20 {
+		t.Fatalf("reopened next=%d", w.NextIndex())
+	}
+	appendN(t, w, 20, 25)
+	w.Close()
+	next, _ = replayAll(t, dir, 0)
+	if next != 25 {
+		t.Fatalf("after reopen next=%d", next)
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	w.Close()
+	// Tear the tail: chop 3 bytes off the last frame.
+	path := filepath.Join(dir, SegmentName(0))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	next, got := replayAll(t, dir, 0)
+	if next != 4 || len(got) != 4 {
+		t.Fatalf("torn replay next=%d n=%d", next, len(got))
+	}
+	// Reopen: the torn frame must be truncated and appends continue at 4.
+	w, err = OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != 4 {
+		t.Fatalf("reopened next=%d", w.NextIndex())
+	}
+	appendN(t, w, 4, 8)
+	w.Close()
+	next, got = replayAll(t, dir, 0)
+	if next != 8 || len(got) != 8 {
+		t.Fatalf("after heal next=%d n=%d", next, len(got))
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, rec(i)) {
+			t.Fatalf("record %d = %q", i, g)
+		}
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 6)
+	w.Close()
+	// Flip a payload byte of record 3: header 8 + 11 payload per record.
+	frame := int64(headerSize + len(rec(0)))
+	path := filepath.Join(dir, SegmentName(0))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 3*frame + headerSize + 2
+	b := []byte{0}
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	next, got := replayAll(t, dir, 0)
+	if next != 3 || len(got) != 3 {
+		t.Fatalf("corrupt replay next=%d n=%d", next, len(got))
+	}
+}
+
+func TestZeroFilledTailIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 3)
+	w.Close()
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(0)), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 64)) // simulate zero preallocation
+	f.Close()
+	next, _ := replayAll(t, dir, 0)
+	if next != 3 {
+		t.Fatalf("next=%d, want 3", next)
+	}
+}
+
+func TestStartAboveLogDiscardsStaleSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 4)
+	w.Close()
+	// A checkpoint advanced past the whole log (e.g. its tail was torn
+	// away after the checkpoint): the writer must restart at start.
+	w, err = OpenWriter(dir, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != 9 {
+		t.Fatalf("next=%d, want 9", w.NextIndex())
+	}
+	if _, err := w.Append(rec(9)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	next, got := replayAll(t, dir, 9)
+	if next != 10 || len(got) != 1 || !bytes.Equal(got[0], rec(9)) {
+		t.Fatalf("next=%d n=%d", next, len(got))
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentSize: 64}
+	w, err := OpenWriter(dir, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 30)
+	segsBefore, _ := listSegments(dir)
+	if len(segsBefore) < 4 {
+		t.Fatalf("want several segments, got %d", len(segsBefore))
+	}
+	if err := w.TruncateBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := listSegments(dir)
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("no segments removed: %d -> %d", len(segsBefore), len(segsAfter))
+	}
+	// Everything from 20 on must still replay.
+	next, got := replayAll(t, dir, 20)
+	if next != 30 || len(got) != 10 {
+		t.Fatalf("next=%d n=%d", next, len(got))
+	}
+	w.Close()
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("interval", func(t *testing.T) {
+		dir := t.TempDir()
+		w, err := OpenWriter(dir, 0, Options{Sync: SyncInterval, SyncEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, w, 0, 6)
+		if w.DurableIndex() != 4 {
+			t.Fatalf("durable=%d, want 4 (one interval)", w.DurableIndex())
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if w.DurableIndex() != 6 {
+			t.Fatalf("durable=%d after Sync", w.DurableIndex())
+		}
+		w.Close()
+	})
+	t.Run("never", func(t *testing.T) {
+		dir := t.TempDir()
+		w, err := OpenWriter(dir, 0, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, w, 0, 6)
+		if w.DurableIndex() != 0 {
+			t.Fatalf("durable=%d, want 0", w.DurableIndex())
+		}
+		w.Close()
+	})
+}
+
+func TestInjectedWriteErrorBreaksWriter(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFault()
+	fault.FailWriteAt(3)
+	w, err := OpenWriter(dir, 0, Options{OpenFile: fault.Open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 2)
+	if _, err := w.Append(rec(2)); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want injected write error", err)
+	}
+	// Writer is sticky-broken.
+	if _, err := w.Append(rec(3)); err == nil {
+		t.Fatal("broken writer accepted a record")
+	}
+	w.Close()
+	next, _ := replayAll(t, dir, 0)
+	if next != 2 {
+		t.Fatalf("next=%d, want 2", next)
+	}
+}
+
+func TestInjectedSyncErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFault()
+	fault.FailSyncs(true)
+	w, err := OpenWriter(dir, 0, Options{OpenFile: fault.Open})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(rec(0)); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("err = %v, want injected sync error", err)
+	}
+	if w.DurableIndex() != 0 {
+		t.Fatalf("durable=%d after failed sync", w.DurableIndex())
+	}
+	w.Close()
+}
+
+// TestCrashAtEveryByte drives the writer into an injected crash at every
+// byte offset of a small log and checks the recovered prefix is exactly
+// the records whose frames fit below the crash point.
+func TestCrashAtEveryByte(t *testing.T) {
+	const records = 8
+	frame := int64(headerSize + len(rec(0)))
+	total := frame * records
+	for crash := int64(0); crash <= total; crash++ {
+		dir := t.TempDir()
+		fault := NewFault()
+		fault.CrashAt(crash)
+		w, err := OpenWriter(dir, 0, Options{OpenFile: fault.Open, SegmentSize: 3 * frame})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for i := 0; i < records; i++ {
+			if _, err := w.Append(rec(i)); err != nil {
+				break
+			}
+			acked++
+		}
+		next, got := replayAll(t, dir, 0)
+		// Frames land contiguously, so the survivors are exactly the
+		// frames wholly below the crash byte.
+		want := crash / frame
+		if want > records {
+			want = records
+		}
+		if next != uint64(want) || int64(len(got)) != want {
+			t.Fatalf("crash@%d: recovered %d records (next=%d), want %d", crash, len(got), next, want)
+		}
+		if int64(acked) > want {
+			t.Fatalf("crash@%d: %d acked but only %d recovered", crash, acked, want)
+		}
+		for i, g := range got {
+			if !bytes.Equal(g, rec(i)) {
+				t.Fatalf("crash@%d: record %d = %q", crash, i, g)
+			}
+		}
+		w.Close()
+	}
+}
+
+func TestAppendRejectsBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+// FuzzReplay feeds arbitrary bytes as a segment file: Replay must never
+// panic and must only ever deliver frames whose checksum matches.
+func FuzzReplay(f *testing.F) {
+	valid := make([]byte, 0, 64)
+	for i := 0; i < 3; i++ {
+		p := rec(i)
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crcOf(p))
+		valid = append(valid, hdr[:]...)
+		valid = append(valid, p...)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, SegmentName(0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prev := uint64(0)
+		_, err := Replay(dir, 0, func(idx uint64, payload []byte) error {
+			if idx != prev {
+				t.Fatalf("index jumped to %d", idx)
+			}
+			prev++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay errored on arbitrary bytes: %v", err)
+		}
+	})
+}
+
+func crcOf(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
+// TestOpenWriterKeepsTailAtLowWater: reopening with start anywhere at or
+// below the log's end must preserve every record on disk — start is a
+// low-water mark, not a resume position, and the tail [start, end) is
+// exactly what the next recovery still needs.
+func TestOpenWriterKeepsTailAtLowWater(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []uint64{0, 3, 10} { // below, inside, exactly at the end
+		w, err := OpenWriter(dir, start, Options{SegmentSize: 64})
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		if w.NextIndex() != 10 {
+			t.Fatalf("start %d: next = %d, want 10", start, w.NextIndex())
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if next, got := replayAll(t, dir, 0); next != 10 || len(got) != 10 {
+			t.Fatalf("start %d: %d records survive reopen, next %d", start, len(got), next)
+		}
+	}
+}
+
+// TestLeadingGapStopsReplay: when the segment holding the requested
+// position is gone (and the log therefore has no contiguous continuation
+// from it), Replay must deliver nothing rather than silently skip the
+// missing indices, and OpenWriter must discard the unreachable remainder.
+func TestLeadingGapStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{SegmentSize: 64}) // ~3 records per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 12)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[0].path); err != nil {
+		t.Fatal(err)
+	}
+	next, got := replayAll(t, dir, 0)
+	if next != 0 || len(got) != 0 {
+		t.Fatalf("replay across a leading gap delivered %d records, next %d", len(got), next)
+	}
+	// Reopening at the missing position discards the unreachable tail and
+	// starts fresh there.
+	w, err = OpenWriter(dir, 0, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != 0 {
+		t.Fatalf("next = %d after reopening a gapped log at 0", w.NextIndex())
+	}
+	appendN(t, w, 0, 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if next, got := replayAll(t, dir, 0); next != 2 || len(got) != 2 {
+		t.Fatalf("fresh log after gap: %d records, next %d", len(got), next)
+	}
+}
