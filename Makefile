@@ -1,16 +1,35 @@
 # Development and CI entry points. `make check` is what every PR must
-# pass: vet, build, the full test suite, the race detector, and a short
-# fuzz smoke over the corruption-facing decoders.
+# pass: vet, the ANC invariant linter, build, the full test suite, the
+# race detector, and a short fuzz smoke over the corruption-facing
+# decoders.
 
 GO ?= go
 FUZZTIME ?= 10s
+ANCLINT := bin/anclint
 
-.PHONY: check vet build test race fuzz-smoke bench clean
+.PHONY: check vet lint tools build test race fuzz-smoke bench clean
 
-check: vet build test race fuzz-smoke
+check: vet lint build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint builds and runs the ANC invariant analyzer suite (internal/lint,
+# DESIGN.md §9) over the whole module. Suppress an intentional finding
+# with `//anclint:ignore <analyzer> <reason>` on or above the line.
+lint: $(ANCLINT)
+	$(ANCLINT) ./...
+
+$(ANCLINT): $(shell find internal/lint cmd/anclint -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o $(ANCLINT) ./cmd/anclint
+
+# tools verifies the toolchain the checks depend on. The analyzer suite
+# is implemented in-tree over the standard library's go/* packages
+# (no golang.org/x/tools dependency — see DESIGN.md §9), so this only
+# pins the module graph.
+tools:
+	$(GO) mod verify
+	$(GO) version
 
 build:
 	$(GO) build ./...
@@ -32,4 +51,5 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 clean:
+	rm -rf bin
 	$(GO) clean ./...

@@ -195,8 +195,10 @@ func (nw *Network) Activate(u, v int, t float64) error {
 // Snapshot finalizes buffered work: under ANCF it applies the reinforcement
 // rounds and rebuilds the index; under ANCOR it flushes the pending
 // reinforcement pass; under ANCO it is a no-op. Call it before querying if
-// exact method semantics at the current instant matter.
-func (nw *Network) Snapshot() { nw.inner.Snapshot() }
+// exact method semantics at the current instant matter. A non-nil error
+// means the reinforced weights left the finite range and the index was not
+// rebuilt; the buffered activations stay pending.
+func (nw *Network) Snapshot() error { return nw.inner.Snapshot() }
 
 // Clusters reports all clusters at the given granularity level using power
 // clustering (the paper's DirectedCluster). Level 1 is coarsest;

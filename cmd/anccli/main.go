@@ -82,7 +82,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	net, ids, err := anc.LoadEdgeList(f, cfg)
-	f.Close()
+	f.Close() //anclint:ignore droppederr read-only graph file; a close error cannot lose data
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -122,7 +122,9 @@ func main() {
 		if err := replay(activate, ids, *streamPath); err != nil {
 			fatalf("stream: %v", err)
 		}
-		net.Snapshot()
+		if err := net.Snapshot(); err != nil {
+			fatalf("snapshot: %v", err)
+		}
 	}
 
 	lvl := *level
@@ -142,7 +144,7 @@ func main() {
 					s.Components, s.LargestComp, s.MinDeg, s.MedianDeg, s.AvgDeg, s.MaxDeg,
 					s.Triangles, s.GlobalClustCoef)
 			}
-			f2.Close()
+			f2.Close() //anclint:ignore droppederr read-only graph file; a close error cannot lose data
 		}
 	case "clusters":
 		cs := net.Clusters(lvl)

@@ -1,0 +1,50 @@
+// Command anclint runs the ANC invariant analyzer suite (see
+// internal/lint and DESIGN.md §9) over the given package patterns,
+// defaulting to ./... from the module root. It prints one finding per
+// line in file:line:col format and exits 1 when any finding survives
+// the //anclint:ignore filters, so `make lint` can gate CI on it.
+//
+// Usage:
+//
+//	anclint [packages]
+//
+// Package patterns accept module-relative directories ("./internal/wal"),
+// import paths ("anc/internal/core"), and "..." subtrees ("./...").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anc/internal/lint"
+	"anc/internal/lint/runner"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: anclint [packages]\n\nRuns the ANC analyzer suite; see DESIGN.md §9.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anclint:", err)
+		os.Exit(2)
+	}
+	findings, err := runner.Run(dir, patterns, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anclint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		runner.Print(os.Stdout, findings)
+		fmt.Fprintf(os.Stderr, "anclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

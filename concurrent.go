@@ -29,10 +29,10 @@ func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 }
 
 // Snapshot finalizes buffered work (exclusive lock).
-func (c *ConcurrentNetwork) Snapshot() {
+func (c *ConcurrentNetwork) Snapshot() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.net.Snapshot()
+	return c.net.Snapshot()
 }
 
 // Clusters reports all clusters at a level (shared lock).

@@ -1,0 +1,116 @@
+package anc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"anc"
+)
+
+// buildSeededNetwork constructs a network on a deterministic random graph
+// and feeds it a deterministic activation stream. Every run with the same
+// seed must produce the same network — the property the determinism
+// analyzer (internal/lint/determinism) guards statically and this test
+// guards end to end: replay determinism is what makes WAL recovery land
+// on an equivalent network.
+func buildSeededNetwork(t *testing.T, method anc.Method, seed int64) *anc.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n = 60
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	// Ring for connectivity plus random chords.
+	for i := 0; i < n; i++ {
+		e := [2]int{i, (i + 1) % n}
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		edges = append(edges, e)
+		seen[e] = true
+	}
+	for len(edges) < 3*n {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	cfg := anc.DefaultConfig()
+	cfg.Method = method
+	cfg.Seed = seed
+	net, err := anc.NewNetwork(n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		e := edges[rng.Intn(len(edges))]
+		if err := net.Activate(e[0], e[1], float64(i)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestDeterministicReplay builds two identically-seeded networks and
+// asserts every query result and the snapshot encoding are identical.
+func TestDeterministicReplay(t *testing.T) {
+	for _, method := range []anc.Method{anc.ANCO, anc.ANCOR, anc.ANCF} {
+		a := buildSeededNetwork(t, method, 42)
+		b := buildSeededNetwork(t, method, 42)
+
+		for level := 1; level <= a.Levels(); level++ {
+			if ca, cb := a.Clusters(level), b.Clusters(level); !reflect.DeepEqual(ca, cb) {
+				t.Errorf("method %v: Clusters(%d) differ between identical runs", method, level)
+			}
+			if ea, eb := a.EvenClusters(level), b.EvenClusters(level); !reflect.DeepEqual(ea, eb) {
+				t.Errorf("method %v: EvenClusters(%d) differ between identical runs", method, level)
+			}
+		}
+		for v := 0; v < a.N(); v++ {
+			if sa, sb := a.SmallestClusterOf(v), b.SmallestClusterOf(v); !reflect.DeepEqual(sa, sb) {
+				t.Errorf("method %v: SmallestClusterOf(%d) differs between identical runs", method, v)
+			}
+		}
+
+		var bufA, bufB bytes.Buffer
+		if err := a.Save(&bufA); err != nil {
+			t.Fatalf("method %v: save a: %v", method, err)
+		}
+		if err := b.Save(&bufB); err != nil {
+			t.Fatalf("method %v: save b: %v", method, err)
+		}
+		if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+			t.Errorf("method %v: snapshot encodings differ between identical runs (%d vs %d bytes)",
+				method, bufA.Len(), bufB.Len())
+		}
+	}
+}
+
+// TestDeterministicAcrossQueries re-queries the same network twice:
+// clustering reads must not mutate state or depend on iteration order.
+func TestDeterministicAcrossQueries(t *testing.T) {
+	net := buildSeededNetwork(t, anc.ANCO, 7)
+	level := net.SqrtLevel()
+	first := net.Clusters(level)
+	second := net.Clusters(level)
+	if !reflect.DeepEqual(first, second) {
+		t.Error("Clusters is not stable across repeated queries on the same network")
+	}
+	firstEven := net.EvenClusters(level)
+	secondEven := net.EvenClusters(level)
+	if !reflect.DeepEqual(firstEven, secondEven) {
+		t.Error("EvenClusters is not stable across repeated queries on the same network")
+	}
+}

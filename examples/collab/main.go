@@ -82,7 +82,9 @@ func main() {
 		if year%10 != 0 {
 			continue
 		}
-		net.Snapshot()
+		if err := net.Snapshot(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("— year %d —\n", year)
 		for _, level := range []int{2, 3} {
 			members := net.ClusterOf(8, level)

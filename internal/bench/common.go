@@ -14,7 +14,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"sort"
 	"text/tabwriter"
@@ -22,6 +21,7 @@ import (
 
 	"anc/internal/core"
 	"anc/internal/dataset"
+	"anc/internal/decay"
 	"anc/internal/gen"
 	"anc/internal/graph"
 	"anc/internal/pyramid"
@@ -91,26 +91,44 @@ func timeIt(f func()) time.Duration {
 }
 
 // activenessTracker maintains plain decayed activeness weights for the
-// baselines (DYNA, LWEP, SCAN, LOUV), mirroring what the paper feeds them.
+// baselines (DYNA, LWEP, SCAN, LOUV), mirroring what the paper feeds
+// them. Decay routes through decay.Clock (the nakedexp invariant): the
+// tracker registers as a Rescalable store, and each tick advances the
+// clock one time unit and rescales, which folds g = exp(-λ·1) into the
+// weights.
 type activenessTracker struct {
-	lambda float64
-	act    []float64
+	clock *decay.Clock
+	act   []float64
+	lastG float64
 }
 
 func newActivenessTracker(m int, lambda float64) *activenessTracker {
-	return &activenessTracker{lambda: lambda, act: unitWeights(m)}
+	t := &activenessTracker{clock: decay.NewClock(lambda), act: unitWeights(m)}
+	t.clock.Register(t)
+	return t
+}
+
+// OnRescale implements decay.Rescalable: activeness is PosM, so the
+// anchored weights absorb ×g.
+func (a *activenessTracker) OnRescale(g float64) {
+	for i := range a.act {
+		a.act[i] *= g
+	}
+	a.lastG = g
 }
 
 // tick decays all weights by one time unit and returns the factor.
 func (a *activenessTracker) tick() float64 {
-	f := math.Exp(-a.lambda)
-	for i := range a.act {
-		a.act[i] *= f
-	}
-	return f
+	a.clock.Advance(a.clock.Now() + 1)
+	a.clock.Rescale()
+	return a.lastG
 }
 
-func (a *activenessTracker) activate(e graph.EdgeID) { a.act[e]++ }
+// activate records one activation. The clock is always freshly rescaled
+// (tick rescales every step), so the anchored increment 1/g is exactly 1.
+func (a *activenessTracker) activate(e graph.EdgeID) {
+	a.act[e] += 1 / a.clock.G()
+}
 
 // percentile returns the q-quantile (0..1) of the (unsorted) durations.
 func percentile(ds []time.Duration, q float64) time.Duration {

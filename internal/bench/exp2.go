@@ -123,7 +123,9 @@ func Exp2ActivationTime(cfg Config, w io.Writer) []Exp2TimeRow {
 			nwF.Activate(a.Edge, a.T)
 		}
 		rows = append(rows, Exp2TimeRow{"ANCF", true, spec.Name, timeIt(func() {
-			nwF.Snapshot()
+			if err := nwF.Snapshot(); err != nil {
+				panic(err) // synthetic weights stay finite
+			}
 		}).Seconds()})
 	}
 	return rows
@@ -234,7 +236,9 @@ func Exp2QualitySeries(cfg Config, w io.Writer, datasets []string) []Exp2Quality
 			record("ANCO", cO.Labels)
 			cR, _ := nwR.ClustersNear(truthK)
 			record("ANCOR", cR.Labels)
-			nwF.Snapshot()
+			if err := nwF.Snapshot(); err != nil {
+				panic(err) // synthetic weights stay finite
+			}
 			cF, _ := nwF.ClustersNear(truthK)
 			record("ANCF", cF.Labels)
 			record("DYNA", append([]int32(nil), dy.Labels()...))

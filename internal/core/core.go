@@ -285,23 +285,35 @@ func (nw *Network) Flush() {
 // stream and polarizes S (Attractor-style), washing out the temporal
 // signal the activeness carries. For other methods Snapshot is a cheaper
 // Flush.
-func (nw *Network) Snapshot() {
+//
+// A non-nil error means a reinforced weight left the finite range — the
+// repeated reinforcement overflowed the similarity clamp — and the index
+// was left untouched; the buffered activations remain pending.
+func (nw *Network) Snapshot() error {
 	if nw.opts.Method != ANCF {
 		nw.Flush()
-		return
+		return nil
 	}
-	nw.Stats.Reconstructs++
 	for r := 0; r < nw.opts.Rep; r++ {
 		for _, e := range nw.pending {
 			nw.sim.Reinforce(e)
 		}
 	}
+	// Validate every reinforced weight before touching the index, so a
+	// failed snapshot never applies partially.
+	for _, e := range nw.pending {
+		if w := nw.sim.Weight(e); math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: snapshot: non-finite weight %v on edge %d after reinforcement", w, e)
+		}
+	}
+	nw.Stats.Reconstructs++
 	for _, e := range nw.pending {
 		nw.ix.SetWeight(e, nw.sim.Weight(e))
 		nw.pendingMark[e] = false
 	}
 	nw.pending = nw.pending[:0]
 	nw.ix.Reconstruct()
+	return nil
 }
 
 // Clusters reports the power clustering (the paper's DirectedCluster) at

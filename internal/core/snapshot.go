@@ -66,7 +66,9 @@ var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 // from the saved seeds and weights, trading O(index build) load time for a
 // compact file.
 func (nw *Network) Save(w io.Writer) error {
-	nw.Snapshot()
+	if err := nw.Snapshot(); err != nil {
+		return err
+	}
 	nw.clock.Rescale()
 	s, act := nw.sim.ExportState()
 	snap := snapshotV1{

@@ -1,0 +1,39 @@
+// Package floats provides the epsilon comparisons the floateq analyzer
+// (internal/lint/floateq) steers code toward: the numeric kernels carry
+// weights through long multiply/rescale chains, so two mathematically
+// equal values computed along different paths routinely differ in the
+// last ulps, and exact == is almost always a latent bug.
+package floats
+
+import "math"
+
+// Eps is the default comparison tolerance: loose enough to absorb a few
+// hundred ulps of drift at magnitude 1, tight enough to distinguish any
+// genuinely different activation weights.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within the default tolerance,
+// scaled by magnitude: |a-b| <= Eps * max(1, |a|, |b|).
+func Eq(a, b float64) bool {
+	return Near(a, b, Eps)
+}
+
+// Near reports whether a and b are equal within eps, scaled by
+// magnitude: |a-b| <= eps * max(1, |a|, |b|). NaN is near nothing,
+// including itself; equal infinities are near each other.
+func Near(a, b, eps float64) bool {
+	if a == b { //anclint:ignore floateq fast path; bit-equal (incl. equal infinities) is near by definition
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities, or infinite vs finite
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= eps*scale
+}

@@ -1,0 +1,41 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 1.0, true},
+		{1.0, 1.0 + 1e-12, true},
+		{1.0, 1.0 + 1e-6, false},
+		{0, 0, true},
+		{0, 1e-12, true},
+		{0, 1e-6, false},
+		{1e12, 1e12 + 1, true}, // relative: 1 part in 1e12
+		{1e12, 1.001e12, false},
+		{-1, 1, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(1.0, 1.05, 0.1) {
+		t.Error("Near(1, 1.05, 0.1) = false, want true")
+	}
+	if Near(1.0, 1.5, 0.1) {
+		t.Error("Near(1, 1.5, 0.1) = true, want false")
+	}
+}

@@ -1,0 +1,95 @@
+// Package analysis is a self-contained, stdlib-only workalike of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check with a
+// Run function over a type-checked package (a Pass), reporting position-
+// tagged Diagnostics. The subset implemented here — Analyzer, Pass,
+// Diagnostic, Reportf — matches the upstream API shape so the ANC
+// analyzers port to the real framework verbatim if a vendored
+// golang.org/x/tools ever becomes available; the module itself stays
+// dependency-free by design (see DESIGN.md §9).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //anclint:ignore comments. By convention a short lowercase word.
+	Name string
+	// Doc is the one-paragraph description: the invariant enforced and
+	// why it matters.
+	Doc string
+	// Run applies the check to a single package and reports findings via
+	// pass.Report. The result value is unused by the ANC runner (kept for
+	// upstream API compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds the inputs available to an Analyzer.Run call: one fully
+// parsed and type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf resolves the types object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// CalleeObject resolves the object called by a call expression — a
+// *types.Func for static calls to functions and methods, nil for dynamic
+// calls and conversions. Shared by several ANC analyzers.
+func (p *Pass) CalleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsStdFunc reports whether call statically invokes the package-level
+// function pkgPath.name (e.g. "math".Exp, "time".Now).
+func (p *Pass) IsStdFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	obj := p.CalleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract: a fixture line
+// that should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several regexps for several findings on one line), and the
+// test fails on any unmatched expectation or unexpected finding. Fixture
+// packages live under <testdata>/src/<name> and may import only the
+// standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"anc/internal/lint/analysis"
+	"anc/internal/lint/load"
+)
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run applies the analyzer to each fixture package under
+// testdata/src/<pkg> and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Errorf("%s: load: %v", name, err)
+			continue
+		}
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: fixture has type errors: %v", name, e)
+		}
+		run(t, name, a, pkg)
+	}
+}
+
+func run(t *testing.T, name string, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, collectWants(t, pkg.Fset, f)...)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: %s failed: %v", name, a.Name, err)
+		return
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding at %s: %s", name, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no finding at %s:%d matching %q", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ms := wantRe.FindAllStringSubmatch(text, -1)
+			if len(ms) == 0 {
+				t.Errorf("%s: want comment without a quoted regexp", pos)
+				continue
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(unquote(m[1]))
+				if err != nil {
+					t.Errorf("%s: bad want regexp: %v", pos, err)
+					continue
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// unquote undoes the backslash escapes of a want string (\" and \\).
+func unquote(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Fprint is a debugging helper: it renders diagnostics for a fixture the
+// way the runner would.
+func Fprint(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+// Package determinism flags nondeterminism sources in the replay-critical
+// packages (core, pyramid, cluster, decay, graph).
+//
+// Snapshot/recovery equivalence (the PR 1 invariant) holds only because
+// the in-memory state is a pure function of the activation history: the
+// WAL replays the history and must land on the byte-identical network.
+// Three things silently break that purity:
+//
+//   - time.Now() — wall-clock reads differ across runs;
+//   - the global math/rand functions — shared, unseeded (or
+//     globally-seeded) stream; only explicit rand.New(rand.NewSource(seed))
+//     generators are replayable;
+//   - map-range iteration feeding ordered output — Go randomizes map
+//     iteration order, so any slice appended to, writer written to, or
+//     float accumulated into (FP addition is not associative) inside a
+//     map-range loop differs from run to run.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags wall-clock reads, global math/rand use and order-
+// sensitive map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags time.Now, global math/rand and map-range iteration " +
+		"feeding ordered output in replay-critical packages; recovery " +
+		"equivalence requires replayable execution",
+	Run: run,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicit generators rather than draw from the global one.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.RangeStmt:
+				checkMapRange(pass, x)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := pass.CalleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now is wall-clock and breaks replay determinism; thread the network time (decay.Clock.Now) instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s draws from the shared stream and breaks replay determinism; use an explicit rand.New(rand.NewSource(seed))",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body feeds ordered output:
+// appends to a slice declared outside the loop, writes through a writer
+// or encoder, or accumulates floats (+=, -=, *=, /=) into storage
+// declared outside the loop.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if sink := orderedSink(pass, rng); sink != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration order is random and this loop %s; collect and sort the keys first, or annotate with //anclint:ignore determinism <reason>",
+			sink)
+	}
+}
+
+func orderedSink(pass *analysis.Pass, rng *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range x.Lhs {
+					if isFloat(pass, lhs) && declaredOutside(pass, lhs, rng) {
+						sink = "accumulates floats in iteration order (FP addition is not associative)"
+						return false
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				// append to a slice declared outside the loop — except the
+				// collect-then-sort idiom (appending only the range key),
+				// which is the sanctioned fix for every other finding here.
+				for i, rhs := range x.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(x.Lhs) {
+						continue
+					}
+					if declaredOutside(pass, x.Lhs[i], rng) && !appendsOnlyKey(pass, call, rng) {
+						sink = "appends to a slice that outlives the loop"
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isOrderedWrite(pass, x) {
+				sink = "writes to an encoder or writer"
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// appendsOnlyKey reports whether every appended value is exactly the
+// range key variable: `keys = append(keys, k)` is the collect-then-sort
+// idiom and deterministic once the caller sorts.
+func appendsOnlyKey(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.ObjectOf(keyID)
+	if keyObj == nil {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != keyObj {
+			return false
+		}
+	}
+	return len(call.Args) > 1
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderedWrite reports whether the call emits bytes in call order:
+// fmt.Fprint*/Print*, or a method named Write/WriteString/WriteByte/
+// Encode/EncodeValue/Append.
+func isOrderedWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := pass.CalleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "EncodeValue", "Append":
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the base identifier of e (unwrapping
+// index and selector expressions) denotes an object declared outside the
+// range statement.
+func declaredOutside(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "determinism")
+}

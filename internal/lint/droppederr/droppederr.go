@@ -1,0 +1,185 @@
+// Package droppederr flags discarded errors from Write, Sync, Close and
+// Flush calls in the durability-critical code (internal/wal, the durable
+// wrapper, the snapshot encoder, and the CLIs that persist state).
+//
+// A WAL or checkpoint whose Sync error vanishes turns "acknowledged means
+// durable" into a silent lie: the caller proceeds as if the bytes were on
+// disk. Discarding is either a bare call statement (including under defer
+// and go) or a blank assignment of the error result.
+//
+// One pattern is exempt: cleanup on an error path that is already
+// propagating a different error — e.g. f.Close() just before `return err`
+// — because reporting the original failure matters more than the
+// cleanup's. The exemption triggers when the innermost enclosing block
+// also returns or records a non-nil error value.
+package droppederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags dropped errors from durability-relevant methods.
+var Analyzer = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc: "flags discarded errors from Write/Sync/Close/Flush in " +
+		"durability code; a dropped Sync error silently voids the " +
+		"durability guarantee",
+	Run: run,
+}
+
+// watched is the set of method/function names whose error results carry
+// durability meaning.
+var watched = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Sync":        true,
+	"Close":       true,
+	"Flush":       true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		var blocks []*ast.BlockStmt // enclosing block stack
+		var inspect func(n ast.Node) bool
+		inspect = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BlockStmt:
+				blocks = append(blocks, x)
+				for _, s := range x.List {
+					ast.Inspect(s, inspect)
+				}
+				blocks = blocks[:len(blocks)-1]
+				return false
+			case *ast.ExprStmt:
+				if call := watchedCall(pass, x.X); call != nil && !onErrorPath(pass, blocks) {
+					report(pass, call)
+				}
+			case *ast.DeferStmt:
+				if call := watchedCall(pass, x.Call); call != nil && !onErrorPath(pass, blocks) {
+					report(pass, call)
+				}
+			case *ast.GoStmt:
+				if call := watchedCall(pass, x.Call); call != nil {
+					report(pass, call)
+				}
+			case *ast.AssignStmt:
+				// _ = f.Close() or n, _ = w.Write(p): the error position
+				// assigned to blank.
+				for i, rhs := range x.Rhs {
+					call := watchedCall(pass, rhs)
+					if call == nil {
+						continue
+					}
+					if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+						// Multi-value: the error is the last result.
+						if isBlank(x.Lhs[len(x.Lhs)-1]) && !onErrorPath(pass, blocks) {
+							report(pass, call)
+						}
+					} else if i < len(x.Lhs) && isBlank(x.Lhs[i]) && !onErrorPath(pass, blocks) {
+						report(pass, call)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, inspect)
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr) {
+	name := calleeName(call)
+	pass.Reportf(call.Pos(),
+		"error from %s is discarded; durability promises die silently — handle it or annotate with //anclint:ignore droppederr <reason>",
+		name)
+}
+
+// watchedCall returns the call if e invokes a watched method/function
+// whose (last) result is an error.
+func watchedCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if !watched[calleeName(call)] {
+		return nil
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return nil
+	}
+	return call
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// onErrorPath reports whether the innermost enclosing block already
+// propagates an error: it contains a return statement carrying a non-nil
+// error expression, or an assignment storing into an error-typed
+// variable. Cleanup calls on such paths may drop their own error.
+func onErrorPath(pass *analysis.Pass, blocks []*ast.BlockStmt) bool {
+	if len(blocks) == 0 {
+		return false
+	}
+	block := blocks[len(blocks)-1]
+	for _, s := range block.List {
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if isNil(r) {
+					continue
+				}
+				if t := pass.TypeOf(r); t != nil && isErrorType(t) {
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			// Only plain assignment (=) into an existing error variable
+			// counts as recording a failure; := defines a fresh one and
+			// says nothing about being on an error path.
+			if st.Tok != token.ASSIGN {
+				continue
+			}
+			for _, lhs := range st.Lhs {
+				if isBlank(lhs) {
+					continue
+				}
+				if t := pass.TypeOf(lhs); t != nil && isErrorType(t) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, "../testdata", droppederr.Analyzer, "droppederr")
+}

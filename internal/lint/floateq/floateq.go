@@ -1,0 +1,89 @@
+// Package floateq flags == and != between floating-point expressions.
+//
+// The numeric kernels (decay, similarity, cluster, pyramid) carry values
+// through long chains of multiplies and rescales; exact float equality
+// there is almost always a latent bug — two mathematically equal
+// quantities computed along different paths differ in the last ulps. The
+// epsilon helpers in internal/floats (floats.Eq, floats.Near) state the
+// intended tolerance explicitly. The rare sites where bit-exact equality
+// is the intent (change-detection shortcuts) carry an
+// //anclint:ignore floateq comment saying so.
+//
+// Comparisons against the exact literal 0 are allowed: testing "was this
+// explicitly zeroed / never set" is well-defined in IEEE 754 and idiomatic
+// for sentinel checks.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags float equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between float64 expressions; use the epsilon " +
+		"helpers in internal/floats, or annotate bit-exact intent with " +
+		"//anclint:ignore floateq <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, b.X) || !isFloat(pass, b.Y) {
+				return true
+			}
+			// Constant folding: a comparison both sides of which are
+			// compile-time constants is exact by construction.
+			if isConst(pass, b.X) && isConst(pass, b.Y) {
+				return true
+			}
+			// Exact-zero sentinel checks are allowed.
+			if isZeroLit(pass, b.X) || isZeroLit(pass, b.Y) {
+				return true
+			}
+			pass.Reportf(b.OpPos,
+				"float equality %s between %s and %s; use floats.Eq/floats.Near (internal/floats) or annotate bit-exact intent",
+				b.Op, types.ExprString(b.X), types.ExprString(b.Y))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isZeroLit reports whether e is a constant exactly equal to zero.
+func isZeroLit(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "../testdata", floateq.Analyzer, "floateq")
+}

@@ -1,0 +1,334 @@
+// Package load parses and type-checks packages of this module for the
+// internal/lint analyzers, using nothing but the standard library: module
+// packages are resolved by path prefix against the module root (read from
+// go.mod), standard-library imports are type-checked from GOROOT source
+// via go/importer's "source" compiler. No go/packages, no export data, no
+// network — the loader works in the same hermetic environment as `go
+// build`.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("anc", "anc/internal/wal", …). Packages
+	// loaded from explicit directories outside the module tree (test
+	// fixtures) use their directory-derived name.
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. Analyzers still run on
+	// packages with type errors, but findings there may be unreliable.
+	TypeErrors []error
+}
+
+// Loader loads module packages with a shared FileSet and import cache.
+type Loader struct {
+	Fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+
+	std  types.ImporterFrom // GOROOT source importer
+	pkgs map[string]*entry  // by import path
+}
+
+type entry struct {
+	pkg      *Package
+	err      error
+	checking bool // cycle guard
+}
+
+// NewLoader returns a loader rooted at the module containing dir (the
+// nearest parent with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("load: no go.mod above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePathOf(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		moduleRoot: root,
+		modulePath: modPath,
+		pkgs:       map[string]*entry{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePathOf extracts the module path from a go.mod file.
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module directive in %s", gomod)
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleRoot returns the module's root directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// Load resolves patterns to packages and type-checks them. Supported
+// patterns: "./..." (every package under the module root), a directory
+// path ("./internal/wal", absolute paths work too), or a module import
+// path ("anc/internal/wal").
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := l.walkPackages(l.moduleRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			ds, err := l.walkPackages(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		default:
+			add(l.resolveDir(pat))
+		}
+	}
+	var out []*Package
+	for _, d := range dirs {
+		p, err := l.LoadDir(d)
+		if err != nil {
+			if isNoGo(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (l *Loader) resolveDir(pat string) string {
+	if filepath.IsAbs(pat) {
+		return pat
+	}
+	if strings.HasPrefix(pat, "./") || pat == "." {
+		abs, _ := filepath.Abs(pat)
+		return abs
+	}
+	// Module import path.
+	if pat == l.modulePath {
+		return l.moduleRoot
+	}
+	if rest, ok := strings.CutPrefix(pat, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest))
+	}
+	abs, _ := filepath.Abs(pat)
+	return abs
+}
+
+// walkPackages lists every directory under root holding at least one
+// non-test .go file, skipping testdata, hidden and underscore directories.
+func (l *Loader) walkPackages(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+type noGoError struct{ dir string }
+
+func (e *noGoError) Error() string { return "load: no buildable Go files in " + e.dir }
+
+func isNoGo(err error) bool {
+	if _, ok := err.(*noGoError); ok {
+		return true
+	}
+	_, ok := err.(*build.NoGoError)
+	return ok
+}
+
+// LoadDir loads and type-checks the package in a single directory. The
+// import path is derived from the directory's position under the module
+// root; directories outside the module (test fixtures) get their base
+// name as path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	return l.loadPath(path, abs)
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	if dir == l.moduleRoot {
+		return l.modulePath
+	}
+	if rel, err := filepath.Rel(l.moduleRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		return l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(dir)
+}
+
+// loadPath loads the package at dir, caching by import path.
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e.checking {
+			return nil, fmt.Errorf("load: import cycle through %s", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &entry{checking: true}
+	l.pkgs[path] = e
+	pkg, err := l.check(path, dir)
+	e.pkg, e.err, e.checking = pkg, err, false
+	return pkg, err
+}
+
+// check parses the directory's buildable non-test files and type-checks
+// them, resolving imports through the loader.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, &noGoError{dir: dir}
+		}
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	names = append(names, bp.CgoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, &noGoError{dir: dir}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: &moduleImporter{l: l, fromDir: dir},
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// moduleImporter routes module-internal imports to the loader and
+// everything else to the GOROOT source importer.
+type moduleImporter struct {
+	l       *Loader
+	fromDir string
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, m.fromDir, 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := m.l
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		dir := l.moduleRoot
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			dir = filepath.Join(l.moduleRoot, filepath.FromSlash(rest))
+		}
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("load: type-checking %s failed", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}

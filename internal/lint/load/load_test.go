@@ -1,0 +1,72 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModule type-checks the entire module from source through the
+// loader and demands zero type errors — if this fails, every analyzer's
+// view of the code is suspect.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages", len(pkgs))
+	}
+	var sawRoot, sawWAL bool
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+		if p.Types == nil {
+			t.Errorf("%s: no type information", p.Path)
+		}
+		switch p.Path {
+		case "anc":
+			sawRoot = true
+		case "anc/internal/wal":
+			sawWAL = true
+		}
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("testdata package loaded by ./...: %s", p.Dir)
+		}
+	}
+	if !sawRoot || !sawWAL {
+		t.Fatalf("expected anc and anc/internal/wal among loaded packages (root=%v wal=%v)", sawRoot, sawWAL)
+	}
+}
+
+// TestLoadSingleDir loads one package by directory and by import path.
+func TestLoadSingleDir(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(l.ModuleRoot() + "/internal/decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path != "anc/internal/decay" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	pkgs, err := l.Load("anc/internal/decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0] != p {
+		t.Fatalf("import-path load did not hit the cache: %+v", pkgs)
+	}
+}

@@ -1,0 +1,76 @@
+// Package nakedexp flags raw math.Exp calls over time quantities outside
+// internal/decay.
+//
+// The invariant (Section IV of the paper): every exponential decay
+// computation must route through the anchored global decay factor
+// maintained by decay.Clock. A raw exp(-λ·Δt) against unanchored time is
+// exactly the silent numerical-drift bug the batched-rescale scheme
+// exists to prevent — it bypasses the anchor, so its result diverges from
+// the anchored state as t grows, and nothing ever rescales it back into
+// range.
+package nakedexp
+
+import (
+	"go/ast"
+	"regexp"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags math.Exp calls whose argument involves a time quantity.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedexp",
+	Doc: "flags raw math.Exp over timestamp deltas or decay factors; " +
+		"all decay math must go through decay.Clock so the batched " +
+		"rescale keeps anchored values in range",
+	Run: run,
+}
+
+// timeish matches identifiers (or selector fields) that denote time
+// quantities or decay factors: t, dt, Δt spellings, now/anchor, lambda.
+var timeish = regexp.MustCompile(`(?i)^(t|ti|t0|t1|tn|dt|deltat|delta|now|anchor|lambda|elapsed|age)$|time|stamp|decay|lambda`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !pass.IsStdFunc(call, "math", "Exp") || len(call.Args) != 1 {
+				return true
+			}
+			if name := timeQuantity(call.Args[0]); name != "" {
+				pass.Reportf(call.Pos(),
+					"raw math.Exp over time quantity %q bypasses the anchored global decay factor; route decay through decay.Clock (internal/decay)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// timeQuantity returns the name of a time-like identifier appearing in
+// the expression, or "" if none does.
+func timeQuantity(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if timeish.MatchString(x.Name) {
+				found = x.Name
+			}
+		case *ast.SelectorExpr:
+			if timeish.MatchString(x.Sel.Name) {
+				found = x.Sel.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

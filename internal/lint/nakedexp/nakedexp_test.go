@@ -1,0 +1,12 @@
+package nakedexp_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/nakedexp"
+)
+
+func TestNakedExp(t *testing.T) {
+	analysistest.Run(t, "../testdata", nakedexp.Analyzer, "nakedexp")
+}

@@ -1,0 +1,93 @@
+// Package atomicheck re-implements the stock vet atomic pass: assigning
+// the result of sync/atomic.AddT back to the operand, as in
+//
+//	x = atomic.AddInt32(&x, 1)
+//
+// destroys the atomicity — the store racing with other Adds loses
+// updates. The atomic call already stores the new value; the assignment
+// must go.
+package atomicheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags x = atomic.AddT(&x, …) self-assignments.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomic",
+	Doc:  "flags non-atomic self-assignment of sync/atomic.Add results",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if i >= len(assign.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAtomicAdd(pass, call) || len(call.Args) == 0 {
+					continue
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if sameExpr(pass, assign.Lhs[i], addr.X) {
+					pass.Reportf(assign.Pos(),
+						"direct assignment of %s result back to its operand defeats the atomicity; drop the assignment",
+						calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isAtomicAdd(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := pass.CalleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && strings.HasPrefix(fn.Name(), "Add")
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "atomic." + sel.Sel.Name
+	}
+	return "the atomic add"
+}
+
+// sameExpr reports whether two expressions denote the same variable (an
+// identifier or selector chain resolving to the same objects).
+func sameExpr(pass *analysis.Pass, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := pass.ObjectOf(ax), pass.ObjectOf(bx)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return pass.ObjectOf(ax.Sel) == pass.ObjectOf(bx.Sel) && sameExpr(pass, ax.X, bx.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicheck_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/passes/atomicheck"
+)
+
+func TestAtomic(t *testing.T) {
+	analysistest.Run(t, "../../testdata", atomicheck.Analyzer, "atomic")
+}

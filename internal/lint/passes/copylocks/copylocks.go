@@ -1,0 +1,127 @@
+// Package copylocks re-implements the essential cases of the stock vet
+// copylocks pass over the internal/lint framework: values of types that
+// contain a sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once or
+// sync.Cond must not be copied — a copied lock is a different lock, and
+// the copy silently stops guarding the original state.
+//
+// Covered cases: by-value method receivers, by-value function parameters
+// and results, assignments and variable initializations whose right-hand
+// side is a lock-bearing value (not a pointer), and by-value range
+// iteration over lock-bearing elements. (The upstream pass also tracks
+// copies through interface conversions and call arguments; those cases
+// do not occur in this module.)
+package copylocks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags copies of lock-bearing values.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flags copies of values containing sync.Mutex and friends; a copied lock guards nothing",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, x.Recv, "%s passes a lock by value (receiver contains %s)")
+				if x.Type != nil {
+					checkSignature(pass, x.Type.Params, "%s passes a lock by value (parameter contains %s)")
+					checkSignature(pass, x.Type.Results, "%s returns a lock by value (result contains %s)")
+				}
+			case *ast.AssignStmt:
+				if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+					return true
+				}
+				for _, rhs := range x.Rhs {
+					checkValueCopy(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range x.Values {
+					checkValueCopy(pass, v)
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if name := lockIn(pass.TypeOf(x.Value)); name != "" {
+						pass.Reportf(x.Value.Pos(),
+							"range copies lock-bearing values (element contains %s); iterate by index or over pointers", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSignature flags by-value receiver/parameter/result declarations of
+// lock-bearing types.
+func checkSignature(pass *analysis.Pass, fl *ast.FieldList, format string) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := pass.TypeOf(fld.Type)
+		if name := lockIn(t); name != "" {
+			what := "_"
+			if len(fld.Names) > 0 {
+				what = fld.Names[0].Name
+			}
+			pass.Reportf(fld.Pos(), format, what, name)
+		}
+	}
+}
+
+// checkValueCopy flags expressions that copy a lock-bearing value: a
+// plain identifier/selector/index of such a type, or a dereference *p.
+// Composite literals and calls construct fresh values and are fine.
+func checkValueCopy(pass *analysis.Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if name := lockIn(pass.TypeOf(e)); name != "" {
+		pass.Reportf(e.Pos(), "assignment copies a lock-bearing value (contains %s); use a pointer", name)
+	}
+}
+
+// lockIn reports the sync primitive a by-value copy of t would copy, or
+// "". Pointers are fine; arrays and structs are searched recursively.
+func lockIn(t types.Type) string {
+	return lockInDepth(t, 0)
+}
+
+func lockInDepth(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInDepth(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInDepth(u.Elem(), depth+1)
+	}
+	return ""
+}

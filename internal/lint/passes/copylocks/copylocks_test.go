@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/passes/copylocks"
+)
+
+func TestCopyLocks(t *testing.T) {
+	analysistest.Run(t, "../../testdata", copylocks.Analyzer, "copylocks")
+}

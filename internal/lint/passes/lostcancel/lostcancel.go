@@ -1,0 +1,131 @@
+// Package lostcancel re-implements the core of the stock vet lostcancel
+// pass: the cancel function returned by context.WithCancel,
+// context.WithTimeout or context.WithDeadline must not be discarded —
+// dropping it leaks the context's resources until the parent is
+// cancelled.
+//
+// Covered cases: assigning the cancel result to the blank identifier, and
+// binding it to a variable that is never subsequently used (called,
+// deferred, passed or stored). The upstream pass proves "not called on
+// every path" with a CFG; this version checks use, which catches the
+// leak shapes that occur in practice.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags discarded context cancel functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "flags dropped cancel functions from context.WithCancel/WithTimeout/WithDeadline; the context leaks until its parent ends",
+	Run:  run,
+}
+
+var cancelReturning = map[string]bool{
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, body := funcOf(n)
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, fn, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func funcOf(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch x := n.(type) {
+	case *ast.FuncDecl:
+		return x, x.Body
+	case *ast.FuncLit:
+		return x, x.Body
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if isFuncLit(n) && n != fn {
+			return false // nested literals are visited on their own
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isContextCancelCall(pass, call) {
+			return true
+		}
+		if len(assign.Lhs) != 2 {
+			return true
+		}
+		cancel := assign.Lhs[1]
+		if id, ok := cancel.(*ast.Ident); ok {
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(),
+					"the cancel function returned by context.%s is discarded; the context leaks — call or defer it",
+					calleeName(call))
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj != nil && !usedAfter(pass, body, id, obj) {
+				pass.Reportf(id.Pos(),
+					"the cancel function %s is never used; the context leaks — call or defer it", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}
+
+func isContextCancelCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := pass.CalleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "context" && cancelReturning[fn.Name()]
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "WithCancel"
+}
+
+// usedAfter reports whether obj is referenced anywhere in body other than
+// at its defining identifier.
+func usedAfter(pass *analysis.Pass, body *ast.BlockStmt, def *ast.Ident, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/passes/lostcancel"
+)
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, "../../testdata", lostcancel.Analyzer, "lostcancel")
+}

@@ -1,0 +1,243 @@
+// Package runner drives the ANC analyzer suite over module packages: it
+// loads and type-checks the requested packages, applies each analyzer to
+// the packages its scope covers, filters findings through
+// //anclint:ignore comments, and renders the survivors in the familiar
+// file:line:col format. cmd/anclint is a thin wrapper over Run.
+//
+// # Scoping
+//
+// Upstream go/analysis runs every analyzer on every package; the ANC
+// invariants are narrower (e.g. floateq only covers the numeric-kernel
+// packages), so each analyzer is registered with an include/exclude
+// package-path scope and an optional file-basename glob. A finding must
+// pass all three filters to be reported.
+//
+// # Suppression
+//
+// A comment of the form
+//
+//	//anclint:ignore <analyzer> <reason>
+//
+// suppresses findings of <analyzer> ("all" suppresses every analyzer) on
+// the comment's own line and on the line directly below it, so it works
+// both as a trailing comment and as a lead comment. The reason is
+// mandatory: a bare ignore is itself reported as a finding.
+package runner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"anc/internal/lint/analysis"
+	"anc/internal/lint/load"
+)
+
+// Scoped binds an analyzer to the part of the module it covers.
+type Scoped struct {
+	Analyzer *analysis.Analyzer
+	// Include lists package paths the analyzer runs on; empty means
+	// every package. An entry names one package exactly; a trailing
+	// "/..." covers the subtree too ("anc/cmd/...").
+	Include []string
+	// Exclude lists package paths (same syntax) skipped even when
+	// included.
+	Exclude []string
+	// Files, when non-empty, restricts findings to files whose base name
+	// matches one of these globs (e.g. "snapshot*.go").
+	Files []string
+}
+
+// Covers reports whether the scope includes the package path.
+func (s Scoped) Covers(pkgPath string) bool {
+	match := func(list []string) bool {
+		for _, e := range list {
+			if base, ok := strings.CutSuffix(e, "/..."); ok {
+				if pkgPath == base || strings.HasPrefix(pkgPath, base+"/") {
+					return true
+				}
+				continue
+			}
+			if pkgPath == e {
+				return true
+			}
+		}
+		return false
+	}
+	if match(s.Exclude) {
+		return false
+	}
+	return len(s.Include) == 0 || match(s.Include)
+}
+
+func (s Scoped) coversFile(base string) bool {
+	if len(s.Files) == 0 {
+		return true
+	}
+	for _, g := range s.Files {
+		if ok, _ := filepath.Match(g, base); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one surviving diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// IgnorePrefix is the suppression-comment marker.
+const IgnorePrefix = "//anclint:ignore"
+
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	file     string
+	pos      token.Pos
+}
+
+// collectIgnores gathers the suppression directives of one file.
+// Malformed directives (no analyzer, or no reason) are returned
+// separately so the runner can report them.
+func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []ignoreDirective, malformed []analysis.Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				malformed = append(malformed, analysis.Diagnostic{
+					Pos:     c.Pos(),
+					Message: "malformed ignore: want //anclint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			p := fset.Position(c.Pos())
+			dirs = append(dirs, ignoreDirective{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				line:     p.Line,
+				file:     p.Filename,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return dirs, malformed
+}
+
+// Run loads the packages matching patterns and applies every scoped
+// analyzer whose scope covers them. Findings come back sorted by
+// position; an error means the run itself failed (parse failure, missing
+// directory), not that findings exist.
+func Run(moduleDir string, patterns []string, suite []Scoped) ([]Finding, error) {
+	l, err := load.NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			dirs, malformed := collectIgnores(pkg.Fset, f)
+			ignores = append(ignores, dirs...)
+			for _, d := range malformed {
+				findings = append(findings, Finding{
+					Analyzer: "anclint",
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+		for _, sc := range suite {
+			if !sc.Covers(pkg.Path) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  sc.Analyzer,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := sc.Analyzer.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", sc.Analyzer.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if !sc.coversFile(filepath.Base(pos.Filename)) {
+					continue
+				}
+				if suppressed(ignores, sc.Analyzer.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: sc.Analyzer.Name,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressed reports whether a directive covers the diagnostic: same
+// file, matching analyzer (or "all"), on the directive's line or the one
+// directly below.
+func suppressed(dirs []ignoreDirective, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.file != pos.Filename {
+			continue
+		}
+		if d.analyzer != analyzer && d.analyzer != "all" {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Print renders findings one per line.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

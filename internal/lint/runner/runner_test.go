@@ -1,0 +1,66 @@
+package runner_test
+
+import (
+	"strings"
+	"testing"
+
+	"anc/internal/lint/floateq"
+	"anc/internal/lint/runner"
+)
+
+// TestIgnoreDirectives runs floateq over the ignores fixture and checks
+// the suppression rules: well-formed directives (lead or trailing)
+// silence the finding, malformed directives are reported themselves and
+// suppress nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	suite := []runner.Scoped{{Analyzer: floateq.Analyzer}}
+	findings, err := runner.Run(".", []string{"../testdata/src/ignores"}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	joined := strings.Join(got, "\n")
+
+	wantSubstr := []string{
+		"malformed ignore",           // the reason-less directive
+		"float equality != between",  // the finding it failed to suppress
+		"float equality == between",  // the unsuppressed function
+	}
+	for _, w := range wantSubstr {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing expected finding %q in:\n%s", w, joined)
+		}
+	}
+	if n := strings.Count(joined, "float equality == between"); n != 1 {
+		t.Errorf("want exactly 1 surviving == finding (suppressed ones must not appear), got %d:\n%s", n, joined)
+	}
+	if len(findings) != 3 {
+		t.Errorf("want 3 findings total, got %d:\n%s", len(findings), joined)
+	}
+}
+
+// TestScoping checks the include/exclude package-path syntax: exact
+// entries cover one package, trailing /... covers the subtree.
+func TestScoping(t *testing.T) {
+	cases := []struct {
+		include []string
+		pkg     string
+		want    bool
+	}{
+		{[]string{"anc"}, "anc", true},
+		{[]string{"anc"}, "anc/internal/core", false},
+		{[]string{"anc/cmd/..."}, "anc/cmd/anccli", true},
+		{[]string{"anc/cmd/..."}, "anc/cmd", true},
+		{[]string{"anc/cmd/..."}, "anc/cmdx", false},
+		{nil, "anything", true},
+	}
+	for _, c := range cases {
+		s := runner.Scoped{Include: c.include}
+		if got := s.Covers(c.pkg); got != c.want {
+			t.Errorf("Include %v covers %q = %v, want %v", c.include, c.pkg, got, c.want)
+		}
+	}
+}

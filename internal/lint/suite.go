@@ -1,0 +1,79 @@
+// Package lint assembles the ANC analyzer suite: five custom invariant
+// checkers born from the paper's correctness arguments plus three stock
+// vet-style passes, each scoped to the part of the module whose contract
+// it encodes. cmd/anclint runs Suite over ./...; `make lint` gates every
+// PR on it. See DESIGN.md §9 for the invariant behind each analyzer.
+package lint
+
+import (
+	"anc/internal/lint/determinism"
+	"anc/internal/lint/droppederr"
+	"anc/internal/lint/floateq"
+	"anc/internal/lint/lockdiscipline"
+	"anc/internal/lint/nakedexp"
+	"anc/internal/lint/passes/atomicheck"
+	"anc/internal/lint/passes/copylocks"
+	"anc/internal/lint/passes/lostcancel"
+	"anc/internal/lint/runner"
+)
+
+// Suite returns the scoped analyzer suite for this module.
+func Suite() []runner.Scoped {
+	return []runner.Scoped{
+		{
+			// All decay math routes through decay.Clock; only the decay
+			// package itself may touch raw math.Exp over time.
+			Analyzer: nakedexp.Analyzer,
+			Exclude:  []string{"anc/internal/decay", "anc/internal/lint/..."},
+		},
+		{
+			// Exact float equality in the numeric kernels.
+			Analyzer: floateq.Analyzer,
+			Include: []string{
+				"anc/internal/decay",
+				"anc/internal/similarity",
+				"anc/internal/cluster",
+				"anc/internal/pyramid",
+			},
+		},
+		{
+			// Durability code must not drop Write/Sync/Close/Flush errors:
+			// the WAL, the durable/concurrent wrappers, and the CLIs.
+			Analyzer: droppederr.Analyzer,
+			Include: []string{
+				"anc",
+				"anc/internal/wal",
+				"anc/cmd/...",
+			},
+		},
+		{
+			// In core, only the snapshot encoder persists state.
+			Analyzer: droppederr.Analyzer,
+			Include:  []string{"anc/internal/core"},
+			Files:    []string{"snapshot*.go"},
+		},
+		{
+			// Replay-critical packages must be deterministic. The louvain
+			// baseline is included because it documents a determinism
+			// contract ("nodes are scanned in ID order") and seeds DYNA.
+			Analyzer: determinism.Analyzer,
+			Include: []string{
+				"anc/internal/core",
+				"anc/internal/pyramid",
+				"anc/internal/cluster",
+				"anc/internal/decay",
+				"anc/internal/graph",
+				"anc/internal/baseline/louvain",
+			},
+		},
+		{
+			// The concurrency wrappers live in the root package.
+			Analyzer: lockdiscipline.Analyzer,
+			Include:  []string{"anc"},
+		},
+		// Stock passes run module-wide.
+		{Analyzer: copylocks.Analyzer},
+		{Analyzer: lostcancel.Analyzer},
+		{Analyzer: atomicheck.Analyzer},
+	}
+}

@@ -1,0 +1,15 @@
+package atomic
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() {
+	hits = atomic.AddInt64(&hits, 1) // want "defeats the atomicity"
+}
+
+type stats struct{ n int64 }
+
+func (s *stats) bump() {
+	s.n = atomic.AddInt64(&s.n, 1) // want "defeats the atomicity"
+}

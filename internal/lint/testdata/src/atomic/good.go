@@ -1,0 +1,10 @@
+package atomic
+
+import "sync/atomic"
+
+var misses int64
+
+func bumpMisses() int64 {
+	atomic.AddInt64(&misses, 1)
+	return atomic.LoadInt64(&misses)
+}

@@ -1,0 +1,23 @@
+package copylocks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) Bump() { // want "passes a lock by value"
+	c.n++
+}
+
+func dup(c *counter) {
+	cp := *c // want "assignment copies a lock-bearing value"
+	cp.n++
+}
+
+func each(cs []counter) {
+	for _, c := range cs { // want "range copies lock-bearing values"
+		_ = c.n
+	}
+}

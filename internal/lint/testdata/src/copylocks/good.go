@@ -1,0 +1,20 @@
+package copylocks
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *gauge) Bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func bumpAll(gs []*gauge) {
+	for _, g := range gs {
+		g.Bump()
+	}
+}

@@ -1,0 +1,30 @@
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now is wall-clock"
+}
+
+func draw() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+func flatten(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "appends to a slice that outlives the loop"
+		out = append(out, v)
+	}
+	return out
+}
+
+func total(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "accumulates floats in iteration order"
+		sum += v
+	}
+	return sum
+}

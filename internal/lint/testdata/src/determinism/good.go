@@ -1,0 +1,36 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Explicit seeded generators are replayable.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// The collect-then-sort idiom: appending only the range key is the
+// sanctioned fix and is not flagged.
+func flattenSorted(m map[int]float64) []float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Order-insensitive work inside a map range is fine.
+func count(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+package droppederr
+
+type file struct{}
+
+func (file) Close() error                { return nil }
+func (file) Sync() error                 { return nil }
+func (file) Write(p []byte) (int, error) { return len(p), nil }
+
+func bareCalls(f file) {
+	f.Close()    // want "error from Close is discarded"
+	_ = f.Sync() // want "error from Sync is discarded"
+}
+
+func blankWrite(f file, p []byte) {
+	_, _ = f.Write(p) // want "error from Write is discarded"
+}
+
+func deferred(f file) {
+	defer f.Close() // want "error from Close is discarded"
+}

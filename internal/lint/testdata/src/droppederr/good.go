@@ -1,0 +1,26 @@
+package droppederr
+
+import "fmt"
+
+type gfile struct{}
+
+func (gfile) Close() error { return nil }
+func (gfile) Sync() error  { return nil }
+
+// Handled errors are the rule.
+func handled(f gfile) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return f.Close()
+}
+
+// Cleanup on a path that already propagates a different error is exempt:
+// the original failure matters more than the cleanup's.
+func cleanupOnErrorPath(f gfile, err error) error {
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("op: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,13 @@
+package floateq
+
+func changed(a, b float64) bool {
+	return a == b // want "float equality =="
+}
+
+func differs(a, b float64) bool {
+	return a != b // want "float equality !="
+}
+
+func viaExpr(a, b, c float64) bool {
+	return a*b == c+1 // want "float equality =="
+}

@@ -1,0 +1,27 @@
+package floateq
+
+const eps = 1e-9
+
+// Epsilon comparison is the sanctioned form.
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Exact-zero sentinel checks are well-defined and allowed.
+func isZeroed(a float64) bool {
+	return a == 0
+}
+
+// Integer equality is not float equality.
+func sameID(a, b int) bool {
+	return a == b
+}
+
+// Constant folding: both sides compile-time constants.
+func constCompare() bool {
+	return 0.5 == 1.0/2.0
+}

@@ -1,0 +1,24 @@
+package ignores
+
+// Suppressed by a lead comment: no finding.
+func suppressed(a, b float64) bool {
+	//anclint:ignore floateq bit-exact change detection is the intent here
+	return a == b
+}
+
+// Suppressed by a trailing comment on the same line: no finding.
+func suppressedTrailing(a, b float64) bool {
+	return a == b //anclint:ignore floateq bit-exact change detection is the intent here
+}
+
+// A directive without a reason is malformed: the directive is reported
+// and the finding it meant to suppress survives.
+func malformed(a, b float64) bool {
+	//anclint:ignore floateq
+	return a != b
+}
+
+// No directive at all: reported.
+func unsuppressed(a, b float64) bool {
+	return a == b
+}

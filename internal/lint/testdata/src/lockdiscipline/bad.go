@@ -1,0 +1,35 @@
+package lockdiscipline
+
+import "sync"
+
+type inner struct{ n int }
+
+type Wrapper struct {
+	mu    sync.RWMutex
+	inner *inner
+}
+
+func (w *Wrapper) Bad() int { // want "touches guarded state but does not start with w.mu.Lock/RLock"
+	return w.inner.n
+}
+
+func (w *Wrapper) MissingDefer() int { // want "must defer w.mu.RUnlock directly after w.mu.RLock"
+	w.mu.RLock()
+	n := w.inner.n
+	w.mu.RUnlock()
+	return n
+}
+
+func (w *Wrapper) Size() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sizeLocked()
+}
+
+func (w *Wrapper) sizeLocked() int { return w.inner.n }
+
+func (w *Wrapper) SelfCall() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Size() // want "calls exported method Size while holding w.mu"
+}

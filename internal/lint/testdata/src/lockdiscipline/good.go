@@ -1,0 +1,25 @@
+package lockdiscipline
+
+import "sync"
+
+type state struct{ n int }
+
+type Guarded struct {
+	mu sync.Mutex
+	st *state
+}
+
+func (g *Guarded) Add(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.st.n += n
+}
+
+// Exported entry points share code through unexported *Locked helpers.
+func (g *Guarded) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lenLocked()
+}
+
+func (g *Guarded) lenLocked() int { return g.st.n }

@@ -1,0 +1,16 @@
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func leak(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "cancel function returned by context.WithCancel is discarded"
+	return ctx
+}
+
+func leakTimeout(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want "cancel function returned by context.WithTimeout is discarded"
+	return ctx
+}

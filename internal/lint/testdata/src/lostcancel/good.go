@@ -1,0 +1,10 @@
+package lostcancel
+
+import "context"
+
+func scoped(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}

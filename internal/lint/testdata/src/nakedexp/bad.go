@@ -1,0 +1,19 @@
+package nakedexp
+
+import "math"
+
+// A raw exp over a lambda/Δt product is exactly the drift bug the
+// anchored decay clock exists to prevent.
+func decayFactor(lambda, dt float64) float64 {
+	return math.Exp(-lambda * dt) // want "raw math.Exp over time quantity"
+}
+
+func aged(now, anchor float64) float64 {
+	return math.Exp(anchor - now) // want "raw math.Exp over time quantity"
+}
+
+type edge struct{ timestamp float64 }
+
+func weight(e edge) float64 {
+	return math.Exp(-e.timestamp) // want "raw math.Exp over time quantity"
+}

@@ -1,0 +1,13 @@
+package nakedexp
+
+import "math"
+
+// Exponentials over non-time quantities are legitimate.
+func softmaxish(x, y float64) float64 {
+	return math.Exp(x) / (math.Exp(x) + math.Exp(y))
+}
+
+func gaussian(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-z * z / 2)
+}

@@ -241,6 +241,7 @@ func (ix *Index) SameCluster(u, v graph.NodeID, l int) bool {
 // (Lemma 13).
 func (ix *Index) UpdateEdge(e graph.EdgeID, newWeight float64) {
 	old := ix.weights[e]
+	//anclint:ignore floateq bit-exact no-op detection: skipping only exact duplicates is safe, an epsilon would silently drop real updates
 	if newWeight == old {
 		return
 	}

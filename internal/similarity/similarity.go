@@ -290,6 +290,7 @@ func (st *Store) refreshIncidentSigma(x graph.NodeID) {
 	for _, h := range st.g.Neighbors(x) {
 		old := st.sigma[h.Edge]
 		nu := st.sigmaFromNum(h.Edge, x, h.To)
+		//anclint:ignore floateq bit-exact change detection: a value recomputed from identical inputs is bit-identical, and an epsilon here would miss genuine threshold crossings
 		if nu == old {
 			continue
 		}

@@ -168,7 +168,7 @@ func scanSegment(path string, fn func(payload []byte) error) (records uint64, go
 	if err != nil {
 		return 0, 0, false, err
 	}
-	defer f.Close()
+	defer f.Close() //anclint:ignore droppederr read-only scan; a close error cannot lose data
 	var (
 		hdr [headerSize]byte
 		buf []byte
