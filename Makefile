@@ -7,9 +7,9 @@ GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint tools build test race fuzz-smoke bench clean
+.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke bench clean
 
-check: vet lint build test race fuzz-smoke
+check: vet lint build test race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,12 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME)
+
+# bench-smoke runs the batch-ingest throughput benchmark once (a single
+# iteration, not a measurement) so the batch pipeline compiles and runs —
+# pool, coalescing, index validation — on every PR.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkIngest$$' -benchtime 1x .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -192,6 +192,39 @@ func (nw *Network) Activate(u, v int, t float64) error {
 	return nw.inner.ActivatePair(graph.NodeID(u), graph.NodeID(v), t)
 }
 
+// Activation is one timestamped interaction along the existing edge (U, V),
+// the unit of batched ingest.
+type Activation struct {
+	U, V int
+	T    float64
+}
+
+// ActivateBatch records a batch of activations in one pass — the high-
+// throughput ingest path. The whole batch is validated up front against
+// the Activate contract (existing edges, finite non-decreasing timestamps
+// starting no earlier than Now()); an invalid batch is rejected as a unit
+// with no state modified. The batch path advances the decay clock once per
+// distinct timestamp, coalesces repeated activations of the same edge into
+// one index update, and defers the rescale check to batch end; results are
+// identical to the equivalent sequence of Activate calls.
+func (nw *Network) ActivateBatch(batch []Activation) error {
+	acts := make([]core.Activation, len(batch))
+	for i, a := range batch {
+		e := nw.inner.Graph().FindEdge(graph.NodeID(a.U), graph.NodeID(a.V))
+		if e == graph.None {
+			return fmt.Errorf("anc: batch[%d]: no edge (%d, %d)", i, a.U, a.V)
+		}
+		acts[i] = core.Activation{Edge: e, T: a.T}
+	}
+	return nw.inner.ActivateBatch(acts)
+}
+
+// Close releases the index worker-pool goroutines when the network was
+// built with Config.Parallel. The network stays queryable and ingestable
+// afterwards (updates fall back to the serial path); Close exists so a
+// retired parallel network leaks nothing.
+func (nw *Network) Close() { nw.inner.Close() }
+
 // Snapshot finalizes buffered work: under ANCF it applies the reinforcement
 // rounds and rebuilds the index; under ANCOR it flushes the pending
 // reinforcement pass; under ANCO it is a no-op. Call it before querying if
@@ -213,9 +246,19 @@ func (nw *Network) EvenClusters(level int) [][]int {
 	return toInts(nw.inner.EvenClusters(clampLevel(level, nw.Levels())).Clusters)
 }
 
+// validNode reports whether v names a node of the relation graph. Every
+// query method validates IDs through it and degrades gracefully (empty
+// cluster, +Inf distance, no-op watch) instead of panicking on
+// out-of-range input — the same contract FindEdge gives the edge queries.
+func (nw *Network) validNode(v int) bool { return v >= 0 && v < nw.N() }
+
 // ClusterOf reports the cluster containing v at the given level, in time
-// proportional to the result (Lemma 9 of the paper).
+// proportional to the result (Lemma 9 of the paper). An out-of-range v
+// belongs to no cluster: the result is empty.
 func (nw *Network) ClusterOf(v int, level int) []int {
+	if !nw.validNode(v) {
+		return []int{}
+	}
 	members := nw.inner.LocalCluster(graph.NodeID(v), clampLevel(level, nw.Levels()))
 	out := make([]int, len(members))
 	for i, m := range members {
@@ -253,8 +296,12 @@ func (nw *Network) Activeness(u, v int) (float64, error) {
 // between u and v under the metric M_t (reciprocal-similarity shortest
 // distance), answered from the index in O(K·log n) — the Das Sarma sketch
 // query of the underlying oracle. +Inf means the index never co-locates
-// the nodes (different connected components).
+// the nodes (different connected components); out-of-range IDs are
+// infinitely far from everything.
 func (nw *Network) EstimateDistance(u, v int) float64 {
+	if !nw.validNode(u) || !nw.validNode(v) {
+		return math.Inf(1)
+	}
 	d := nw.inner.Index().EstimateDistance(graph.NodeID(u), graph.NodeID(v))
 	// Stored distances are anchored; true distance = anchored / g.
 	return d / nw.inner.Clock().G()
@@ -287,18 +334,42 @@ type ClusterEvent struct {
 // Remarks feature): subsequent Activate calls record a ClusterEvent
 // whenever v's connectivity at any level flips. Drain retrieves them.
 // The first Watch call pays a one-time O(K·log n·m) vote-index build.
+// Watching an out-of-range node is a no-op (and does not build the vote
+// index).
 func (nw *Network) Watch(v int) {
-	w := nw.inner.Watch()
-	w.Add(graph.NodeID(v))
+	if !nw.validNode(v) {
+		return
+	}
+	nw.inner.Watch().Add(graph.NodeID(v))
 }
 
-// Unwatch stops watching v.
-func (nw *Network) Unwatch(v int) { nw.inner.Watch().Remove(graph.NodeID(v)) }
+// Unwatch stops watching v. A no-op for out-of-range or never-watched
+// nodes; it never builds the vote index.
+func (nw *Network) Unwatch(v int) {
+	if w := nw.inner.Watcher(); w != nil && nw.validNode(v) {
+		w.Remove(graph.NodeID(v))
+	}
+}
 
 // Drain returns and clears the accumulated cluster events for all watched
-// nodes, in occurrence order.
+// nodes, in occurrence order. Events beyond the watcher's buffer cap
+// (see core.DefaultEventCap) are dropped; use DrainEvents to observe the
+// drop count.
 func (nw *Network) Drain() []ClusterEvent {
-	evs := nw.inner.Watch().Drain()
+	evs, _ := nw.drain()
+	return evs
+}
+
+// DrainEvents is Drain plus the number of events dropped on buffer
+// overflow since the previous drain.
+func (nw *Network) DrainEvents() ([]ClusterEvent, uint64) { return nw.drain() }
+
+func (nw *Network) drain() ([]ClusterEvent, uint64) {
+	w := nw.inner.Watcher()
+	if w == nil {
+		return nil, 0
+	}
+	evs, dropped := w.Drain()
 	out := make([]ClusterEvent, len(evs))
 	for i, e := range evs {
 		out[i] = ClusterEvent{
@@ -306,7 +377,7 @@ func (nw *Network) Drain() []ClusterEvent {
 			Level: e.Level, Joined: e.Joined, Time: e.Time,
 		}
 	}
-	return out
+	return out, dropped
 }
 
 // Save serializes the network to w: the relation graph, configuration,
@@ -331,10 +402,11 @@ func Load(r io.Reader) (*Network, error) {
 // View opens a zoomable navigator positioned at the Θ(√n) granularity.
 type View struct {
 	inner *cluster.View
+	n     int
 }
 
 // View opens a navigator for repeated zoom-in/zoom-out queries.
-func (nw *Network) View() *View { return &View{inner: nw.inner.View()} }
+func (nw *Network) View() *View { return &View{inner: nw.inner.View(), n: nw.N()} }
 
 // Level reports the navigator's current granularity level.
 func (v *View) Level() int { return v.inner.Level() }
@@ -348,8 +420,12 @@ func (v *View) ZoomOut() bool { return v.inner.ZoomOut() }
 // Clusters reports all clusters at the current level.
 func (v *View) Clusters() [][]int { return toInts(v.inner.Clusters().Clusters) }
 
-// ClusterOf reports the cluster containing x at the current level.
+// ClusterOf reports the cluster containing x at the current level; empty
+// for out-of-range x.
 func (v *View) ClusterOf(x int) []int {
+	if x < 0 || x >= v.n {
+		return []int{}
+	}
 	members := v.inner.ClusterOf(graph.NodeID(x))
 	out := make([]int, len(members))
 	for i, m := range members {

@@ -105,6 +105,23 @@ func BenchmarkExp6MixedWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkIngest compares per-op, batched and batched+parallel ingest on
+// the bursty diurnal workload (the batch-pipeline acceptance benchmark)
+// and emits BENCH_ingest.json with the measured rates.
+func BenchmarkIngest(b *testing.B) {
+	var r bench.IngestResult
+	for i := 0; i < b.N; i++ {
+		r = bench.IngestThroughput(benchConfig(), io.Discard, 60)
+	}
+	b.ReportMetric(r.BatchedSpeedup, "batched-x")
+	b.ReportMetric(r.ParallelSpeedup, "parallel-x")
+	b.ReportMetric(r.PerOpRate, "perop-acts/s")
+	b.ReportMetric(r.ParallelRate, "parallel-acts/s")
+	if err := bench.WriteIngestJSON("BENCH_ingest.json", r); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCaseStudy regenerates the Figure 11 case study.
 func BenchmarkCaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

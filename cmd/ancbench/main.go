@@ -8,7 +8,8 @@
 //	ancbench -exp exp6batch -effn 16384  # Figure 8 at a larger scale
 //
 // Experiments: table1, exp1, exp2time, exp2quality, exp3, exp4, exp5,
-// exp6batch, exp6day, exp6workload, casestudy, params, ablation, all.
+// exp6batch, exp6day, exp6workload, ingest, casestudy, params, ablation,
+// all.
 // See EXPERIMENTS.md for the mapping to the paper's artifacts.
 package main
 
@@ -101,6 +102,9 @@ func main() {
 		rows := bench.Exp6MixedWorkload(cfg, out, *ops)
 		bench.PrintExp6Workload(out, rows)
 		bench.ChartExp6Workload(out, rows)
+	})
+	run("ingest", "batch-pipeline throughput: per-op vs batched vs parallel", func() {
+		bench.PrintIngest(out, bench.IngestThroughput(cfg, out, *minutes/24))
 	})
 	run("casestudy", "Figure 11: 30-year collaboration case study", func() {
 		bench.PrintCaseStudy(out, bench.CaseStudy(cfg, out))

@@ -28,6 +28,15 @@ func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 	return c.net.Activate(u, v, t)
 }
 
+// ActivateBatch records a batch of activations under a single lock
+// acquisition — the high-throughput ingest path. Readers observe either
+// none or all of the batch.
+func (c *ConcurrentNetwork) ActivateBatch(batch []Activation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.ActivateBatch(batch)
+}
+
 // Snapshot finalizes buffered work (exclusive lock).
 func (c *ConcurrentNetwork) Snapshot() error {
 	c.mu.Lock()
@@ -77,6 +86,102 @@ func (c *ConcurrentNetwork) Similarity(u, v int) (float64, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.net.Similarity(u, v)
+}
+
+// Activeness reads the current time-decayed activeness of an edge (shared
+// lock).
+func (c *ConcurrentNetwork) Activeness(u, v int) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Activeness(u, v)
+}
+
+// EstimateAttraction answers an attraction-strength query (shared lock).
+func (c *ConcurrentNetwork) EstimateAttraction(u, v int) float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.EstimateAttraction(u, v)
+}
+
+// ConcurrentView is a zoomable navigator over a ConcurrentNetwork. Zoom
+// state is per-view (not shared), and every query takes the network's
+// shared lock, so any number of views may be used from any goroutines as
+// long as each individual view stays on one goroutine at a time.
+type ConcurrentView struct {
+	c    *ConcurrentNetwork
+	view *View
+}
+
+// View opens a navigator positioned at the Θ(√n) granularity (shared
+// lock).
+func (c *ConcurrentNetwork) View() *ConcurrentView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &ConcurrentView{c: c, view: c.net.View()}
+}
+
+// Level reports the navigator's current granularity level.
+func (v *ConcurrentView) Level() int { return v.view.Level() }
+
+// ZoomIn moves one level finer; false at the finest level.
+func (v *ConcurrentView) ZoomIn() bool { return v.view.ZoomIn() }
+
+// ZoomOut moves one level coarser; false at the coarsest level.
+func (v *ConcurrentView) ZoomOut() bool { return v.view.ZoomOut() }
+
+// Clusters reports all clusters at the current level (shared lock).
+func (v *ConcurrentView) Clusters() [][]int {
+	v.c.mu.RLock()
+	defer v.c.mu.RUnlock()
+	return v.view.Clusters()
+}
+
+// ClusterOf reports the cluster containing x at the current level (shared
+// lock).
+func (v *ConcurrentView) ClusterOf(x int) []int {
+	v.c.mu.RLock()
+	defer v.c.mu.RUnlock()
+	return v.view.ClusterOf(x)
+}
+
+// Watch enables real-time change reporting for node v. It takes the
+// EXCLUSIVE lock, not the shared one: the first Watch call mutates the
+// index (it builds the vote-tracking structures via EnableVoteTracking),
+// so it cannot run concurrently with readers.
+func (c *ConcurrentNetwork) Watch(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.Watch(v)
+}
+
+// Unwatch stops watching v (exclusive lock: it mutates the watch set read
+// by the ingest path).
+func (c *ConcurrentNetwork) Unwatch(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.Unwatch(v)
+}
+
+// Drain returns and clears the accumulated cluster events. It takes the
+// EXCLUSIVE lock because draining mutates the watcher's event buffer.
+func (c *ConcurrentNetwork) Drain() []ClusterEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.Drain()
+}
+
+// DrainEvents is Drain plus the overflow-drop count (exclusive lock).
+func (c *ConcurrentNetwork) DrainEvents() ([]ClusterEvent, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.net.DrainEvents()
+}
+
+// Close releases the index worker pool (exclusive lock).
+func (c *ConcurrentNetwork) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.Close()
 }
 
 // N returns the node count.

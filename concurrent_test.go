@@ -70,3 +70,63 @@ func TestConcurrentNetworkRace(t *testing.T) {
 		t.Fatal("SmallestClusterOf empty")
 	}
 }
+
+// TestConcurrentBatchIngestRace drives ActivateBatch against concurrent
+// readers of Clusters/ClusterOf/EstimateDistance and the parity wrappers
+// (Activeness, EstimateAttraction, View); run with -race to verify every
+// batch happens under one exclusive lock acquisition.
+func TestConcurrentBatchIngestRace(t *testing.T) {
+	n, edges := barbell()
+	cfg := testConfig()
+	cfg.Parallel = true
+	net, err := NewNetwork(n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(net)
+	defer c.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			t0 := float64(i * 3)
+			batch := []Activation{
+				{U: 4, V: 5, T: t0}, {U: 0, V: 1, T: t0 + 1},
+				{U: 4, V: 5, T: t0 + 1}, {U: 7, V: 8, T: t0 + 2},
+			}
+			if err := c.ActivateBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			view := c.View()
+			for i := 0; i < 80; i++ {
+				c.Clusters(c.SqrtLevel())
+				if len(c.ClusterOf(q, 2)) == 0 {
+					t.Errorf("empty cluster of %d", q)
+					return
+				}
+				c.EstimateDistance(0, 9)
+				c.EstimateAttraction(0, 9)
+				if _, err := c.Activeness(4, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				view.Clusters()
+				view.ClusterOf(q)
+				view.ZoomIn()
+				view.ZoomOut()
+			}
+		}(q)
+	}
+	wg.Wait()
+	if c.Now() != 179 {
+		t.Fatalf("Now = %v after batched ingest", c.Now())
+	}
+}

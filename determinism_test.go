@@ -98,6 +98,103 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestBatchedIngestDeterminism feeds the same activation stream to two
+// identically-seeded ANCO networks — one per-op via Activate, one in
+// batches via ActivateBatch (with repeated edges and repeated timestamps
+// inside batches to exercise coalescing) — and asserts the results are
+// indistinguishable: identical Clusters/EvenClusters at every level and
+// byte-identical Save output.
+func TestBatchedIngestDeterminism(t *testing.T) {
+	const seed = 42
+	rng := rand.New(rand.NewSource(seed))
+	const n = 60
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		e := [2]int{i, (i + 1) % n}
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		edges = append(edges, e)
+		seen[e] = true
+	}
+	for len(edges) < 3*n {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	// A bursty stream: hot edges repeat within a batch, and several
+	// activations share one timestamp — both paths the batch ingest
+	// coalesces. Kept well under the rescale interval so no mid-stream
+	// rescale can mask a divergence.
+	var stream []anc.Activation
+	for i := 0; i < 600; i++ {
+		e := edges[rng.Intn(len(edges))]
+		stream = append(stream, anc.Activation{U: e[0], V: e[1], T: float64(i / 3)})
+		if rng.Intn(4) == 0 { // immediate repeat of a hot edge
+			stream = append(stream, anc.Activation{U: e[0], V: e[1], T: float64(i / 3)})
+		}
+	}
+
+	cfg := anc.DefaultConfig()
+	cfg.Method = anc.ANCO
+	cfg.Seed = seed
+	perOp, err := anc.NewNetwork(n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := anc.NewNetwork(n, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer perOp.Close()
+	defer batched.Close()
+
+	for _, a := range stream {
+		if err := perOp.Activate(a.U, a.V, a.T); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for off := 0; off < len(stream); off += 37 { // uneven batch size on purpose
+		end := off + 37
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := batched.ActivateBatch(stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for level := 1; level <= perOp.Levels(); level++ {
+		if ca, cb := perOp.Clusters(level), batched.Clusters(level); !reflect.DeepEqual(ca, cb) {
+			t.Errorf("Clusters(%d) differ between per-op and batched ingest", level)
+		}
+		if ea, eb := perOp.EvenClusters(level), batched.EvenClusters(level); !reflect.DeepEqual(ea, eb) {
+			t.Errorf("EvenClusters(%d) differ between per-op and batched ingest", level)
+		}
+	}
+	var bufA, bufB bytes.Buffer
+	if err := perOp.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Errorf("snapshot encodings differ between per-op and batched ingest (%d vs %d bytes)",
+			bufA.Len(), bufB.Len())
+	}
+}
+
 // TestDeterministicAcrossQueries re-queries the same network twice:
 // clustering reads must not mutate state or depend on iteration order.
 func TestDeterministicAcrossQueries(t *testing.T) {

@@ -73,9 +73,10 @@ func (c DurableConfig) walOptions() wal.Options {
 // concurrently, activations serialize, mirroring ConcurrentNetwork.
 //
 // The directory holds numbered WAL segments plus checkpoint-<index>.snap
-// files, where <index> is the count of logged activations the checkpoint
-// state includes. Recover loads the newest checkpoint that passes its CRC
-// and replays the WAL tail from exactly that index.
+// files, where <index> is the count of logged WAL frames the checkpoint
+// state includes (one frame per Activate; one frame per group-committed
+// ActivateBatch chunk). Recover loads the newest checkpoint that passes
+// its CRC and replays the WAL tail from exactly that index.
 type DurableNetwork struct {
 	mu              sync.RWMutex
 	net             *Network
@@ -194,6 +195,22 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 			continue
 		}
 		next, err := wal.Replay(dir, cp.index, func(_ uint64, rec []byte) error {
+			if len(rec) > activationRecordSize {
+				// A group-committed batch frame: n×16-byte records applied
+				// through the same batched pipeline that produced them.
+				if len(rec)%activationRecordSize != 0 {
+					return fmt.Errorf("anc: batch frame of %d bytes", len(rec))
+				}
+				acts := make([]Activation, len(rec)/activationRecordSize)
+				for i := range acts {
+					u, v, t, err := decodeActivation(rec[i*activationRecordSize : (i+1)*activationRecordSize])
+					if err != nil {
+						return err
+					}
+					acts[i] = Activation{U: u, V: v, T: t}
+				}
+				return net.ActivateBatch(acts)
+			}
 			u, v, t, err := decodeActivation(rec)
 			if err != nil {
 				return err
@@ -259,6 +276,63 @@ func (d *DurableNetwork) Activate(u, v int, t float64) error {
 		return err
 	}
 	d.sinceCheckpoint++
+	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
+		return d.checkpointLocked()
+	}
+	return nil
+}
+
+// maxBatchFrame bounds how many activations go into one WAL frame: 1<<16
+// records × 16 bytes = 1 MiB per frame, well under the WAL's 16 MiB record
+// ceiling. Larger batches are split into several frames.
+const maxBatchFrame = 1 << 16
+
+// ActivateBatch is the group-commit ingest path: the whole batch is
+// validated, encoded into a single WAL frame (one Append — under
+// SyncAlways one fsync instead of one per activation), and then applied to
+// the in-memory network through the batched pipeline. A nil return means
+// every activation in the batch is applied and, under SyncAlways, durable
+// as a unit; validation failures reject the batch before anything is
+// logged, and WAL errors leave the in-memory network unchanged.
+func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	// Validate everything before logging, so replay never sees a record
+	// the network would reject.
+	g := d.net.inner.Graph()
+	prev := d.net.Now()
+	for i, a := range batch {
+		if g.FindEdge(graph.NodeID(a.U), graph.NodeID(a.V)) == graph.None {
+			return fmt.Errorf("anc: batch[%d]: no edge (%d, %d)", i, a.U, a.V)
+		}
+		if math.IsNaN(a.T) || math.IsInf(a.T, 0) || a.T < prev {
+			return fmt.Errorf("anc: batch[%d]: invalid activation timestamp %v (previous %v)", i, a.T, prev)
+		}
+		prev = a.T
+	}
+	for off := 0; off < len(batch); off += maxBatchFrame {
+		end := off + maxBatchFrame
+		if end > len(batch) {
+			end = len(batch)
+		}
+		frame := make([]byte, (end-off)*activationRecordSize)
+		for i, a := range batch[off:end] {
+			rec := frame[i*activationRecordSize:]
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(a.U))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(a.V))
+			binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(a.T))
+		}
+		if _, err := d.w.Append(frame); err != nil {
+			return fmt.Errorf("anc: wal: %w", err)
+		}
+	}
+	if err := d.net.ActivateBatch(batch); err != nil {
+		return err
+	}
+	d.sinceCheckpoint += len(batch)
 	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
 		return d.checkpointLocked()
 	}
@@ -342,11 +416,13 @@ func syncDir(dir string) {
 	}
 }
 
-// Close checkpoints nothing: it fsyncs and closes the WAL. Call Checkpoint
-// first for a fast next recovery.
+// Close checkpoints nothing: it fsyncs and closes the WAL and releases the
+// index worker pool (when the network was built with Config.Parallel).
+// Call Checkpoint first for a fast next recovery.
 func (d *DurableNetwork) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.net.Close()
 	return d.w.Close()
 }
 

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"os"
+
+	"anc/internal/core"
+	"anc/internal/dataset"
+	"anc/internal/gen"
+)
+
+// IngestResult compares the three ingest paths on the Figure 9 bursty
+// diurnal workload: per-op Activate, ActivateBatch on a sequential index,
+// and ActivateBatch on the pooled parallel index. Rates are activations
+// per second; speedups are relative to the per-op path.
+type IngestResult struct {
+	Dataset     string
+	N, M        int
+	Minutes     int
+	Activations int
+
+	PerOpSeconds    float64
+	BatchedSeconds  float64
+	ParallelSeconds float64
+
+	PerOpRate    float64
+	BatchedRate  float64
+	ParallelRate float64
+
+	BatchedSpeedup  float64
+	ParallelSpeedup float64
+}
+
+// ingestOptions returns the Figure 9 network options (ANCO, λ=0.01).
+func ingestOptions(seed int64, parallel bool) core.Options {
+	opts := ancOptions(core.ANCO, 0, seed)
+	opts.Lambda = 0.01
+	opts.Pyramid.Parallel = parallel
+	return opts
+}
+
+// ingestWorkload generates the per-minute batches once, pre-converted to
+// core activations so every mode times pure ingest over the same stream.
+// Hotspot gives the heavy-tailed edge popularity of real traces — the
+// regime batch coalescing is built for.
+func ingestWorkload(pl *gen.Planted, minutes int, seed int64) [][]core.Activation {
+	// Peak-traffic Figure 9 setup: the throughput question is what the
+	// pipeline sustains when a minute of traffic is large, so the base
+	// rate is the diurnal default ×10 and edge popularity is heavy-tailed
+	// (Zipf 1.5) as in real activation traces.
+	d := gen.DefaultDiurnal()
+	d.BaseRate *= 30
+	d.Hotspot = 1.5
+	raw := d.Generate(pl.Graph, minutes, rand.New(rand.NewSource(seed)))
+	out := make([][]core.Activation, len(raw))
+	for i, batch := range raw {
+		cb := make([]core.Activation, len(batch))
+		for j, a := range batch {
+			cb[j] = core.Activation{Edge: a.Edge, T: a.T}
+		}
+		out[i] = cb
+	}
+	return out
+}
+
+// runIngest feeds the batches to a fresh network and returns total ingest
+// seconds. After every timed batch it validates the index (outside the
+// timing) so a correctness regression cannot masquerade as a speedup.
+func runIngest(cfg Config, pl *gen.Planted, batches [][]core.Activation, parallel, batched bool) float64 {
+	nw, err := core.New(pl.Graph, ingestOptions(cfg.Seed, parallel))
+	if err != nil {
+		panic(err)
+	}
+	defer nw.Close()
+	total := 0.0
+	for _, batch := range batches {
+		total += timeIt(func() {
+			if batched {
+				if err := nw.ActivateBatch(batch); err != nil {
+					panic(err)
+				}
+			} else {
+				for _, a := range batch {
+					if err := nw.Activate(a.Edge, a.T); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}).Seconds()
+		if msg := nw.Index().Validate(); msg != "" {
+			panic("index invalid after ingest batch: " + msg)
+		}
+	}
+	return total
+}
+
+// IngestThroughput runs the throughput comparison on the TW2 counterpart
+// (the Figure 9 dataset) for the given number of minutes.
+func IngestThroughput(cfg Config, w io.Writer, minutes int) IngestResult {
+	spec, err := dataset.ByName("TW2")
+	if err != nil {
+		panic(err)
+	}
+	pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed)
+	batches := ingestWorkload(pl, minutes, cfg.Seed+5)
+	r := IngestResult{Dataset: "TW2", N: pl.Graph.N(), M: pl.Graph.M(), Minutes: minutes}
+	for _, b := range batches {
+		r.Activations += len(b)
+	}
+
+	r.PerOpSeconds = runIngest(cfg, pl, batches, false, false)
+	r.BatchedSeconds = runIngest(cfg, pl, batches, false, true)
+	r.ParallelSeconds = runIngest(cfg, pl, batches, true, true)
+
+	acts := float64(r.Activations)
+	if r.PerOpSeconds > 0 {
+		r.PerOpRate = acts / r.PerOpSeconds
+		r.BatchedSpeedup = r.PerOpSeconds / r.BatchedSeconds
+		r.ParallelSpeedup = r.PerOpSeconds / r.ParallelSeconds
+	}
+	if r.BatchedSeconds > 0 {
+		r.BatchedRate = acts / r.BatchedSeconds
+	}
+	if r.ParallelSeconds > 0 {
+		r.ParallelRate = acts / r.ParallelSeconds
+	}
+	logf(cfg, w, "# ingest: %d activations, per-op=%.3fs batched=%.3fs (%.1fx) parallel=%.3fs (%.1fx)\n",
+		r.Activations, r.PerOpSeconds, r.BatchedSeconds, r.BatchedSpeedup,
+		r.ParallelSeconds, r.ParallelSpeedup)
+	return r
+}
+
+// PrintIngest renders the throughput comparison as a table.
+func PrintIngest(w io.Writer, r IngestResult) {
+	t := newTable(w)
+	t.row("mode", "seconds", "acts/s", "speedup")
+	t.row("per-op", r.PerOpSeconds, r.PerOpRate, 1.0)
+	t.row("batched", r.BatchedSeconds, r.BatchedRate, r.BatchedSpeedup)
+	t.row("batched+parallel", r.ParallelSeconds, r.ParallelRate, r.ParallelSpeedup)
+	t.flush()
+}
+
+// WriteIngestJSON writes the result to path (BENCH_ingest.json) for the
+// CI artifact and the README numbers.
+func WriteIngestJSON(path string, r IngestResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

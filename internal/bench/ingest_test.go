@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestIngestSmoke runs the throughput experiment at a tiny scale and
+// verifies the three modes agree on the workload, the speedups are
+// populated, and the pooled run leaks no goroutines (the pool drains on
+// Close).
+func TestIngestSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := DefaultConfig()
+	cfg.EffTargetN = 512
+	cfg.Quiet = true
+	r := IngestThroughput(cfg, io.Discard, 20)
+	if r.Activations == 0 {
+		t.Fatal("no activations generated")
+	}
+	if r.PerOpSeconds <= 0 || r.BatchedSeconds <= 0 || r.ParallelSeconds <= 0 {
+		t.Fatalf("unmeasured mode: %+v", r)
+	}
+	if r.BatchedSpeedup <= 0 || r.ParallelSpeedup <= 0 {
+		t.Fatalf("speedups not populated: %+v", r)
+	}
+	// The pooled network is closed inside runIngest; give exiting workers
+	// a moment, then require the goroutine count back at baseline.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked by ingest benchmark: %d before, %d after",
+		before, runtime.NumGoroutine())
+}

@@ -19,13 +19,22 @@ type ClusterEvent struct {
 	Time float64
 }
 
+// DefaultEventCap is the default bound on buffered ClusterEvents per
+// watcher. A watcher that is never drained stops accumulating at the cap
+// and counts the overflow instead of growing without bound.
+const DefaultEventCap = 1 << 16
+
 // Watcher delivers ClusterEvents for a set of watched nodes. Obtain one
 // with Network.Watch; events are appended during Activate/Flush/Snapshot
-// and drained with Drain.
+// and drained with Drain. At most cap events are buffered; once full,
+// newer events are dropped and counted, so a forgotten watcher cannot
+// OOM a long-running server.
 type Watcher struct {
 	nw      *Network
 	watched map[graph.NodeID]map[int]bool // node -> levels (nil = all levels)
 	events  []ClusterEvent
+	cap     int
+	dropped uint64 // events discarded since the last Drain
 }
 
 // Watch enables real-time change reporting and returns the watcher. The
@@ -35,7 +44,7 @@ func (nw *Network) Watch() *Watcher {
 	if nw.watcher != nil {
 		return nw.watcher
 	}
-	w := &Watcher{nw: nw, watched: map[graph.NodeID]map[int]bool{}}
+	w := &Watcher{nw: nw, watched: map[graph.NodeID]map[int]bool{}, cap: DefaultEventCap}
 	vt := nw.ix.EnableVoteTracking()
 	vt.OnFlip(func(l int, e graph.EdgeID, pass bool) {
 		u, v := nw.g.Endpoints(e)
@@ -46,9 +55,18 @@ func (nw *Network) Watch() *Watcher {
 	return w
 }
 
+// Watcher returns the watcher created by Watch, or nil if Watch was never
+// called — a way to inspect watch state without paying the vote-index
+// build.
+func (nw *Network) Watcher() *Watcher { return nw.watcher }
+
 func (w *Watcher) emit(node, other graph.NodeID, level int, joined bool) {
 	levels, ok := w.watched[node]
 	if !ok || (levels != nil && !levels[level]) {
+		return
+	}
+	if len(w.events) >= w.cap {
+		w.dropped++
 		return
 	}
 	w.events = append(w.events, ClusterEvent{
@@ -76,9 +94,19 @@ func (w *Watcher) Add(node graph.NodeID, levels ...int) {
 // Remove stops watching a node.
 func (w *Watcher) Remove(node graph.NodeID) { delete(w.watched, node) }
 
-// Drain returns and clears the accumulated events.
-func (w *Watcher) Drain() []ClusterEvent {
-	out := w.events
-	w.events = nil
-	return out
+// SetEventCap changes the event-buffer bound. n < 1 is clamped to 1;
+// events already buffered beyond a lowered cap are kept until drained.
+func (w *Watcher) SetEventCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.cap = n
+}
+
+// Drain returns and clears the accumulated events, together with the
+// number of events dropped on buffer overflow since the previous Drain.
+func (w *Watcher) Drain() ([]ClusterEvent, uint64) {
+	out, d := w.events, w.dropped
+	w.events, w.dropped = nil, 0
+	return out, d
 }

@@ -6,6 +6,15 @@ import (
 	"anc/internal/graph"
 )
 
+func drainEvents(t *testing.T, w *Watcher) []ClusterEvent {
+	t.Helper()
+	evs, dropped := w.Drain()
+	if dropped != 0 {
+		t.Fatalf("unexpected event drops: %d", dropped)
+	}
+	return evs
+}
+
 // watchGraph: two triangles with a bridge; activations on the bridge make
 // its endpoints join clusters.
 func watchGraph(t testing.TB) *graph.Graph {
@@ -35,7 +44,7 @@ func TestWatcherReportsFlips(t *testing.T) {
 	for i := 1; i <= 400; i++ {
 		nw.Activate(bridge, float64(i)*0.02)
 	}
-	events := w.Drain()
+	events, _ := w.Drain()
 	if len(events) == 0 {
 		t.Fatal("no events for watched node despite heavy bridge activity")
 	}
@@ -51,7 +60,7 @@ func TestWatcherReportsFlips(t *testing.T) {
 		}
 	}
 	// Drain clears.
-	if len(w.Drain()) != 0 {
+	if evs, _ := w.Drain(); len(evs) != 0 {
 		t.Fatal("drain did not clear")
 	}
 }
@@ -71,7 +80,7 @@ func TestWatcherLevelFilter(t *testing.T) {
 	for i := 1; i <= 400; i++ {
 		nw.Activate(bridge, float64(i)*0.02)
 	}
-	for _, ev := range w.Drain() {
+	for _, ev := range drainEvents(t, w) {
 		if ev.Level != 2 {
 			t.Fatalf("event outside watched level: %+v", ev)
 		}
@@ -93,7 +102,7 @@ func TestWatcherRemove(t *testing.T) {
 	for i := 1; i <= 300; i++ {
 		nw.Activate(bridge, float64(i)*0.02)
 	}
-	if evs := w.Drain(); len(evs) != 0 {
+	if evs, _ := w.Drain(); len(evs) != 0 {
 		t.Fatalf("events after Remove: %v", evs)
 	}
 }
@@ -106,6 +115,36 @@ func TestWatchIdempotent(t *testing.T) {
 	}
 	if nw.Watch() != nw.Watch() {
 		t.Fatal("Watch not idempotent")
+	}
+}
+
+// TestWatcherEventCap: a watcher that is never drained stops buffering at
+// its cap and counts the overflow; Drain surfaces and resets the count.
+func TestWatcherEventCap(t *testing.T) {
+	g := watchGraph(t)
+	o := options(ANCO)
+	o.Similarity.Mu = 2
+	nw, err := New(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := nw.Watch()
+	w.SetEventCap(3)
+	w.Add(2)
+	w.Add(3)
+	bridge := g.FindEdge(2, 3)
+	for i := 1; i <= 500; i++ {
+		nw.Activate(bridge, float64(i)*0.02)
+	}
+	evs, dropped := w.Drain()
+	if len(evs) > 3 {
+		t.Fatalf("buffer exceeded cap: %d events", len(evs))
+	}
+	if len(evs) == 3 && dropped == 0 {
+		t.Fatal("full buffer but no drops counted")
+	}
+	if _, d := w.Drain(); d != 0 {
+		t.Fatalf("drop counter not reset by Drain: %d", d)
 	}
 }
 
@@ -128,7 +167,7 @@ func TestWatcherEventsConsistent(t *testing.T) {
 		nw.Activate(bridge, float64(i)*0.02)
 	}
 	last := map[[3]int32]bool{} // (node, other, level) -> joined
-	for _, ev := range w.Drain() {
+	for _, ev := range drainEvents(t, w) {
 		last[[3]int32{int32(ev.Node), int32(ev.Other), int32(ev.Level)}] = ev.Joined
 	}
 	min := nw.Index().MinSupport()

@@ -78,8 +78,15 @@ func (c *Clock) Advance(t float64) {
 
 // Activated records that one activation arrived and triggers a batched
 // rescale when the period is reached.
-func (c *Clock) Activated() {
-	c.pending++
+func (c *Clock) Activated() { c.ActivatedN(1) }
+
+// ActivatedN records that n activations arrived and triggers a batched
+// rescale when the period is reached. Batch ingest calls this once per
+// batch, deferring the rescale check to batch end; deferral never changes
+// results, only when the (semantically invisible, Lemma 10) refold
+// happens.
+func (c *Clock) ActivatedN(n int) {
+	c.pending += n
 	if c.every > 0 && c.pending >= c.every {
 		c.Rescale()
 	}
@@ -162,12 +169,23 @@ func (a *Activeness) OnRescale(g float64) {
 // node sums in step. O(1) plus the amortized rescale cost.
 func (a *Activeness) Activate(e int32, t float64) {
 	a.clock.Advance(t)
+	a.Bump(e)
+	a.clock.Activated()
+}
+
+// Bump adds one activation impact 1/g at the clock's *current* time
+// without advancing it or counting toward the rescale period. Batch ingest
+// uses it to apply many impacts per clock advance: the caller advances the
+// clock once per distinct timestamp, Bumps each activation, and settles
+// the rescale accounting with Clock.ActivatedN at batch end. The arithmetic
+// is identical to Activate's, so per-op and batched ingest produce
+// bit-identical anchored state.
+func (a *Activeness) Bump(e int32) {
 	inc := 1 / a.clock.G()
 	a.edge[e] += inc
 	u, v := a.ends(e)
 	a.node[u] += inc
 	a.node[v] += inc
-	a.clock.Activated()
 }
 
 // Restore overwrites every anchored edge activeness with the given values

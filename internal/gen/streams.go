@@ -79,6 +79,12 @@ type DiurnalBursty struct {
 	BurstProb float64
 	// BurstScale multiplies the rate during a burst (Pareto tail).
 	BurstScale float64
+	// Hotspot, when > 1, draws edges from a Zipf(s=Hotspot) popularity
+	// distribution over a random edge permutation instead of uniformly —
+	// the heavy-tailed edge popularity of real activation traces, where a
+	// minute of traffic hits the same hot edges repeatedly. 0 (the
+	// default) keeps the uniform draw.
+	Hotspot float64
 }
 
 // DefaultDiurnal mirrors the Figure 9 setup at laptop scale.
@@ -90,6 +96,14 @@ func DefaultDiurnal() DiurnalBursty {
 func (d DiurnalBursty) Generate(g *graph.Graph, minutes int, rng *rand.Rand) [][]Activation {
 	out := make([][]Activation, minutes)
 	m := g.M()
+	// pick draws one edge; the Zipf path is only set up when requested so
+	// the uniform stream (and its rng consumption) is unchanged.
+	pick := func() graph.EdgeID { return graph.EdgeID(rng.Intn(m)) }
+	if d.Hotspot > 1 {
+		zipf := rand.NewZipf(rng, d.Hotspot, 1, uint64(m-1))
+		perm := rng.Perm(m)
+		pick = func() graph.EdgeID { return graph.EdgeID(perm[zipf.Uint64()]) }
+	}
 	for min := 0; min < minutes; min++ {
 		phase := 2 * math.Pi * float64(min) / 1440
 		rate := d.BaseRate * (0.55 + 0.45*math.Sin(phase-math.Pi/2))
@@ -108,7 +122,7 @@ func (d DiurnalBursty) Generate(g *graph.Graph, minutes int, rng *rand.Rand) [][
 		batch := make([]Activation, count)
 		for i := range batch {
 			batch[i] = Activation{
-				Edge: graph.EdgeID(rng.Intn(m)),
+				Edge: pick(),
 				T:    float64(min) + float64(i)/float64(count+1),
 			}
 		}

@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
-	"sync"
 
 	"anc/internal/graph"
 )
@@ -19,8 +18,10 @@ type Config struct {
 	// nodes are co-clustered at a level if they share a seed in at least
 	// ⌈Theta·K⌉ pyramids. The paper's default is 0.7.
 	Theta float64
-	// Parallel enables concurrent partition updates (Lemma 13). Off by
-	// default so timing benchmarks match the paper's single-core setup.
+	// Parallel runs partition builds and updates on a long-lived pool of
+	// min(GOMAXPROCS, K·⌈log₂ n⌉) workers (Lemma 13: partitions are
+	// mutually independent). Off by default so timing benchmarks match
+	// the paper's single-core setup. Call Index.Close to stop the pool.
 	Parallel bool
 }
 
@@ -66,6 +67,17 @@ type Index struct {
 	parts   [][]*Partition
 	weights []float64 // anchored edge weights 1/S*, shared by all partitions
 	votes   *VoteTracker
+
+	scratch *scratch // serial-path Dijkstra state, shared by all partitions
+	pool    *pool    // worker pool when cfg.Parallel; nil after Close
+
+	// Reusable per-call buffers of the batched update path, so steady
+	// ingest allocates nothing.
+	batchEdges  []graph.EdgeID
+	batchOld    []float64
+	oneEdge     [1]graph.EdgeID
+	oneWeight   [1]float64
+	voteChanged [][]graph.NodeID // per-slot changed-set copies; nil until vote tracking is on
 }
 
 // Build constructs the index over g with the given initial anchored edge
@@ -113,6 +125,7 @@ func BuildWithSeeds(g *graph.Graph, weight func(e graph.EdgeID) float64, cfg Con
 		cfg:     cfg,
 		levels:  Levels(n),
 		weights: make([]float64, g.M()),
+		scratch: newScratch(n),
 	}
 	if len(seedSets) != cfg.K*ix.levels {
 		return nil, fmt.Errorf("pyramid: got %d seed sets, want %d", len(seedSets), cfg.K*ix.levels)
@@ -124,30 +137,33 @@ func BuildWithSeeds(g *graph.Graph, weight func(e graph.EdgeID) float64, cfg Con
 		}
 		ix.weights[e] = w
 	}
+	slots := cfg.K * ix.levels
 	ix.parts = make([][]*Partition, cfg.K)
 	for p := 0; p < cfg.K; p++ {
 		ix.parts[p] = make([]*Partition, ix.levels)
 	}
 	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for p := 0; p < cfg.K; p++ {
-			for l := 1; l <= ix.levels; l++ {
-				wg.Add(1)
-				go func(p, l int) {
-					defer wg.Done()
-					ix.parts[p][l-1] = newPartition(g, ix.weights, seedSets[p*ix.levels+l-1])
-				}(p, l)
-			}
-		}
-		wg.Wait()
+		ix.pool = newPool(poolSize(slots), n)
+		ix.pool.run(slots, func(slot int, s *scratch) {
+			ix.parts[slot/ix.levels][slot%ix.levels] = newPartition(g, ix.weights, seedSets[slot], s)
+		})
 	} else {
-		for p := 0; p < cfg.K; p++ {
-			for l := 1; l <= ix.levels; l++ {
-				ix.parts[p][l-1] = newPartition(g, ix.weights, seedSets[p*ix.levels+l-1])
-			}
+		for slot := 0; slot < slots; slot++ {
+			ix.parts[slot/ix.levels][slot%ix.levels] = newPartition(g, ix.weights, seedSets[slot], ix.scratch)
 		}
 	}
 	return ix, nil
+}
+
+// Close stops the worker pool, waiting until every worker goroutine has
+// exited — after Close returns, the index has leaked nothing. Subsequent
+// updates fall back to the serial path. Close is idempotent but must not
+// race an in-flight update; owners call it once when retiring the index.
+func (ix *Index) Close() {
+	if ix.pool != nil {
+		ix.pool.close()
+		ix.pool = nil
+	}
 }
 
 // sampleSeeds draws min(k, n) distinct nodes uniformly at random using a
@@ -237,56 +253,78 @@ func (ix *Index) SameCluster(u, v graph.NodeID, l int) bool {
 // UpdateEdge applies a new anchored weight to edge e across every
 // partition of every pyramid (the paper's UPDATE). The cost per partition
 // is bounded by the affected set (Lemma 12); partitions are mutually
-// independent and updated concurrently when Config.Parallel is set
-// (Lemma 13).
+// independent and updated concurrently on the worker pool when
+// Config.Parallel is set (Lemma 13).
 func (ix *Index) UpdateEdge(e graph.EdgeID, newWeight float64) {
-	old := ix.weights[e]
-	//anclint:ignore floateq bit-exact no-op detection: skipping only exact duplicates is safe, an epsilon would silently drop real updates
-	if newWeight == old {
+	ix.oneEdge[0] = e
+	ix.oneWeight[0] = newWeight
+	ix.UpdateEdges(ix.oneEdge[:], ix.oneWeight[:])
+}
+
+// UpdateEdges applies new anchored weights to a set of distinct edges in
+// one repair pass per partition — the batched UPDATE behind ActivateBatch.
+// Compared with a loop over UpdateEdge it saves one heap pass and one
+// pool barrier per edge per partition, and relaxes overlapping affected
+// regions once. Edges must be distinct; bit-exact no-op changes are
+// skipped (the same contract as UpdateEdge).
+func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
+	ix.batchEdges = ix.batchEdges[:0]
+	ix.batchOld = ix.batchOld[:0]
+	for i, e := range edges {
+		w := newWeights[i]
+		//anclint:ignore floateq bit-exact no-op detection: skipping only exact duplicates is safe, an epsilon would silently drop real updates
+		if w == ix.weights[e] {
+			continue
+		}
+		ix.batchEdges = append(ix.batchEdges, e)
+		ix.batchOld = append(ix.batchOld, ix.weights[e])
+		ix.weights[e] = w
+	}
+	if len(ix.batchEdges) == 0 {
 		return
 	}
-	ix.weights[e] = newWeight
-	if ix.cfg.Parallel {
-		// Partitions are mutually independent (Lemma 13). Vote counts are
-		// shared across pyramids of one level, so they are applied after
-		// the barrier, from the per-partition changed sets.
-		changedSets := make([][]graph.NodeID, ix.cfg.K*ix.levels)
-		var wg sync.WaitGroup
-		for p := range ix.parts {
-			for l := range ix.parts[p] {
-				wg.Add(1)
-				go func(part *Partition, slot int) {
-					defer wg.Done()
-					changedSets[slot] = part.update(e, old, newWeight)
-				}(ix.parts[p][l], p*ix.levels+l)
+	changed, olds := ix.batchEdges, ix.batchOld
+	if ix.pool != nil {
+		// Vote counts are shared across the pyramids of one level, so
+		// they are applied after the barrier, from per-slot copies of the
+		// changed sets — copies, because each worker's scratch is reused
+		// by its next task. Nothing is copied when tracking is off.
+		ix.pool.run(ix.cfg.K*ix.levels, func(slot int, s *scratch) {
+			moved := ix.parts[slot/ix.levels][slot%ix.levels].applyBatch(s, changed, olds)
+			if ix.votes != nil {
+				ix.voteChanged[slot] = append(ix.voteChanged[slot][:0], moved...)
 			}
-		}
-		wg.Wait()
+		})
 		if ix.votes != nil {
-			for p := range ix.parts {
-				for l := range ix.parts[p] {
-					ix.votes.apply(p, l+1, e, changedSets[p*ix.levels+l])
-				}
+			for slot := range ix.voteChanged {
+				ix.votes.applyBatch(slot/ix.levels, slot%ix.levels+1, changed, ix.voteChanged[slot])
 			}
 		}
 		return
 	}
 	for p := range ix.parts {
 		for l := range ix.parts[p] {
-			changed := ix.parts[p][l].update(e, old, newWeight)
+			moved := ix.parts[p][l].applyBatch(ix.scratch, changed, olds)
 			if ix.votes != nil {
-				ix.votes.apply(p, l+1, e, changed)
+				ix.votes.applyBatch(p, l+1, changed, moved)
 			}
 		}
 	}
 }
 
 // Reconstruct rebuilds every partition from scratch at the current weights
-// (keeping the same seed sets). This is the RECONSTRUCT baseline of Exp 6.
+// (keeping the same seed sets), on the worker pool when Config.Parallel is
+// set. This is the RECONSTRUCT baseline of Exp 6.
 func (ix *Index) Reconstruct() {
-	for p := range ix.parts {
-		for l := range ix.parts[p] {
-			ix.parts[p][l].rebuild()
+	if ix.pool != nil {
+		ix.pool.run(ix.cfg.K*ix.levels, func(slot int, s *scratch) {
+			ix.parts[slot/ix.levels][slot%ix.levels].rebuild(s)
+		})
+	} else {
+		for p := range ix.parts {
+			for l := range ix.parts[p] {
+				ix.parts[p][l].rebuild(ix.scratch)
+			}
 		}
 	}
 	if ix.votes != nil {
@@ -334,13 +372,19 @@ func (ix *Index) Validate() string {
 
 // MemoryBytes estimates the resident size of the index structures
 // (excluding the graph itself, as in Exp 4): seed assignments, distances,
-// parent/children forests and the shared weight slice.
+// parent/children forests, the shared weight slice, and the Dijkstra
+// scratches (one per worker plus the serial one — no longer one per
+// partition).
 func (ix *Index) MemoryBytes() int64 {
 	n := int64(ix.g.N())
 	perPartition := n*4 + n*8 + n*4 + // seedOf + dist + parent
-		n*24 + n*4 + // children slice headers + entries (≈ n edges in forest)
-		n*8 + n*4 + n*1 // heap prio + pos + scratch
-	total := int64(ix.cfg.K*ix.levels)*perPartition + int64(ix.g.M())*8
+		n*24 + n*4 // children slice headers + entries (≈ n edges in forest)
+	perScratch := n*8 + n*4 + n*4 // heap prio + heap pos + stamp
+	scratches := int64(1)
+	if ix.pool != nil {
+		scratches += int64(poolSize(ix.cfg.K * ix.levels))
+	}
+	total := int64(ix.cfg.K*ix.levels)*perPartition + scratches*perScratch + int64(ix.g.M())*8
 	if ix.votes != nil {
 		total += ix.votes.memoryBytes()
 	}

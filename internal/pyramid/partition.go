@@ -14,14 +14,14 @@ import (
 	"math"
 
 	"anc/internal/graph"
-	"anc/internal/pq"
 )
 
 // Partition is one Voronoi partition: a seed set, the seed assignment of
 // every node, the (anchored) distance of every node to its seed, and the
 // shortest-path forest rooted at the seeds, stored with parent and children
 // pointers so Algorithm 3 can enumerate an orphaned subtree in time
-// proportional to its size.
+// proportional to its size. The Dijkstra working state lives in a scratch
+// shared per worker (see pool.go), not in the partition.
 type Partition struct {
 	g       *graph.Graph
 	weights []float64 // shared with the owning Index; indexed by edge ID
@@ -31,17 +31,11 @@ type Partition struct {
 	dist     []float64      // anchored dist(seed, v); +Inf if unreachable
 	parent   []graph.NodeID // SPT parent; None for seeds and unreachable
 	children [][]graph.NodeID
-
-	heap    *pq.Heap
-	inTree  []bool         // scratch: marks the orphaned subtree
-	changed []graph.NodeID // scratch: nodes whose seed/dist changed
-	stamp   []int32        // scratch: dedup stamp for changed
-	stampID int32
 }
 
 // newPartition builds a Voronoi partition over g for the given seed set,
-// using the shared weight slice.
-func newPartition(g *graph.Graph, weights []float64, seeds []graph.NodeID) *Partition {
+// using the shared weight slice and the caller's scratch.
+func newPartition(g *graph.Graph, weights []float64, seeds []graph.NodeID, s *scratch) *Partition {
 	n := g.N()
 	p := &Partition{
 		g:        g,
@@ -51,16 +45,13 @@ func newPartition(g *graph.Graph, weights []float64, seeds []graph.NodeID) *Part
 		dist:     make([]float64, n),
 		parent:   make([]graph.NodeID, n),
 		children: make([][]graph.NodeID, n),
-		heap:     pq.New(n),
-		inTree:   make([]bool, n),
-		stamp:    make([]int32, n),
 	}
-	p.rebuild()
+	p.rebuild(s)
 	return p
 }
 
 // rebuild recomputes the whole partition with one multi-source Dijkstra.
-func (p *Partition) rebuild() {
+func (p *Partition) rebuild(s *scratch) {
 	n := p.g.N()
 	for v := 0; v < n; v++ {
 		p.seedOf[v] = graph.None
@@ -68,14 +59,14 @@ func (p *Partition) rebuild() {
 		p.parent[v] = graph.None
 		p.children[v] = p.children[v][:0]
 	}
-	p.heap.Reset()
-	for _, s := range p.seeds {
-		p.dist[s] = 0
-		p.seedOf[s] = s
-		p.heap.Push(s, 0)
+	s.heap.Reset()
+	for _, sd := range p.seeds {
+		p.dist[sd] = 0
+		p.seedOf[sd] = sd
+		s.heap.Push(sd, 0)
 	}
-	for p.heap.Len() > 0 {
-		x, d := p.heap.Pop()
+	for s.heap.Len() > 0 {
+		x, d := s.heap.Pop()
 		if d > p.dist[x] {
 			continue
 		}
@@ -85,7 +76,7 @@ func (p *Partition) rebuild() {
 				p.relink(h.To, graph.NodeID(x))
 				p.dist[h.To] = nd
 				p.seedOf[h.To] = p.seedOf[x]
-				p.heap.Push(h.To, nd)
+				s.heap.Push(h.To, nd)
 			}
 		}
 	}
@@ -123,17 +114,9 @@ func (p *Partition) Dist(v graph.NodeID) float64 { return p.dist[v] }
 // Parent returns v's parent in the shortest-path forest.
 func (p *Partition) Parent(v graph.NodeID) graph.NodeID { return p.parent[v] }
 
-// markChanged records that v's seed or distance changed during an update.
-func (p *Partition) markChanged(v graph.NodeID) {
-	if p.stamp[v] != p.stampID {
-		p.stamp[v] = p.stampID
-		p.changed = append(p.changed, v)
-	}
-}
-
 // probe is Algorithm 2: it re-evaluates a's distance via its neighbor b
 // and adopts b's seed if that improves a. Returns true if a changed.
-func (p *Partition) probe(a, b graph.NodeID, e graph.EdgeID) bool {
+func (p *Partition) probe(s *scratch, a, b graph.NodeID, e graph.EdgeID) bool {
 	if math.IsInf(p.dist[b], 1) {
 		return false
 	}
@@ -142,109 +125,108 @@ func (p *Partition) probe(a, b graph.NodeID, e graph.EdgeID) bool {
 		p.relink(a, b)
 		p.dist[a] = d
 		p.seedOf[a] = p.seedOf[b]
-		p.markChanged(a)
+		s.markChanged(a)
 		return true
 	}
 	return false
 }
 
-// updateDecrease is Algorithm 1: the weight of e(u, v) decreased (the new
-// value is already in the shared weight slice). It probes both endpoints
-// and then relaxes outward; only nodes whose distance to their seed
-// improves are touched (Lemmas 11–12).
-func (p *Partition) updateDecrease(e graph.EdgeID) {
-	u, v := p.g.Endpoints(e)
-	p.heap.Reset()
-	if p.probe(u, v, e) {
-		p.heap.Push(u, p.dist[u])
+// applyBatch repairs the partition after the weights of a set of distinct
+// edges changed (the shared weight slice already holds the new values;
+// olds[i] is the previous weight of edges[i]). It is the batched
+// generalization of Algorithms 1 and 3:
+//
+//  1. Every increased tree edge orphans the subtree hanging below it
+//     (distance reset to +Inf), exactly as in the single-edge Algorithm 3.
+//  2. One repair Dijkstra is seeded with (a) the outside boundary of all
+//     orphaned regions at their unchanged distances, and (b) the endpoints
+//     of every decreased edge that improve via the cheaper edge
+//     (Algorithm 2's probes).
+//  3. The heap is relaxed to a fixpoint.
+//
+// Correctness follows the single-edge argument: every non-orphaned node's
+// stored distance remains a valid upper bound (no path through it lost an
+// edge or got more expensive without being orphaned), and every node whose
+// true distance changed is reachable by a relaxation chain from a seeded
+// node, so Dijkstra ordering restores the optimality certificate checked
+// by validate. The cost is bounded by the union of the per-edge affected
+// sets (Lemma 12) with overlapping regions relaxed once instead of once
+// per edge — the amortization batched ingest is built on.
+//
+// It returns the nodes whose seed or distance changed (aliases the
+// scratch; valid until the scratch's next use).
+func (p *Partition) applyBatch(s *scratch, edges []graph.EdgeID, olds []float64) []graph.NodeID {
+	s.begin()
+	// Phase 1: orphan the subtree under every increased tree edge. An edge
+	// already orphaned by an earlier, enclosing subtree has parent None on
+	// both sides by the time it is examined, so nesting is handled by the
+	// tree-edge test itself.
+	for i, e := range edges {
+		if p.weights[e] <= olds[i] {
+			continue
+		}
+		u, v := p.g.Endpoints(e)
+		var o graph.NodeID
+		switch {
+		case p.parent[v] == u:
+			o = v
+		case p.parent[u] == v:
+			o = u
+		default:
+			continue // not on this partition's forest: nothing affected
+		}
+		start := len(s.sub)
+		s.stack = append(s.stack[:0], o)
+		for len(s.stack) > 0 {
+			x := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			s.sub = append(s.sub, x)
+			s.stack = append(s.stack, p.children[x]...)
+		}
+		for _, x := range s.sub[start:] {
+			p.relink(x, graph.None)
+			p.dist[x] = math.Inf(1)
+			p.seedOf[x] = graph.None
+			p.children[x] = p.children[x][:0]
+			s.markChanged(x)
+		}
 	}
-	if p.probe(v, u, e) {
-		p.heap.Push(v, p.dist[v])
+	// Phase 2a: seed the repair with the outside boundary of the orphaned
+	// regions. Orphaned nodes carry +Inf by now, so finiteness alone
+	// identifies the boundary.
+	for _, x := range s.sub {
+		for _, h := range p.g.Neighbors(x) {
+			if !math.IsInf(p.dist[h.To], 1) {
+				s.heap.Push(h.To, p.dist[h.To])
+			}
+		}
 	}
-	for p.heap.Len() > 0 {
-		x, d := p.heap.Pop()
+	// Phase 2b: probe both endpoints of every decreased edge.
+	for i, e := range edges {
+		if p.weights[e] >= olds[i] {
+			continue
+		}
+		u, v := p.g.Endpoints(e)
+		if p.probe(s, u, v, e) {
+			s.heap.Push(u, p.dist[u])
+		}
+		if p.probe(s, v, u, e) {
+			s.heap.Push(v, p.dist[v])
+		}
+	}
+	// Phase 3: relax to fixpoint.
+	for s.heap.Len() > 0 {
+		x, d := s.heap.Pop()
 		if d > p.dist[x] {
 			continue
 		}
 		for _, h := range p.g.Neighbors(x) {
-			if p.probe(h.To, graph.NodeID(x), h.Edge) {
-				p.heap.Push(h.To, p.dist[h.To])
+			if p.probe(s, h.To, graph.NodeID(x), h.Edge) {
+				s.heap.Push(h.To, p.dist[h.To])
 			}
 		}
 	}
-}
-
-// updateIncrease is Algorithm 3: the weight of e(u, v) increased. If e is
-// not a tree edge nothing is affected. Otherwise the subtree rooted at the
-// child endpoint is orphaned (distance reset to +Inf) and repaired by a
-// Dijkstra seeded with the subtree's outside boundary.
-func (p *Partition) updateIncrease(e graph.EdgeID) {
-	u, v := p.g.Endpoints(e)
-	var o graph.NodeID
-	switch {
-	case p.parent[v] == u:
-		o = v
-	case p.parent[u] == v:
-		o = u
-	default:
-		return // e is not on any shortest-path tree: nothing affected
-	}
-	// Collect and orphan the subtree rooted at o.
-	p.heap.Reset()
-	var sub []graph.NodeID
-	stack := []graph.NodeID{o}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		sub = append(sub, x)
-		p.inTree[x] = true
-		stack = append(stack, p.children[x]...)
-	}
-	for _, x := range sub {
-		p.relink(x, graph.None)
-		p.dist[x] = math.Inf(1)
-		p.seedOf[x] = graph.None
-		p.children[x] = p.children[x][:0]
-		p.markChanged(x)
-	}
-	// Seed the repair with outside boundary nodes at their (unchanged)
-	// distances.
-	for _, x := range sub {
-		for _, h := range p.g.Neighbors(x) {
-			if !p.inTree[h.To] && !math.IsInf(p.dist[h.To], 1) {
-				p.heap.Push(h.To, p.dist[h.To])
-			}
-		}
-	}
-	for _, x := range sub {
-		p.inTree[x] = false
-	}
-	for p.heap.Len() > 0 {
-		x, d := p.heap.Pop()
-		if d > p.dist[x] {
-			continue
-		}
-		for _, h := range p.g.Neighbors(x) {
-			if p.probe(h.To, graph.NodeID(x), h.Edge) {
-				p.heap.Push(h.To, p.dist[h.To])
-			}
-		}
-	}
-}
-
-// update applies a weight change on edge e. The shared weight slice must
-// already hold the new value; old is the previous value. It returns the
-// nodes whose seed or distance changed (valid until the next call).
-func (p *Partition) update(e graph.EdgeID, old, new float64) []graph.NodeID {
-	p.stampID++
-	p.changed = p.changed[:0]
-	switch {
-	case new < old:
-		p.updateDecrease(e)
-	case new > old:
-		p.updateIncrease(e)
-	}
-	return p.changed
+	return s.changed
 }
 
 // onRescale multiplies every stored distance by the NegM factor 1/g.

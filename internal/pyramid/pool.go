@@ -1,0 +1,116 @@
+package pyramid
+
+import (
+	"runtime"
+	"sync"
+
+	"anc/internal/graph"
+	"anc/internal/pq"
+)
+
+// scratch is the Dijkstra working state of one update or rebuild: the
+// priority queue, the changed-set accumulator with its dedup stamps, and
+// the subtree-traversal buffers of Algorithm 3. It used to live inside
+// every Partition (K·⌈log₂ n⌉ copies); now one scratch exists per worker
+// plus one for the serial path, and is reused across calls, so the memory
+// scales with the worker count instead of the partition count and the hot
+// ingest path allocates nothing.
+type scratch struct {
+	heap    *pq.Heap
+	changed []graph.NodeID // nodes whose seed/dist changed (valid until next use)
+	stamp   []int32        // dedup stamp for changed
+	stampID int32
+	sub     []graph.NodeID // orphaned-subtree accumulator (Algorithm 3)
+	stack   []graph.NodeID // DFS stack for subtree collection
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		heap:  pq.New(n),
+		stamp: make([]int32, n),
+	}
+}
+
+// markChanged records that v's seed or distance changed during the current
+// update, deduplicating via the stamp array.
+func (s *scratch) markChanged(v graph.NodeID) {
+	if s.stamp[v] != s.stampID {
+		s.stamp[v] = s.stampID
+		s.changed = append(s.changed, v)
+	}
+}
+
+// begin starts a fresh changed-set epoch.
+func (s *scratch) begin() {
+	s.stampID++
+	s.changed = s.changed[:0]
+	s.sub = s.sub[:0]
+	s.heap.Reset()
+}
+
+// pool is a fixed set of long-lived workers, each owning one scratch, fed
+// over an unbuffered task channel. It replaces the previous
+// goroutine-per-partition-per-update spawn: partition updates are mutually
+// independent (Lemma 13), so a persistent pool of min(GOMAXPROCS, K·L)
+// workers saturates the hardware without per-activation goroutine churn.
+type pool struct {
+	tasks   chan poolTask
+	workers sync.WaitGroup
+}
+
+type poolTask struct {
+	fn   func(slot int, s *scratch)
+	slot int
+	done *sync.WaitGroup
+}
+
+// poolSize returns min(GOMAXPROCS, slots): more workers than independent
+// partitions would only idle.
+func poolSize(slots int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > slots {
+		w = slots
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newPool starts `workers` goroutines, each with a scratch sized for an
+// n-node graph. The goroutines live until close.
+func newPool(workers, n int) *pool {
+	p := &pool{tasks: make(chan poolTask)}
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			s := newScratch(n)
+			for t := range p.tasks {
+				t.fn(t.slot, s)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches fn for every slot in [0, slots) across the workers and
+// blocks until all complete (the per-dispatch barrier the vote tracker
+// needs before it may read changed sets).
+func (p *pool) run(slots int, fn func(slot int, s *scratch)) {
+	var done sync.WaitGroup
+	done.Add(slots)
+	for i := 0; i < slots; i++ {
+		p.tasks <- poolTask{fn: fn, slot: i, done: &done}
+	}
+	done.Wait()
+}
+
+// close drains the pool: no task is in flight after run returns, so
+// closing the channel stops every worker, and the wait guarantees zero
+// leaked goroutines.
+func (p *pool) close() {
+	close(p.tasks)
+	p.workers.Wait()
+}

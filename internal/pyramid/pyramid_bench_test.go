@@ -17,9 +17,10 @@ func benchGraph(b *testing.B, n int) (*graph.Graph, []float64) {
 func BenchmarkPartitionBuild(b *testing.B) {
 	g, w := benchGraph(b, 4096)
 	seeds := sampleSeeds(perm(g.N()), 64, rand.New(rand.NewSource(2)))
+	s := newScratch(g.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		newPartition(g, w, seeds)
+		newPartition(g, w, seeds, s)
 	}
 }
 

@@ -198,14 +198,14 @@ func TestUpdateDecreaseExample(t *testing.T) {
 	// Force a deterministic partition: rebuild level 1 with seeds {0, 4}.
 	part := ix.Partition(0, 1)
 	part.seeds = []graph.NodeID{0, 4}
-	part.rebuild()
+	part.rebuild(ix.scratch)
 	if part.Seed(1) != 0 || part.Seed(3) != 4 {
 		t.Fatalf("unexpected initial assignment: %v %v", part.Seed(1), part.Seed(3))
 	}
 	// Decrease edge (3,4) strongly: node 2 should flip to seed 4.
 	e := g.FindEdge(3, 4)
 	ix.SetWeight(e, 0.1)
-	part.update(e, 1, 0.1)
+	part.applyBatch(ix.scratch, []graph.EdgeID{e}, []float64{1})
 	if part.Seed(2) != 4 {
 		t.Fatalf("after decrease, seed(2) = %v, want 4", part.Seed(2))
 	}
@@ -214,7 +214,7 @@ func TestUpdateDecreaseExample(t *testing.T) {
 	}
 	// Increase it back: node 2 flips back to seed 0.
 	ix.SetWeight(e, 10)
-	part.update(e, 0.1, 10)
+	part.applyBatch(ix.scratch, []graph.EdgeID{e}, []float64{0.1})
 	if part.Seed(2) != 0 {
 		t.Fatalf("after increase, seed(2) = %v, want 0", part.Seed(2))
 	}
@@ -245,10 +245,10 @@ func TestNonTreeEdgeIncreaseIsNoop(t *testing.T) {
 	}
 	part := ix.Partition(0, 1)
 	part.seeds = []graph.NodeID{0}
-	part.rebuild()
+	part.rebuild(ix.scratch)
 	e12 := g.FindEdge(1, 2)
 	ix.SetWeight(e12, 100)
-	changed := part.update(e12, 1, 100)
+	changed := part.applyBatch(ix.scratch, []graph.EdgeID{e12}, []float64{1})
 	if len(changed) != 0 {
 		t.Fatalf("non-tree increase changed nodes: %v", changed)
 	}
@@ -272,14 +272,14 @@ func TestDisconnectedGraph(t *testing.T) {
 	}
 	part := ix.Partition(0, 1)
 	part.seeds = []graph.NodeID{0} // only component {0,1,2} is covered
-	part.rebuild()
+	part.rebuild(ix.scratch)
 	for _, v := range []graph.NodeID{3, 4, 5} {
 		if part.Seed(v) != graph.None || !math.IsInf(part.Dist(v), 1) {
 			t.Fatalf("node %d should be unreachable", v)
 		}
 	}
 	ix.SetWeight(g.FindEdge(4, 5), 0.5)
-	part.update(g.FindEdge(4, 5), 1, 0.5)
+	part.applyBatch(ix.scratch, []graph.EdgeID{g.FindEdge(4, 5)}, []float64{1})
 	if msg := part.validate(); msg != "" {
 		t.Fatal(msg)
 	}

@@ -47,6 +47,7 @@ func (ix *Index) EnableVoteTracking() *VoteTracker {
 		vt.counts[l] = make([]uint8, ix.g.M())
 	}
 	ix.votes = vt
+	ix.voteChanged = make([][]graph.NodeID, ix.cfg.K*ix.levels)
 	vt.rebuild()
 	return vt
 }
@@ -97,12 +98,18 @@ func (vt *VoteTracker) refreshEdge(p, l int, e graph.EdgeID) {
 	}
 }
 
-// apply processes the changed-node set reported by one partition update:
-// every edge incident to a changed node (plus the trigger edge, whose
-// weight changed but whose endpoints may not have moved) is re-evaluated.
-// Cost O(Σ_{x∈changed} deg x) — the same bound as the update itself.
-func (vt *VoteTracker) apply(p, l int, trigger graph.EdgeID, changed []graph.NodeID) {
-	vt.refreshEdge(p, l, trigger)
+// applyBatch processes the changed-node set reported by one partition
+// update: every edge incident to a changed node (plus the trigger edges,
+// whose weights changed but whose endpoints may not have moved) is
+// re-evaluated. refreshEdge is idempotent per current state, so an edge
+// touched through several changed nodes settles once. Counts are shared
+// across the pyramids of a level; callers invoke this serially after the
+// parallel barrier. Cost O(|triggers| + Σ_{x∈changed} deg x) — the same
+// bound as the update itself.
+func (vt *VoteTracker) applyBatch(p, l int, triggers []graph.EdgeID, changed []graph.NodeID) {
+	for _, e := range triggers {
+		vt.refreshEdge(p, l, e)
+	}
 	for _, x := range changed {
 		for _, h := range vt.ix.g.Neighbors(x) {
 			vt.refreshEdge(p, l, h.Edge)

@@ -266,6 +266,42 @@ func (st *Store) ActivateNoReinforce(e graph.EdgeID, t float64) (newWeight float
 	return 1 / st.s[e]
 }
 
+// BumpNoReinforce applies one activation impact on e at the clock's
+// current time without advancing the clock, touching the σ caches, or
+// applying reinforcement — the inner loop of batch ingest. The caller
+// advances the clock per distinct timestamp, Bumps every activation, and
+// settles the deferred σ maintenance with RefreshEdgeNum/RefreshNodeSigma
+// once per distinct edge/node at batch end. The activeness and similarity
+// arithmetic is exactly Activate's (one += 1/g, clamped, per impact), so
+// per-op and batched ingest leave bit-identical anchored state.
+func (st *Store) BumpNoReinforce(e graph.EdgeID) {
+	st.act.Bump(e)
+	st.s[e] = st.clampAnchored(st.s[e] + 1/st.clock.G())
+}
+
+// RefreshEdgeNum folds the accumulated activeness delta of edge e into the
+// σ numerators of edges adjacent through common neighbors — the deferred
+// first half of refreshAround. Call once per distinct activated edge of a
+// batch, before RefreshNodeSigma on the affected nodes.
+func (st *Store) RefreshEdgeNum(e graph.EdgeID) {
+	delta := st.act.Anchored(e) - st.prev[e]
+	//anclint:ignore floateq adding an exact zero is a no-op, so skipping only bit-zero deltas is safe
+	if delta == 0 {
+		return
+	}
+	st.prev[e] = st.act.Anchored(e)
+	u, v := st.g.Endpoints(e)
+	st.g.CommonNeighbors(u, v, func(w graph.NodeID, eu, ev graph.EdgeID) {
+		st.num[eu] += delta
+		st.num[ev] += delta
+	})
+}
+
+// RefreshNodeSigma re-evaluates σ and the active-neighbor counts on every
+// edge incident to x — the deferred second half of refreshAround. Call
+// once per distinct endpoint of a batch, after every RefreshEdgeNum.
+func (st *Store) RefreshNodeSigma(x graph.NodeID) { st.refreshIncidentSigma(x) }
+
 // refreshAround exactly updates σ numerators, cached σ, and active counts
 // after the activeness of edge e(u,v) changed. Numerators change only on
 // edges (w,u) and (w,v) for common neighbors w; denominators change for all
