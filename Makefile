@@ -1,15 +1,15 @@
 # Development and CI entry points. `make check` is what every PR must
 # pass: vet, the ANC invariant linter, build, the full test suite, the
-# race detector, and a short fuzz smoke over the corruption-facing
-# decoders.
+# race detector, a short fuzz smoke over the corruption-facing decoders,
+# and the bench and serving-layer smokes.
 
 GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke bench clean
+.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke serve-smoke bench clean
 
-check: vet lint build test race fuzz-smoke bench-smoke
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,17 +41,27 @@ race:
 	$(GO) test -race ./...
 
 # Each -fuzz run accepts a single target, so the smoke lists them
-# explicitly: snapshot loading and WAL replay are the two paths fed by
-# potentially corrupt bytes.
+# explicitly: snapshot loading, WAL replay, and the two sides of the wire
+# protocol are the paths fed by potentially corrupt bytes.
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
 
 # bench-smoke runs the batch-ingest throughput benchmark once (a single
 # iteration, not a measurement) so the batch pipeline compiles and runs —
 # pool, coalescing, index validation — on every PR.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkIngest$$' -benchtime 1x .
+
+# serve-smoke drives the serving layer once end to end on an ephemeral
+# port: concurrent TCP ingest + queries into a WAL-backed network, graceful
+# drain, and a non-empty BENCH_serve.json — the acceptance loop of the
+# serving subsystem on every PR.
+serve-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchtime 1x .
+	test -s BENCH_serve.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -122,6 +122,24 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkServe drives the serving layer end to end: a bursty ingest
+// stream over TCP through concurrent client connections into a durable
+// network, with query clients measuring latency under write load. Emits
+// BENCH_serve.json with the observed throughput and percentiles.
+func BenchmarkServe(b *testing.B) {
+	var r bench.ServeResult
+	for i := 0; i < b.N; i++ {
+		r = bench.ServeLoad(benchConfig(), io.Discard, 8, 4)
+	}
+	b.ReportMetric(r.IngestRate, "acts/s")
+	b.ReportMetric(r.BatchP99ms, "batch-p99-ms")
+	b.ReportMetric(r.QueryP50ms, "query-p50-ms")
+	b.ReportMetric(r.QueryP99ms, "query-p99-ms")
+	if err := bench.WriteServeJSON("BENCH_serve.json", r); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCaseStudy regenerates the Figure 11 case study.
 func BenchmarkCaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

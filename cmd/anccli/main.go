@@ -28,8 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"anc"
 	"anc/internal/graph"
@@ -97,8 +100,8 @@ func main() {
 		d, err := anc.Recover(*walDir, dcfg)
 		switch {
 		case err == nil:
-			fmt.Fprintf(os.Stderr, "anccli: recovered %d activations from %s (t=%v)\n",
-				d.LoggedActivations(), *walDir, d.Now())
+			fmt.Fprintf(os.Stderr, "anccli: recovered from %s: t=%v, %d log frames, %d activations replayed past the checkpoint\n",
+				*walDir, d.Now(), d.LoggedActivations(), d.Stats().Activations)
 			net = d.Unwrap() // single-threaded queries below
 		case errors.Is(err, anc.ErrNoDurableState):
 			if d, err = anc.NewDurable(net, *walDir, dcfg); err != nil {
@@ -108,13 +111,27 @@ func main() {
 			fatalf("wal-dir: %v", err)
 		}
 		activate = d.Activate
-		defer func() {
-			if err := d.Checkpoint(); err != nil {
-				fatalf("checkpoint: %v", err)
-			}
-			if err := d.Close(); err != nil {
-				fatalf("wal close: %v", err)
-			}
+		// One shutdown path shared by the normal exit and the signal
+		// handler: checkpoint, then close (idempotent, so whichever runs
+		// second is a no-op).
+		var once sync.Once
+		shutdown := func() {
+			once.Do(func() {
+				if err := d.Checkpoint(); err != nil {
+					fatalf("checkpoint: %v", err)
+				}
+				if err := d.Close(); err != nil {
+					fatalf("wal close: %v", err)
+				}
+			})
+		}
+		defer shutdown()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			shutdown()
+			os.Exit(130)
 		}()
 	}
 

@@ -1,0 +1,144 @@
+// Wire-ID translation. LoadEdgeList densifies the graph file's node IDs
+// to 0..n-1 in order of first appearance, but a TCP client only knows the
+// file's original IDs — it has no way to learn the dense mapping. The
+// served backend therefore translates at the boundary: requests map
+// original → dense, results (cluster members, change events) map back.
+// When the file's IDs are already exactly 0..n-1 the wrapper is skipped.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"anc"
+	"anc/internal/serve"
+)
+
+// translated wraps backend so the wire speaks the graph file's original
+// node IDs. ids is LoadEdgeList's original → dense mapping. Original IDs
+// must fit in uint32 (the wire's node width).
+func translated(backend serve.Backend, ids map[int64]int32) (serve.Backend, error) {
+	identity := true
+	rev := make([]int64, len(ids))
+	for orig, dense := range ids {
+		if orig < 0 || orig > math.MaxUint32 {
+			return nil, fmt.Errorf("node ID %d does not fit the wire protocol's uint32 node width", orig)
+		}
+		rev[dense] = orig
+		if int64(dense) != orig {
+			identity = false
+		}
+	}
+	if identity {
+		return backend, nil
+	}
+	tb := &translatingBackend{inner: backend, ids: ids, rev: rev}
+	if d, ok := backend.(interface {
+		Checkpoint() error
+		Close() error
+	}); ok {
+		// Keep the durability surface visible to serve.Shutdown/Kill.
+		return &durableTranslatingBackend{translatingBackend: tb, d: d}, nil
+	}
+	return tb, nil
+}
+
+type translatingBackend struct {
+	inner serve.Backend
+	ids   map[int64]int32 // original → dense
+	rev   []int64         // dense → original
+}
+
+// toDense maps an original wire ID to the dense one, or -1 when unknown
+// (the facade's bounds checks turn -1 into the usual empty/⊥ answers).
+func (b *translatingBackend) toDense(v int) int {
+	if dense, ok := b.ids[int64(v)]; ok {
+		return int(dense)
+	}
+	return -1
+}
+
+func (b *translatingBackend) toOrig(members []int) []int {
+	for i, m := range members {
+		if m >= 0 && m < len(b.rev) {
+			members[i] = int(b.rev[m])
+		}
+	}
+	return members
+}
+
+func (b *translatingBackend) ActivateBatch(batch []anc.Activation) error {
+	dense := make([]anc.Activation, len(batch))
+	for i, a := range batch {
+		du, ok1 := b.ids[int64(a.U)]
+		dv, ok2 := b.ids[int64(a.V)]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("batch[%d]: no node (%d, %d) in graph", i, a.U, a.V)
+		}
+		dense[i] = anc.Activation{U: int(du), V: int(dv), T: a.T}
+	}
+	return b.inner.ActivateBatch(dense)
+}
+
+func (b *translatingBackend) Clusters(level int) [][]int {
+	cs := b.inner.Clusters(level)
+	for _, c := range cs {
+		b.toOrig(c)
+	}
+	return cs
+}
+
+func (b *translatingBackend) EvenClusters(level int) [][]int {
+	cs := b.inner.EvenClusters(level)
+	for _, c := range cs {
+		b.toOrig(c)
+	}
+	return cs
+}
+
+func (b *translatingBackend) ClusterOf(v, level int) []int {
+	return b.toOrig(b.inner.ClusterOf(b.toDense(v), level))
+}
+
+func (b *translatingBackend) SmallestClusterOf(v int) []int {
+	return b.toOrig(b.inner.SmallestClusterOf(b.toDense(v)))
+}
+
+func (b *translatingBackend) EstimateDistance(u, v int) float64 {
+	return b.inner.EstimateDistance(b.toDense(u), b.toDense(v))
+}
+
+func (b *translatingBackend) EstimateAttraction(u, v int) float64 {
+	return b.inner.EstimateAttraction(b.toDense(u), b.toDense(v))
+}
+
+func (b *translatingBackend) Watch(v int)   { b.inner.Watch(b.toDense(v)) }
+func (b *translatingBackend) Unwatch(v int) { b.inner.Unwatch(b.toDense(v)) }
+
+func (b *translatingBackend) DrainEvents() ([]anc.ClusterEvent, uint64) {
+	events, dropped := b.inner.DrainEvents()
+	for i := range events {
+		if n := events[i].Node; n >= 0 && n < len(b.rev) {
+			events[i].Node = int(b.rev[n])
+		}
+		if o := events[i].Other; o >= 0 && o < len(b.rev) {
+			events[i].Other = int(b.rev[o])
+		}
+	}
+	return events, dropped
+}
+
+func (b *translatingBackend) Stats() anc.Stats { return b.inner.Stats() }
+
+// durableTranslatingBackend forwards the durability surface so the
+// server's graceful Shutdown still checkpoints and closes the WAL.
+type durableTranslatingBackend struct {
+	*translatingBackend
+	d interface {
+		Checkpoint() error
+		Close() error
+	}
+}
+
+func (b *durableTranslatingBackend) Checkpoint() error { return b.d.Checkpoint() }
+func (b *durableTranslatingBackend) Close() error      { return b.d.Close() }

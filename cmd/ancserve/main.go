@@ -1,0 +1,219 @@
+// Command ancserve serves an activation-network index over TCP: clients
+// stream activations in and ask clustering queries through the versioned
+// binary protocol of internal/serve (see internal/serve/client for the Go
+// client).
+//
+// The graph file is a whitespace-separated edge list ("u v" per line, #
+// comments); an optional -stream file ("u v t" per line) is replayed into
+// the index before serving starts. Node IDs on the wire are the graph
+// file's original IDs (translated at the server boundary to the dense
+// internal ones); they must fit in uint32.
+//
+// Usage:
+//
+//	ancserve -graph g.txt -addr :7465
+//	ancserve -graph g.txt -wal-dir state/ -checkpoint-every 100000
+//
+// With -wal-dir every served batch is write-ahead logged before it is
+// applied and acknowledged; a restart with the same -wal-dir recovers the
+// network (checkpoint + WAL tail) instead of rebuilding it. SIGINT or
+// SIGTERM triggers a graceful drain: the listener closes, queued batches
+// are committed, the network is checkpointed, and only then does the
+// process exit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"anc"
+	"anc/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7465", "listen address")
+		graphPath  = flag.String("graph", "", "edge-list file (required)")
+		streamPath = flag.String("stream", "", "activation stream to replay before serving (u v t per line)")
+		method     = flag.String("method", "anco", "anco | ancor | ancf")
+		lambda     = flag.Float64("lambda", 0.1, "decay factor λ")
+		rep        = flag.Int("rep", 7, "initialization reinforcement rounds")
+		epsilon    = flag.Float64("epsilon", 0.4, "active-similarity threshold ε")
+		mu         = flag.Int("mu", 4, "core threshold μ")
+		k          = flag.Int("k", 4, "number of pyramids")
+		parallel   = flag.Bool("parallel", false, "update index partitions concurrently")
+
+		walDir          = flag.String("wal-dir", "", "durability directory (WAL + checkpoints); recovered if it already holds state")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "activations between automatic checkpoints (0 = checkpoint only on shutdown)")
+
+		maxInflight    = flag.Int("max-inflight", 64, "admission gate: concurrent requests across all connections")
+		ingestQueue    = flag.Int("ingest-queue", 64, "bounded ingest queue feeding the single writer (batches)")
+		requestTimeout = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "ancserve: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "ancserve: ", log.LstdFlags)
+
+	cfg := anc.DefaultConfig()
+	cfg.Lambda = *lambda
+	cfg.Rep = *rep
+	cfg.Epsilon = *epsilon
+	cfg.Mu = *mu
+	cfg.K = *k
+	cfg.Parallel = *parallel
+	switch strings.ToLower(*method) {
+	case "anco":
+		cfg.Method = anc.ANCO
+	case "ancor":
+		cfg.Method = anc.ANCOR
+	case "ancf":
+		cfg.Method = anc.ANCF
+	default:
+		logger.Fatalf("unknown method %q", *method)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	net, ids, err := anc.LoadEdgeList(f, cfg)
+	f.Close() //anclint:ignore droppederr read-only graph file; a close error cannot lose data
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("loaded %s: %d nodes, %d edges, %d levels", *graphPath, net.N(), net.M(), net.Levels())
+
+	// Build the served backend: durable when -wal-dir is set, otherwise
+	// the in-memory concurrency facade.
+	var backend serve.Backend
+	if *walDir != "" {
+		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery}
+		d, err := anc.Recover(*walDir, dcfg)
+		switch {
+		case err == nil:
+			logger.Printf("recovered from %s: t=%v, %d log frames, %d activations replayed past the checkpoint",
+				*walDir, d.Now(), d.LoggedActivations(), d.Stats().Activations)
+		case errors.Is(err, anc.ErrNoDurableState):
+			if d, err = anc.NewDurable(net, *walDir, dcfg); err != nil {
+				logger.Fatalf("wal-dir: %v", err)
+			}
+		default:
+			logger.Fatalf("wal-dir: %v", err)
+		}
+		if *streamPath != "" {
+			if err := replayStream(d.ActivateBatch, ids, *streamPath); err != nil {
+				logger.Fatalf("stream: %v", err)
+			}
+		}
+		backend = d
+	}
+	var cnet *anc.ConcurrentNetwork
+	if backend == nil {
+		cnet = anc.NewConcurrent(net)
+		if *streamPath != "" {
+			if err := replayStream(cnet.ActivateBatch, ids, *streamPath); err != nil {
+				logger.Fatalf("stream: %v", err)
+			}
+		}
+		backend = cnet
+	}
+
+	backend, err = translated(backend, ids)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := serve.New(backend, serve.Config{
+		MaxInflight:    *maxInflight,
+		IngestQueue:    *ingestQueue,
+		RequestTimeout: *requestTimeout,
+		Logf:           logger.Printf,
+	})
+	if err := srv.Start(*addr); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving on %s (protocol v%d)", srv.Addr(), serve.Version)
+
+	// Graceful drain on SIGINT/SIGTERM: Shutdown stops accepting, flushes
+	// the ingest queue through the writer, and checkpoints+closes a
+	// durable backend before the process exits.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logger.Printf("%v: draining (budget %v)", got, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Fatalf("drain: %v", err)
+	}
+	if cnet != nil {
+		cnet.Close() // the durable case is closed by Shutdown itself
+	}
+	logger.Printf("drained cleanly")
+}
+
+// replayStream feeds "u v t" lines through the batched ingest path in
+// chunks, preserving stream order.
+func replayStream(activate func([]anc.Activation) error, ids map[int64]int32, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	const chunk = 4096
+	batch := make([]anc.Activation, 0, chunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := activate(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	line := 0
+	var u, v int64
+	var t float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || s[0] == '#' {
+			continue
+		}
+		if _, err := fmt.Sscan(s, &u, &v, &t); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		du, ok1 := ids[u]
+		dv, ok2 := ids[v]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("line %d: unknown node", line)
+		}
+		batch = append(batch, anc.Activation{U: int(du), V: int(dv), T: t})
+		if len(batch) == chunk {
+			if err := flush(); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}

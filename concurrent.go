@@ -11,8 +11,9 @@ import (
 // scenario (one ingest stream, many query clients). All methods mirror
 // Network.
 type ConcurrentNetwork struct {
-	mu  sync.RWMutex
-	net *Network
+	mu   sync.RWMutex
+	net  *Network
+	acts uint64
 }
 
 // NewConcurrent wraps an existing network. The caller must not keep using
@@ -25,7 +26,11 @@ func NewConcurrent(net *Network) *ConcurrentNetwork {
 func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.net.Activate(u, v, t)
+	err := c.net.Activate(u, v, t)
+	if err == nil {
+		c.acts++
+	}
+	return err
 }
 
 // ActivateBatch records a batch of activations under a single lock
@@ -34,7 +39,11 @@ func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 func (c *ConcurrentNetwork) ActivateBatch(batch []Activation) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.net.ActivateBatch(batch)
+	err := c.net.ActivateBatch(batch)
+	if err == nil {
+		c.acts += uint64(len(batch))
+	}
+	return err
 }
 
 // Snapshot finalizes buffered work (exclusive lock).
@@ -218,6 +227,21 @@ func (c *ConcurrentNetwork) Levels() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.net.Levels()
+}
+
+// Stats returns an aggregate snapshot of the network's shape and ingest
+// progress in one shared-lock acquisition — the health-endpoint read.
+func (c *ConcurrentNetwork) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Nodes:       c.net.N(),
+		Edges:       c.net.M(),
+		Levels:      c.net.Levels(),
+		SqrtLevel:   c.net.SqrtLevel(),
+		Activations: c.acts,
+		Now:         c.net.Now(),
+	}
 }
 
 // Save snapshots the network (exclusive lock: Save flushes buffers).

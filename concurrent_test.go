@@ -130,3 +130,66 @@ func TestConcurrentBatchIngestRace(t *testing.T) {
 		t.Fatalf("Now = %v after batched ingest", c.Now())
 	}
 }
+
+// TestConcurrentServeShapeRace is the serving-layer stress shape under
+// -race: one goroutine ingesting via ActivateBatch while several others
+// issue exactly the reads the server dispatches concurrently —
+// EvenClusters, SmallestClusterOf, Stats, and the exclusive-locking
+// DrainEvents event stream.
+func TestConcurrentServeShapeRace(t *testing.T) {
+	n, edges := barbell()
+	net, err := NewNetwork(n, edges, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConcurrent(net)
+	defer c.Close()
+	c.Watch(4) // events accumulate so DrainEvents has real work
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 80; i++ {
+			t0 := float64(i * 2)
+			batch := []Activation{
+				{U: 4, V: 5, T: t0}, {U: 3, V: 4, T: t0}, {U: 5, V: 6, T: t0 + 1},
+			}
+			if err := c.ActivateBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			var drained uint64
+			for i := 0; i < 100; i++ {
+				if got := c.EvenClusters(c.SqrtLevel()); len(got) == 0 {
+					t.Error("EvenClusters empty under ingest")
+					return
+				}
+				if got := c.SmallestClusterOf(q); len(got) == 0 {
+					t.Errorf("empty smallest cluster of %d", q)
+					return
+				}
+				events, dropped := c.DrainEvents()
+				drained += uint64(len(events)) + dropped
+				st := c.Stats()
+				if st.Nodes != 10 || st.Edges != 21 {
+					t.Errorf("stats shape %d/%d under ingest", st.Nodes, st.Edges)
+					return
+				}
+				if st.Activations > 240 {
+					t.Errorf("activation counter overran: %d", st.Activations)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Activations != 240 || st.Now != 159 {
+		t.Fatalf("final stats %+v", st)
+	}
+}

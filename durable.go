@@ -36,6 +36,10 @@ const (
 // from "something there, but corrupt".
 var ErrNoDurableState = errors.New("anc: no durable state")
 
+// ErrClosed is returned by mutating DurableNetwork methods after Close:
+// a closed log must reject ingest loudly instead of tearing its tail.
+var ErrClosed = errors.New("anc: durable network is closed")
+
 // DurableConfig tunes the durability subsystem. The zero value is usable:
 // 4 MiB WAL segments, fsync on every activation, checkpoints only when
 // Checkpoint is called.
@@ -84,6 +88,8 @@ type DurableNetwork struct {
 	dir             string
 	cfg             DurableConfig
 	sinceCheckpoint int
+	acts            uint64
+	closed          bool
 }
 
 const activationRecordSize = 16 // u uint32, v uint32, t float64 bits
@@ -194,6 +200,7 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 			lastErr = err
 			continue
 		}
+		var replayed uint64
 		next, err := wal.Replay(dir, cp.index, func(_ uint64, rec []byte) error {
 			if len(rec) > activationRecordSize {
 				// A group-committed batch frame: n×16-byte records applied
@@ -209,13 +216,21 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 					}
 					acts[i] = Activation{U: u, V: v, T: t}
 				}
-				return net.ActivateBatch(acts)
+				if err := net.ActivateBatch(acts); err != nil {
+					return err
+				}
+				replayed += uint64(len(acts))
+				return nil
 			}
 			u, v, t, err := decodeActivation(rec)
 			if err != nil {
 				return err
 			}
-			return net.Activate(u, v, t)
+			if err := net.Activate(u, v, t); err != nil {
+				return err
+			}
+			replayed++
+			return nil
 		})
 		if err != nil {
 			lastErr = err
@@ -238,7 +253,7 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 			lastErr = fmt.Errorf("anc: wal end moved during recovery: replayed to %d, writer at %d", next, w.NextIndex())
 			continue
 		}
-		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg}, nil
+		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, acts: replayed}, nil
 	}
 	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
 }
@@ -260,6 +275,9 @@ func loadCheckpoint(path string) (*Network, error) {
 func (d *DurableNetwork) Activate(u, v int, t float64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	// Validate before logging, so replay never sees a record the network
 	// would reject (the ingest contract of Network.Activate).
 	g := d.net.inner.Graph()
@@ -275,6 +293,7 @@ func (d *DurableNetwork) Activate(u, v int, t float64) error {
 	if err := d.net.Activate(u, v, t); err != nil {
 		return err
 	}
+	d.acts++
 	d.sinceCheckpoint++
 	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
 		return d.checkpointLocked()
@@ -297,6 +316,9 @@ const maxBatchFrame = 1 << 16
 func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	if len(batch) == 0 {
 		return nil
 	}
@@ -332,6 +354,7 @@ func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 	if err := d.net.ActivateBatch(batch); err != nil {
 		return err
 	}
+	d.acts += uint64(len(batch))
 	d.sinceCheckpoint += len(batch)
 	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
 		return d.checkpointLocked()
@@ -344,6 +367,9 @@ func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 func (d *DurableNetwork) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	return d.w.Sync()
 }
 
@@ -356,6 +382,9 @@ func (d *DurableNetwork) Sync() error {
 func (d *DurableNetwork) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
 	return d.checkpointLocked()
 }
 
@@ -419,23 +448,35 @@ func syncDir(dir string) {
 // Close checkpoints nothing: it fsyncs and closes the WAL and releases the
 // index worker pool (when the network was built with Config.Parallel).
 // Call Checkpoint first for a fast next recovery.
+//
+// Close is idempotent: a signal handler and the normal exit path may both
+// call it, and every call after the first returns nil without touching the
+// already-closed log. Later mutating calls (Activate, ActivateBatch, Sync,
+// Checkpoint) return ErrClosed; queries keep working against the in-memory
+// state.
 func (d *DurableNetwork) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
 	d.net.Close()
 	return d.w.Close()
 }
 
-// LoggedActivations returns how many activations have ever been accepted
-// into the log (the next WAL index).
+// LoggedActivations returns how many log frames have ever been accepted
+// into the WAL (the next WAL index). A per-op Activate is one frame; a
+// group-committed ActivateBatch is one frame regardless of batch size —
+// for the count of individual activations applied, see Stats.
 func (d *DurableNetwork) LoggedActivations() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.w.NextIndex()
 }
 
-// DurableActivations returns how many logged activations are known to
-// have been fsynced.
+// DurableActivations returns how many logged frames are known to have
+// been fsynced.
 func (d *DurableNetwork) DurableActivations() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -535,4 +576,66 @@ func (d *DurableNetwork) EstimateDistance(u, v int) float64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.net.EstimateDistance(u, v)
+}
+
+// EstimateAttraction answers an attraction-strength query (shared lock).
+func (d *DurableNetwork) EstimateAttraction(u, v int) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.EstimateAttraction(u, v)
+}
+
+// Activeness reads the current time-decayed activeness of an edge (shared
+// lock).
+func (d *DurableNetwork) Activeness(u, v int) (float64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Activeness(u, v)
+}
+
+// Watch enables real-time change reporting for node v (exclusive lock:
+// the first Watch builds the vote-tracking structures). Watch state is in
+// memory only — it is not replayed by Recover.
+func (d *DurableNetwork) Watch(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.net.Watch(v)
+}
+
+// Unwatch stops watching v (exclusive lock: it mutates the watch set read
+// by the ingest path).
+func (d *DurableNetwork) Unwatch(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.net.Unwatch(v)
+}
+
+// Drain returns and clears the accumulated cluster events (exclusive
+// lock: draining mutates the watcher's event buffer).
+func (d *DurableNetwork) Drain() []ClusterEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.net.Drain()
+}
+
+// DrainEvents is Drain plus the overflow-drop count (exclusive lock).
+func (d *DurableNetwork) DrainEvents() ([]ClusterEvent, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.net.DrainEvents()
+}
+
+// Stats returns an aggregate snapshot of the network's shape and ingest
+// progress in one shared-lock acquisition — the health-endpoint read.
+func (d *DurableNetwork) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return Stats{
+		Nodes:       d.net.N(),
+		Edges:       d.net.M(),
+		Levels:      d.net.Levels(),
+		SqrtLevel:   d.net.SqrtLevel(),
+		Activations: d.acts,
+		Now:         d.net.Now(),
+	}
 }

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"anc"
+	"anc/internal/dataset"
+	"anc/internal/gen"
+	"anc/internal/serve"
+	"anc/internal/serve/client"
+)
+
+// ServeResult measures the serving layer end to end: a DiurnalBursty
+// stream replayed through N concurrent client connections over TCP into a
+// durable (WAL-backed) network, with query clients running against the
+// same server throughout. Rates are activations per second as observed by
+// the clients (framing, syscalls, admission, group commit and fsync all
+// included); latencies are client-observed round trips.
+type ServeResult struct {
+	Dataset     string
+	N, M        int
+	Minutes     int
+	Conns       int
+	Activations int
+	Batches     int
+
+	IngestSeconds float64
+	IngestRate    float64
+
+	BatchP50ms float64
+	BatchP99ms float64
+
+	Queries    int
+	QueryP50ms float64
+	QueryP90ms float64
+	QueryP99ms float64
+}
+
+// activeDurable is the durable network of the serve experiment currently
+// running, if any — the signal-handler hook of cmd/ancbench, so an
+// interrupted run still checkpoints and fsyncs before exiting.
+var (
+	activeMu      sync.Mutex
+	activeDurable *anc.DurableNetwork
+)
+
+func setActiveDurable(d *anc.DurableNetwork) {
+	activeMu.Lock()
+	defer activeMu.Unlock()
+	activeDurable = d
+}
+
+// CloseActive checkpoints and closes the durable network of a running
+// serve experiment, if any. Safe to call at any time (DurableNetwork.Close
+// is idempotent); meant for SIGINT/SIGTERM handlers.
+func CloseActive() error {
+	activeMu.Lock()
+	d := activeDurable
+	activeMu.Unlock()
+	if d == nil {
+		return nil
+	}
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// serveWorkload splits the DiurnalBursty per-minute batches across conns
+// connections, flooring every timestamp to its minute. Equal timestamps
+// are what make concurrent ingest well-defined: the network accepts t ==
+// Now(), so within a minute the C batches may commit in any order, and a
+// barrier between minutes keeps time non-decreasing across them.
+func serveWorkload(pl *gen.Planted, minutes, conns int, seed int64) [][][]anc.Activation {
+	d := gen.DefaultDiurnal()
+	d.BaseRate *= 30
+	d.Hotspot = 1.5
+	raw := d.Generate(pl.Graph, minutes, rand.New(rand.NewSource(seed)))
+	out := make([][][]anc.Activation, minutes)
+	for m, batch := range raw {
+		chunks := make([][]anc.Activation, conns)
+		per := (len(batch) + conns - 1) / conns
+		for ci := 0; ci < conns; ci++ {
+			lo := ci * per
+			hi := min(lo+per, len(batch))
+			if lo >= hi {
+				continue
+			}
+			chunk := make([]anc.Activation, hi-lo)
+			for j, a := range batch[lo:hi] {
+				u, v := pl.Graph.Endpoints(a.Edge)
+				chunk[j] = anc.Activation{U: int(u), V: int(v), T: math.Floor(a.T)}
+			}
+			chunks[ci] = chunk
+		}
+		out[m] = chunks
+	}
+	return out
+}
+
+// ServeLoad runs the serving-layer load experiment: a server over a
+// durable TW2-counterpart network on an ephemeral port, conns ingest
+// connections replaying the bursty day minute by minute, and two query
+// connections interleaving cluster and distance queries. It verifies that
+// the server's activation counter matches what the clients sent, then
+// drains the server gracefully (which checkpoints and closes the WAL).
+func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
+	if conns < 1 {
+		conns = 1
+	}
+	spec, err := dataset.ByName("TW2")
+	if err != nil {
+		panic(err)
+	}
+	pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed)
+	workload := serveWorkload(pl, minutes, conns, cfg.Seed+5)
+	r := ServeResult{Dataset: "TW2", N: pl.Graph.N(), M: pl.Graph.M(), Minutes: minutes, Conns: conns}
+
+	acfg := anc.DefaultConfig()
+	acfg.Lambda = 0.01
+	acfg.Epsilon = 0.3
+	acfg.Mu = 3
+	acfg.Seed = cfg.Seed
+	acfg.Parallel = true
+	net, err := anc.FromGraph(pl.Graph, acfg)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "ancserve-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	d, err := anc.NewDurable(net, dir, anc.DurableConfig{})
+	if err != nil {
+		panic(err)
+	}
+	setActiveDurable(d)
+	defer setActiveDurable(nil)
+
+	srv := serve.New(d, serve.Config{RequestTimeout: 60 * time.Second})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	addr := srv.Addr().String()
+	ctx := context.Background()
+
+	// Query side: two connections issuing mixed reads for the whole ingest
+	// window, so every latency datapoint is measured under write load.
+	stop := make(chan struct{})
+	const queryConns = 2
+	queryLat := make([][]time.Duration, queryConns)
+	var qwg sync.WaitGroup
+	for qi := 0; qi < queryConns; qi++ {
+		qwg.Add(1)
+		go func(qi int) {
+			defer qwg.Done()
+			qc, err := client.Dial(addr, client.WithTimeout(60*time.Second))
+			if err != nil {
+				panic(err)
+			}
+			defer qc.Close() //anclint:ignore droppederr benchmark teardown of a query connection
+			rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(qi)))
+			n := pl.Graph.N()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				start := time.Now()
+				switch rng.Intn(4) {
+				case 0:
+					_, err = qc.SmallestClusterOf(ctx, rng.Intn(n))
+				case 1:
+					_, err = qc.EstimateDistance(ctx, rng.Intn(n), rng.Intn(n))
+				case 2:
+					_, err = qc.Stats(ctx)
+				case 3:
+					_, err = qc.ClusterOf(ctx, rng.Intn(n), d.SqrtLevel())
+				}
+				if err != nil {
+					panic(err)
+				}
+				queryLat[qi] = append(queryLat[qi], time.Since(start))
+			}
+		}(qi)
+	}
+
+	// Ingest side: conns persistent connections; each minute fans its
+	// chunks out and barriers before the next (timestamps rise between
+	// minutes, so the barrier is what keeps the stream contract).
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(addr, client.WithTimeout(60*time.Second)); err != nil {
+			panic(err)
+		}
+	}
+	batchLat := make([][]time.Duration, conns)
+	ingestStart := time.Now()
+	for m := 0; m < minutes; m++ {
+		var wg sync.WaitGroup
+		for ci := 0; ci < conns; ci++ {
+			chunk := workload[m][ci]
+			if len(chunk) == 0 {
+				continue
+			}
+			r.Activations += len(chunk)
+			r.Batches++
+			wg.Add(1)
+			go func(ci int, chunk []anc.Activation) {
+				defer wg.Done()
+				start := time.Now()
+				if err := clients[ci].ActivateBatch(ctx, chunk); err != nil {
+					panic(err)
+				}
+				batchLat[ci] = append(batchLat[ci], time.Since(start))
+			}(ci, chunk)
+		}
+		wg.Wait()
+	}
+	r.IngestSeconds = time.Since(ingestStart).Seconds()
+	close(stop)
+	qwg.Wait()
+
+	// Every acknowledged activation must be visible in the server's
+	// counter — the wire, queue and group-commit path lost nothing.
+	st, err := clients[0].Stats(ctx)
+	if err != nil {
+		panic(err)
+	}
+	if st.Activations != uint64(r.Activations) {
+		panic(fmt.Sprintf("server counted %d activations, clients sent %d", st.Activations, r.Activations))
+	}
+	for _, c := range clients {
+		c.Close() //anclint:ignore droppederr benchmark teardown of an ingest connection
+	}
+	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		panic(err)
+	}
+
+	if r.IngestSeconds > 0 {
+		r.IngestRate = float64(r.Activations) / r.IngestSeconds
+	}
+	var allBatch, allQuery []time.Duration
+	for _, l := range batchLat {
+		allBatch = append(allBatch, l...)
+	}
+	for _, l := range queryLat {
+		allQuery = append(allQuery, l...)
+	}
+	r.Queries = len(allQuery)
+	r.BatchP50ms = ms(percentile(allBatch, 0.50))
+	r.BatchP99ms = ms(percentile(allBatch, 0.99))
+	r.QueryP50ms = ms(percentile(allQuery, 0.50))
+	r.QueryP90ms = ms(percentile(allQuery, 0.90))
+	r.QueryP99ms = ms(percentile(allQuery, 0.99))
+	logf(cfg, w, "# serve: %d acts in %d batches over %d conns: %.0f acts/s, batch p99 %.2fms, %d queries p99 %.2fms\n",
+		r.Activations, r.Batches, conns, r.IngestRate, r.BatchP99ms, r.Queries, r.QueryP99ms)
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PrintServe renders the serving-layer load results as a table.
+func PrintServe(w io.Writer, r ServeResult) {
+	t := newTable(w)
+	t.row("metric", "value")
+	t.row("connections", r.Conns)
+	t.row("activations", r.Activations)
+	t.row("batches", r.Batches)
+	t.row("ingest acts/s", r.IngestRate)
+	t.row("batch p50 ms", r.BatchP50ms)
+	t.row("batch p99 ms", r.BatchP99ms)
+	t.row("queries", r.Queries)
+	t.row("query p50 ms", r.QueryP50ms)
+	t.row("query p90 ms", r.QueryP90ms)
+	t.row("query p99 ms", r.QueryP99ms)
+	t.flush()
+}
+
+// WriteServeJSON writes the result to path (BENCH_serve.json) for the CI
+// artifact and the README numbers.
+func WriteServeJSON(path string, r ServeResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -33,3 +33,13 @@ func (w *Wrapper) SelfCall() int {
 	defer w.mu.Unlock()
 	return w.Size() // want "calls exported method Size while holding w.mu"
 }
+
+// A Stats-style aggregate accessor must take the lock once for the whole
+// snapshot, not read each guarded field bare.
+type wrapperStats struct {
+	A, B int
+}
+
+func (w *Wrapper) Stats() wrapperStats { // want "touches guarded state but does not start with w.mu.Lock/RLock"
+	return wrapperStats{A: w.inner.n, B: w.inner.n * 2}
+}

@@ -23,3 +23,15 @@ func (g *Guarded) Len() int {
 }
 
 func (g *Guarded) lenLocked() int { return g.st.n }
+
+// AggStats mirrors the Stats-style aggregate accessor: several guarded
+// reads folded into one snapshot under a single lock acquisition.
+type AggStats struct {
+	Items, Total int
+}
+
+func (g *Guarded) Stats() AggStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return AggStats{Items: 1, Total: g.st.n}
+}

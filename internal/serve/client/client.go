@@ -1,0 +1,315 @@
+// Package client is the typed Go client for the ancserve wire protocol:
+// one TCP connection, synchronous request/response calls, per-call context
+// deadlines, and transparent reconnection after a broken connection.
+//
+// A Client is safe for concurrent use; calls serialize on the connection
+// (the protocol answers requests in order). For parallel load, open
+// several clients.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anc"
+	"anc/internal/serve"
+)
+
+// Option configures a Client at Dial time.
+type Option func(*Client)
+
+// WithTimeout sets the default per-call deadline used when the caller's
+// context carries none (default 5s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithMaxFrame bounds response frames the client will accept (default
+// serve.DefaultMaxFrame, matching the server).
+func WithMaxFrame(n int) Option {
+	return func(c *Client) { c.maxFrame = n }
+}
+
+// Client is a connection to an ancserve server.
+type Client struct {
+	addr     string
+	timeout  time.Duration
+	maxFrame int
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint64
+}
+
+// Dial connects to an ancserve server and performs the version handshake.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{addr: addr, timeout: 5 * time.Second, maxFrame: serve.DefaultMaxFrame}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection and handshake. Callers hold
+// c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		return err
+	}
+	br := bufio.NewReader(conn)
+	if err := serve.WritePreamble(conn); err != nil {
+		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		return err
+	}
+	if err := serve.ReadPreamble(br); err != nil {
+		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		return err
+	}
+	c.conn = conn
+	c.br = br
+	c.bw = bufio.NewWriter(conn)
+	return nil
+}
+
+// dropLocked discards a connection whose framing can no longer be trusted,
+// so the next call reconnects.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close() //anclint:ignore droppederr the connection is already broken
+		c.conn = nil
+	}
+}
+
+// Close closes the connection. The client is reusable afterwards: the next
+// call reconnects.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// call runs one request/response exchange. A server error reply comes back
+// as *serve.WireError; transport errors drop the connection so the next
+// call redials.
+func (c *Client) call(ctx context.Context, req *serve.Request) (*serve.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if err := serve.WriteRequest(c.bw, req); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	resp, err := serve.ReadResponse(c.br, req.Op, c.maxFrame)
+	if err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		// The stream is out of sync (e.g. a stale reply after a timeout);
+		// nothing read from this connection can be trusted anymore.
+		c.dropLocked()
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != nil {
+		// A typed server reply: the connection itself is fine unless the
+		// server said framing broke (it closes the connection after those).
+		if resp.Err.Code == serve.ErrCodeBadFrame || resp.Err.Code == serve.ErrCodeFrameTooBig {
+			c.dropLocked()
+		}
+		return nil, resp.Err
+	}
+	return resp, nil
+}
+
+// ActivateBatch sends a batch through the server's group-commit ingest
+// path. A nil return means the whole batch is applied (and durable, when
+// the server fronts a DurableNetwork with SyncAlways).
+func (c *Client) ActivateBatch(ctx context.Context, batch []anc.Activation) error {
+	_, err := c.call(ctx, &serve.Request{Op: serve.OpActivateBatch, Batch: batch})
+	return err
+}
+
+// Clusters reports all clusters at a granularity level.
+func (c *Client) Clusters(ctx context.Context, level int) ([][]int, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpClusters, Level: int32(level)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Clusters, nil
+}
+
+// EvenClusters reports all even-clustering clusters at a level.
+func (c *Client) EvenClusters(ctx context.Context, level int) ([][]int, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEvenClusters, Level: int32(level)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Clusters, nil
+}
+
+// ClusterOf reports the local cluster of v at a level.
+func (c *Client) ClusterOf(ctx context.Context, v, level int) ([]int, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpClusterOf, Node: uint32(v), Level: int32(level)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}
+
+// SmallestClusterOf reports the finest-granularity cluster containing v.
+func (c *Client) SmallestClusterOf(ctx context.Context, v int) ([]int, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpSmallestClusterOf, Node: uint32(v)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}
+
+// EstimateDistance answers a sketch distance query.
+func (c *Client) EstimateDistance(ctx context.Context, u, v int) (float64, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEstimateDistance, U: uint32(u), V: uint32(v)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// EstimateAttraction answers an attraction-strength query.
+func (c *Client) EstimateAttraction(ctx context.Context, u, v int) (float64, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEstimateAttraction, U: uint32(u), V: uint32(v)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Stats reads the server's health snapshot: network shape, ingest
+// progress, and load gauges.
+func (c *Client) Stats(ctx context.Context) (serve.StatsReply, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpStats})
+	if err != nil {
+		return serve.StatsReply{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Watch enables server-side cluster-event recording for node v.
+func (c *Client) Watch(ctx context.Context, v int) error {
+	_, err := c.call(ctx, &serve.Request{Op: serve.OpWatch, Node: uint32(v)})
+	return err
+}
+
+// Unwatch stops watching v.
+func (c *Client) Unwatch(ctx context.Context, v int) error {
+	_, err := c.call(ctx, &serve.Request{Op: serve.OpUnwatch, Node: uint32(v)})
+	return err
+}
+
+// DrainEvents returns and clears the accumulated cluster events plus the
+// overflow-drop count.
+func (c *Client) DrainEvents(ctx context.Context) ([]anc.ClusterEvent, uint64, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpDrainEvents})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Events, resp.Dropped, nil
+}
+
+// View is a server-side zoom session bound to this client's connection.
+// Its state does not survive a reconnect: after a broken connection,
+// calls on an old view fail with a bad-request reply.
+type View struct {
+	c     *Client
+	id    uint32
+	level int
+}
+
+// OpenView opens a zoom session positioned at the server's Θ(√n) level.
+func (c *Client) OpenView(ctx context.Context) (*View, error) {
+	resp, err := c.call(ctx, &serve.Request{Op: serve.OpViewOpen})
+	if err != nil {
+		return nil, err
+	}
+	return &View{c: c, id: resp.View, level: int(resp.Level)}, nil
+}
+
+// Level reports the view's granularity level as of the last server reply.
+func (v *View) Level() int { return v.level }
+
+// ZoomIn moves one level finer; false at the finest level.
+func (v *View) ZoomIn(ctx context.Context) (bool, error) {
+	return v.zoom(ctx, serve.OpViewZoomIn)
+}
+
+// ZoomOut moves one level coarser; false at the coarsest level.
+func (v *View) ZoomOut(ctx context.Context) (bool, error) {
+	return v.zoom(ctx, serve.OpViewZoomOut)
+}
+
+func (v *View) zoom(ctx context.Context, op uint8) (bool, error) {
+	resp, err := v.c.call(ctx, &serve.Request{Op: op, View: v.id})
+	if err != nil {
+		return false, err
+	}
+	v.level = int(resp.Level)
+	return resp.Moved, nil
+}
+
+// Clusters reports all clusters at the view's current level.
+func (v *View) Clusters(ctx context.Context) ([][]int, error) {
+	resp, err := v.c.call(ctx, &serve.Request{Op: serve.OpViewClusters, View: v.id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Clusters, nil
+}
+
+// ClusterOf reports the cluster containing x at the view's current level.
+func (v *View) ClusterOf(ctx context.Context, x int) ([]int, error) {
+	resp, err := v.c.call(ctx, &serve.Request{Op: serve.OpViewClusterOf, View: v.id, Node: uint32(x)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}
+
+// Close releases the server-side session.
+func (v *View) Close(ctx context.Context) error {
+	_, err := v.c.call(ctx, &serve.Request{Op: serve.OpViewClose, View: v.id})
+	return err
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"anc"
+)
+
+// sampleRequests covers every op with representative field values.
+func sampleRequests() []*Request {
+	return []*Request{
+		{Op: OpActivateBatch, ID: 1, Batch: []anc.Activation{
+			{U: 0, V: 1, T: 1.5},
+			{U: 4, V: 5, T: 2.25},
+			{U: 9, V: 8, T: math.Pi},
+		}},
+		{Op: OpClusters, ID: 2, Level: 3},
+		{Op: OpEvenClusters, ID: 3, Level: 1},
+		{Op: OpClusterOf, ID: 4, Node: 7, Level: 2},
+		{Op: OpSmallestClusterOf, ID: 5, Node: 9},
+		{Op: OpEstimateDistance, ID: 6, U: 0, V: 9},
+		{Op: OpEstimateAttraction, ID: 7, U: 4, V: 5},
+		{Op: OpStats, ID: 8},
+		{Op: OpWatch, ID: 9, Node: 3},
+		{Op: OpUnwatch, ID: 10, Node: 3},
+		{Op: OpDrainEvents, ID: 11},
+		{Op: OpViewOpen, ID: 12},
+		{Op: OpViewZoomIn, ID: 13, View: 1},
+		{Op: OpViewZoomOut, ID: 14, View: 1},
+		{Op: OpViewClusters, ID: 15, View: 1},
+		{Op: OpViewClusterOf, ID: 16, View: 1, Node: 6},
+		{Op: OpViewClose, ID: 17, View: 1},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		payload := EncodeRequest(req)
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", req.Op, err)
+		}
+		// Re-encoding the decoded request must be byte-identical: the
+		// decoder is strict, so the encoding is canonical.
+		if !bytes.Equal(EncodeRequest(got), payload) {
+			t.Fatalf("op %d: re-encode differs", req.Op)
+		}
+		if got.Op != req.Op || got.ID != req.ID {
+			t.Fatalf("op %d: header mismatch: %+v", req.Op, got)
+		}
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{OpStats, 0, 0}},
+		{"zero op", append([]byte{0}, make([]byte, 8)...)},
+		{"unknown op", append([]byte{opMax}, make([]byte, 8)...)},
+		{"trailing bytes", append(EncodeRequest(&Request{Op: OpStats, ID: 1}), 0)},
+		{"short body", EncodeRequest(&Request{Op: OpClusters, ID: 1})[:10]},
+		{"batch count lies", func() []byte {
+			b := EncodeRequest(&Request{Op: OpActivateBatch, ID: 1})
+			binary.LittleEndian.PutUint32(b[9:13], 1<<30) // announce 2^30 records, carry none
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// sampleResponses pairs each op with a representative OK response.
+func sampleResponses() []struct {
+	Op   uint8
+	Resp *Response
+} {
+	return []struct {
+		Op   uint8
+		Resp *Response
+	}{
+		{OpActivateBatch, &Response{ID: 1, Accepted: 64}},
+		{OpClusters, &Response{ID: 2, Clusters: [][]int{{0, 1, 2}, {3}, {4, 5}}}},
+		{OpEvenClusters, &Response{ID: 3, Clusters: [][]int{{9, 8, 7, 6}}}},
+		{OpViewClusters, &Response{ID: 4, Clusters: [][]int{}}},
+		{OpClusterOf, &Response{ID: 5, Members: []int{0, 4, 2}}},
+		{OpSmallestClusterOf, &Response{ID: 6, Members: []int{9}}},
+		{OpViewClusterOf, &Response{ID: 7, Members: []int{}}},
+		{OpEstimateDistance, &Response{ID: 8, Value: 0.625}},
+		{OpEstimateAttraction, &Response{ID: 9, Value: math.Inf(1)}},
+		{OpStats, &Response{ID: 10, Stats: StatsReply{
+			Nodes: 10, Edges: 21, Levels: 4, SqrtLevel: 2,
+			Activations: 12345, Now: 98.5, Inflight: 3, Queued: 7, Draining: true,
+		}}},
+		{OpWatch, &Response{ID: 11}},
+		{OpUnwatch, &Response{ID: 12}},
+		{OpDrainEvents, &Response{ID: 13, Dropped: 2, Events: []anc.ClusterEvent{
+			{Node: 1, Other: 2, Level: 3, Joined: true, Time: 4.5},
+			{Node: 6, Other: 7, Level: 1, Joined: false, Time: 9.75},
+		}}},
+		{OpViewOpen, &Response{ID: 14, View: 3, Level: 2}},
+		{OpViewZoomIn, &Response{ID: 15, Moved: true, Level: 3}},
+		{OpViewZoomOut, &Response{ID: 16, Moved: false, Level: 1}},
+		{OpViewClose, &Response{ID: 17}},
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, tc := range sampleResponses() {
+		payload := EncodeResponse(tc.Op, tc.Resp)
+		got, err := DecodeResponse(tc.Op, payload)
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", tc.Op, err)
+		}
+		if got.ID != tc.Resp.ID {
+			t.Fatalf("op %d: id %d, want %d", tc.Op, got.ID, tc.Resp.ID)
+		}
+		if !bytes.Equal(EncodeResponse(tc.Op, got), payload) {
+			t.Fatalf("op %d: re-encode differs", tc.Op)
+		}
+	}
+}
+
+func TestErrorReplyRoundTrip(t *testing.T) {
+	payload := EncodeError(42, ErrCodeOverloaded, "queue full")
+	// Error replies decode regardless of the request op.
+	for _, op := range []uint8{OpActivateBatch, OpStats, OpViewClusters} {
+		resp, err := DecodeResponse(op, payload)
+		if err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if resp.ID != 42 || resp.Err == nil || resp.Err.Code != ErrCodeOverloaded ||
+			resp.Err.Msg != "queue full" {
+			t.Fatalf("op %d: bad error reply %+v", op, resp)
+		}
+		if !strings.Contains(resp.Err.Error(), "overloaded") {
+			t.Fatalf("error text %q lacks code name", resp.Err.Error())
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := EncodeRequest(&Request{Op: OpStats, ID: 99})
+	if err := writeFrame(bufio.NewWriter(&buf), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("frame payload mutated in transit")
+	}
+}
+
+func TestReadFrameRejects(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(bufio.NewWriter(&buf), payload); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := frame([]byte("hello"))
+
+	corruptCRC := bytes.Clone(good)
+	corruptCRC[len(corruptCRC)-1] ^= 0x01
+	zeroLen := make([]byte, frameHeaderSize)
+	huge := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(huge[0:4], uint32(DefaultMaxFrame)+1)
+
+	cases := []struct {
+		name string
+		raw  []byte
+		code uint8
+	}{
+		{"crc mismatch", corruptCRC, ErrCodeBadFrame},
+		{"zero length", zeroLen, ErrCodeBadFrame},
+		{"oversized", huge, ErrCodeFrameTooBig},
+	}
+	for _, tc := range cases {
+		_, err := readFrame(bytes.NewReader(tc.raw), DefaultMaxFrame)
+		fe, ok := err.(*frameError)
+		if !ok {
+			t.Fatalf("%s: got %v, want *frameError", tc.name, err)
+		}
+		if fe.code != tc.code {
+			t.Fatalf("%s: code %d, want %d", tc.name, fe.code, tc.code)
+		}
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writePreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := readPreamble(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(buf.Bytes())
+	bad[0] = 'X'
+	if err := readPreamble(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVer := bytes.Clone(buf.Bytes())
+	binary.LittleEndian.PutUint16(badVer[4:6], Version+1)
+	if err := readPreamble(bytes.NewReader(badVer)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// FuzzDecodeRequest feeds arbitrary payloads through the request decoder.
+// Anything that decodes must re-encode byte-identically: the strict decoder
+// admits only canonical encodings, so decode∘encode is the identity on its
+// accepted set.
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range sampleRequests() {
+		f.Add(EncodeRequest(req))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{OpActivateBatch, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		if re := EncodeRequest(req); !bytes.Equal(re, payload) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", payload, re)
+		}
+	})
+}
+
+// FuzzDecodeResponse feeds arbitrary payloads through the response decoder
+// for every op. A successful decode must survive a canonical re-encode and
+// re-decode (bools on the wire may be non-canonical, so the first re-encode
+// need not match the input bytes — but the canonical form must be a fixed
+// point).
+func FuzzDecodeResponse(f *testing.F) {
+	for _, tc := range sampleResponses() {
+		f.Add(tc.Op, EncodeResponse(tc.Op, tc.Resp))
+	}
+	f.Add(OpStats, EncodeError(1, ErrCodeDeadline, "late"))
+	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
+		resp, err := DecodeResponse(op, payload)
+		if err != nil || resp.Err != nil {
+			return
+		}
+		canon := EncodeResponse(op, resp)
+		again, err := DecodeResponse(op, canon)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeResponse(op, again), canon) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

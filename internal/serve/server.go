@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anc"
+)
+
+// Backend is the facade the server fronts: every method must be safe for
+// concurrent use. ConcurrentNetwork and DurableNetwork both satisfy it;
+// with a DurableNetwork the served stream is additionally write-ahead
+// logged, and Shutdown checkpoints before closing.
+type Backend interface {
+	ActivateBatch(batch []anc.Activation) error
+	Clusters(level int) [][]int
+	EvenClusters(level int) [][]int
+	ClusterOf(v, level int) []int
+	SmallestClusterOf(v int) []int
+	EstimateDistance(u, v int) float64
+	EstimateAttraction(u, v int) float64
+	Watch(v int)
+	Unwatch(v int)
+	DrainEvents() ([]anc.ClusterEvent, uint64)
+	Stats() anc.Stats
+}
+
+// durableBackend is the optional durability surface a Backend may expose
+// (DurableNetwork does); Shutdown uses it for the final checkpoint+close,
+// Kill for the crash-style close.
+type durableBackend interface {
+	Checkpoint() error
+	Close() error
+}
+
+// Config tunes a Server. The zero value is usable; every field has a
+// serving-grade default.
+type Config struct {
+	// MaxInflight is the admission gate: the number of requests allowed
+	// to execute at once across all connections (default 64). Requests
+	// that cannot be admitted within the request deadline are answered
+	// with ErrCodeOverloaded.
+	MaxInflight int
+	// IngestQueue is the capacity of the bounded channel funneling every
+	// ActivateBatch into the single writer goroutine (default 64
+	// batches). A full queue is backpressure: the submitting request
+	// waits until its deadline, then fails with ErrCodeOverloaded.
+	IngestQueue int
+	// RequestTimeout is the per-request deadline covering admission,
+	// queueing and execution (default 5s).
+	RequestTimeout time.Duration
+	// MaxFrame bounds request and response payloads (default
+	// DefaultMaxFrame).
+	MaxFrame int
+	// MaxViews caps zoom sessions per connection (default 64).
+	MaxViews int
+	// Logf, when non-nil, receives connection-level log lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// ingestReq is one batch waiting for the writer goroutine. done is
+// buffered so the writer never blocks on a requester that gave up.
+type ingestReq struct {
+	batch []anc.Activation
+	done  chan error
+}
+
+// Server owns a listener, one writer goroutine, and a goroutine per
+// connection. Queries execute concurrently under the backend's shared
+// lock; all ingest funnels through the writer so the WAL group-commit
+// path sees one batch at a time.
+type Server struct {
+	cfg     Config
+	backend Backend
+
+	lis      net.Listener
+	ingestCh chan ingestReq
+	gate     chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	draining   atomic.Bool
+	killed     atomic.Bool
+	inflight   atomic.Int32
+	queued     atomic.Int32
+	acceptDone chan struct{}
+	writerDone chan struct{}
+	connWG     sync.WaitGroup
+	started    bool
+	stopOnce   sync.Once
+}
+
+// New builds a server over backend. Call Start to begin serving.
+func New(backend Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:        cfg,
+		backend:    backend,
+		ingestCh:   make(chan ingestReq, cfg.IngestQueue),
+		gate:       make(chan struct{}, cfg.MaxInflight),
+		conns:      map[net.Conn]struct{}{},
+		acceptDone: make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0" for an ephemeral port) and
+// serves in background goroutines until Shutdown or Kill.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.started = true
+	go s.acceptLoop()
+	go s.writerLoop()
+	return nil
+}
+
+// Addr returns the bound listener address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed: drain or kill
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// writerLoop is the single writer goroutine: every batch from every
+// connection is applied here, one at a time, through the backend's
+// group-commit path (one WAL frame + fsync per batch on a
+// DurableNetwork). It drains the queue fully on shutdown so every batch
+// that entered the queue before the drain is committed, and aborts
+// without applying on Kill.
+func (s *Server) writerLoop() {
+	defer close(s.writerDone)
+	for req := range s.ingestCh {
+		s.queued.Add(-1)
+		if s.killed.Load() {
+			req.done <- &WireError{Code: ErrCodeShuttingDown, Msg: "server killed"}
+			continue
+		}
+		req.done <- s.backend.ActivateBatch(req.batch)
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, answer new
+// requests with ErrCodeShuttingDown, flush the ingest queue through the
+// writer, checkpoint and close a durable backend, then close every
+// connection. It returns ctx.Err() if the drain did not finish in time
+// (the server is then torn down non-gracefully).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.started {
+		return nil
+	}
+	s.draining.Store(true)
+	s.lis.Close() //anclint:ignore droppederr the listener is being torn down; nothing to recover
+	<-s.acceptDone
+
+	// Unblock connection readers parked in readFrame without yanking the
+	// write side: in-flight responses (including the ShuttingDown replies)
+	// still get out.
+	s.mu.Lock()
+	for conn := range s.conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseRead() //anclint:ignore droppederr best-effort nudge; the final Close below is the real teardown
+		} else {
+			conn.Close() //anclint:ignore droppederr read-side teardown of a draining connection
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		s.stopOnce.Do(func() { close(s.ingestCh) })
+		<-s.writerDone
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.closeConns() // give up on stragglers
+	}
+
+	if d, ok := s.backend.(durableBackend); ok {
+		if cerr := d.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := d.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.closeConns()
+	return err
+}
+
+// Kill stops the server abruptly — the crash hook for recovery tests and
+// the unclean-exit path: the listener and every connection close
+// immediately, queued batches are dropped unapplied, and a durable
+// backend is closed WITHOUT a checkpoint so the next start must recover
+// by replaying the WAL.
+func (s *Server) Kill() {
+	if !s.started {
+		return
+	}
+	s.killed.Store(true)
+	s.draining.Store(true)
+	s.lis.Close() //anclint:ignore droppederr crash-style stop; the listener error is unrecoverable anyway
+	<-s.acceptDone
+	s.closeConns()
+	s.connWG.Wait()
+	s.stopOnce.Do(func() { close(s.ingestCh) })
+	<-s.writerDone
+	if d, ok := s.backend.(durableBackend); ok {
+		d.Close() //anclint:ignore droppederr crash-style close; the WAL is already fsynced per policy
+	}
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close() //anclint:ignore droppederr teardown of an abandoned connection loses no state
+	}
+	s.conns = map[net.Conn]struct{}{}
+}
+
+// connState is the per-connection session: open zoom views and their
+// levels. It has its own lock because a query that outlived its deadline
+// keeps running in the background and may touch the session concurrently
+// with the connection's next request.
+type connState struct {
+	mu       sync.Mutex
+	views    map[uint32]int
+	nextView uint32
+}
+
+// viewLevel reads a view's level under the session lock.
+func (st *connState) viewLevel(id uint32) (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	level, ok := st.views[id]
+	return level, ok
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		conn.Close() //anclint:ignore droppederr the connection carries no durable state
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Handshake: the client speaks first; a silent or incompatible peer
+	// is cut off rather than parked forever.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := readPreamble(br); err != nil {
+		s.cfg.Logf("serve: %s: handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := writePreamble(conn); err != nil {
+		return
+	}
+
+	st := &connState{views: map[uint32]int{}}
+	for {
+		payload, err := readFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// Framing violations get a typed reply before the close;
+			// anything else (EOF, reset, drain's CloseRead) just ends the
+			// connection.
+			var fe *frameError
+			if errors.As(err, &fe) {
+				writeFrame(bw, EncodeError(0, fe.code, fe.msg)) //anclint:ignore droppederr best-effort reply on a connection being closed
+			}
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// The frame was intact (length+CRC verified), so framing is
+			// still in sync: report and keep the connection.
+			if werr := writeFrame(bw, EncodeError(0, ErrCodeBadRequest, err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(bw, s.handle(st, req)); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request and returns the encoded response payload.
+// Responses that would overflow MaxFrame are replaced by an
+// ErrCodeInternal reply so the client's frame reader never faces an
+// oversized frame.
+func (s *Server) handle(st *connState, req *Request) []byte {
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+
+	if s.draining.Load() {
+		return EncodeError(req.ID, ErrCodeShuttingDown, "server is draining")
+	}
+
+	// Admission gate: a slot must free up before the deadline.
+	select {
+	case s.gate <- struct{}{}:
+	case <-deadline.C:
+		return EncodeError(req.ID, ErrCodeOverloaded,
+			fmt.Sprintf("no admission slot within %v", s.cfg.RequestTimeout))
+	}
+	s.inflight.Add(1)
+
+	if req.Op == OpActivateBatch {
+		defer func() { <-s.gate; s.inflight.Add(-1) }()
+		return s.handleIngest(req, deadline)
+	}
+
+	// Queries run in their own goroutine so an overlong one cannot hold
+	// this connection past the deadline; the gate slot is released when
+	// the query actually finishes, so runaway queries still count against
+	// MaxInflight.
+	result := make(chan []byte, 1)
+	go func() {
+		defer func() { <-s.gate; s.inflight.Add(-1) }()
+		result <- s.execQuery(st, req)
+	}()
+	select {
+	case payload := <-result:
+		if len(payload) > s.cfg.MaxFrame {
+			return EncodeError(req.ID, ErrCodeInternal,
+				fmt.Sprintf("response of %d bytes exceeds max frame %d", len(payload), s.cfg.MaxFrame))
+		}
+		return payload
+	case <-deadline.C:
+		return EncodeError(req.ID, ErrCodeDeadline,
+			fmt.Sprintf("query did not finish within %v", s.cfg.RequestTimeout))
+	}
+}
+
+// handleIngest funnels a batch into the writer goroutine and waits for
+// the group commit. Backpressure is the bounded queue: when it stays full
+// past the deadline the batch is refused, not applied late and silently.
+func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
+	if len(req.Batch) == 0 {
+		return EncodeResponse(OpActivateBatch, &Response{ID: req.ID})
+	}
+	ir := ingestReq{batch: req.Batch, done: make(chan error, 1)}
+	select {
+	case s.ingestCh <- ir:
+		s.queued.Add(1)
+	case <-deadline.C:
+		return EncodeError(req.ID, ErrCodeOverloaded,
+			fmt.Sprintf("ingest queue full for %v", s.cfg.RequestTimeout))
+	}
+	select {
+	case err := <-ir.done:
+		if err != nil {
+			var we *WireError
+			if errors.As(err, &we) {
+				return EncodeError(req.ID, we.Code, we.Msg)
+			}
+			return EncodeError(req.ID, ErrCodeRejected, err.Error())
+		}
+		return EncodeResponse(OpActivateBatch, &Response{ID: req.ID, Accepted: uint32(len(req.Batch))})
+	case <-deadline.C:
+		// The batch is queued and WILL be committed by the writer; only
+		// the acknowledgement is late. Report the deadline so the client
+		// can treat the batch as in-doubt (at-least-once).
+		return EncodeError(req.ID, ErrCodeDeadline,
+			fmt.Sprintf("commit not acknowledged within %v", s.cfg.RequestTimeout))
+	}
+}
+
+// execQuery dispatches a non-ingest request against the backend.
+func (s *Server) execQuery(st *connState, req *Request) []byte {
+	resp := &Response{ID: req.ID}
+	switch req.Op {
+	case OpClusters:
+		resp.Clusters = s.backend.Clusters(int(req.Level))
+	case OpEvenClusters:
+		resp.Clusters = s.backend.EvenClusters(int(req.Level))
+	case OpClusterOf:
+		resp.Members = s.backend.ClusterOf(int(req.Node), int(req.Level))
+	case OpSmallestClusterOf:
+		resp.Members = s.backend.SmallestClusterOf(int(req.Node))
+	case OpEstimateDistance:
+		resp.Value = s.backend.EstimateDistance(int(req.U), int(req.V))
+	case OpEstimateAttraction:
+		resp.Value = s.backend.EstimateAttraction(int(req.U), int(req.V))
+	case OpStats:
+		bs := s.backend.Stats()
+		resp.Stats = StatsReply{
+			Nodes:       uint32(bs.Nodes),
+			Edges:       uint32(bs.Edges),
+			Levels:      uint32(bs.Levels),
+			SqrtLevel:   uint32(bs.SqrtLevel),
+			Activations: bs.Activations,
+			Now:         bs.Now,
+			Inflight:    uint32(s.inflight.Load()),
+			Queued:      uint32(s.queued.Load()),
+			Draining:    s.draining.Load(),
+		}
+	case OpWatch:
+		s.backend.Watch(int(req.Node))
+	case OpUnwatch:
+		s.backend.Unwatch(int(req.Node))
+	case OpDrainEvents:
+		resp.Events, resp.Dropped = s.backend.DrainEvents()
+	case OpViewOpen:
+		stats := s.backend.Stats()
+		st.mu.Lock()
+		if len(st.views) >= s.cfg.MaxViews {
+			st.mu.Unlock()
+			return EncodeError(req.ID, ErrCodeBadRequest,
+				fmt.Sprintf("view limit %d reached", s.cfg.MaxViews))
+		}
+		st.nextView++
+		st.views[st.nextView] = stats.SqrtLevel
+		resp.View = st.nextView
+		st.mu.Unlock()
+		resp.Level = int32(stats.SqrtLevel)
+	case OpViewZoomIn, OpViewZoomOut:
+		levels := s.backend.Stats().Levels
+		st.mu.Lock()
+		level, ok := st.views[req.View]
+		if !ok {
+			st.mu.Unlock()
+			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+		}
+		next := level + 1
+		if req.Op == OpViewZoomOut {
+			next = level - 1
+		}
+		if next >= 1 && next <= levels {
+			st.views[req.View] = next
+			resp.Moved = true
+			resp.Level = int32(next)
+		} else {
+			resp.Level = int32(level)
+		}
+		st.mu.Unlock()
+	case OpViewClusters:
+		level, ok := st.viewLevel(req.View)
+		if !ok {
+			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+		}
+		resp.Clusters = s.backend.Clusters(level)
+	case OpViewClusterOf:
+		level, ok := st.viewLevel(req.View)
+		if !ok {
+			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+		}
+		resp.Members = s.backend.ClusterOf(int(req.Node), level)
+	case OpViewClose:
+		st.mu.Lock()
+		delete(st.views, req.View)
+		st.mu.Unlock()
+	default:
+		return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
+	}
+	return EncodeResponse(req.Op, resp)
+}
