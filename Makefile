@@ -1,15 +1,15 @@
 # Development and CI entry points. `make check` is what every PR must
 # pass: vet, the ANC invariant linter, build, the full test suite, the
 # race detector, a short fuzz smoke over the corruption-facing decoders,
-# and the bench and serving-layer smokes.
+# the bench and serving-layer smokes, and the observability smoke.
 
 GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke serve-smoke bench clean
+.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke serve-smoke obs-smoke bench clean
 
-check: vet lint build test race fuzz-smoke bench-smoke serve-smoke
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,13 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchtime 1x .
 	test -s BENCH_serve.json
+
+# obs-smoke scrapes the fully instrumented stack like a Prometheus would:
+# WAL-backed server with the metrics listener on, real ingest and queries,
+# then /metrics must surface series from every layer (serve, wal, pyramid,
+# core) — see DESIGN.md §12.
+obs-smoke:
+	$(GO) test -run '^TestObsSmoke$$' -count=1 .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -38,6 +38,7 @@ import (
 	"anc/internal/cluster"
 	"anc/internal/core"
 	"anc/internal/graph"
+	"anc/internal/obs"
 	"anc/internal/pyramid"
 	"anc/internal/similarity"
 )
@@ -379,6 +380,23 @@ func (nw *Network) drain() ([]ClusterEvent, uint64) {
 	}
 	return out, dropped
 }
+
+// Instrument attaches the network's observability counters and timing
+// histograms to reg under the anc_core_* and anc_pyramid_* families (see
+// DESIGN.md §12). A nil registry is a no-op and the default: an
+// uninstrumented network pays one predictable nil-check branch per
+// observation site and never reads the wall clock. Call Instrument before
+// the network sees concurrent traffic — attachment itself is not
+// synchronized, only the attached handles are. Instrument is idempotent:
+// re-instrumenting against the same registry reuses the registered
+// families.
+func (nw *Network) Instrument(reg *obs.Registry) { nw.inner.Instrument(reg) }
+
+// WatcherDrops returns the cumulative number of cluster events dropped on
+// watcher buffer overflow over the network's lifetime. Unlike the per-Drain
+// count of DrainEvents it is never reset, so operators can observe loss
+// without consuming events. Zero when Watch was never called.
+func (nw *Network) WatcherDrops() uint64 { return nw.inner.WatcherDrops() }
 
 // Save serializes the network to w: the relation graph, configuration,
 // decayed similarity/activeness state and index seeds, followed by a

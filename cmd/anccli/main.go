@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -36,6 +37,7 @@ import (
 
 	"anc"
 	"anc/internal/graph"
+	"anc/internal/obs"
 )
 
 func main() {
@@ -94,9 +96,14 @@ func main() {
 		rev[dense] = orig
 	}
 
+	// A one-shot process can afford always-on instrumentation: the stats
+	// command prints the full snapshot, so a replay's cost profile (WAL
+	// fsyncs, pyramid repairs, rescales) is visible without a server.
+	reg := obs.NewRegistry()
+
 	activate := net.Activate
 	if *walDir != "" {
-		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery}
+		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery, Obs: reg}
 		d, err := anc.Recover(*walDir, dcfg)
 		switch {
 		case err == nil:
@@ -133,6 +140,10 @@ func main() {
 			shutdown()
 			os.Exit(130)
 		}()
+	} else {
+		// The durable paths instrument inside NewDurable/Recover; the plain
+		// path attaches here.
+		net.Instrument(reg)
 	}
 
 	if *streamPath != "" {
@@ -162,6 +173,16 @@ func main() {
 					s.Triangles, s.GlobalClustCoef)
 			}
 			f2.Close() //anclint:ignore droppederr read-only graph file; a close error cannot lose data
+		}
+		snap := reg.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("metrics:")
+		for _, k := range keys {
+			fmt.Printf("  %s %g\n", k, snap[k])
 		}
 	case "clusters":
 		cs := net.Clusters(lvl)

@@ -13,6 +13,11 @@
 //
 //	ancserve -graph g.txt -addr :7465
 //	ancserve -graph g.txt -wal-dir state/ -checkpoint-every 100000
+//	ancserve -graph g.txt -metrics-addr 127.0.0.1:9100 -slow-query 100ms
+//
+// With -metrics-addr an HTTP listener exposes Prometheus metrics on
+// /metrics, a JSON health summary on /healthz and net/http/pprof under
+// /debug/pprof/ (see the README's Monitoring section and DESIGN.md §12).
 //
 // With -wal-dir every served batch is write-ahead logged before it is
 // applied and acknowledged; a restart with the same -wal-dir recovers the
@@ -36,6 +41,7 @@ import (
 	"time"
 
 	"anc"
+	"anc/internal/obs"
 	"anc/internal/serve"
 )
 
@@ -59,6 +65,9 @@ func main() {
 		ingestQueue    = flag.Int("ingest-queue", 64, "bounded ingest queue feeding the single writer (batches)")
 		requestTimeout = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listener serving /metrics, /healthz and /debug/pprof/ (empty = observability off)")
+		slowQuery   = flag.Duration("slow-query", 0, "count and log requests slower than this (0 = disabled)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -97,11 +106,19 @@ func main() {
 	}
 	logger.Printf("loaded %s: %d nodes, %d edges, %d levels", *graphPath, net.N(), net.M(), net.Levels())
 
+	// One registry spans every layer — WAL, core, pyramid and the server
+	// itself — so a single /metrics scrape tells the whole story. Nil when
+	// -metrics-addr is unset: every instrumented path then no-ops.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
 	// Build the served backend: durable when -wal-dir is set, otherwise
 	// the in-memory concurrency facade.
 	var backend serve.Backend
 	if *walDir != "" {
-		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery}
+		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery, Obs: reg}
 		d, err := anc.Recover(*walDir, dcfg)
 		switch {
 		case err == nil:
@@ -124,6 +141,7 @@ func main() {
 	var cnet *anc.ConcurrentNetwork
 	if backend == nil {
 		cnet = anc.NewConcurrent(net)
+		cnet.Instrument(reg)
 		if *streamPath != "" {
 			if err := replayStream(cnet.ActivateBatch, ids, *streamPath); err != nil {
 				logger.Fatalf("stream: %v", err)
@@ -142,11 +160,17 @@ func main() {
 		IngestQueue:    *ingestQueue,
 		RequestTimeout: *requestTimeout,
 		Logf:           logger.Printf,
+		Obs:            reg,
+		MetricsAddr:    *metricsAddr,
+		SlowQuery:      *slowQuery,
 	})
 	if err := srv.Start(*addr); err != nil {
 		logger.Fatal(err)
 	}
 	logger.Printf("serving on %s (protocol v%d)", srv.Addr(), serve.Version)
+	if ma := srv.MetricsAddr(); ma != "" {
+		logger.Printf("metrics on http://%s/metrics (healthz, pprof alongside)", ma)
+	}
 
 	// Graceful drain on SIGINT/SIGTERM: Shutdown stops accepting, flushes
 	// the ingest queue through the writer, and checkpoints+closes a

@@ -3,6 +3,9 @@ package anc
 import (
 	"io"
 	"sync"
+	"sync/atomic"
+
+	"anc/internal/obs"
 )
 
 // ConcurrentNetwork wraps a Network with a readers–writer lock so that
@@ -11,9 +14,12 @@ import (
 // scenario (one ingest stream, many query clients). All methods mirror
 // Network.
 type ConcurrentNetwork struct {
-	mu   sync.RWMutex
-	net  *Network
-	acts uint64
+	mu  sync.RWMutex
+	net *Network
+	// acts is atomic, not mu-guarded: writers already hold the exclusive
+	// lock when bumping it, but Activations() reads it lock-free so metric
+	// scrapes never queue behind a long batch ingest.
+	acts atomic.Uint64
 }
 
 // NewConcurrent wraps an existing network. The caller must not keep using
@@ -28,7 +34,7 @@ func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 	defer c.mu.Unlock()
 	err := c.net.Activate(u, v, t)
 	if err == nil {
-		c.acts++
+		c.acts.Add(1)
 	}
 	return err
 }
@@ -41,9 +47,23 @@ func (c *ConcurrentNetwork) ActivateBatch(batch []Activation) error {
 	defer c.mu.Unlock()
 	err := c.net.ActivateBatch(batch)
 	if err == nil {
-		c.acts += uint64(len(batch))
+		c.acts.Add(uint64(len(batch)))
 	}
 	return err
+}
+
+// Activations returns how many activations have been applied through this
+// wrapper. It is a lock-free atomic read, so health endpoints and metric
+// scrapes can poll it without queueing behind ingest.
+func (c *ConcurrentNetwork) Activations() uint64 { return c.acts.Load() }
+
+// Instrument attaches the wrapped network's observability handles to reg
+// (see Network.Instrument). It takes the exclusive lock: attachment
+// mutates state read by the ingest path.
+func (c *ConcurrentNetwork) Instrument(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.net.Instrument(reg)
 }
 
 // Snapshot finalizes buffered work (exclusive lock).
@@ -235,12 +255,13 @@ func (c *ConcurrentNetwork) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return Stats{
-		Nodes:       c.net.N(),
-		Edges:       c.net.M(),
-		Levels:      c.net.Levels(),
-		SqrtLevel:   c.net.SqrtLevel(),
-		Activations: c.acts,
-		Now:         c.net.Now(),
+		Nodes:        c.net.N(),
+		Edges:        c.net.M(),
+		Levels:       c.net.Levels(),
+		SqrtLevel:    c.net.SqrtLevel(),
+		Activations:  c.acts.Load(),
+		Now:          c.net.Now(),
+		WatcherDrops: c.net.WatcherDrops(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"anc/internal/graph"
+	"anc/internal/obs"
 	"anc/internal/wal"
 )
 
@@ -55,6 +56,13 @@ type DurableConfig struct {
 	// every that many logged activations. 0 checkpoints only on demand.
 	CheckpointEvery int
 
+	// Obs, when non-nil, attaches the durability subsystem's metrics
+	// (anc_wal_* families: frames, fsyncs, fsync/checkpoint latency, batch
+	// sizes, recovery stats) and the wrapped network's core/pyramid metrics
+	// to the registry. Nil — the default — keeps observability off at near
+	// zero cost.
+	Obs *obs.Registry
+
 	// openFile lets tests interpose the fault-injection harness between
 	// the WAL and the disk.
 	openFile func(path string) (wal.File, error)
@@ -66,6 +74,7 @@ func (c DurableConfig) walOptions() wal.Options {
 		Sync:        c.Sync,
 		SyncEvery:   c.SyncEvery,
 		OpenFile:    c.openFile,
+		Metrics:     wal.NewMetrics(c.Obs),
 	}
 }
 
@@ -87,6 +96,7 @@ type DurableNetwork struct {
 	w               *wal.Writer
 	dir             string
 	cfg             DurableConfig
+	met             *durableMetrics // nil unless cfg.Obs was set; all methods nil-safe
 	sinceCheckpoint int
 	acts            uint64
 	closed          bool
@@ -153,7 +163,8 @@ func NewDurable(net *Network, dir string, cfg DurableConfig) (*DurableNetwork, e
 	if len(cps) > 0 {
 		return nil, fmt.Errorf("anc: %s already holds durable state; use Recover", dir)
 	}
-	d := &DurableNetwork{net: net, dir: dir, cfg: cfg}
+	net.Instrument(cfg.Obs)
+	d := &DurableNetwork{net: net, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs)}
 	// Checkpoint first, then open the log: recovery requires a checkpoint
 	// to replay onto, so an empty WAL without one is never observable.
 	if err := d.writeCheckpoint(0); err != nil {
@@ -253,7 +264,13 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 			lastErr = fmt.Errorf("anc: wal end moved during recovery: replayed to %d, writer at %d", next, w.NextIndex())
 			continue
 		}
-		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, acts: replayed}, nil
+		// Instrument only after the replay so recovered history does not
+		// inflate the live ingest counters; the replayed volume is reported
+		// through the dedicated recovery metrics instead.
+		net.Instrument(cfg.Obs)
+		met := newDurableMetrics(cfg.Obs)
+		met.recovered(replayed)
+		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed}, nil
 	}
 	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
 }
@@ -354,6 +371,7 @@ func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 	if err := d.net.ActivateBatch(batch); err != nil {
 		return err
 	}
+	d.met.batchLogged(len(batch))
 	d.acts += uint64(len(batch))
 	d.sinceCheckpoint += len(batch)
 	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
@@ -389,6 +407,7 @@ func (d *DurableNetwork) Checkpoint() error {
 }
 
 func (d *DurableNetwork) checkpointLocked() error {
+	t := d.met.checkpointStart()
 	if err := d.writeCheckpoint(d.w.NextIndex()); err != nil {
 		return err
 	}
@@ -403,7 +422,11 @@ func (d *DurableNetwork) checkpointLocked() error {
 		}
 		cps = cps[1:]
 	}
-	return d.w.TruncateBefore(cps[0].index)
+	if err := d.w.TruncateBefore(cps[0].index); err != nil {
+		return err
+	}
+	t.Stop() // successful checkpoints only; failures abort mid-operation
+	return nil
 }
 
 // writeCheckpoint persists the network state as checkpoint-<index>.snap
@@ -631,11 +654,12 @@ func (d *DurableNetwork) Stats() Stats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return Stats{
-		Nodes:       d.net.N(),
-		Edges:       d.net.M(),
-		Levels:      d.net.Levels(),
-		SqrtLevel:   d.net.SqrtLevel(),
-		Activations: d.acts,
-		Now:         d.net.Now(),
+		Nodes:        d.net.N(),
+		Edges:        d.net.M(),
+		Levels:       d.net.Levels(),
+		SqrtLevel:    d.net.SqrtLevel(),
+		Activations:  d.acts,
+		Now:          d.net.Now(),
+		WatcherDrops: d.net.WatcherDrops(),
 	}
 }

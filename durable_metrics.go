@@ -1,0 +1,60 @@
+package anc
+
+import "anc/internal/obs"
+
+// durableMetrics are the durability-layer observability handles, registered
+// under the anc_wal_* family alongside the WAL's own frame/fsync metrics
+// (see internal/wal). A nil *durableMetrics (the default — no registry in
+// DurableConfig.Obs) disables them; every method is nil-safe.
+type durableMetrics struct {
+	// checkpointSeconds observes the full checkpoint operation: snapshot
+	// write + fsync + rename + retention pruning + WAL truncation.
+	checkpointSeconds *obs.Histogram
+	// batchRecords observes the size of each group-committed ActivateBatch
+	// in activation records — the distribution that explains fsync
+	// amortization.
+	batchRecords *obs.Histogram
+	// recoveries counts successful Recover calls; recoveredRecords counts
+	// the WAL-tail activations they replayed.
+	recoveries       *obs.Counter
+	recoveredRecords *obs.Counter
+}
+
+func newDurableMetrics(reg *obs.Registry) *durableMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &durableMetrics{
+		checkpointSeconds: reg.Histogram("anc_wal_checkpoint_seconds",
+			"checkpoint duration in seconds (snapshot write, fsync, rename, WAL truncation)", nil),
+		batchRecords: reg.Histogram("anc_wal_batch_records",
+			"activation records per group-committed batch",
+			obs.ExponentialBuckets(1, 2, 17)),
+		recoveries: reg.Counter("anc_wal_recoveries_total",
+			"successful crash recoveries"),
+		recoveredRecords: reg.Counter("anc_wal_recovered_records_total",
+			"WAL-tail activation records replayed by recovery"),
+	}
+}
+
+func (m *durableMetrics) checkpointStart() obs.Timer {
+	if m == nil {
+		return obs.Timer{}
+	}
+	return m.checkpointSeconds.Start()
+}
+
+func (m *durableMetrics) batchLogged(n int) {
+	if m == nil {
+		return
+	}
+	m.batchRecords.Observe(float64(n))
+}
+
+func (m *durableMetrics) recovered(records uint64) {
+	if m == nil {
+		return
+	}
+	m.recoveries.Inc()
+	m.recoveredRecords.Add(records)
+}

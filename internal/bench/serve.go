@@ -14,6 +14,7 @@ import (
 	"anc"
 	"anc/internal/dataset"
 	"anc/internal/gen"
+	"anc/internal/obs"
 	"anc/internal/serve"
 	"anc/internal/serve/client"
 )
@@ -42,6 +43,12 @@ type ServeResult struct {
 	QueryP50ms float64
 	QueryP90ms float64
 	QueryP99ms float64
+
+	// Metrics is the obs snapshot of the run itself — server, WAL, core and
+	// pyramid counters from the instrumented stack (per-event atomics are
+	// noise against TCP round trips and fsyncs, so unlike the ingest
+	// benchmark this run is measured instrumented).
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // activeDurable is the durable network of the serve experiment currently
@@ -139,14 +146,15 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	d, err := anc.NewDurable(net, dir, anc.DurableConfig{})
+	reg := obs.NewRegistry()
+	d, err := anc.NewDurable(net, dir, anc.DurableConfig{Obs: reg})
 	if err != nil {
 		panic(err)
 	}
 	setActiveDurable(d)
 	defer setActiveDurable(nil)
 
-	srv := serve.New(d, serve.Config{RequestTimeout: 60 * time.Second})
+	srv := serve.New(d, serve.Config{RequestTimeout: 60 * time.Second, Obs: reg})
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		panic(err)
 	}
@@ -266,6 +274,7 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	r.QueryP50ms = ms(percentile(allQuery, 0.50))
 	r.QueryP90ms = ms(percentile(allQuery, 0.90))
 	r.QueryP99ms = ms(percentile(allQuery, 0.99))
+	r.Metrics = reg.Snapshot()
 	logf(cfg, w, "# serve: %d acts in %d batches over %d conns: %.0f acts/s, batch p99 %.2fms, %d queries p99 %.2fms\n",
 		r.Activations, r.Batches, conns, r.IngestRate, r.BatchP99ms, r.Queries, r.QueryP99ms)
 	return r

@@ -105,6 +105,7 @@ type Network struct {
 	pendingMark []bool
 	lastFlush   float64
 	watcher     *Watcher
+	met         *metrics // nil until Instrument; all methods nil-safe
 
 	// Batch-ingest scratch: dirty-edge/node sets of the current batch and
 	// the weight buffer handed to the index. Lazily allocated on the first
@@ -214,6 +215,7 @@ func (nw *Network) Activate(e graph.EdgeID, t float64) error {
 		return err
 	}
 	nw.Stats.Activations++
+	nw.met.activated(1)
 	switch nw.opts.Method {
 	case ANCO:
 		// ANCO applies no local reinforcement after initialization
@@ -295,6 +297,8 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 		nw.lastFlush = nw.clock.Now()
 	}
 	nw.Stats.Activations += int64(len(batch))
+	nw.met.activated(len(batch))
+	nw.met.batched()
 	nw.clock.ActivatedN(len(batch))
 	return nil
 }
@@ -381,6 +385,7 @@ func (nw *Network) Flush() {
 		return
 	}
 	nw.Stats.Flushes++
+	nw.met.flushed()
 	nw.flushWeights = nw.flushWeights[:0]
 	for _, e := range nw.pending {
 		nw.flushWeights = append(nw.flushWeights, nw.sim.Reinforce(e))
@@ -422,6 +427,7 @@ func (nw *Network) Snapshot() error {
 		}
 	}
 	nw.Stats.Reconstructs++
+	nw.met.reconstructed()
 	for _, e := range nw.pending {
 		nw.ix.SetWeight(e, nw.sim.Weight(e))
 		nw.pendingMark[e] = false

@@ -35,6 +35,9 @@ type Watcher struct {
 	events  []ClusterEvent
 	cap     int
 	dropped uint64 // events discarded since the last Drain
+	// droppedTotal accumulates drops over the watcher's lifetime; unlike
+	// dropped it is never reset, so loss is visible without draining.
+	droppedTotal uint64
 }
 
 // Watch enables real-time change reporting and returns the watcher. The
@@ -67,6 +70,8 @@ func (w *Watcher) emit(node, other graph.NodeID, level int, joined bool) {
 	}
 	if len(w.events) >= w.cap {
 		w.dropped++
+		w.droppedTotal++
+		w.nw.met.watcherDropped()
 		return
 	}
 	w.events = append(w.events, ClusterEvent{
@@ -110,3 +115,7 @@ func (w *Watcher) Drain() ([]ClusterEvent, uint64) {
 	w.events, w.dropped = nil, 0
 	return out, d
 }
+
+// DroppedTotal returns the cumulative number of events dropped on buffer
+// overflow over the watcher's lifetime. It is not reset by Drain.
+func (w *Watcher) DroppedTotal() uint64 { return w.droppedTotal }

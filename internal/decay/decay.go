@@ -14,6 +14,8 @@ package decay
 import (
 	"fmt"
 	"math"
+
+	"anc/internal/obs"
 )
 
 // DefaultRescaleEvery is the default number of activations between batched
@@ -29,6 +31,7 @@ type Clock struct {
 	pending  int     // activations since last rescale
 	every    int     // rescale period in activations (0 disables)
 	rescalee []Rescalable
+	rescales *obs.Counter // nil-safe; nil when observability is off
 }
 
 // Rescalable is implemented by stores of anchored values. OnRescale is
@@ -54,6 +57,14 @@ func (c *Clock) SetRescaleEvery(every int) { c.every = every }
 
 // Register adds a store of anchored values to be notified on rescale.
 func (c *Clock) Register(r Rescalable) { c.rescalee = append(c.rescalee, r) }
+
+// SetRescaleCounter attaches an observability counter bumped on every
+// batched rescale (a nil counter detaches; counter methods are nil-safe,
+// so Rescale never branches on attachment). Rescale frequency is the
+// hidden cost center of tie-decay maintenance — the paper amortizes its
+// O(m) fold over the activations that triggered it — so operators watch
+// this rate against the ingest rate.
+func (c *Clock) SetRescaleCounter(ctr *obs.Counter) { c.rescales = ctr }
 
 // Lambda returns the decay factor λ.
 func (c *Clock) Lambda() float64 { return c.lambda }
@@ -115,6 +126,7 @@ func (c *Clock) Rescale() {
 	}
 	c.anchor = c.now
 	c.pending = 0
+	c.rescales.Inc()
 }
 
 // Activeness stores the anchored activeness a* of every edge and the

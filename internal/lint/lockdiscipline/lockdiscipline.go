@@ -16,6 +16,12 @@
 //
 // Unexported methods (the *Locked helpers) are exempt from 1–2 and are
 // the sanctioned way to share code between locked entry points.
+//
+// Fields whose type is internally synchronized — sync/atomic values and
+// the nil-safe metric handles of anc/internal/obs — do not count as
+// guarded state: reading an atomic snapshot counter or bumping a metric
+// lock-free is the whole point of using those types, and forcing the mu
+// around them would make metric scrapes queue behind long batch ingests.
 package lockdiscipline
 
 import (
@@ -119,7 +125,7 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, tname *types.TypeName) {
 		return
 	}
 	exported := fd.Name.IsExported()
-	touches := touchesGuardedState(fd, recv)
+	touches := touchesGuardedState(pass, fd, recv)
 	if exported && touches {
 		lockKind := firstIsLock(fd, recv)
 		if lockKind == "" {
@@ -141,8 +147,9 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, tname *types.TypeName) {
 }
 
 // touchesGuardedState reports whether the body mentions recv.<field> for
-// any selector other than mu.
-func touchesGuardedState(fd *ast.FuncDecl, recv string) bool {
+// any selector other than mu, ignoring fields of internally synchronized
+// types (sync/atomic, anc/internal/obs) which are safe to touch bare.
+func touchesGuardedState(pass *analysis.Pass, fd *ast.FuncDecl, recv string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
@@ -153,12 +160,33 @@ func touchesGuardedState(fd *ast.FuncDecl, recv string) bool {
 			return true
 		}
 		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && sel.Sel.Name != "mu" {
+			if internallySynced(pass.TypeOf(sel)) {
+				return true
+			}
 			found = true
 			return false
 		}
 		return true
 	})
 	return found
+}
+
+// internallySynced reports whether t (after one pointer deref) is a named
+// type from a package whose values carry their own synchronization, so
+// touching such a field without mu is sound by construction.
+func internallySynced(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync/atomic", "anc/internal/obs":
+		return true
+	}
+	return false
 }
 
 // firstIsLock returns "Lock" or "RLock" when the method's first statement

@@ -1,6 +1,9 @@
 package lockdiscipline
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type inner struct{ n int }
 
@@ -42,4 +45,17 @@ type wrapperStats struct {
 
 func (w *Wrapper) Stats() wrapperStats { // want "touches guarded state but does not start with w.mu.Lock/RLock"
 	return wrapperStats{A: w.inner.n, B: w.inner.n * 2}
+}
+
+// An atomic field alongside plain guarded state exempts only itself: the
+// plain read still demands the lock.
+type Mixed struct {
+	mu   sync.Mutex
+	n    int
+	acts atomic.Uint64
+}
+
+func (m *Mixed) Both() int { // want "touches guarded state but does not start with m.mu.Lock/RLock"
+	_ = m.acts.Load()
+	return m.n
 }

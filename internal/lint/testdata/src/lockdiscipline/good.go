@@ -1,6 +1,9 @@
 package lockdiscipline
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type state struct{ n int }
 
@@ -34,4 +37,22 @@ func (g *Guarded) Stats() AggStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return AggStats{Items: 1, Total: g.st.n}
+}
+
+// Internally synchronized fields are not guarded state: an atomic
+// snapshot counter may be read lock-free so metric scrapes never queue
+// behind a long batch ingest held under mu.
+type Counting struct {
+	mu   sync.Mutex
+	st   *state
+	acts atomic.Uint64
+}
+
+func (c *Counting) Activations() uint64 { return c.acts.Load() }
+
+func (c *Counting) Bump(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.n++
+	c.acts.Add(n)
 }

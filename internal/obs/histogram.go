@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets spans 1µs .. 10s in roughly 2.5× steps — wide
+// enough for everything from an in-memory counter bump to a slow fsync or
+// a full pyramid reconstruction, and fine enough near the bottom that
+// p50/p95 of microsecond-scale operations interpolate usefully.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// ExponentialBuckets returns n upper bounds starting at start, each factor
+// times the previous — the helper for size-style histograms (batch
+// records, payload bytes). start must be positive and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// atomicFloat accumulates a float64 with a CAS loop over its bit pattern,
+// keeping the histogram update path lock-free.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation.
+// Buckets hold non-cumulative per-bucket counts (the renderer accumulates
+// them into Prometheus's cumulative form); quantiles are estimated by
+// linear interpolation within the bucket containing the rank. All methods
+// are nil-safe.
+//
+// A scrape may run concurrently with observations, so a rendered snapshot
+// is not a single atomic cut: count, sum and buckets each advance
+// monotonically but can be read a few observations apart. Prometheus
+// tolerates this (it rates and re-accumulates server-side).
+type Histogram struct {
+	upper  []float64 // ascending bucket upper bounds, immutable
+	counts []atomic.Uint64
+	inf    atomic.Uint64 // observations above the last bound
+	total  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(upper []float64) *Histogram {
+	bounds := make([]float64, len(upper))
+	copy(bounds, upper)
+	sort.Float64s(bounds)
+	return &Histogram{
+		upper:  bounds,
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	if i < len(h.upper) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by locating the bucket
+// holding the rank and interpolating linearly inside it. Observations in
+// the overflow bucket clamp to the largest finite bound. Returns 0 for an
+// empty or nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 || len(h.upper) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			hi := h.upper[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// Timer measures one duration into a histogram; obtain one from Start and
+// call Stop when the operation completes. The zero Timer (and any timer
+// from a nil histogram) is a no-op that never reads the clock, so timed
+// sections cost nothing when observability is off.
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins timing an operation (no-op timer on a nil histogram).
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, t0: time.Now()}
+}
+
+// Stop records the elapsed seconds since Start.
+func (t Timer) Stop() {
+	if t.h != nil {
+		t.h.Observe(time.Since(t.t0).Seconds())
+	}
+}
+
+// Stopwatch measures elapsed wall time unconditionally — for durations
+// that must be captured before a registry exists (e.g. index build time,
+// observed later at instrument time). obs is the one layer of the repo
+// allowed to read the wall clock: timing captured here feeds metrics only,
+// never replayed state, which is what the determinism lint protects.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// NewStopwatch starts measuring now.
+func NewStopwatch() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Seconds returns the elapsed time since NewStopwatch in seconds.
+func (s Stopwatch) Seconds() float64 { return time.Since(s.t0).Seconds() }

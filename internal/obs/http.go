@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry's Prometheus text exposition. A nil
+// registry serves an empty (but well-formed) exposition, so a metrics
+// listener can come up before anything is instrumented.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w) //anclint:ignore droppederr a failed scrape write is the scraper's problem; nothing to recover server-side
+	})
+}
+
+// NewMux returns the operational HTTP surface: /metrics (Prometheus
+// exposition of r), /healthz (the given handler, skipped when nil), and
+// the net/http/pprof profiling endpoints under /debug/pprof/. This is
+// what ancserve binds on -metrics-addr.
+func NewMux(r *Registry, healthz http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	if healthz != nil {
+		mux.Handle("/healthz", healthz)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenRegistry builds the fixed registry behind testdata/golden.prom.
+// Observed values are exactly representable in binary so the rendered sum
+// is byte-stable.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("anc_test_ops_total", "total operations").Add(3)
+	v := reg.CounterVec("anc_test_requests_total", "requests by op", "op")
+	v.With("get").Inc()
+	v.With("put").Add(2)
+	reg.Gauge("anc_test_queue_depth", "ingest queue depth").Set(7)
+	reg.GaugeFunc("anc_test_load", "sampled load", func() float64 { return 1.5 })
+	h := reg.Histogram("anc_test_latency_seconds", "request latency", []float64{0.1, 1, 10})
+	h.Observe(0.0625)
+	h.Observe(5)
+	h.Observe(99)
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramQuantileOracle checks the interpolated quantile against a
+// sorted-slice oracle: the estimate must land inside the bucket that
+// contains the true order statistic.
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	h := newHistogram(DefaultLatencyBuckets)
+	vals := make([]float64, n)
+	for i := range vals {
+		// Exponential around 1ms: spans several buckets with a long tail.
+		vals[i] = rng.ExpFloat64() * 1e-3
+		h.Observe(vals[i])
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		oracle := sorted[rank]
+		est := h.Quantile(q)
+		// The bucket holding the oracle value: (lo, hi].
+		i := sort.SearchFloat64s(h.upper, oracle)
+		if i >= len(h.upper) {
+			t.Fatalf("q=%g: oracle %g beyond the last bucket; widen DefaultLatencyBuckets", q, oracle)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		hi := h.upper[i]
+		if est < lo || est > hi {
+			t.Errorf("q=%g: estimate %g outside oracle bucket (%g, %g] (oracle %g)", q, est, lo, hi, oracle)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	nilH.Start().Stop()
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %g, want 0", got)
+	}
+
+	h := newHistogram([]float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(1e9) // overflow bucket only
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("overflow-only quantile = %g, want last finite bound 1", got)
+	}
+	if h.Count() != 1 || h.Sum() != 1e9 {
+		t.Errorf("count/sum = %d/%g, want 1/1e9", h.Count(), h.Sum())
+	}
+
+	h2 := newHistogram([]float64{1, 2})
+	h2.Start().Stop()
+	if h2.Count() != 1 {
+		t.Errorf("timer did not observe: count = %d", h2.Count())
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("y", "")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	v := r.CounterVec("z", "", "op")
+	v.With("a").Inc()
+	r.GaugeFunc("w", "", func() float64 { return 1 })
+	h := r.Histogram("h", "", nil)
+	h.Observe(1)
+	if got := len(r.Snapshot()); got != 0 {
+		t.Errorf("nil registry snapshot has %d entries", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err %v", buf.String(), err)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "help")
+	b := r.Counter("c", "help")
+	if a != b {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	h1 := r.Histogram("h", "", []float64{1, 2})
+	h2 := r.Histogram("h", "", []float64{1, 2, 3}) // buckets of the first registration win
+	if h1 != h2 {
+		t.Error("re-registering a histogram returned a different handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c", "")
+}
+
+func TestSnapshot(t *testing.T) {
+	s := goldenRegistry().Snapshot()
+	want := map[string]float64{
+		"anc_test_ops_total":                3,
+		`anc_test_requests_total{op="get"}`: 1,
+		`anc_test_requests_total{op="put"}`: 2,
+		"anc_test_queue_depth":              7,
+		"anc_test_load":                     1.5,
+		"anc_test_latency_seconds_count":    3,
+		"anc_test_latency_seconds_sum":      104.0625,
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("snapshot[%q] = %g, want %g", k, s[k], v)
+		}
+	}
+	for _, k := range []string{"anc_test_latency_seconds_p50", "anc_test_latency_seconds_p95", "anc_test_latency_seconds_p99"} {
+		if _, ok := s[k]; !ok {
+			t.Errorf("snapshot missing %q", k)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers the lock-free update path while scraping;
+// run under -race it is the data-race proof for the whole package.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("anc_stress_total", "")
+	v := r.CounterVec("anc_stress_by_op", "", "op")
+	g := r.Gauge("anc_stress_depth", "")
+	h := r.Histogram("anc_stress_seconds", "", nil)
+	r.GaugeFunc("anc_stress_fn", "", func() float64 { return float64(g.Value()) })
+
+	const workers = 8
+	const perWorker = 5000
+	ops := []string{"get", "put", "del"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(ops[i%len(ops)]).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var byOp uint64
+	for _, op := range ops {
+		byOp += v.With(op).Value()
+	}
+	if byOp != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", byOp, workers*perWorker)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(NewMux(goldenRegistry(), nil))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q, want %q", ct, ContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "anc_test_ops_total 3") {
+		t.Errorf("scrape missing series:\n%s", buf.String())
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the MIME type of the text exposition format rendered by
+// WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children
+// sorted by label value, histograms in cumulative _bucket/_sum/_count
+// form. A nil registry renders nothing. Rendering takes each family's
+// mutex but never blocks the lock-free update path.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		for _, key := range f.childKeys() {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f, key), f.counters[key].Value())
+			case kindGauge:
+				fmt.Fprintf(bw, "%s %d\n", seriesName(f, key), f.gauges[key].Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(bw, "%s %s\n", seriesName(f, key), formatFloat(f.fns[key]()))
+			case kindHistogram:
+				writeHistogram(bw, f.name, f.hists[key])
+			}
+		}
+		f.mu.Unlock()
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram in cumulative bucket form.
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// seriesName renders a family's child series name, with the label pair for
+// labeled children. %q's Go-style quoting matches the exposition format's
+// escaping rules for backslash, quote and newline.
+func seriesName(f *family, key string) string {
+	if key == "" {
+		return f.name
+	}
+	return fmt.Sprintf("%s{%s=%q}", f.name, f.labelKey, key)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trippable decimal, with explicit +Inf/-Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

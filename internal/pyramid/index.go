@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"anc/internal/graph"
+	"anc/internal/obs"
 )
 
 // Config controls index construction.
@@ -71,6 +72,9 @@ type Index struct {
 	scratch *scratch // serial-path Dijkstra state, shared by all partitions
 	pool    *pool    // worker pool when cfg.Parallel; nil after Close
 
+	met          *Metrics // nil until Instrument; all methods nil-safe
+	buildSeconds float64  // construction wall time, observed at Instrument
+
 	// Reusable per-call buffers of the batched update path, so steady
 	// ingest allocates nothing.
 	batchEdges  []graph.EdgeID
@@ -116,6 +120,7 @@ func BuildWithSeeds(g *graph.Graph, weight func(e graph.EdgeID) float64, cfg Con
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	sw := obs.NewStopwatch()
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("pyramid: empty graph")
@@ -152,6 +157,7 @@ func BuildWithSeeds(g *graph.Graph, weight func(e graph.EdgeID) float64, cfg Con
 			ix.parts[slot/ix.levels][slot%ix.levels] = newPartition(g, ix.weights, seedSets[slot], ix.scratch)
 		}
 	}
+	ix.buildSeconds = sw.Seconds()
 	return ix, nil
 }
 
@@ -283,6 +289,7 @@ func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
 	if len(ix.batchEdges) == 0 {
 		return
 	}
+	t := ix.met.updateStart()
 	changed, olds := ix.batchEdges, ix.batchOld
 	if ix.pool != nil {
 		// Vote counts are shared across the pyramids of one level, so
@@ -291,6 +298,9 @@ func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
 		// by its next task. Nothing is copied when tracking is off.
 		ix.pool.run(ix.cfg.K*ix.levels, func(slot int, s *scratch) {
 			moved := ix.parts[slot/ix.levels][slot%ix.levels].applyBatch(s, changed, olds)
+			if len(moved) > 0 {
+				ix.met.partitionRepaired()
+			}
 			if ix.votes != nil {
 				ix.voteChanged[slot] = append(ix.voteChanged[slot][:0], moved...)
 			}
@@ -300,22 +310,29 @@ func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
 				ix.votes.applyBatch(slot/ix.levels, slot%ix.levels+1, changed, ix.voteChanged[slot])
 			}
 		}
+		t.Stop()
 		return
 	}
 	for p := range ix.parts {
 		for l := range ix.parts[p] {
 			moved := ix.parts[p][l].applyBatch(ix.scratch, changed, olds)
+			if len(moved) > 0 {
+				ix.met.partitionRepaired()
+			}
 			if ix.votes != nil {
 				ix.votes.applyBatch(p, l+1, changed, moved)
 			}
 		}
 	}
+	t.Stop()
 }
 
 // Reconstruct rebuilds every partition from scratch at the current weights
 // (keeping the same seed sets), on the worker pool when Config.Parallel is
 // set. This is the RECONSTRUCT baseline of Exp 6.
 func (ix *Index) Reconstruct() {
+	t := ix.met.reconstructStart()
+	defer t.Stop()
 	if ix.pool != nil {
 		ix.pool.run(ix.cfg.K*ix.levels, func(slot int, s *scratch) {
 			ix.parts[slot/ix.levels][slot%ix.levels].rebuild(s)

@@ -3,6 +3,7 @@ package pyramid
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"anc/internal/graph"
 	"anc/internal/pq"
@@ -56,6 +57,10 @@ func (s *scratch) begin() {
 type pool struct {
 	tasks   chan poolTask
 	workers sync.WaitGroup
+	// busy counts tasks executing right now; always maintained (two atomic
+	// adds per partition-sized task) so the occupancy gauge can sample it
+	// without the workers ever reading mutable metrics state.
+	busy atomic.Int64
 }
 
 type poolTask struct {
@@ -87,7 +92,9 @@ func newPool(workers, n int) *pool {
 			defer p.workers.Done()
 			s := newScratch(n)
 			for t := range p.tasks {
+				p.busy.Add(1)
 				t.fn(t.slot, s)
+				p.busy.Add(-1)
 				t.done.Done()
 			}
 		}()

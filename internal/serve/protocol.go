@@ -127,6 +127,48 @@ const (
 	ErrCodeInternal
 )
 
+// OpName maps wire ops to stable short names — the label values of
+// anc_serve_requests_total and the vocabulary of slow-request log lines.
+func OpName(op uint8) string {
+	switch op {
+	case OpActivateBatch:
+		return "activate-batch"
+	case OpClusters:
+		return "clusters"
+	case OpEvenClusters:
+		return "even-clusters"
+	case OpClusterOf:
+		return "cluster-of"
+	case OpSmallestClusterOf:
+		return "smallest-cluster-of"
+	case OpEstimateDistance:
+		return "estimate-distance"
+	case OpEstimateAttraction:
+		return "estimate-attraction"
+	case OpStats:
+		return "stats"
+	case OpWatch:
+		return "watch"
+	case OpUnwatch:
+		return "unwatch"
+	case OpDrainEvents:
+		return "drain-events"
+	case OpViewOpen:
+		return "view-open"
+	case OpViewZoomIn:
+		return "view-zoom-in"
+	case OpViewZoomOut:
+		return "view-zoom-out"
+	case OpViewClusters:
+		return "view-clusters"
+	case OpViewClusterOf:
+		return "view-cluster-of"
+	case OpViewClose:
+		return "view-close"
+	}
+	return fmt.Sprintf("op-%d", op)
+}
+
 // errCodeName maps codes to stable short names for error text.
 func errCodeName(code uint8) string {
 	switch code {
@@ -194,16 +236,16 @@ type Response struct {
 	ID  uint64
 	Err *WireError
 
-	Clusters [][]int           // cluster-list replies
-	Members  []int             // single-cluster replies
-	Value    float64           // distance / attraction
-	Stats    StatsReply        // OpStats
+	Clusters [][]int            // cluster-list replies
+	Members  []int              // single-cluster replies
+	Value    float64            // distance / attraction
+	Stats    StatsReply         // OpStats
 	Events   []anc.ClusterEvent // OpDrainEvents
-	Dropped  uint64            // OpDrainEvents
-	View     uint32            // OpViewOpen
-	Level    int32             // view replies
-	Moved    bool              // OpViewZoomIn / OpViewZoomOut
-	Accepted uint32            // OpActivateBatch
+	Dropped  uint64             // OpDrainEvents
+	View     uint32             // OpViewOpen
+	Level    int32              // view replies
+	Moved    bool               // OpViewZoomIn / OpViewZoomOut
+	Accepted uint32             // OpActivateBatch
 }
 
 // ---- frame I/O ----------------------------------------------------------

@@ -3,14 +3,17 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"anc"
+	"anc/internal/obs"
 )
 
 // Backend is the facade the server fronts: every method must be safe for
@@ -62,6 +65,25 @@ type Config struct {
 	MaxViews int
 	// Logf, when non-nil, receives connection-level log lines.
 	Logf func(format string, args ...interface{})
+
+	// Obs, when non-nil, attaches the server's metrics (anc_serve_*
+	// families: per-op request counts, error counts by code, handling
+	// latency, frame bytes, connection/inflight/queue gauges) to the
+	// registry. Nil — the default — keeps observability off at near zero
+	// cost. Pass the same registry to the backend's layers (DurableConfig.Obs
+	// or Network.Instrument) so one scrape covers the whole process.
+	Obs *obs.Registry
+	// MetricsAddr, when non-empty, starts an HTTP listener on that address
+	// (e.g. "127.0.0.1:9100") serving /metrics (Prometheus text exposition
+	// of Obs), /healthz (a JSON health summary from the backend's Stats)
+	// and net/http/pprof under /debug/pprof/. The listener stops with the
+	// server on both Shutdown and Kill.
+	MetricsAddr string
+	// SlowQuery, when positive, counts every request whose handling takes
+	// at least this long (anc_serve_slow_requests_total) and logs it
+	// through Logf, rate-limited to one line per second so a latency storm
+	// cannot flood the log.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,12 +139,19 @@ type Server struct {
 	connWG     sync.WaitGroup
 	started    bool
 	stopOnce   sync.Once
+
+	met         *serverMetrics // nil unless cfg.Obs was set; all methods nil-safe
+	metricsLis  net.Listener
+	metricsSrv  *http.Server
+	metricsDone chan struct{}
+	metricsOnce sync.Once
+	slowLogAt   atomic.Int64 // unix nanos of the last slow-request log line
 }
 
 // New builds a server over backend. Call Start to begin serving.
 func New(backend Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		backend:    backend,
 		ingestCh:   make(chan ingestReq, cfg.IngestQueue),
@@ -131,6 +160,8 @@ func New(backend Backend, cfg Config) *Server {
 		acceptDone: make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
+	s.met = newServerMetrics(cfg.Obs, s)
+	return s
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0" for an ephemeral port) and
@@ -139,6 +170,20 @@ func (s *Server) Start(addr string) error {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	if s.cfg.MetricsAddr != "" {
+		mlis, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			lis.Close() //anclint:ignore droppederr unwinding a failed start; the accept listener never served
+			return fmt.Errorf("serve: metrics listener: %w", err)
+		}
+		s.metricsLis = mlis
+		s.metricsSrv = &http.Server{Handler: obs.NewMux(s.cfg.Obs, http.HandlerFunc(s.healthz))}
+		s.metricsDone = make(chan struct{})
+		go func() {
+			defer close(s.metricsDone)
+			s.metricsSrv.Serve(mlis) //anclint:ignore droppederr returns ErrServerClosed on the stopMetrics path; nothing to recover
+		}()
 	}
 	s.lis = lis
 	s.started = true
@@ -149,6 +194,49 @@ func (s *Server) Start(addr string) error {
 
 // Addr returns the bound listener address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// MetricsAddr returns the bound metrics listener address, or "" when
+// Config.MetricsAddr was empty (valid after Start).
+func (s *Server) MetricsAddr() string {
+	if s.metricsLis == nil {
+		return ""
+	}
+	return s.metricsLis.Addr().String()
+}
+
+// healthz answers the metrics listener's health endpoint: one JSON object
+// from a single Stats read, cheap enough for aggressive probe intervals.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	bs := s.backend.Stats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //anclint:ignore droppederr best-effort reply; a failed health write has no one left to tell
+		Status       string  `json:"status"`
+		Nodes        int     `json:"nodes"`
+		Edges        int     `json:"edges"`
+		Activations  uint64  `json:"activations"`
+		Now          float64 `json:"now"`
+		WatcherDrops uint64  `json:"watcher_drops"`
+		Inflight     int32   `json:"inflight"`
+		Queued       int32   `json:"queued"`
+	}{status, bs.Nodes, bs.Edges, bs.Activations, bs.Now, bs.WatcherDrops,
+		s.inflight.Load(), s.queued.Load()})
+}
+
+// stopMetrics closes the metrics HTTP listener and waits for its serve
+// goroutine — shared by Shutdown and Kill, idempotent so both may run.
+func (s *Server) stopMetrics() {
+	s.metricsOnce.Do(func() {
+		if s.metricsSrv == nil {
+			return
+		}
+		s.metricsSrv.Close() //anclint:ignore droppederr teardown of the scrape listener loses no state
+		<-s.metricsDone
+	})
+}
 
 func (s *Server) acceptLoop() {
 	defer close(s.acceptDone)
@@ -233,6 +321,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.closeConns()
+	s.stopMetrics()
 	return err
 }
 
@@ -256,6 +345,7 @@ func (s *Server) Kill() {
 	if d, ok := s.backend.(durableBackend); ok {
 		d.Close() //anclint:ignore droppederr crash-style close; the WAL is already fsynced per policy
 	}
+	s.stopMetrics()
 }
 
 func (s *Server) closeConns() {
@@ -286,8 +376,10 @@ func (st *connState) viewLevel(id uint32) (int, bool) {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	s.met.connOpened()
 	defer s.connWG.Done()
 	defer func() {
+		s.met.connClosed()
 		conn.Close() //anclint:ignore droppederr the connection carries no durable state
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -317,42 +409,91 @@ func (s *Server) serveConn(conn net.Conn) {
 			// connection.
 			var fe *frameError
 			if errors.As(err, &fe) {
-				writeFrame(bw, EncodeError(0, fe.code, fe.msg)) //anclint:ignore droppederr best-effort reply on a connection being closed
+				s.writeReply(bw, s.errReply(0, fe.code, fe.msg)) //anclint:ignore droppederr best-effort reply on a connection being closed
 			}
 			return
 		}
+		s.met.readBytes(frameHeaderSize + len(payload))
 		req, err := DecodeRequest(payload)
 		if err != nil {
 			// The frame was intact (length+CRC verified), so framing is
 			// still in sync: report and keep the connection.
-			if werr := writeFrame(bw, EncodeError(0, ErrCodeBadRequest, err.Error())); werr != nil {
+			if werr := s.writeReply(bw, s.errReply(0, ErrCodeBadRequest, err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := writeFrame(bw, s.handle(st, req)); err != nil {
+		if err := s.writeReply(bw, s.handle(st, req)); err != nil {
 			return
 		}
 	}
 }
 
-// handle executes one request and returns the encoded response payload.
-// Responses that would overflow MaxFrame are replaced by an
+// writeReply frames one response payload, counting the bytes put on the
+// wire.
+func (s *Server) writeReply(bw *bufio.Writer, payload []byte) error {
+	s.met.wroteBytes(frameHeaderSize + len(payload))
+	return writeFrame(bw, payload)
+}
+
+// errReply encodes a typed error reply, counting it by code name so error
+// rates are visible per class (anc_serve_errors_total). Every server-
+// originated error reply is minted here.
+func (s *Server) errReply(id uint64, code uint8, msg string) []byte {
+	s.met.errored(code)
+	return EncodeError(id, code, msg)
+}
+
+// handle counts, times and dispatches one request: the wrapper observes
+// whole handling latency (admission wait included) into the ingest or
+// query histogram and applies the slow-request threshold. When
+// observability is off and no threshold is set it never reads the clock.
+func (s *Server) handle(st *connState, req *Request) []byte {
+	s.met.request(req.Op)
+	if s.met == nil && s.cfg.SlowQuery <= 0 {
+		return s.handleRequest(st, req)
+	}
+	start := time.Now()
+	payload := s.handleRequest(st, req)
+	elapsed := time.Since(start)
+	s.met.observe(req.Op, elapsed.Seconds())
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.met.slow()
+		s.logSlow(req.Op, elapsed)
+	}
+	return payload
+}
+
+// logSlow emits one rate-limited (1/s) log line for a slow request; the
+// CAS keeps concurrent connections from stampeding the log while the
+// counter still records every occurrence.
+func (s *Server) logSlow(op uint8, elapsed time.Duration) {
+	now := time.Now().UnixNano()
+	last := s.slowLogAt.Load()
+	if now-last < int64(time.Second) || !s.slowLogAt.CompareAndSwap(last, now) {
+		return
+	}
+	s.cfg.Logf("serve: slow request: op=%s took %v (threshold %v)",
+		OpName(op), elapsed, s.cfg.SlowQuery)
+}
+
+// handleRequest executes one request and returns the encoded response
+// payload. Responses that would overflow MaxFrame are replaced by an
 // ErrCodeInternal reply so the client's frame reader never faces an
 // oversized frame.
-func (s *Server) handle(st *connState, req *Request) []byte {
+func (s *Server) handleRequest(st *connState, req *Request) []byte {
 	deadline := time.NewTimer(s.cfg.RequestTimeout)
 	defer deadline.Stop()
 
 	if s.draining.Load() {
-		return EncodeError(req.ID, ErrCodeShuttingDown, "server is draining")
+		return s.errReply(req.ID, ErrCodeShuttingDown, "server is draining")
 	}
 
 	// Admission gate: a slot must free up before the deadline.
 	select {
 	case s.gate <- struct{}{}:
 	case <-deadline.C:
-		return EncodeError(req.ID, ErrCodeOverloaded,
+		return s.errReply(req.ID, ErrCodeOverloaded,
 			fmt.Sprintf("no admission slot within %v", s.cfg.RequestTimeout))
 	}
 	s.inflight.Add(1)
@@ -374,12 +515,12 @@ func (s *Server) handle(st *connState, req *Request) []byte {
 	select {
 	case payload := <-result:
 		if len(payload) > s.cfg.MaxFrame {
-			return EncodeError(req.ID, ErrCodeInternal,
+			return s.errReply(req.ID, ErrCodeInternal,
 				fmt.Sprintf("response of %d bytes exceeds max frame %d", len(payload), s.cfg.MaxFrame))
 		}
 		return payload
 	case <-deadline.C:
-		return EncodeError(req.ID, ErrCodeDeadline,
+		return s.errReply(req.ID, ErrCodeDeadline,
 			fmt.Sprintf("query did not finish within %v", s.cfg.RequestTimeout))
 	}
 }
@@ -396,7 +537,7 @@ func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
 	case s.ingestCh <- ir:
 		s.queued.Add(1)
 	case <-deadline.C:
-		return EncodeError(req.ID, ErrCodeOverloaded,
+		return s.errReply(req.ID, ErrCodeOverloaded,
 			fmt.Sprintf("ingest queue full for %v", s.cfg.RequestTimeout))
 	}
 	select {
@@ -404,16 +545,16 @@ func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
 		if err != nil {
 			var we *WireError
 			if errors.As(err, &we) {
-				return EncodeError(req.ID, we.Code, we.Msg)
+				return s.errReply(req.ID, we.Code, we.Msg)
 			}
-			return EncodeError(req.ID, ErrCodeRejected, err.Error())
+			return s.errReply(req.ID, ErrCodeRejected, err.Error())
 		}
 		return EncodeResponse(OpActivateBatch, &Response{ID: req.ID, Accepted: uint32(len(req.Batch))})
 	case <-deadline.C:
 		// The batch is queued and WILL be committed by the writer; only
 		// the acknowledgement is late. Report the deadline so the client
 		// can treat the batch as in-doubt (at-least-once).
-		return EncodeError(req.ID, ErrCodeDeadline,
+		return s.errReply(req.ID, ErrCodeDeadline,
 			fmt.Sprintf("commit not acknowledged within %v", s.cfg.RequestTimeout))
 	}
 }
@@ -458,7 +599,7 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		st.mu.Lock()
 		if len(st.views) >= s.cfg.MaxViews {
 			st.mu.Unlock()
-			return EncodeError(req.ID, ErrCodeBadRequest,
+			return s.errReply(req.ID, ErrCodeBadRequest,
 				fmt.Sprintf("view limit %d reached", s.cfg.MaxViews))
 		}
 		st.nextView++
@@ -472,7 +613,7 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		level, ok := st.views[req.View]
 		if !ok {
 			st.mu.Unlock()
-			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+			return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
 		}
 		next := level + 1
 		if req.Op == OpViewZoomOut {
@@ -489,13 +630,13 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 	case OpViewClusters:
 		level, ok := st.viewLevel(req.View)
 		if !ok {
-			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+			return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
 		}
 		resp.Clusters = s.backend.Clusters(level)
 	case OpViewClusterOf:
 		level, ok := st.viewLevel(req.View)
 		if !ok {
-			return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
+			return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("no view %d", req.View))
 		}
 		resp.Members = s.backend.ClusterOf(int(req.Node), level)
 	case OpViewClose:
@@ -503,7 +644,7 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		delete(st.views, req.View)
 		st.mu.Unlock()
 	default:
-		return EncodeError(req.ID, ErrCodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
+		return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
 	}
 	return EncodeResponse(req.Op, resp)
 }

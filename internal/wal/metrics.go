@@ -1,0 +1,52 @@
+package wal
+
+import "anc/internal/obs"
+
+// Metrics are the writer's observability hooks. A nil *Metrics (the
+// default) disables them; every method is nil-safe so the writer never
+// branches on configuration at call sites.
+type Metrics struct {
+	// Frames counts records appended to the log.
+	Frames *obs.Counter
+	// Fsyncs counts explicit fsyncs of the active segment (including the
+	// fsync on rotation); FsyncSeconds is their latency distribution.
+	Fsyncs       *obs.Counter
+	FsyncSeconds *obs.Histogram
+}
+
+// NewMetrics registers the WAL metric family on reg (nil reg → nil
+// metrics, observability off).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Frames: reg.Counter("anc_wal_frames_total",
+			"records appended to the write-ahead log"),
+		Fsyncs: reg.Counter("anc_wal_fsyncs_total",
+			"fsyncs of the active WAL segment"),
+		FsyncSeconds: reg.Histogram("anc_wal_fsync_seconds",
+			"WAL fsync latency in seconds", nil),
+	}
+}
+
+func (m *Metrics) appended() {
+	if m == nil {
+		return
+	}
+	m.Frames.Inc()
+}
+
+func (m *Metrics) fsyncStart() obs.Timer {
+	if m == nil {
+		return obs.Timer{}
+	}
+	return m.FsyncSeconds.Start()
+}
+
+func (m *Metrics) fsynced() {
+	if m == nil {
+		return
+	}
+	m.Fsyncs.Inc()
+}

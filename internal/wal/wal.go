@@ -98,6 +98,8 @@ type Options struct {
 	// O_CREATE|O_WRONLY|O_APPEND. Tests substitute a fault-injecting
 	// implementation.
 	OpenFile func(path string) (File, error)
+	// Metrics, when non-nil, receives append and fsync observations.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -424,6 +426,7 @@ func (w *Writer) Append(rec []byte) (uint64, error) {
 	idx := w.next
 	w.next++
 	w.unsync++
+	w.opts.Metrics.appended()
 	switch w.opts.Sync {
 	case SyncAlways:
 		if err := w.Sync(); err != nil {
@@ -441,9 +444,12 @@ func (w *Writer) Append(rec []byte) (uint64, error) {
 
 // rotate fsyncs and closes the active segment and opens the next one.
 func (w *Writer) rotate() error {
+	t := w.opts.Metrics.fsyncStart()
 	if err := w.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: sync on rotate: %w", err)
 	}
+	t.Stop()
+	w.opts.Metrics.fsynced()
 	w.acked = w.next
 	if err := w.seg.Close(); err != nil {
 		return fmt.Errorf("wal: close on rotate: %w", err)
@@ -456,10 +462,13 @@ func (w *Writer) Sync() error {
 	if w.broken != nil {
 		return w.broken
 	}
+	t := w.opts.Metrics.fsyncStart()
 	if err := w.seg.Sync(); err != nil {
 		w.broken = fmt.Errorf("wal: sync: %w", err)
 		return w.broken
 	}
+	t.Stop()
+	w.opts.Metrics.fsynced()
 	w.acked = w.next
 	w.unsync = 0
 	return nil

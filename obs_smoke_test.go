@@ -1,0 +1,120 @@
+package anc_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"anc"
+	"anc/internal/obs"
+	"anc/internal/serve"
+	"anc/internal/serve/client"
+)
+
+// TestObsSmoke stands up the full instrumented stack — WAL-backed durable
+// network behind the TCP server with the metrics listener on — drives
+// ingest, queries and a checkpoint through it, and scrapes /metrics like
+// a real Prometheus would. One registry spans every layer, so the scrape
+// must surface series from serve, wal, pyramid and core alike.
+func TestObsSmoke(t *testing.T) {
+	var edges [][2]int
+	for base := 0; base <= 5; base += 5 {
+		for u := base; u < base+5; u++ {
+			for v := u + 1; v < base+5; v++ {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	edges = append(edges, [2]int{4, 5})
+	cfg := anc.DefaultConfig()
+	cfg.Epsilon = 0.2
+	cfg.Mu = 3
+	net, err := anc.NewNetwork(10, edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	d, err := anc.NewDurable(net, t.TempDir(), anc.DurableConfig{Obs: reg, CheckpointEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(d, serve.Config{Obs: reg, MetricsAddr: "127.0.0.1:0", RequestTimeout: 30 * time.Second})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	c, err := client.Dial(srv.Addr().String(), client.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := 0.0
+	for b := 0; b < 4; b++ {
+		batch := make([]anc.Activation, 0, 30)
+		for j := 0; j < 30; j++ {
+			e := edges[(b*30+j)*7%len(edges)]
+			ts += 0.5
+			batch = append(batch, anc.Activation{U: e[0], V: e[1], T: ts})
+		}
+		if err := c.ActivateBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SmallestClusterOf(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %d", resp.StatusCode)
+	}
+	// One series per instrumented layer: the server, the WAL, the pyramid
+	// index and the core update loop.
+	for _, series := range []string{
+		"anc_serve_requests_total",
+		"anc_wal_fsync_seconds",
+		"anc_pyramid_update_seconds",
+		"anc_core_rescales_total",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	// The acknowledged batches were fsynced and the CheckpointEvery=50
+	// threshold fired at least once mid-stream.
+	snap := reg.Snapshot()
+	for _, k := range []string{
+		"anc_wal_fsyncs_total",
+		"anc_wal_checkpoint_seconds_count",
+		"anc_core_activations_total",
+		`anc_serve_requests_total{op="activate-batch"}`,
+	} {
+		if snap[k] <= 0 {
+			t.Errorf("%s = %g, want > 0", k, snap[k])
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,4 +16,8 @@ type Stats struct {
 	Activations uint64
 	// Now is the network time: the largest activation timestamp seen.
 	Now float64
+	// WatcherDrops is the cumulative count of cluster events dropped on
+	// watcher buffer overflow — never reset by Drain, so loss is observable
+	// without consuming events. Zero when Watch was never called.
+	WatcherDrops uint64
 }
