@@ -1,15 +1,16 @@
 # Development and CI entry points. `make check` is what every PR must
 # pass: vet, the ANC invariant linter, build, the full test suite, the
 # race detector, a short fuzz smoke over the corruption-facing decoders,
-# the bench and serving-layer smokes, and the observability smoke.
+# the bench and serving-layer smokes, the replication failover smoke,
+# and the observability smoke.
 
 GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke serve-smoke obs-smoke bench clean
+.PHONY: check vet lint tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke bench clean
 
-check: vet lint build test race fuzz-smoke bench-smoke serve-smoke obs-smoke
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +49,8 @@ fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzReplFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzReplStatus$$' -fuzztime $(FUZZTIME)
 
 # bench-smoke runs the batch-ingest throughput benchmark once (a single
 # iteration, not a measurement) so the batch pipeline compiles and runs —
@@ -62,6 +65,13 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkServe$$' -benchtime 1x .
 	test -s BENCH_serve.json
+
+# repl-smoke is the failover acceptance loop: a primary replicating to
+# two followers over TCP is killed mid-stream, one follower is promoted,
+# the other retargets to it, and both ends must converge to byte-identical
+# checkpoints — under the race detector, on every PR.
+repl-smoke:
+	$(GO) test -race ./internal/serve/repl -run '^TestReplFailover$$' -count=1
 
 # obs-smoke scrapes the fully instrumented stack like a Prometheus would:
 # WAL-backed server with the metrics listener on, real ingest and queries,

@@ -124,7 +124,8 @@ func BenchmarkIngest(b *testing.B) {
 
 // BenchmarkServe drives the serving layer end to end: a bursty ingest
 // stream over TCP through concurrent client connections into a durable
-// network, with query clients measuring latency under write load. Emits
+// network, with query clients measuring latency under write load and a
+// replication follower tailing the WAL and serving replica reads. Emits
 // BENCH_serve.json with the observed throughput and percentiles.
 func BenchmarkServe(b *testing.B) {
 	var r bench.ServeResult
@@ -135,6 +136,8 @@ func BenchmarkServe(b *testing.B) {
 	b.ReportMetric(r.BatchP99ms, "batch-p99-ms")
 	b.ReportMetric(r.QueryP50ms, "query-p50-ms")
 	b.ReportMetric(r.QueryP99ms, "query-p99-ms")
+	b.ReportMetric(r.FollowerQueryP99ms, "follower-query-p99-ms")
+	b.ReportMetric(r.FollowerCatchUpSec*1000, "follower-catchup-ms")
 	if err := bench.WriteServeJSON("BENCH_serve.json", r); err != nil {
 		b.Fatal(err)
 	}

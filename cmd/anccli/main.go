@@ -20,10 +20,19 @@
 //
 //	anccli -graph g.txt -stream s1.txt -wal-dir state/ -checkpoint-every 10000 -cmd clusters
 //	anccli -graph g.txt -stream s2.txt -wal-dir state/ -cmd clusters   # resumes from state/
+//
+// With -server the command runs against a live ancserve instead of
+// building locally; stats then includes replication health (role, applied
+// frames, lag, last reconnect cause), and -cmd promote turns a follower
+// into a primary during failover:
+//
+//	anccli -server 127.0.0.1:7465 -cmd stats
+//	anccli -server follower:7466 -cmd promote
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,15 +43,19 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"anc"
 	"anc/internal/graph"
 	"anc/internal/obs"
+	"anc/internal/serve"
+	"anc/internal/serve/client"
 )
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "edge-list file (required)")
+		server     = flag.String("server", "", "query a running ancserve at this address instead of building locally")
+		graphPath  = flag.String("graph", "", "edge-list file (required unless -server is set)")
 		streamPath = flag.String("stream", "", "activation stream file (u v t per line)")
 		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance")
 		level      = flag.Int("level", 0, "granularity level (0 = Θ(√n) default)")
@@ -59,6 +72,10 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 0, "activations between automatic checkpoints (0 = checkpoint only on exit)")
 	)
 	flag.Parse()
+	if *server != "" {
+		remote(*server, *cmd, *level, *node, *node2)
+		return
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "anccli: -graph is required")
 		flag.Usage()
@@ -229,6 +246,98 @@ func main() {
 		fmt.Printf("estimated attraction = %g\n", net.EstimateAttraction(int(du), int(dv)))
 	default:
 		fatalf("unknown command %q", *cmd)
+	}
+}
+
+// remote serves the -server mode: the command runs against a live
+// ancserve over the wire protocol instead of a locally built index.
+// Queries use retries (idempotent); promote does not.
+func remote(addr, cmd string, level, node, node2 int) {
+	c, err := client.Dial(addr, client.WithRetry(4, 50*time.Millisecond, time.Second))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close() //anclint:ignore droppederr read-only CLI connection; every command already checked its reply
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	switch cmd {
+	case "stats":
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		fmt.Printf("nodes: %d\nedges: %d\nlevels: %d\nsqrt-level: %d\n"+
+			"activations: %d\ntime: %v\ninflight: %d\nqueued: %d\ndraining: %v\n",
+			stats.Nodes, stats.Edges, stats.Levels, stats.SqrtLevel,
+			stats.Activations, stats.Now, stats.Inflight, stats.Queued, stats.Draining)
+		if stats.Role == serve.RoleNone {
+			fmt.Println("replication: off")
+			return
+		}
+		rs, err := c.ReplStatus(ctx)
+		if err != nil {
+			fatalf("repl status: %v", err)
+		}
+		fmt.Printf("replication:\n  role: %s\n  applied frames: %d\n  lag: %d frames, %.3fs since last message\n",
+			serve.RoleName(rs.Role), rs.Next, rs.LagFrames(), rs.LagSeconds)
+		fmt.Printf("  reconnects: %d", rs.Reconnects)
+		if rs.LastReconnect != "" {
+			fmt.Printf(" (last cause: %s)", rs.LastReconnect)
+		}
+		fmt.Println()
+	case "promote":
+		if err := c.Promote(ctx); err != nil {
+			fatalf("promote: %v", err)
+		}
+		rs, err := c.ReplStatus(ctx)
+		if err != nil {
+			fatalf("repl status after promote: %v", err)
+		}
+		fmt.Printf("promoted: role now %s at frame %d\n", serve.RoleName(rs.Role), rs.Next)
+	case "clusters":
+		if level == 0 {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				fatalf("stats: %v", err)
+			}
+			level = int(stats.SqrtLevel)
+		}
+		cs, err := c.Clusters(ctx, level)
+		if err != nil {
+			fatalf("clusters: %v", err)
+		}
+		fmt.Printf("level %d: %d clusters\n", level, len(cs))
+		for i, members := range cs {
+			if len(members) < 3 {
+				continue // noise per the paper's convention
+			}
+			fmt.Printf("cluster %d (%d nodes): %v\n", i, len(members), members)
+		}
+	case "local":
+		if level == 0 {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				fatalf("stats: %v", err)
+			}
+			level = int(stats.SqrtLevel)
+		}
+		members, err := c.ClusterOf(ctx, node, level)
+		if err != nil {
+			fatalf("local: %v", err)
+		}
+		fmt.Printf("cluster of %d at level %d (%d nodes): %v\n", node, level, len(members), members)
+	case "distance":
+		d, err := c.EstimateDistance(ctx, node, node2)
+		if err != nil {
+			fatalf("distance: %v", err)
+		}
+		a, err := c.EstimateAttraction(ctx, node, node2)
+		if err != nil {
+			fatalf("attraction: %v", err)
+		}
+		fmt.Printf("estimated distance(%d, %d) = %g\nestimated attraction = %g\n", node, node2, d, a)
+	default:
+		fatalf("unknown or unsupported remote command %q (stats | clusters | local | distance | promote)", cmd)
 	}
 }
 

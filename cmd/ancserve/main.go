@@ -14,6 +14,14 @@
 //	ancserve -graph g.txt -addr :7465
 //	ancserve -graph g.txt -wal-dir state/ -checkpoint-every 100000
 //	ancserve -graph g.txt -metrics-addr 127.0.0.1:9100 -slow-query 100ms
+//	ancserve -graph g.txt -wal-dir f1/ -follow primary:7465 -promote-on-loss 10s
+//
+// A durable server (-wal-dir) is automatically a replication primary:
+// followers subscribe over the same port and tail its WAL. With -follow
+// the server runs as a read-only follower instead — it replicates the
+// named primary's frames into its own WAL, serves queries locally, and
+// refuses ingest until promoted (via the promote op in anccli, or
+// automatically after -promote-on-loss without an upstream).
 //
 // With -metrics-addr an HTTP listener exposes Prometheus metrics on
 // /metrics, a JSON health summary on /healthz and net/http/pprof under
@@ -43,6 +51,7 @@ import (
 	"anc"
 	"anc/internal/obs"
 	"anc/internal/serve"
+	"anc/internal/serve/repl"
 )
 
 func main() {
@@ -60,6 +69,9 @@ func main() {
 
 		walDir          = flag.String("wal-dir", "", "durability directory (WAL + checkpoints); recovered if it already holds state")
 		checkpointEvery = flag.Int("checkpoint-every", 0, "activations between automatic checkpoints (0 = checkpoint only on shutdown)")
+
+		follow        = flag.String("follow", "", "run as a read-only follower replicating from this primary address (requires -wal-dir)")
+		promoteOnLoss = flag.Duration("promote-on-loss", 0, "self-promote a follower whose upstream stays unreachable this long (0 = never)")
 
 		maxInflight    = flag.Int("max-inflight", 64, "admission gate: concurrent requests across all connections")
 		ingestQueue    = flag.Int("ingest-queue", 64, "bounded ingest queue feeding the single writer (batches)")
@@ -114,9 +126,14 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 
+	if *follow != "" && *walDir == "" {
+		logger.Fatal("-follow requires -wal-dir: replicated frames live in the WAL")
+	}
+
 	// Build the served backend: durable when -wal-dir is set, otherwise
 	// the in-memory concurrency facade.
 	var backend serve.Backend
+	var replNode *repl.Node
 	if *walDir != "" {
 		dcfg := anc.DurableConfig{CheckpointEvery: *checkpointEvery, Obs: reg}
 		d, err := anc.Recover(*walDir, dcfg)
@@ -132,11 +149,28 @@ func main() {
 			logger.Fatalf("wal-dir: %v", err)
 		}
 		if *streamPath != "" {
+			if *follow != "" {
+				logger.Fatal("-stream on a follower: followers are read-only; replay the stream at the primary")
+			}
 			if err := replayStream(d.ActivateBatch, ids, *streamPath); err != nil {
 				logger.Fatalf("stream: %v", err)
 			}
 		}
-		backend = d
+		// Every durable backend is a replication node: a primary serves
+		// frame subscriptions off its WAL; with -follow it instead tails the
+		// named upstream and refuses local ingest until promoted.
+		replNode = repl.New(d, repl.Config{
+			Upstream:     *follow,
+			Durable:      dcfg,
+			PromoteAfter: *promoteOnLoss,
+			Logf:         logger.Printf,
+			Obs:          reg,
+		})
+		replNode.Start()
+		if *follow != "" {
+			logger.Printf("following %s (promote-on-loss %v)", *follow, *promoteOnLoss)
+		}
+		backend = replNode
 	}
 	var cnet *anc.ConcurrentNetwork
 	if backend == nil {
@@ -155,7 +189,7 @@ func main() {
 		logger.Fatal(err)
 	}
 
-	srv := serve.New(backend, serve.Config{
+	scfg := serve.Config{
 		MaxInflight:    *maxInflight,
 		IngestQueue:    *ingestQueue,
 		RequestTimeout: *requestTimeout,
@@ -163,7 +197,11 @@ func main() {
 		Obs:            reg,
 		MetricsAddr:    *metricsAddr,
 		SlowQuery:      *slowQuery,
-	})
+	}
+	if replNode != nil {
+		scfg.Repl = replNode
+	}
+	srv := serve.New(backend, scfg)
 	if err := srv.Start(*addr); err != nil {
 		logger.Fatal(err)
 	}

@@ -213,34 +213,21 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 		}
 		var replayed uint64
 		next, err := wal.Replay(dir, cp.index, func(_ uint64, rec []byte) error {
-			if len(rec) > activationRecordSize {
-				// A group-committed batch frame: n×16-byte records applied
-				// through the same batched pipeline that produced them.
-				if len(rec)%activationRecordSize != 0 {
-					return fmt.Errorf("anc: batch frame of %d bytes", len(rec))
-				}
-				acts := make([]Activation, len(rec)/activationRecordSize)
-				for i := range acts {
-					u, v, t, err := decodeActivation(rec[i*activationRecordSize : (i+1)*activationRecordSize])
-					if err != nil {
-						return err
-					}
-					acts[i] = Activation{U: u, V: v, T: t}
-				}
-				if err := net.ActivateBatch(acts); err != nil {
-					return err
-				}
-				replayed += uint64(len(acts))
-				return nil
-			}
-			u, v, t, err := decodeActivation(rec)
+			acts, err := decodeFrameActs(rec)
 			if err != nil {
 				return err
 			}
-			if err := net.Activate(u, v, t); err != nil {
+			if len(acts) == 1 {
+				// A per-op frame replays through Activate, a group-committed
+				// batch frame through the same batched pipeline that produced
+				// it — replay mirrors ingest exactly.
+				if err := net.Activate(acts[0].U, acts[0].V, acts[0].T); err != nil {
+					return err
+				}
+			} else if err := net.ActivateBatch(acts); err != nil {
 				return err
 			}
-			replayed++
+			replayed += uint64(len(acts))
 			return nil
 		})
 		if err != nil {

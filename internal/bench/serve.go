@@ -17,6 +17,7 @@ import (
 	"anc/internal/obs"
 	"anc/internal/serve"
 	"anc/internal/serve/client"
+	"anc/internal/serve/repl"
 )
 
 // ServeResult measures the serving layer end to end: a DiurnalBursty
@@ -43,6 +44,18 @@ type ServeResult struct {
 	QueryP50ms float64
 	QueryP90ms float64
 	QueryP99ms float64
+
+	// Follower-side figures: a repl.Node tails the primary's WAL over TCP
+	// for the whole run, fronted by its own server, with one query
+	// connection measuring read latency at the replica under replication
+	// load. Lag is the frame staleness at the instant ingest finished;
+	// catch-up is how long the replica took to drain it once the write
+	// pressure stopped.
+	FollowerQueries    int
+	FollowerQueryP50ms float64
+	FollowerQueryP99ms float64
+	FollowerLagFrames  uint64
+	FollowerCatchUpSec float64
 
 	// Metrics is the obs snapshot of the run itself — server, WAL, core and
 	// pyramid counters from the instrumented stack (per-event atomics are
@@ -116,9 +129,12 @@ func serveWorkload(pl *gen.Planted, minutes, conns int, seed int64) [][][]anc.Ac
 // ServeLoad runs the serving-layer load experiment: a server over a
 // durable TW2-counterpart network on an ephemeral port, conns ingest
 // connections replaying the bursty day minute by minute, and two query
-// connections interleaving cluster and distance queries. It verifies that
-// the server's activation counter matches what the clients sent, then
-// drains the server gracefully (which checkpoints and closes the WAL).
+// connections interleaving cluster and distance queries. A replication
+// follower tails the primary's WAL over TCP throughout, with one more
+// query connection measuring replica read latency and staleness. It
+// verifies that the server's activation counter matches what the clients
+// sent and that the follower replayed every frame, then drains both
+// servers gracefully (which checkpoints and closes the WALs).
 func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	if conns < 1 {
 		conns = 1
@@ -154,12 +170,40 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	setActiveDurable(d)
 	defer setActiveDurable(nil)
 
-	srv := serve.New(d, serve.Config{RequestTimeout: 60 * time.Second, Obs: reg})
+	// The durable server doubles as the replication primary: the node
+	// wrapper serves frame subscriptions straight off d's WAL.
+	pnode := repl.New(d, repl.Config{Heartbeat: 100 * time.Millisecond})
+	srv := serve.New(pnode, serve.Config{RequestTimeout: 60 * time.Second, Obs: reg, Repl: pnode})
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		panic(err)
 	}
 	addr := srv.Addr().String()
 	ctx := context.Background()
+
+	// Follower side: a replication node with its own graph copy and
+	// durable directory tails the primary's WAL over TCP for the whole
+	// run, fronted by its own server, so replica reads go through the
+	// same wire path as primary reads.
+	fdir, err := os.MkdirTemp("", "ancserve-bench-follow-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(fdir)
+	fnet, err := anc.FromGraph(pl.Graph, acfg)
+	if err != nil {
+		panic(err)
+	}
+	fd, err := anc.NewDurable(fnet, fdir, anc.DurableConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fnode := repl.New(fd, repl.Config{Upstream: addr, Heartbeat: 100 * time.Millisecond, Seed: cfg.Seed})
+	fnode.Start()
+	fsrv := serve.New(fnode, serve.Config{RequestTimeout: 60 * time.Second, Repl: fnode})
+	if err := fsrv.Start("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	faddr := fsrv.Addr().String()
 
 	// Query side: two connections issuing mixed reads for the whole ingest
 	// window, so every latency datapoint is measured under write load.
@@ -204,6 +248,44 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 		}(qi)
 	}
 
+	// Replica reads: one connection against the follower's server, same
+	// cadence as the primary query connections. The follower is never
+	// wrong, only late, so the mix sticks to point queries and stats.
+	var followerLat []time.Duration
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		fc, err := client.Dial(faddr, client.WithTimeout(60*time.Second),
+			client.WithRetry(3, 5*time.Millisecond, 100*time.Millisecond))
+		if err != nil {
+			panic(err)
+		}
+		defer fc.Close() //anclint:ignore droppederr benchmark teardown of a query connection
+		rng := rand.New(rand.NewSource(cfg.Seed + 200))
+		n := pl.Graph.N()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			start := time.Now()
+			switch rng.Intn(3) {
+			case 0:
+				_, err = fc.SmallestClusterOf(ctx, rng.Intn(n))
+			case 1:
+				_, err = fc.EstimateDistance(ctx, rng.Intn(n), rng.Intn(n))
+			case 2:
+				_, err = fc.Stats(ctx)
+			}
+			if err != nil {
+				panic(err)
+			}
+			followerLat = append(followerLat, time.Since(start))
+		}
+	}()
+
 	// Ingest side: conns persistent connections; each minute fans its
 	// chunks out and barriers before the next (timestamps rise between
 	// minutes, so the barrier is what keeps the stream contract).
@@ -237,8 +319,25 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 		wg.Wait()
 	}
 	r.IngestSeconds = time.Since(ingestStart).Seconds()
+	// Staleness at the instant the write pressure stops, then the time the
+	// replica needs to drain it with the primary idle.
+	primNext := d.LoggedActivations()
+	if fn := fnode.Status().Next; primNext > fn {
+		r.FollowerLagFrames = primNext - fn
+	}
 	close(stop)
 	qwg.Wait()
+	catchUp := time.Now()
+	for deadline := catchUp.Add(120 * time.Second); fnode.Status().Next < primNext; {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("follower stuck at frame %d of %d", fnode.Status().Next, primNext))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.FollowerCatchUpSec = time.Since(catchUp).Seconds()
+	if fs := fnode.Stats(); fs.Activations != uint64(r.Activations) {
+		panic(fmt.Sprintf("follower replayed %d activations, clients sent %d", fs.Activations, r.Activations))
+	}
 
 	// Every acknowledged activation must be visible in the server's
 	// counter — the wire, queue and group-commit path lost nothing.
@@ -254,6 +353,12 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	}
 	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
 	defer cancel()
+	// Follower first (its shutdown closes the replication node and its
+	// WAL), then the primary — so the primary's drain frame has no
+	// subscriber left to notify.
+	if err := fsrv.Shutdown(sctx); err != nil {
+		panic(err)
+	}
 	if err := srv.Shutdown(sctx); err != nil {
 		panic(err)
 	}
@@ -274,9 +379,14 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	r.QueryP50ms = ms(percentile(allQuery, 0.50))
 	r.QueryP90ms = ms(percentile(allQuery, 0.90))
 	r.QueryP99ms = ms(percentile(allQuery, 0.99))
+	r.FollowerQueries = len(followerLat)
+	r.FollowerQueryP50ms = ms(percentile(followerLat, 0.50))
+	r.FollowerQueryP99ms = ms(percentile(followerLat, 0.99))
 	r.Metrics = reg.Snapshot()
 	logf(cfg, w, "# serve: %d acts in %d batches over %d conns: %.0f acts/s, batch p99 %.2fms, %d queries p99 %.2fms\n",
 		r.Activations, r.Batches, conns, r.IngestRate, r.BatchP99ms, r.Queries, r.QueryP99ms)
+	logf(cfg, w, "# serve: follower %d queries p99 %.2fms, lag at ingest end %d frames, caught up in %.2fs\n",
+		r.FollowerQueries, r.FollowerQueryP99ms, r.FollowerLagFrames, r.FollowerCatchUpSec)
 	return r
 }
 
@@ -296,6 +406,11 @@ func PrintServe(w io.Writer, r ServeResult) {
 	t.row("query p50 ms", r.QueryP50ms)
 	t.row("query p90 ms", r.QueryP90ms)
 	t.row("query p99 ms", r.QueryP99ms)
+	t.row("follower queries", r.FollowerQueries)
+	t.row("follower query p50 ms", r.FollowerQueryP50ms)
+	t.row("follower query p99 ms", r.FollowerQueryP99ms)
+	t.row("follower lag frames", r.FollowerLagFrames)
+	t.row("follower catch-up s", r.FollowerCatchUpSec)
 	t.flush()
 }
 

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -34,11 +35,41 @@ func WithMaxFrame(n int) Option {
 	return func(c *Client) { c.maxFrame = n }
 }
 
+// WithRetry enables automatic retries for idempotent QUERY calls only
+// (clusters, distance/attraction estimates, stats, replication status):
+// up to attempts total tries per call, redialing between tries, with
+// capped exponential backoff plus jitter starting at min and capped at
+// max. Retried errors are transport failures (broken or refused
+// connections) and the server's typed overloaded reply — the two cases
+// where the same bytes can safely be asked again. Ingest (ActivateBatch)
+// is NEVER retried: a write whose reply was lost may have been applied,
+// and replaying it would double activations. Mutating ops (watch,
+// drain-events, promote) and view calls (whose session dies with the
+// connection) are likewise excluded.
+func WithRetry(attempts int, min, max time.Duration) Option {
+	return func(c *Client) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		if min <= 0 {
+			min = 25 * time.Millisecond
+		}
+		if max < min {
+			max = min
+		}
+		c.retries = attempts - 1
+		c.retryMin, c.retryMax = min, max
+	}
+}
+
 // Client is a connection to an ancserve server.
 type Client struct {
 	addr     string
 	timeout  time.Duration
 	maxFrame int
+
+	retries            int // extra attempts for idempotent queries
+	retryMin, retryMax time.Duration
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -156,6 +187,45 @@ func (c *Client) call(ctx context.Context, req *serve.Request) (*serve.Response,
 	return resp, nil
 }
 
+// query runs one idempotent query exchange, retrying per WithRetry.
+// Without WithRetry it is exactly call.
+func (c *Client) query(ctx context.Context, req *serve.Request) (*serve.Response, error) {
+	resp, err := c.call(ctx, req)
+	for attempt := 0; attempt < c.retries && retryable(err); attempt++ {
+		// Jittered capped exponential backoff: [d, 2d) doubling per try.
+		d := c.retryMin << attempt
+		if d > c.retryMax {
+			d = c.retryMax
+		}
+		sleep := d + time.Duration(rand.Int63n(int64(d)+1))
+		if sleep > c.retryMax {
+			sleep = c.retryMax
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		resp, err = c.call(ctx, req)
+	}
+	return resp, err
+}
+
+// retryable reports whether an identical resend is safe and useful: the
+// call never reached a decision (transport failure) or the server
+// explicitly asked for a retry (overloaded). Typed rejections are final.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if we, ok := err.(*serve.WireError); ok {
+		return we.Code == serve.ErrCodeOverloaded
+	}
+	return true
+}
+
 // ActivateBatch sends a batch through the server's group-commit ingest
 // path. A nil return means the whole batch is applied (and durable, when
 // the server fronts a DurableNetwork with SyncAlways).
@@ -166,7 +236,7 @@ func (c *Client) ActivateBatch(ctx context.Context, batch []anc.Activation) erro
 
 // Clusters reports all clusters at a granularity level.
 func (c *Client) Clusters(ctx context.Context, level int) ([][]int, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpClusters, Level: int32(level)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpClusters, Level: int32(level)})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +245,7 @@ func (c *Client) Clusters(ctx context.Context, level int) ([][]int, error) {
 
 // EvenClusters reports all even-clustering clusters at a level.
 func (c *Client) EvenClusters(ctx context.Context, level int) ([][]int, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEvenClusters, Level: int32(level)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpEvenClusters, Level: int32(level)})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +254,7 @@ func (c *Client) EvenClusters(ctx context.Context, level int) ([][]int, error) {
 
 // ClusterOf reports the local cluster of v at a level.
 func (c *Client) ClusterOf(ctx context.Context, v, level int) ([]int, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpClusterOf, Node: uint32(v), Level: int32(level)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpClusterOf, Node: uint32(v), Level: int32(level)})
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +263,7 @@ func (c *Client) ClusterOf(ctx context.Context, v, level int) ([]int, error) {
 
 // SmallestClusterOf reports the finest-granularity cluster containing v.
 func (c *Client) SmallestClusterOf(ctx context.Context, v int) ([]int, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpSmallestClusterOf, Node: uint32(v)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpSmallestClusterOf, Node: uint32(v)})
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +272,7 @@ func (c *Client) SmallestClusterOf(ctx context.Context, v int) ([]int, error) {
 
 // EstimateDistance answers a sketch distance query.
 func (c *Client) EstimateDistance(ctx context.Context, u, v int) (float64, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEstimateDistance, U: uint32(u), V: uint32(v)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpEstimateDistance, U: uint32(u), V: uint32(v)})
 	if err != nil {
 		return 0, err
 	}
@@ -211,7 +281,7 @@ func (c *Client) EstimateDistance(ctx context.Context, u, v int) (float64, error
 
 // EstimateAttraction answers an attraction-strength query.
 func (c *Client) EstimateAttraction(ctx context.Context, u, v int) (float64, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpEstimateAttraction, U: uint32(u), V: uint32(v)})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpEstimateAttraction, U: uint32(u), V: uint32(v)})
 	if err != nil {
 		return 0, err
 	}
@@ -221,11 +291,30 @@ func (c *Client) EstimateAttraction(ctx context.Context, u, v int) (float64, err
 // Stats reads the server's health snapshot: network shape, ingest
 // progress, and load gauges.
 func (c *Client) Stats(ctx context.Context) (serve.StatsReply, error) {
-	resp, err := c.call(ctx, &serve.Request{Op: serve.OpStats})
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpStats})
 	if err != nil {
 		return serve.StatsReply{}, err
 	}
 	return resp.Stats, nil
+}
+
+// ReplStatus reads the server's replication health: role, log cursors,
+// lag, and reconnect history. Idempotent, so it participates in WithRetry.
+func (c *Client) ReplStatus(ctx context.Context) (serve.ReplStatus, error) {
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpReplStatus})
+	if err != nil {
+		return serve.ReplStatus{}, err
+	}
+	return resp.Repl, nil
+}
+
+// Promote asks a follower-fronting server to promote its node: seal the
+// log and start accepting ingest. Not retried automatically — it mutates
+// the node's role (though a repeat against an already-promoted node is a
+// no-op server-side).
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.call(ctx, &serve.Request{Op: serve.OpPromote})
+	return err
 }
 
 // Watch enables server-side cluster-event recording for node v.

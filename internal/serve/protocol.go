@@ -54,8 +54,9 @@ const (
 	Magic = "ANCS"
 	// Version is the protocol version spoken by this package. A server
 	// rejects any other version in the client preamble, so incompatible
-	// encodings fail at the handshake, not mid-stream.
-	Version uint16 = 1
+	// encodings fail at the handshake, not mid-stream. Version 2 added the
+	// replication ops and the replication fields of StatsReply.
+	Version uint16 = 2
 	// preambleSize is magic(4) + version(2) + reserved(2).
 	preambleSize = 8
 )
@@ -88,6 +89,22 @@ const (
 	OpViewClusters
 	OpViewClusterOf
 	OpViewClose
+	// OpReplSubscribe turns the connection into a replication stream: the
+	// request carries the follower's next frame index, the OK response is
+	// followed by an unbounded sequence of push frames (OpReplFrames /
+	// OpReplStatus / OpReplSnapshot payloads) until either side closes.
+	OpReplSubscribe
+	// OpReplFrames and OpReplSnapshot are push-only: they appear as the
+	// leading byte of server→follower stream payloads and are rejected as
+	// request ops.
+	OpReplFrames
+	// OpReplStatus as a request returns the peer's replication status; as a
+	// push payload it is the stream's heartbeat.
+	OpReplStatus
+	// OpPromote seals a follower's replication session and re-enables local
+	// ingest — the failover switch.
+	OpPromote
+	OpReplSnapshot
 	opMax // one past the last valid op
 )
 
@@ -125,6 +142,9 @@ const (
 	// ErrCodeInternal: the server failed in a way that is not the
 	// client's fault (e.g. a response that would not fit a frame).
 	ErrCodeInternal
+	// ErrCodeReadOnly: the server is a follower; ingest must go to the
+	// primary (or wait for this node's promotion).
+	ErrCodeReadOnly
 )
 
 // OpName maps wire ops to stable short names — the label values of
@@ -165,6 +185,16 @@ func OpName(op uint8) string {
 		return "view-cluster-of"
 	case OpViewClose:
 		return "view-close"
+	case OpReplSubscribe:
+		return "repl-subscribe"
+	case OpReplFrames:
+		return "repl-frames"
+	case OpReplStatus:
+		return "repl-status"
+	case OpPromote:
+		return "promote"
+	case OpReplSnapshot:
+		return "repl-snapshot"
 	}
 	return fmt.Sprintf("op-%d", op)
 }
@@ -188,6 +218,8 @@ func errCodeName(code uint8) string {
 		return "rejected"
 	case ErrCodeInternal:
 		return "internal"
+	case ErrCodeReadOnly:
+		return "read-only"
 	}
 	return fmt.Sprintf("code-%d", code)
 }
@@ -214,6 +246,7 @@ type Request struct {
 	Node  uint32           // OpClusterOf, OpSmallestClusterOf, OpWatch, OpUnwatch, OpViewClusterOf
 	U, V  uint32           // OpEstimateDistance, OpEstimateAttraction
 	View  uint32           // OpView*
+	From  uint64           // OpReplSubscribe: the subscriber's next frame index
 }
 
 // StatsReply is the body of an OpStats response: the backend's Stats plus
@@ -228,6 +261,14 @@ type StatsReply struct {
 	Inflight, Queued uint32
 	// Draining reports whether the server has begun its shutdown drain.
 	Draining bool
+	// Role is the node's replication role (RoleNone when replication is
+	// not configured); the lag fields are meaningful only for RoleFollower.
+	Role uint8
+	// ReplLagFrames is how many committed primary frames the follower has
+	// not yet applied; ReplLagSeconds the wall-clock age of its last
+	// replication message.
+	ReplLagFrames  uint64
+	ReplLagSeconds float64
 }
 
 // Response is the decoded form of one server→client frame. Err is non-nil
@@ -246,6 +287,7 @@ type Response struct {
 	Level    int32              // view replies
 	Moved    bool               // OpViewZoomIn / OpViewZoomOut
 	Accepted uint32             // OpActivateBatch
+	Repl     ReplStatus         // OpReplStatus
 }
 
 // ---- frame I/O ----------------------------------------------------------
@@ -380,6 +422,10 @@ func EncodeRequest(req *Request) []byte {
 	case OpViewClusterOf:
 		b = binary.LittleEndian.AppendUint32(b, req.View)
 		b = binary.LittleEndian.AppendUint32(b, req.Node)
+	case OpReplSubscribe:
+		b = binary.LittleEndian.AppendUint64(b, req.From)
+	case OpReplStatus, OpPromote:
+		// no body
 	}
 	return b
 }
@@ -464,6 +510,18 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 		req.View = binary.LittleEndian.Uint32(body[0:4])
 		req.Node = binary.LittleEndian.Uint32(body[4:8])
+	case OpReplSubscribe:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		req.From = binary.LittleEndian.Uint64(body[0:8])
+	case OpReplStatus, OpPromote:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+	case OpReplFrames, OpReplSnapshot:
+		// Push-only payloads on a replication stream — never a request.
+		return nil, fmt.Errorf("push-only op %d", req.Op)
 	}
 	return req, nil
 }
@@ -522,8 +580,16 @@ func EncodeResponse(op uint8, resp *Response) []byte {
 		} else {
 			b = append(b, 0)
 		}
-	case OpWatch, OpUnwatch, OpViewClose:
+		b = append(b, s.Role)
+		b = binary.LittleEndian.AppendUint64(b, s.ReplLagFrames)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.ReplLagSeconds))
+	case OpWatch, OpUnwatch, OpViewClose, OpPromote:
 		// no body
+	case OpReplSubscribe:
+		// no body: the OK reply just acknowledges the subscription; the
+		// stream that follows carries the data.
+	case OpReplStatus:
+		b = appendReplStatus(b, &resp.Repl)
 	case OpDrainEvents:
 		b = binary.LittleEndian.AppendUint64(b, resp.Dropped)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Events)))
@@ -657,8 +723,22 @@ func DecodeResponse(op uint8, payload []byte) (*Response, error) {
 		}
 		resp.Stats.Queued = binary.LittleEndian.Uint32(b2[0:4])
 		resp.Stats.Draining = b2[4] != 0
-	case OpWatch, OpUnwatch, OpViewClose:
+		b3, err := take(17)
+		if err != nil {
+			return nil, err
+		}
+		resp.Stats.Role = b3[0]
+		resp.Stats.ReplLagFrames = binary.LittleEndian.Uint64(b3[1:9])
+		resp.Stats.ReplLagSeconds = math.Float64frombits(binary.LittleEndian.Uint64(b3[9:17]))
+	case OpWatch, OpUnwatch, OpViewClose, OpPromote, OpReplSubscribe:
 		// no body
+	case OpReplStatus:
+		st, rest, err := decodeReplStatus(body)
+		if err != nil {
+			return nil, err
+		}
+		resp.Repl = *st
+		body = rest
 	case OpDrainEvents:
 		b, err := take(12)
 		if err != nil {

@@ -35,6 +35,9 @@ func sampleRequests() []*Request {
 		{Op: OpViewClusters, ID: 15, View: 1},
 		{Op: OpViewClusterOf, ID: 16, View: 1, Node: 6},
 		{Op: OpViewClose, ID: 17, View: 1},
+		{Op: OpReplSubscribe, ID: 18, From: 123456},
+		{Op: OpReplStatus, ID: 19},
+		{Op: OpPromote, ID: 20},
 	}
 }
 
@@ -101,6 +104,7 @@ func sampleResponses() []struct {
 		{OpStats, &Response{ID: 10, Stats: StatsReply{
 			Nodes: 10, Edges: 21, Levels: 4, SqrtLevel: 2,
 			Activations: 12345, Now: 98.5, Inflight: 3, Queued: 7, Draining: true,
+			Role: RoleFollower, ReplLagFrames: 17, ReplLagSeconds: 0.25,
 		}}},
 		{OpWatch, &Response{ID: 11}},
 		{OpUnwatch, &Response{ID: 12}},
@@ -112,6 +116,12 @@ func sampleResponses() []struct {
 		{OpViewZoomIn, &Response{ID: 15, Moved: true, Level: 3}},
 		{OpViewZoomOut, &Response{ID: 16, Moved: false, Level: 1}},
 		{OpViewClose, &Response{ID: 17}},
+		{OpReplSubscribe, &Response{ID: 18}},
+		{OpReplStatus, &Response{ID: 19, Repl: ReplStatus{
+			Role: RolePrimary, Next: 1000, PrimaryNext: 1000, Activations: 9999,
+			Now: 42.5, PrimaryNow: 42.5, Reconnects: 3, LastReconnect: "stall",
+		}}},
+		{OpPromote, &Response{ID: 20}},
 	}
 }
 

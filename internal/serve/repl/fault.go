@@ -1,0 +1,174 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedCut is returned by a FaultConn once its truncation point has
+// been reached: the connection is considered dead mid-frame, the way a
+// partition or a crashed peer tears a TCP stream.
+var ErrInjectedCut = errors.New("repl: injected connection cut")
+
+// FaultConfig tunes a FaultConn. Probabilities are per received frame;
+// zero values inject nothing of that class.
+type FaultConfig struct {
+	// Seed feeds the injector's private RNG so every chaos run is
+	// reproducible.
+	Seed int64
+	// DropProb silently discards a frame — the follower sees a gap.
+	DropProb float64
+	// DupProb delivers a frame twice — the follower must deduplicate.
+	DupProb float64
+	// DelayProb holds a frame back for a random slice of MaxDelay before
+	// delivery — reordering pressure on liveness deadlines.
+	DelayProb float64
+	// MaxDelay bounds an injected delay (default 20ms).
+	MaxDelay time.Duration
+	// CorruptProb flips one payload byte — the CRC must catch it.
+	CorruptProb float64
+	// TruncateAfter, when positive, cuts the connection mid-frame after
+	// that many frames have been delivered: the peer receives a partial
+	// frame and then ErrInjectedCut.
+	TruncateAfter int
+}
+
+// FaultConn wraps a replication connection with frame-aware fault
+// injection on the read path — the network counterpart of the WAL's
+// write-path Fault harness. It understands the stream's framing (the
+// 8-byte preamble passes through untouched, then length+CRC frames), so
+// each fault lands on a whole protocol frame: drops, duplicates, delays,
+// a flipped payload byte, or a mid-frame cut. Writes pass through
+// unmodified — the injector models what the subscriber RECEIVES, which
+// is where every replication failure path lives.
+//
+// Interpose it via Config.Dial:
+//
+//	cfg.Dial = func(addr string) (net.Conn, error) {
+//		c, err := net.Dial("tcp", addr)
+//		if err != nil { return nil, err }
+//		return repl.NewFaultConn(c, faultCfg), nil
+//	}
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	preambled int    // preamble bytes already passed through
+	staged    []byte // faulted bytes ready for delivery
+	delivered int    // whole frames delivered, for TruncateAfter
+	cut       bool
+}
+
+// NewFaultConn wraps conn with fault injection per cfg.
+func NewFaultConn(conn net.Conn, cfg FaultConfig) *FaultConn {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	return &FaultConn{Conn: conn, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+const preambleLen = 8
+const faultFrameHeader = 8
+
+// Read delivers staged bytes, staging the next whole frame (with its
+// faults applied) whenever the stage runs dry.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.staged) == 0 {
+		if f.cut {
+			return 0, ErrInjectedCut
+		}
+		if err := f.stage(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, f.staged)
+	f.staged = f.staged[n:]
+	return n, nil
+}
+
+// stage reads one unit from the real connection — the preamble first,
+// then whole frames — and appends its (possibly faulted) bytes to the
+// stage. Called with f.mu held.
+func (f *FaultConn) stage() error {
+	if f.preambled < preambleLen {
+		buf := make([]byte, preambleLen-f.preambled)
+		n, err := f.Conn.Read(buf)
+		f.preambled += n
+		f.staged = append(f.staged, buf[:n]...)
+		return err
+	}
+	frame, err := f.readWholeFrame()
+	if err != nil {
+		return err
+	}
+	f.delivered++
+	if f.cfg.TruncateAfter > 0 && f.delivered > f.cfg.TruncateAfter {
+		// Deliver a partial frame, then the cut: the reader's CRC check
+		// never even runs — io.ReadFull fails like a torn TCP stream.
+		f.cut = true
+		if len(frame) > 1 {
+			f.staged = append(f.staged, frame[:len(frame)/2]...)
+		}
+		return nil
+	}
+	roll := f.rng.Float64()
+	switch {
+	case roll < f.cfg.DropProb:
+		return nil // dropped: stage nothing, read the next frame
+	case roll < f.cfg.DropProb+f.cfg.DupProb:
+		f.staged = append(f.staged, frame...)
+		f.staged = append(f.staged, frame...)
+	case roll < f.cfg.DropProb+f.cfg.DupProb+f.cfg.DelayProb:
+		// A real delay, not a reorder: the stream stalls the way a
+		// congested link does, pushing on the liveness deadline.
+		delay := time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay) + 1))
+		f.mu.Unlock()
+		time.Sleep(delay)
+		f.mu.Lock()
+		f.staged = append(f.staged, frame...)
+	case roll < f.cfg.DropProb+f.cfg.DupProb+f.cfg.DelayProb+f.cfg.CorruptProb:
+		if len(frame) > faultFrameHeader {
+			i := faultFrameHeader + f.rng.Intn(len(frame)-faultFrameHeader)
+			frame[i] ^= 0x40
+		}
+		f.staged = append(f.staged, frame...)
+	default:
+		f.staged = append(f.staged, frame...)
+	}
+	return nil
+}
+
+// readWholeFrame reads one length+CRC frame (header + payload) off the
+// real connection.
+func (f *FaultConn) readWholeFrame() ([]byte, error) {
+	hdr := make([]byte, faultFrameHeader)
+	if err := f.readFull(hdr); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	frame := make([]byte, faultFrameHeader+int(length))
+	copy(frame, hdr)
+	if err := f.readFull(frame[faultFrameHeader:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (f *FaultConn) readFull(p []byte) error {
+	for off := 0; off < len(p); {
+		n, err := f.Conn.Read(p[off:])
+		off += n
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"anc/internal/obs"
+	"anc/internal/serve"
+)
+
+// metrics is the nil-safe handle bundle for the anc_repl_* families,
+// mirroring the serving layer's pattern: a nil *metrics (observability
+// off) makes every method a no-op.
+type metrics struct {
+	appliedC    *obs.Counter
+	duplicatesC *obs.Counter
+	streamedC   *obs.Counter
+	snapshotsC  *obs.Counter
+	restoresC   *obs.Counter
+	reconnectsC *obs.Counter
+}
+
+func newMetrics(r *obs.Registry, n *Node) *metrics {
+	if r == nil {
+		return nil
+	}
+	m := &metrics{
+		appliedC: r.Counter("anc_repl_applied_frames_total",
+			"Replicated WAL frames applied to the local log."),
+		duplicatesC: r.Counter("anc_repl_duplicate_frames_total",
+			"Shipped frames skipped as already-applied duplicates (reconnect overlap)."),
+		streamedC: r.Counter("anc_repl_streamed_frames_total",
+			"WAL frames shipped to subscribers."),
+		snapshotsC: r.Counter("anc_repl_snapshots_shipped_total",
+			"Checkpoint snapshots shipped to bootstrap lagging subscribers."),
+		restoresC: r.Counter("anc_repl_snapshot_restores_total",
+			"Local states rebuilt from a shipped snapshot."),
+		reconnectsC: r.Counter("anc_repl_reconnects_total",
+			"Replication session re-establishments."),
+	}
+	r.GaugeFunc("anc_repl_role",
+		"Replication role: 0 none, 1 primary, 2 follower.",
+		func() float64 { return float64(n.Role()) })
+	r.GaugeFunc("anc_repl_subscribers",
+		"Open replication subscriptions on this node.",
+		func() float64 { return float64(n.subscribers.Load()) })
+	r.GaugeFunc("anc_repl_lag_frames",
+		"Committed primary frames not yet in the local log (0 on the primary).",
+		func() float64 {
+			st := n.Status()
+			if st.Role != serve.RoleFollower {
+				return 0
+			}
+			return float64(st.LagFrames())
+		})
+	r.GaugeFunc("anc_repl_last_message_age_seconds",
+		"Wall-clock age of the last replication message (0 on the primary).",
+		func() float64 { return n.Status().LagSeconds })
+	return m
+}
+
+func (m *metrics) subscribed() {}
+
+func (m *metrics) applied() {
+	if m != nil {
+		m.appliedC.Inc()
+	}
+}
+
+func (m *metrics) duplicate() {
+	if m != nil {
+		m.duplicatesC.Inc()
+	}
+}
+
+func (m *metrics) streamed(frames int) {
+	if m != nil {
+		m.streamedC.Add(uint64(frames))
+	}
+}
+
+func (m *metrics) snapshotShipped() {
+	if m != nil {
+		m.snapshotsC.Inc()
+	}
+}
+
+func (m *metrics) restored() {
+	if m != nil {
+		m.restoresC.Inc()
+	}
+}
+
+func (m *metrics) reconnected() {
+	if m != nil {
+		m.reconnectsC.Inc()
+	}
+}

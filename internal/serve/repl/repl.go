@@ -1,0 +1,689 @@
+// Package repl is the WAL-shipping replication subsystem: a primary
+// serves its committed write-ahead-log frames over the serve protocol's
+// replication ops, and followers replay them through the exact machinery
+// local recovery uses, so a follower's durable directory — and therefore
+// its Save bytes — converge to the primary's.
+//
+// # Topology
+//
+// One Node wraps one DurableNetwork and plays one of two roles. A
+// primary (Config.Upstream == "") accepts ingest and answers
+// OpReplSubscribe by streaming frames straight from its durable
+// directory: the subscriber names its next frame index, and the primary
+// ships either the WAL tail from that index or — when the index has
+// fallen below the retained segments — the newest on-disk checkpoint
+// followed by the tail from the checkpoint's index. A follower
+// (Config.Upstream set) dials its upstream, subscribes from its own log
+// end, applies every received frame byte-identically via ApplyFrame, and
+// refuses local ingest with ErrCodeReadOnly until promoted.
+//
+// # Staleness
+//
+// A follower is never wrong, only late: replay preserves the activation
+// order, so at every moment the follower serves the well-defined decayed
+// state of some prefix of the primary's history (the tie-decay
+// formulation makes that state meaningful on its own). Staleness is
+// reported as frames (primary's cursor minus local cursor) and as the
+// wall-clock age of the last replication message, via Status, OpStats
+// and the anc_repl_* metrics.
+//
+// # Failure model
+//
+// Sessions end five ways, each with a recorded cause: "dial" (upstream
+// unreachable), "drain" (upstream shut down gracefully and said so with
+// a typed ErrCodeShuttingDown frame), "crash" (connection died without
+// the drain frame), "stall" (no message within the liveness window), and
+// "gap"/"protocol" (stream state diverged — resubscribe from scratch).
+// The follower reconnects with capped exponential backoff plus seeded
+// jitter, resetting after any session that subscribed successfully. When
+// Config.PromoteAfter is set and the upstream stays lost that long, the
+// follower promotes itself: it seals its log with an fsync and starts
+// accepting writes — failover by promotion.
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anc"
+	"anc/internal/obs"
+	"anc/internal/serve"
+	"anc/internal/wal"
+)
+
+// Config tunes a replication node. Only Durable is required for a
+// follower that may bootstrap from a shipped snapshot; everything else
+// has serving-grade defaults.
+type Config struct {
+	// Upstream is the primary's address. Empty means this node IS the
+	// primary: it serves subscriptions and never dials out.
+	Upstream string
+	// Dial opens the upstream connection (default: TCP with a 5s
+	// timeout). Tests interpose FaultConn here.
+	Dial func(addr string) (net.Conn, error)
+	// Durable rebuilds the follower's DurableNetwork after a snapshot
+	// bootstrap — pass the same config the network was opened with.
+	Durable anc.DurableConfig
+	// PromoteAfter, when positive, self-promotes a follower that has been
+	// without its upstream for this long. 0 never self-promotes.
+	PromoteAfter time.Duration
+	// ReconnectMin/ReconnectMax bound the reconnect backoff
+	// (defaults 50ms / 5s).
+	ReconnectMin, ReconnectMax time.Duration
+	// Heartbeat is the primary's status-push period on an idle stream
+	// (default 500ms); a follower declares the stream stalled after
+	// 4×Heartbeat without any message.
+	Heartbeat time.Duration
+	// ChunkFrames caps frames per ReplFrames push (default 256);
+	// SnapshotChunk caps bytes per ReplSnapshot push (default 64 KiB).
+	ChunkFrames   int
+	SnapshotChunk int
+	// MaxFrame bounds stream frames, matching the serving side (default
+	// serve.DefaultMaxFrame).
+	MaxFrame int
+	// Seed feeds the backoff jitter (and nothing else), keeping the
+	// package's behavior reproducible under test.
+	Seed int64
+	// Logf, when non-nil, receives replication log lines.
+	Logf func(format string, args ...interface{})
+	// Obs, when non-nil, attaches the anc_repl_* metric families.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 50 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 5 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.ChunkFrames <= 0 {
+		c.ChunkFrames = 256
+	}
+	if c.SnapshotChunk <= 0 {
+		c.SnapshotChunk = 64 << 10
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = serve.DefaultMaxFrame
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// chunkBytes caps the WAL payload bytes in one ReplFrames push; with the
+// per-frame ceiling of ~1 MiB the whole push stays well under the 4 MiB
+// frame bound.
+const chunkBytes = 1 << 20
+
+// Node is one replication participant: it wraps a DurableNetwork,
+// implements serve.Backend (so a Server can front it directly),
+// serve.Replicator (the replication ops) and the durable surface
+// (Checkpoint/Close) the server's shutdown paths use.
+//
+// The wrapped network is swappable — a follower bootstrapping from a
+// shipped snapshot atomically replaces it — so every access goes through
+// the node's own read lock.
+type Node struct {
+	cfg Config
+
+	mu sync.RWMutex
+	d  *anc.DurableNetwork
+
+	follower bool
+	readOnly atomic.Bool
+	promoted chan struct{}
+	promOnce sync.Once
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	doneCh   chan struct{}
+	started  atomic.Bool
+
+	// Follower session health, guarded by hmu: the follower loop writes,
+	// Status reads.
+	hmu         sync.Mutex
+	primaryNext uint64
+	primaryNow  float64
+	lastMsg     time.Time
+	reconnects  uint32
+	lastCause   string
+
+	subscribers atomic.Int32
+	met         *metrics
+}
+
+// New builds a replication node over d. With cfg.Upstream empty the node
+// is a primary; otherwise it is a read-only follower — call Start to
+// launch its replication loop.
+func New(d *anc.DurableNetwork, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		d:        d,
+		follower: cfg.Upstream != "",
+		promoted: make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	n.readOnly.Store(n.follower)
+	n.met = newMetrics(cfg.Obs, n)
+	return n
+}
+
+// Start launches a follower's replication loop; on a primary it is a
+// no-op. It may be called once.
+func (n *Node) Start() {
+	if !n.follower || !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	go n.run()
+}
+
+// Retarget points the node at a new upstream and (re)starts its
+// replication loop — the remaining follower's "follow the new primary"
+// step after a failover. A still-running loop is stopped first; the node
+// returns to read-only until its next promotion.
+func (n *Node) Retarget(addr string) {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	<-n.doneOrNothing()
+	n.cfg.Upstream = addr
+	n.follower = true
+	n.readOnly.Store(true)
+	n.promoted = make(chan struct{})
+	n.promOnce = sync.Once{}
+	n.stopCh = make(chan struct{})
+	n.stopOnce = sync.Once{}
+	n.doneCh = make(chan struct{})
+	n.started.Store(true)
+	go n.run()
+}
+
+// doneOrNothing returns doneCh when a loop ever started, or a closed
+// channel otherwise, so Retarget never blocks on a fresh node.
+func (n *Node) doneOrNothing() <-chan struct{} {
+	if n.started.Load() {
+		return n.doneCh
+	}
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// durable returns the current wrapped network under the node lock.
+func (n *Node) durable() *anc.DurableNetwork {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.d
+}
+
+// Durable returns the currently wrapped network. A follower that
+// bootstraps from a shipped snapshot swaps networks, so callers must not
+// cache the result across replication events.
+func (n *Node) Durable() *anc.DurableNetwork { return n.durable() }
+
+// Close stops the replication loop (if any) and closes the wrapped
+// network. It satisfies the server's durable-backend surface, so a
+// Server Shutdown/Kill over this node tears replication down too.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	if n.started.Load() {
+		<-n.doneCh
+	}
+	return n.durable().Close()
+}
+
+// Checkpoint checkpoints the wrapped network.
+func (n *Node) Checkpoint() error { return n.durable().Checkpoint() }
+
+// ---- serve.Backend ------------------------------------------------------
+
+// ActivateBatch applies a batch locally — refused while the node is an
+// unpromoted follower, with the typed read-only error the serving layer
+// forwards to clients.
+func (n *Node) ActivateBatch(batch []anc.Activation) error {
+	if n.readOnly.Load() {
+		return &serve.WireError{Code: serve.ErrCodeReadOnly,
+			Msg: "follower is read-only; ingest at the primary"}
+	}
+	return n.durable().ActivateBatch(batch)
+}
+
+func (n *Node) Clusters(level int) [][]int                { return n.durable().Clusters(level) }
+func (n *Node) EvenClusters(level int) [][]int            { return n.durable().EvenClusters(level) }
+func (n *Node) ClusterOf(v, level int) []int              { return n.durable().ClusterOf(v, level) }
+func (n *Node) SmallestClusterOf(v int) []int             { return n.durable().SmallestClusterOf(v) }
+func (n *Node) EstimateDistance(u, v int) float64         { return n.durable().EstimateDistance(u, v) }
+func (n *Node) EstimateAttraction(u, v int) float64       { return n.durable().EstimateAttraction(u, v) }
+func (n *Node) Watch(v int)                               { n.durable().Watch(v) }
+func (n *Node) Unwatch(v int)                             { n.durable().Unwatch(v) }
+func (n *Node) DrainEvents() ([]anc.ClusterEvent, uint64) { return n.durable().DrainEvents() }
+func (n *Node) Stats() anc.Stats                          { return n.durable().Stats() }
+
+// ---- serve.Replicator ---------------------------------------------------
+
+// ReadOnly reports whether local ingest must be refused.
+func (n *Node) ReadOnly() bool { return n.readOnly.Load() }
+
+// Role returns the node's current replication role.
+func (n *Node) Role() uint8 {
+	if n.follower && n.readOnly.Load() {
+		return serve.RoleFollower
+	}
+	return serve.RolePrimary
+}
+
+// Promote seals a follower's log (fsync) and re-enables ingest; its
+// replication loop exits on its next wakeup. On a primary it is a
+// no-op. Promotion is idempotent and one-way — a promoted node never
+// silently re-follows (use Retarget for that, deliberately).
+func (n *Node) Promote() error {
+	if !n.follower {
+		return nil
+	}
+	var err error
+	n.promOnce.Do(func() {
+		err = n.durable().Sync()
+		n.readOnly.Store(false)
+		close(n.promoted)
+		n.cfg.Logf("repl: promoted; log sealed, accepting writes")
+	})
+	return err
+}
+
+func (n *Node) isPromoted() bool {
+	select {
+	case <-n.promoted:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) isStopped() bool {
+	select {
+	case <-n.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Status reports replication health for OpReplStatus, OpStats and the
+// gauges.
+func (n *Node) Status() serve.ReplStatus {
+	d := n.durable()
+	bs := d.Stats()
+	st := serve.ReplStatus{
+		Role:        n.Role(),
+		Next:        d.LoggedActivations(),
+		Activations: bs.Activations,
+		Now:         bs.Now,
+	}
+	if st.Role == serve.RolePrimary {
+		st.PrimaryNext, st.PrimaryNow = st.Next, st.Now
+	}
+	n.hmu.Lock()
+	if st.Role == serve.RoleFollower {
+		st.PrimaryNext, st.PrimaryNow = n.primaryNext, n.primaryNow
+		if !n.lastMsg.IsZero() {
+			st.LagSeconds = time.Since(n.lastMsg).Seconds()
+		}
+	}
+	st.Reconnects, st.LastReconnect = n.reconnects, n.lastCause
+	n.hmu.Unlock()
+	if st.PrimaryNext < st.Next {
+		// A promoted ex-follower has moved past its dead upstream's last
+		// known cursor; it is not "negatively lagged".
+		st.PrimaryNext = st.Next
+	}
+	return st
+}
+
+// errStopTail is the sentinel the tail reader returns to stop wal.Replay
+// once a chunk is full.
+var errStopTail = errors.New("repl: chunk full")
+
+// Stream implements the primary side of one subscription (also usable on
+// an unpromoted follower for chained topologies — it serves whatever its
+// local log holds).
+func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan struct{}) error {
+	n.subscribers.Add(1)
+	n.met.subscribed()
+	defer n.subscribers.Add(-1)
+
+	d := n.durable()
+	// Bootstrap: a subscriber below the retained tail gets the newest
+	// checkpoint, then the tail from the checkpoint's index.
+	earliest, ok, err := wal.EarliestIndex(d.Dir())
+	if err != nil {
+		return err
+	}
+	cur := from
+	if !ok || from < earliest {
+		idx, path, ok, err := d.NewestCheckpoint()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("repl: no checkpoint to bootstrap subscriber at %d", from)
+		}
+		snap, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for off := 0; ; off += n.cfg.SnapshotChunk {
+			end := off + n.cfg.SnapshotChunk
+			if end > len(snap) {
+				end = len(snap)
+			}
+			msg := &serve.ReplSnapshot{Index: idx, Total: uint64(len(snap)),
+				Off: uint64(off), Data: snap[off:end]}
+			if err := send(serve.EncodeReplSnapshot(msg)); err != nil {
+				return err
+			}
+			if end == len(snap) {
+				break
+			}
+		}
+		n.met.snapshotShipped()
+		cur = idx
+	}
+
+	// Tell the subscriber where the primary stands before the first tail
+	// chunk, so lag is observable immediately.
+	if err := send(serve.EncodeReplStatus(&serve.ReplStatus{
+		Role: n.Role(), Next: d.LoggedActivations(), PrimaryNext: d.LoggedActivations(),
+	})); err != nil {
+		return err
+	}
+
+	heartbeat := time.NewTicker(n.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		next, wake := d.FrameSignal()
+		if cur < next {
+			batch := &serve.ReplFrames{First: cur}
+			var bytes int
+			_, err := wal.Replay(d.Dir(), cur, func(idx uint64, payload []byte) error {
+				if idx != cur+uint64(len(batch.Frames)) {
+					return fmt.Errorf("repl: tail gap: frame %d after %d", idx, cur+uint64(len(batch.Frames)))
+				}
+				if idx >= next {
+					return errStopTail
+				}
+				// Replay reuses its payload buffer between frames — copy.
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				batch.Frames = append(batch.Frames, cp)
+				bytes += len(cp)
+				if len(batch.Frames) >= n.cfg.ChunkFrames || bytes >= chunkBytes {
+					return errStopTail
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errStopTail) {
+				return err
+			}
+			if len(batch.Frames) == 0 {
+				// The tail below next vanished underneath us (checkpoint
+				// truncation racing a very slow subscriber): the session
+				// cannot continue contiguously.
+				return fmt.Errorf("repl: tail at %d no longer on disk", cur)
+			}
+			if err := send(serve.EncodeReplFrames(batch)); err != nil {
+				return err
+			}
+			cur += uint64(len(batch.Frames))
+			n.met.streamed(len(batch.Frames))
+			continue
+		}
+		status := &serve.ReplStatus{Role: n.Role(), Next: next, PrimaryNext: next, Now: d.Now()}
+		select {
+		case <-stop:
+			return nil
+		case <-wake:
+		case <-heartbeat.C:
+			if err := send(serve.EncodeReplStatus(status)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ---- follower loop ------------------------------------------------------
+
+// run is the follower loop: dial, subscribe, apply until the session
+// ends, note the cause, back off, repeat — until stopped or promoted.
+func (n *Node) run() {
+	defer close(n.doneCh)
+	rng := rand.New(rand.NewSource(n.cfg.Seed))
+	backoff := n.cfg.ReconnectMin
+	var lostSince time.Time
+	for {
+		if n.isStopped() || n.isPromoted() {
+			return
+		}
+		cause, subscribed := n.session()
+		if n.isStopped() || n.isPromoted() {
+			return
+		}
+		n.hmu.Lock()
+		n.reconnects++
+		n.lastCause = cause
+		n.hmu.Unlock()
+		n.met.reconnected()
+		n.cfg.Logf("repl: session ended (%s); reconnecting to %s", cause, n.cfg.Upstream)
+		if subscribed {
+			backoff = n.cfg.ReconnectMin
+			lostSince = time.Time{}
+		}
+		if lostSince.IsZero() {
+			lostSince = time.Now()
+		}
+		if n.cfg.PromoteAfter > 0 && time.Since(lostSince) >= n.cfg.PromoteAfter {
+			n.cfg.Logf("repl: upstream lost for %v; self-promoting", n.cfg.PromoteAfter)
+			if err := n.Promote(); err != nil {
+				n.cfg.Logf("repl: self-promotion failed: %v", err)
+			}
+			return
+		}
+		// Capped exponential backoff with jitter in [backoff, 2*backoff).
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
+		if sleep > n.cfg.ReconnectMax {
+			sleep = n.cfg.ReconnectMax
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-n.stopCh:
+			timer.Stop()
+			return
+		case <-n.promoted:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > n.cfg.ReconnectMax {
+			backoff = n.cfg.ReconnectMax
+		}
+	}
+}
+
+// session runs one replication session: one connection, one
+// subscription, applied until something breaks. It returns the cause
+// label and whether the subscription was acknowledged (progress, for
+// backoff reset).
+func (n *Node) session() (cause string, subscribed bool) {
+	conn, err := n.cfg.Dial(n.cfg.Upstream)
+	if err != nil {
+		return "dial", false
+	}
+	defer conn.Close() //anclint:ignore droppederr teardown of a replication session; nothing to recover
+
+	liveness := 4 * n.cfg.Heartbeat
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	conn.SetDeadline(time.Now().Add(liveness)) //anclint:ignore droppederr a deadline failure surfaces in the next read
+	if err := serve.WritePreamble(conn); err != nil {
+		return "handshake", false
+	}
+	if err := serve.ReadPreamble(br); err != nil {
+		return "handshake", false
+	}
+	from := n.durable().LoggedActivations()
+	if err := serve.WriteRequest(bw, &serve.Request{Op: serve.OpReplSubscribe, ID: 1, From: from}); err != nil {
+		return "handshake", false
+	}
+	resp, err := serve.ReadResponse(br, serve.OpReplSubscribe, n.cfg.MaxFrame)
+	if err != nil {
+		return "handshake", false
+	}
+	if resp.Err != nil {
+		if resp.Err.Code == serve.ErrCodeShuttingDown {
+			return "drain", false
+		}
+		return "rejected", false
+	}
+	n.cfg.Logf("repl: subscribed to %s from frame %d", n.cfg.Upstream, from)
+	n.hmu.Lock()
+	n.lastMsg = time.Now()
+	n.hmu.Unlock()
+
+	var snap []byte // snapshot assembly buffer, nil when none in flight
+	var snapIdx uint64
+	for {
+		if n.isStopped() || n.isPromoted() {
+			return "stop", true
+		}
+		conn.SetReadDeadline(time.Now().Add(liveness)) //anclint:ignore droppederr a deadline failure surfaces in the read below
+		payload, err := serve.ReadFrame(br, n.cfg.MaxFrame)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return "stall", true
+			}
+			return "crash", true
+		}
+		msg, err := serve.DecodeReplMessage(payload)
+		if err != nil {
+			n.cfg.Logf("repl: bad stream message: %v", err)
+			return "protocol", true
+		}
+		n.hmu.Lock()
+		n.lastMsg = time.Now()
+		n.hmu.Unlock()
+		switch {
+		case msg.Err != nil:
+			if msg.Err.Code == serve.ErrCodeShuttingDown {
+				return "drain", true
+			}
+			return "error", true
+		case msg.Status != nil:
+			n.hmu.Lock()
+			n.primaryNext, n.primaryNow = msg.Status.PrimaryNext, msg.Status.Now
+			n.hmu.Unlock()
+		case msg.Frames != nil:
+			if cause := n.applyFrames(msg.Frames); cause != "" {
+				return cause, true
+			}
+		case msg.Snapshot != nil:
+			s := msg.Snapshot
+			if s.Off == 0 {
+				snap, snapIdx = make([]byte, 0, s.Total), s.Index
+			}
+			if snap == nil || s.Index != snapIdx || s.Off != uint64(len(snap)) {
+				return "protocol", true
+			}
+			snap = append(snap, s.Data...)
+			if uint64(len(snap)) == s.Total {
+				if cause := n.restore(snap, snapIdx); cause != "" {
+					return cause, true
+				}
+				snap = nil
+			}
+		}
+	}
+}
+
+// applyFrames applies one shipped batch: stale duplicates (below the
+// local cursor — legitimate overlap after a reconnect) are skipped and
+// counted, a gap above the cursor ends the session, everything else goes
+// through ApplyFrame. An empty cause means success.
+func (n *Node) applyFrames(f *serve.ReplFrames) string {
+	d := n.durable()
+	for i, frame := range f.Frames {
+		idx := f.First + uint64(i)
+		next := d.LoggedActivations()
+		if idx < next {
+			n.met.duplicate()
+			continue
+		}
+		if idx > next {
+			n.cfg.Logf("repl: frame gap: got %d, log at %d", idx, next)
+			return "gap"
+		}
+		if n.isPromoted() {
+			// A promotion raced this batch: the log is sealed; do not
+			// apply replicated frames over locally accepted writes.
+			return "stop"
+		}
+		if err := d.ApplyFrame(idx, frame); err != nil {
+			n.cfg.Logf("repl: apply frame %d: %v", idx, err)
+			return "apply"
+		}
+		n.met.applied()
+	}
+	n.hmu.Lock()
+	if end := f.First + uint64(len(f.Frames)); end > n.primaryNext {
+		n.primaryNext = end
+	}
+	n.hmu.Unlock()
+	return ""
+}
+
+// restore bootstraps the follower from a fully assembled snapshot: the
+// wrapped network is closed, the durable directory is rebuilt around the
+// shipped checkpoint at index, and the new network swaps in. A snapshot
+// at or below the local cursor is ignored (the local log is already
+// further along).
+func (n *Node) restore(snap []byte, index uint64) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if index <= n.d.LoggedActivations() {
+		return ""
+	}
+	dir, cfg := n.d.Dir(), n.cfg.Durable
+	if err := n.d.Close(); err != nil {
+		n.cfg.Logf("repl: closing pre-snapshot state: %v", err)
+		return "apply"
+	}
+	d, err := anc.RestoreDurable(snap, index, dir, cfg)
+	if err != nil {
+		n.cfg.Logf("repl: snapshot restore: %v", err)
+		return "apply"
+	}
+	n.d = d
+	n.met.restored()
+	n.cfg.Logf("repl: bootstrapped from snapshot at frame %d", index)
+	return ""
+}

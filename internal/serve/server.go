@@ -42,6 +42,29 @@ type durableBackend interface {
 	Close() error
 }
 
+// Replicator is the replication surface a server exposes when
+// Config.Repl is set (repl.Node implements it for both roles). Status
+// and ReadOnly must be safe for concurrent use; Stream is called once
+// per subscriber connection, on that connection's goroutine.
+type Replicator interface {
+	// Status reports the node's replication health — the body of
+	// OpReplStatus replies and the replication fields of OpStats.
+	Status() ReplStatus
+	// ReadOnly reports whether ingest must be refused (an unpromoted
+	// follower).
+	ReadOnly() bool
+	// Promote re-enables ingest on a follower; on a primary it is a
+	// harmless no-op. An error is answered with ErrCodeRejected.
+	Promote() error
+	// Stream serves one replication subscription from frame index from:
+	// it calls send with encoded push payloads (EncodeReplFrames /
+	// EncodeReplStatus / EncodeReplSnapshot) until send fails or stop
+	// closes. The error is for the connection log only — the subscriber
+	// learns about the end of the stream from the close (or the typed
+	// drain frame the server appends).
+	Stream(from uint64, send func(payload []byte) error, stop <-chan struct{}) error
+}
+
 // Config tunes a Server. The zero value is usable; every field has a
 // serving-grade default.
 type Config struct {
@@ -84,6 +107,12 @@ type Config struct {
 	// through Logf, rate-limited to one line per second so a latency storm
 	// cannot flood the log.
 	SlowQuery time.Duration
+
+	// Repl, when non-nil, enables the replication ops: OpReplSubscribe
+	// streams WAL frames to followers, OpReplStatus/OpStats report
+	// replication health, OpPromote flips a follower to accepting writes,
+	// and ingest is refused with ErrCodeReadOnly while Repl.ReadOnly().
+	Repl Replicator
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +165,8 @@ type Server struct {
 	queued     atomic.Int32
 	acceptDone chan struct{}
 	writerDone chan struct{}
+	drainCh    chan struct{} // closed at the start of Shutdown/Kill: the stop signal for streams
+	drainOnce  sync.Once
 	connWG     sync.WaitGroup
 	started    bool
 	stopOnce   sync.Once
@@ -159,6 +190,7 @@ func New(backend Backend, cfg Config) *Server {
 		conns:      map[net.Conn]struct{}{},
 		acceptDone: make(chan struct{}),
 		writerDone: make(chan struct{}),
+		drainCh:    make(chan struct{}),
 	}
 	s.met = newServerMetrics(cfg.Obs, s)
 	return s
@@ -281,6 +313,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining.Store(true)
+	// Stop replication streams first: their connection goroutines are
+	// parked in Stream, not readFrame, so without this signal connWG.Wait
+	// would hang. Each stream then sends its typed drain frame (so
+	// followers can tell drain from crash) before the connection closes.
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.lis.Close() //anclint:ignore droppederr the listener is being torn down; nothing to recover
 	<-s.acceptDone
 
@@ -336,6 +373,7 @@ func (s *Server) Kill() {
 	}
 	s.killed.Store(true)
 	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.lis.Close() //anclint:ignore droppederr crash-style stop; the listener error is unrecoverable anyway
 	<-s.acceptDone
 	s.closeConns()
@@ -423,9 +461,51 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Op == OpReplSubscribe {
+			// A subscription repurposes the connection as a one-way push
+			// stream; when serveSubscribe returns the stream is over and
+			// framing state is unknown, so the connection closes.
+			s.serveSubscribe(conn, bw, req)
+			return
+		}
 		if err := s.writeReply(bw, s.handle(st, req)); err != nil {
 			return
 		}
+	}
+}
+
+// serveSubscribe runs one replication stream on the subscriber's
+// connection goroutine. It bypasses the admission gate — a stream is not
+// a request and must not pin a MaxInflight slot for its whole life — and
+// ends on send failure (peer gone, Kill) or on s.drainCh, in which case
+// a graceful drain appends the typed ErrCodeShuttingDown frame so the
+// follower records "drain", not "crash".
+func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request) {
+	s.met.request(req.Op)
+	if s.cfg.Repl == nil {
+		s.writeReply(bw, s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")) //anclint:ignore droppederr best-effort reply on a connection about to close
+		return
+	}
+	if s.draining.Load() {
+		s.writeReply(bw, s.errReply(req.ID, ErrCodeShuttingDown, "server is draining")) //anclint:ignore droppederr best-effort reply on a connection about to close
+		return
+	}
+	if err := s.writeReply(bw, EncodeResponse(OpReplSubscribe, &Response{ID: req.ID})); err != nil {
+		return
+	}
+	send := func(payload []byte) error {
+		// A per-frame write deadline so a wedged follower cannot park this
+		// goroutine past Shutdown's patience.
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout)) //anclint:ignore droppederr deadline setup on a live conn; a failure surfaces in the write itself
+		err := s.writeReply(bw, payload)
+		conn.SetWriteDeadline(time.Time{}) //anclint:ignore droppederr deadline teardown; a failure surfaces in the next write
+		return err
+	}
+	if err := s.cfg.Repl.Stream(req.From, send, s.drainCh); err != nil {
+		s.cfg.Logf("serve: %s: replication stream: %v", conn.RemoteAddr(), err)
+	}
+	if s.draining.Load() && !s.killed.Load() {
+		send(s.errReply(0, ErrCodeShuttingDown, "server is draining")) //anclint:ignore droppederr final courtesy frame; the connection closes either way
 	}
 }
 
@@ -529,6 +609,9 @@ func (s *Server) handleRequest(st *connState, req *Request) []byte {
 // the group commit. Backpressure is the bounded queue: when it stays full
 // past the deadline the batch is refused, not applied late and silently.
 func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
+	if s.cfg.Repl != nil && s.cfg.Repl.ReadOnly() {
+		return s.errReply(req.ID, ErrCodeReadOnly, "follower is read-only; ingest at the primary")
+	}
 	if len(req.Batch) == 0 {
 		return EncodeResponse(OpActivateBatch, &Response{ID: req.ID})
 	}
@@ -588,6 +671,12 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 			Queued:      uint32(s.queued.Load()),
 			Draining:    s.draining.Load(),
 		}
+		if s.cfg.Repl != nil {
+			rs := s.cfg.Repl.Status()
+			resp.Stats.Role = rs.Role
+			resp.Stats.ReplLagFrames = rs.LagFrames()
+			resp.Stats.ReplLagSeconds = rs.LagSeconds
+		}
 	case OpWatch:
 		s.backend.Watch(int(req.Node))
 	case OpUnwatch:
@@ -643,6 +732,18 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		st.mu.Lock()
 		delete(st.views, req.View)
 		st.mu.Unlock()
+	case OpReplStatus:
+		if s.cfg.Repl == nil {
+			return s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")
+		}
+		resp.Repl = s.cfg.Repl.Status()
+	case OpPromote:
+		if s.cfg.Repl == nil {
+			return s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")
+		}
+		if err := s.cfg.Repl.Promote(); err != nil {
+			return s.errReply(req.ID, ErrCodeRejected, err.Error())
+		}
 	default:
 		return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("unknown op %d", req.Op))
 	}

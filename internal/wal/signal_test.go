@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAppendedSignal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	next, wake := w.Appended()
+	if next != 0 {
+		t.Fatalf("fresh log next = %d", next)
+	}
+	select {
+	case <-wake:
+		t.Fatal("wake channel fired before any append")
+	default:
+	}
+
+	appendN(t, w, 0, 3)
+	select {
+	case <-wake:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wake channel did not fire after append")
+	}
+	next, wake = w.Appended()
+	if next != 3 {
+		t.Fatalf("next = %d after 3 appends", next)
+	}
+
+	// A tailer that is caught up parks on the channel and is woken by the
+	// very next append.
+	done := make(chan uint64, 1)
+	go func() {
+		<-wake
+		n, _ := w.Appended()
+		done <- n
+	}()
+	time.Sleep(10 * time.Millisecond)
+	appendN(t, w, 3, 4)
+	select {
+	case n := <-done:
+		if n != 4 {
+			t.Fatalf("woken tailer saw next = %d, want 4", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked tailer was never woken")
+	}
+}
+
+func TestAppendedSignalResume(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer resumed over an existing log reports the recovered end.
+	w, err = OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, _ := w.Appended()
+	if next != 5 {
+		t.Fatalf("resumed next = %d, want 5", next)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendedSignalWakesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wake := w.Appended()
+	done := make(chan struct{})
+	go func() {
+		<-wake
+		close(done)
+	}()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake parked tailers")
+	}
+}
+
+func TestEarliestIndex(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := EarliestIndex(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+
+	w, err := OpenWriter(dir, 0, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20)
+	base, ok, err := EarliestIndex(dir)
+	if err != nil || !ok || base != 0 {
+		t.Fatalf("full log: base=%d ok=%v err=%v", base, ok, err)
+	}
+
+	// Truncation advances the earliest retained index to a segment base.
+	if err := w.TruncateBefore(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base, ok, err = EarliestIndex(dir)
+	if err != nil || !ok {
+		t.Fatalf("truncated log: ok=%v err=%v", ok, err)
+	}
+	if base == 0 || base > 10 {
+		t.Fatalf("earliest after TruncateBefore(10) = %d, want in (0, 10]", base)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 const (
@@ -281,6 +282,67 @@ type Writer struct {
 	acked  uint64   // records known durable (covered by an fsync)
 	unsync int      // records appended since the last fsync
 	broken error    // sticky failure: a write/sync error tore the tail
+	sig    appendSignal
+}
+
+// appendSignal publishes the writer's append cursor to tailing readers
+// (replication subscribers) without exposing them to the writer's own
+// synchronization: it has its own lock, so Appended may be called from any
+// goroutine while the owner is mid-Append under an outer mutex.
+type appendSignal struct {
+	mu   sync.Mutex
+	next uint64
+	ch   chan struct{} // closed on the next advance; lazily allocated
+}
+
+func (s *appendSignal) advance(next uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = next
+	if s.ch != nil {
+		close(s.ch)
+		s.ch = nil
+	}
+}
+
+// wakeAll wakes waiters without advancing the cursor — the close path, so
+// tails re-check their stop conditions instead of parking forever.
+func (s *appendSignal) wakeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ch != nil {
+		close(s.ch)
+		s.ch = nil
+	}
+}
+
+func (s *appendSignal) snapshot() (uint64, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ch == nil {
+		s.ch = make(chan struct{})
+	}
+	return s.next, s.ch
+}
+
+// Appended returns the index one past the last appended record together
+// with a channel that is closed the next time that cursor advances (or the
+// writer closes). Unlike every other Writer method it is safe to call
+// concurrently with Append — it is the WAL-tailing hook replication
+// subscribers poll.
+func (w *Writer) Appended() (next uint64, wake <-chan struct{}) {
+	return w.sig.snapshot()
+}
+
+// EarliestIndex reports the base index of the oldest live segment in dir —
+// the first record a tailing reader can still fetch. ok is false when the
+// directory holds no segments.
+func EarliestIndex(dir string) (base uint64, ok bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return 0, false, err
+	}
+	return segs[0].base, true, nil
 }
 
 // OpenWriter opens the log in dir for appending, creating the directory if
@@ -348,6 +410,7 @@ func OpenWriter(dir string, start uint64, opts Options) (*Writer, error) {
 			}
 		}
 		w.next, w.acked = start, start
+		w.sig.next = start
 		if err := w.openSegment(start, 0); err != nil {
 			return nil, err
 		}
@@ -358,6 +421,7 @@ func OpenWriter(dir string, start uint64, opts Options) (*Writer, error) {
 		w.bases = append(w.bases, s.base)
 	}
 	w.next, w.acked = end, end
+	w.sig.next = end
 	if last.good < opts.SegmentSize {
 		// Resume the last segment.
 		f, err := opts.OpenFile(last.path)
@@ -439,6 +503,7 @@ func (w *Writer) Append(rec []byte) (uint64, error) {
 			}
 		}
 	}
+	w.sig.advance(w.next)
 	return idx, nil
 }
 
@@ -495,8 +560,10 @@ func (w *Writer) TruncateBefore(index uint64) error {
 }
 
 // Close fsyncs (under SyncAlways/SyncInterval) and closes the active
-// segment.
+// segment. Waiters parked on Appended are woken so tailing readers notice
+// the log is done.
 func (w *Writer) Close() error {
+	defer w.sig.wakeAll()
 	if w.broken != nil {
 		return w.seg.Close()
 	}

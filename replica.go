@@ -1,0 +1,183 @@
+package anc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anc/internal/wal"
+)
+
+// This file is the durable layer's replication surface: the hooks a
+// primary needs to ship its committed WAL frames (Dir, FrameSignal,
+// NewestCheckpoint) and the hooks a follower needs to replay them
+// byte-identically (ApplyFrame, RestoreDurable). Replication rides
+// entirely on the existing durability machinery — a follower is just a
+// DurableNetwork whose frames arrive over the wire instead of from local
+// Activate calls, so crash recovery, checkpoint retention and the
+// determinism guarantee (identical frames ⇒ byte-identical Save) all
+// carry over unchanged.
+
+// Dir returns the directory holding this network's WAL segments and
+// checkpoints. A primary's replication stream is served straight from
+// these files: the newest on-disk checkpoint bootstraps a lagging
+// follower and the segment tail is read with wal.Replay — never through
+// the in-memory network, so streaming takes no network lock.
+func (d *DurableNetwork) Dir() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.dir
+}
+
+// FrameSignal returns the WAL append cursor — the index one past the last
+// logged frame — plus a channel closed on the next append (or on Close).
+// It is the tailing hook: a replication sender parks on wake instead of
+// polling the directory.
+func (d *DurableNetwork) FrameSignal() (next uint64, wake <-chan struct{}) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.w.Appended()
+}
+
+// NewestCheckpoint reports the newest on-disk checkpoint: the WAL index
+// it covers and its path. Serving the file (rather than Save on the live
+// network) keeps bootstrap reads off the network lock and ships exactly
+// the bytes recovery would load. ok is false when dir holds no
+// checkpoint — impossible for a live DurableNetwork, which writes
+// checkpoint-0 before opening its log.
+func (d *DurableNetwork) NewestCheckpoint() (index uint64, path string, ok bool, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	cps, err := listCheckpoints(d.dir)
+	if err != nil || len(cps) == 0 {
+		return 0, "", false, err
+	}
+	cp := cps[len(cps)-1]
+	return cp.index, cp.path, true, nil
+}
+
+// decodeFrameActs decodes one WAL frame payload into the activations it
+// carries: a single 16-byte record (per-op Activate) or n×16 bytes (a
+// group-committed batch). It is the one decoder shared by Recover and
+// ApplyFrame, so local replay and wire replay cannot drift.
+func decodeFrameActs(rec []byte) ([]Activation, error) {
+	if len(rec) == 0 || len(rec)%activationRecordSize != 0 {
+		return nil, fmt.Errorf("anc: frame of %d bytes", len(rec))
+	}
+	acts := make([]Activation, len(rec)/activationRecordSize)
+	for i := range acts {
+		u, v, t, err := decodeActivation(rec[i*activationRecordSize : (i+1)*activationRecordSize])
+		if err != nil {
+			return nil, err
+		}
+		acts[i] = Activation{U: u, V: v, T: t}
+	}
+	return acts, nil
+}
+
+// ApplyFrame ingests one replicated WAL frame: the follower's write path.
+// The raw payload is appended to the local WAL byte-for-byte and then
+// applied through the same pipeline Recover uses (a 16-byte payload via
+// Activate, larger via ActivateBatch), so a follower's log and state are
+// exactly what a local run of the same history would have produced —
+// which is what makes convergence checkable by comparing Save bytes.
+//
+// index must equal the local log's next index; anything else is a gap or
+// a duplicate and is rejected with ErrFrameGap wrapping detail, leaving
+// the state untouched. Duplicates are the caller's business to skip
+// (replication sessions may legitimately replay an overlap after a
+// reconnect).
+func (d *DurableNetwork) ApplyFrame(index uint64, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if next := d.w.NextIndex(); index != next {
+		return fmt.Errorf("%w: frame %d, log at %d", ErrFrameGap, index, next)
+	}
+	acts, err := decodeFrameActs(payload)
+	if err != nil {
+		return err
+	}
+	// Log-then-apply, exactly like Activate/ActivateBatch: the durable
+	// history stays a superset of the applied one.
+	if _, err := d.w.Append(payload); err != nil {
+		return fmt.Errorf("anc: wal: %w", err)
+	}
+	if len(acts) == 1 {
+		err = d.net.Activate(acts[0].U, acts[0].V, acts[0].T)
+	} else {
+		err = d.net.ActivateBatch(acts)
+	}
+	if err != nil {
+		return err
+	}
+	d.met.batchLogged(len(acts))
+	d.acts += uint64(len(acts))
+	d.sinceCheckpoint += len(acts)
+	if d.cfg.CheckpointEvery > 0 && d.sinceCheckpoint >= d.cfg.CheckpointEvery {
+		return d.checkpointLocked()
+	}
+	return nil
+}
+
+// ErrFrameGap is wrapped by ApplyFrame when the offered frame index does
+// not line up with the local log — the follower must either skip (stale
+// duplicate) or resubscribe (gap).
+var ErrFrameGap = errors.New("anc: replicated frame out of sequence")
+
+// RestoreDurable builds a durable network in dir from a checkpoint
+// snapshot shipped over the wire: the follower bootstrap path when its
+// local log is too far behind the primary's retained segments. Any
+// existing durable state in dir is discarded first (it is strictly older
+// than the snapshot), the snapshot is persisted as checkpoint-<index>.snap
+// via the same temp/fsync/rename dance writeCheckpoint uses, and the WAL
+// reopens at exactly index so the next replicated frame lines up.
+func RestoreDurable(snapshot []byte, index uint64, dir string, cfg DurableConfig) (*DurableNetwork, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".wal") || strings.HasSuffix(name, ".snap") ||
+			strings.HasSuffix(name, ".corrupt") || name == "checkpoint.tmp" {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tmp := filepath.Join(dir, "checkpoint.tmp")
+	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Close() //anclint:ignore droppederr read-only handle reopened for fsync; a close error cannot lose data
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName(index))); err != nil {
+		return nil, err
+	}
+	syncDir(dir)
+	net, err := loadCheckpoint(filepath.Join(dir, checkpointName(index)))
+	if err != nil {
+		return nil, err
+	}
+	net.Instrument(cfg.Obs)
+	w, err := wal.OpenWriter(dir, index, cfg.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs)}, nil
+}
