@@ -1,15 +1,21 @@
 // Command anclint runs the ANC invariant analyzer suite (see
-// internal/lint and DESIGN.md §9) over the given package patterns,
+// internal/lint and DESIGN.md §9, §14) over the given package patterns,
 // defaulting to ./... from the module root. It prints one finding per
 // line in file:line:col format and exits 1 when any finding survives
 // the //anclint:ignore filters, so `make lint` can gate CI on it.
 //
 // Usage:
 //
-//	anclint [packages]
+//	anclint [-json] [-unused-ignores] [packages]
 //
 // Package patterns accept module-relative directories ("./internal/wal"),
 // import paths ("anc/internal/core"), and "..." subtrees ("./...").
+//
+// -unused-ignores additionally fails on //anclint:ignore directives that
+// suppressed nothing (dead suppressions lie to the reader); `make lint`
+// passes it. -json switches stdout to one machine-readable object —
+// {"findings": [...], "packages": [...]} with module-relative paths —
+// for the CI annotation step; the exit status is unchanged.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings and analyzed packages as JSON on stdout")
+	unusedIgnores := flag.Bool("unused-ignores", false, "also fail on //anclint:ignore directives that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: anclint [packages]\n\nRuns the ANC analyzer suite; see DESIGN.md §9.\n")
+		fmt.Fprintf(os.Stderr, "usage: anclint [-json] [-unused-ignores] [packages]\n\nRuns the ANC analyzer suite; see DESIGN.md §9 and §14.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,14 +45,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anclint:", err)
 		os.Exit(2)
 	}
-	findings, err := runner.Run(dir, patterns, lint.Suite())
+	res, err := runner.RunWithOptions(dir, patterns, lint.Suite(),
+		runner.Options{UnusedIgnores: *unusedIgnores})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anclint:", err)
 		os.Exit(2)
 	}
-	if len(findings) > 0 {
-		runner.Print(os.Stdout, findings)
-		fmt.Fprintf(os.Stderr, "anclint: %d finding(s)\n", len(findings))
+	if *jsonOut {
+		if err := runner.PrintJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "anclint:", err)
+			os.Exit(2)
+		}
+	} else if len(res.Findings) > 0 {
+		runner.Print(os.Stdout, res.Findings)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "anclint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
 }

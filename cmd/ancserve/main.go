@@ -112,7 +112,7 @@ func main() {
 		logger.Fatal(err)
 	}
 	net, ids, err := anc.LoadEdgeList(f, cfg)
-	f.Close() //anclint:ignore droppederr read-only graph file; a close error cannot lose data
+	f.Close()
 	if err != nil {
 		logger.Fatal(err)
 	}

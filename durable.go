@@ -450,8 +450,8 @@ func (d *DurableNetwork) writeCheckpoint(index uint64) error {
 // best-effort (some platforms refuse to fsync directories).
 func syncDir(dir string) {
 	if f, err := os.Open(dir); err == nil {
-		f.Sync()  //anclint:ignore droppederr best-effort by contract: some platforms refuse to fsync directories
-		f.Close() //anclint:ignore droppederr read-only directory handle; a close error cannot lose data
+		f.Sync() //anclint:ignore droppederr best-effort by contract: some platforms refuse to fsync directories
+		f.Close()
 	}
 }
 

@@ -165,7 +165,7 @@ func (t *table) row(cells ...interface{}) {
 	fmt.Fprintln(t.tw)
 }
 
-func (t *table) flush() { t.tw.Flush() }
+func (t *table) flush() { t.tw.Flush() } //anclint:ignore droppederr stdout report table; a failed flush garbles console output, not data
 
 // buildIndexOnly builds a pyramids index over a graph with unit weights —
 // the Exp 3/4 primitive (index construction is similarity-independent).

@@ -76,6 +76,8 @@ func (c *Clock) Now() float64 { return c.now }
 func (c *Clock) Anchor() float64 { return c.anchor }
 
 // G returns the global decay factor g(t, t*) = exp(-λ (t - t*)).
+//
+//anclint:hotpath
 func (c *Clock) G() float64 { return math.Exp(-c.lambda * (c.now - c.anchor)) }
 
 // Advance moves the current time forward to t. Time never goes backwards;
@@ -167,6 +169,8 @@ func NewActiveness(clock *Clock, n, m int, initial float64, ends func(e int32) (
 
 // OnRescale implements Rescalable: activeness is PosM so anchored values
 // absorb ×g.
+//
+//anclint:hotpath
 func (a *Activeness) OnRescale(g float64) {
 	for i := range a.edge {
 		a.edge[i] *= g
@@ -179,6 +183,8 @@ func (a *Activeness) OnRescale(g float64) {
 // Activate applies the activation (e, t): advances the clock and adds
 // 1/g(t, t*) to the anchored activeness of e (Definition 1), keeping the
 // node sums in step. O(1) plus the amortized rescale cost.
+//
+//anclint:hotpath
 func (a *Activeness) Activate(e int32, t float64) {
 	a.clock.Advance(t)
 	a.Bump(e)
@@ -192,6 +198,8 @@ func (a *Activeness) Activate(e int32, t float64) {
 // the rescale accounting with Clock.ActivatedN at batch end. The arithmetic
 // is identical to Activate's, so per-op and batched ingest produce
 // bit-identical anchored state.
+//
+//anclint:hotpath
 func (a *Activeness) Bump(e int32) {
 	inc := 1 / a.clock.G()
 	a.edge[e] += inc
@@ -219,15 +227,23 @@ func (a *Activeness) Restore(values []float64) {
 }
 
 // Anchored returns the anchored activeness a*_t(e).
+//
+//anclint:hotpath
 func (a *Activeness) Anchored(e int32) float64 { return a.edge[e] }
 
 // At returns the true activeness a_t(e) = a*_t(e) × g(t, t*).
+//
+//anclint:hotpath
 func (a *Activeness) At(e int32) float64 { return a.edge[e] * a.clock.G() }
 
 // NodeAnchored returns the anchored weighted degree Σ_{x∈N(v)} a*_t(v, x).
+//
+//anclint:hotpath
 func (a *Activeness) NodeAnchored(v int32) float64 { return a.node[v] }
 
 // NodeAt returns the true weighted degree at the current time.
+//
+//anclint:hotpath
 func (a *Activeness) NodeAt(v int32) float64 { return a.node[v] * a.clock.G() }
 
 // Clock returns the clock the store is anchored to.

@@ -22,7 +22,7 @@ func Eq(a, b float64) bool {
 // magnitude: |a-b| <= eps * max(1, |a|, |b|). NaN is near nothing,
 // including itself; equal infinities are near each other.
 func Near(a, b, eps float64) bool {
-	if a == b { //anclint:ignore floateq fast path; bit-equal (incl. equal infinities) is near by definition
+	if a == b {
 		return true
 	}
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {

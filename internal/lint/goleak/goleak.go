@@ -1,0 +1,161 @@
+// Package goleak requires every go statement to carry provable
+// join-or-stop evidence: a goroutine that nothing can stop or wait for
+// outlives its owner's Close, and under the ROADMAP's million-user
+// traffic "rare leak per reconnect" becomes "unbounded goroutine
+// growth". The replication reconnect loop and the serving layer's
+// per-connection goroutines are exactly the shapes this guards.
+//
+// # Evidence
+//
+// The analyzer resolves the launched body — the function literal, or
+// the same-package function/method the go statement calls — and
+// searches it (and, transitively, its same-package callees) for any of:
+//
+//   - a Done() call on a sync.WaitGroup — the owner joins via Wait;
+//   - close(ch) of a channel (typically deferred) — a done-channel the
+//     owner can receive on;
+//   - a channel receive (<-ch, for-range over a channel, a select with
+//     a receive case, <-ctx.Done()) — a stop signal or work stream whose
+//     close terminates the goroutine;
+//   - a loop-free body that sends on a channel — the result-channel
+//     pattern, where the send is the join.
+//
+// A body with none of these — including bodies that cannot be analyzed
+// at all, like goroutines running another package's function — is
+// flagged. The evidence is heuristic in the permissive direction
+// (receiving from a channel nobody closes still leaks), so a pass is
+// not a proof; a finding, however, is always a goroutine the owner has
+// no handle on, and either needs one or needs an
+// //anclint:ignore goleak <reason> stating who stops it.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags go statements without provable join/stop paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement needs a provable join or stop path " +
+		"(WaitGroup.Done, channel close, stop-channel receive, or a " +
+		"loop-free completion send); leaked goroutines outlive Close",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := &goleak{pass: pass, decls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+					g.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				g.check(gs)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type goleak struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// facts aggregates what an evidence search saw.
+type facts struct {
+	joined bool // Done / close / receive found
+	loops  bool // any for/range loop
+	sends  bool // any channel send
+}
+
+func (g *goleak) check(gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn, ok := g.pass.CalleeObject(gs.Call).(*types.Func); ok {
+		if fd, ok := g.decls[fn]; ok {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		g.pass.Reportf(gs.Pos(),
+			"goroutine runs a body this package cannot analyze and has no provable join or stop path; "+
+				"annotate with //anclint:ignore goleak <who stops it> if it is joined elsewhere")
+		return
+	}
+	f := facts{}
+	g.search(body, &f, map[*types.Func]bool{})
+	if f.joined || (!f.loops && f.sends) {
+		return
+	}
+	g.pass.Reportf(gs.Pos(),
+		"goroutine has no provable join or stop path (no WaitGroup.Done, channel close, "+
+			"channel receive, or loop-free completion send); it outlives Close — "+
+			"annotate with //anclint:ignore goleak <who stops it> if it is joined elsewhere")
+}
+
+// search accumulates evidence facts from a body and its same-package
+// callees (memoized against recursion via seen).
+func (g *goleak) search(body ast.Node, f *facts, seen map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f.joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				f.joined = true // a receive: stop signal or closable stream
+			}
+		case *ast.RangeStmt:
+			if t := g.pass.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					f.joined = true // terminates when the channel closes
+					return false
+				}
+			}
+			f.loops = true
+		case *ast.ForStmt:
+			f.loops = true
+		case *ast.SendStmt:
+			f.sends = true
+		case *ast.CallExpr:
+			g.searchCall(x, f, seen)
+		}
+		return true
+	})
+}
+
+func (g *goleak) searchCall(call *ast.CallExpr, f *facts, seen map[*types.Func]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := g.pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" {
+			f.joined = true // a done-channel close the owner receives on
+			return
+		}
+	}
+	fn, ok := g.pass.CalleeObject(call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+		f.joined = true // WaitGroup join
+		return
+	}
+	if fn.Pkg() == g.pass.Pkg && !seen[fn] {
+		seen[fn] = true
+		if fd, ok := g.decls[fn]; ok {
+			g.search(fd.Body, f, seen)
+		}
+	}
+}

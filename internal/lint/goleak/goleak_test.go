@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "../testdata", goleak.Analyzer, "goleak")
+}

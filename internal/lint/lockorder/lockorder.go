@@ -1,0 +1,469 @@
+// Package lockorder builds the intra-package lock-acquisition graph and
+// flags the two ways a mutex can wedge the serving path: lock-order
+// cycles (A held while B is acquired somewhere, B held while A is
+// acquired somewhere else — two goroutines interleave and both stall
+// forever) and blocking calls made while a lock is held (network I/O,
+// an unguarded channel send, a WaitGroup/Cond Wait), which turn one
+// stalled peer into a pile-up of every caller of that lock.
+//
+// # Model
+//
+// A lock is a sync.Mutex / sync.RWMutex variable or struct field,
+// identified by its types.Var — all instances of Server.mu are one
+// node, the standard lock-order approximation. Within each function
+// body (function literals are separate bodies: a goroutine's statements
+// do not run while the spawner's lock is held), a lock is held from its
+// x.mu.Lock()/RLock() statement to the first matching Unlock statement,
+// or to the end of the body when the unlock is deferred. Source
+// position bounds the held region — exact for the straight-line
+// lock-use-unlock shapes this module writes, and the reason convoluted
+// control flow around Lock calls should be refactored rather than
+// annotated.
+//
+// Per-function summaries (which locks a body acquires, which blocking
+// calls it makes) propagate over the package-local static call graph,
+// so a method that dials the network three helpers deep is still caught
+// when called under a lock.
+//
+// Findings are suppressed the usual way when the order or the blocking
+// call is intentional — e.g. a mutex whose entire job is to serialize
+// connection I/O — with //anclint:ignore lockorder <reason>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags lock-order cycles and lock-held blocking calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "builds the intra-package lock graph and flags acquisition " +
+		"cycles and blocking calls (network I/O, channel send, Wait) " +
+		"made while a lock is held",
+	Run: run,
+}
+
+// netBlocking are the package-level functions and interface/concrete
+// methods of package net that can block on a peer indefinitely (or until
+// a deadline a reviewer cannot see from the call site).
+var netBlocking = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "Listen": true,
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "AcceptTCP": true,
+}
+
+// lockVar is one lock node: the mutex field or variable.
+type lockVar struct {
+	obj  *types.Var
+	name string // "Server.mu" for fields, plain name otherwise
+}
+
+// event is one position-tagged occurrence inside a body.
+type event struct {
+	pos token.Pos
+	// kind: "lock", "unlock", "block", "call"
+	kind string
+	lock *types.Var  // lock / unlock
+	desc string      // block: human description
+	fn   *types.Func // call: same-package callee
+}
+
+// body is one analysis unit: a function declaration or function literal.
+type body struct {
+	fn     *types.Func // nil for function literals
+	name   string
+	events []event // in position order
+	end    token.Pos
+}
+
+// summary is what a function does transitively: the locks it acquires
+// and the blocking operations it performs.
+type summary struct {
+	acquires map[*types.Var]bool
+	blocking []string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	lo := &lockorder{
+		pass:    pass,
+		names:   map[*types.Var]string{},
+		decls:   map[*types.Func]*body{},
+		summing: map[*types.Func]bool{},
+		sums:    map[*types.Func]*summary{},
+	}
+	lo.findLockNames()
+	var bodies []*body
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bodies = append(bodies, lo.collect(fd)...)
+		}
+	}
+	for _, b := range bodies {
+		if b.fn != nil {
+			lo.decls[b.fn] = b
+		}
+	}
+	type edge struct {
+		from, to *types.Var
+		pos      token.Pos
+		via      string
+	}
+	var edges []edge
+	edgeSet := map[[2]*types.Var]bool{}
+	for _, b := range bodies {
+		for _, held := range heldRegions(b) {
+			for _, ev := range b.events {
+				if ev.pos <= held.from || ev.pos >= held.to {
+					continue
+				}
+				switch ev.kind {
+				case "lock":
+					if ev.lock != held.lock {
+						edges = append(edges, edge{held.lock, ev.lock, ev.pos, ""})
+						edgeSet[[2]*types.Var{held.lock, ev.lock}] = true
+					}
+				case "block":
+					pass.Reportf(ev.pos,
+						"%s while holding %s: a stalled peer wedges every user of this lock",
+						ev.desc, lo.name(held.lock))
+				case "call":
+					s := lo.summarize(ev.fn)
+					if s == nil {
+						continue
+					}
+					for _, d := range s.blocking {
+						pass.Reportf(ev.pos,
+							"call to %s, which performs %s, while holding %s: a stalled peer wedges every user of this lock",
+							ev.fn.Name(), d, lo.name(held.lock))
+					}
+					for l := range s.acquires {
+						if l != held.lock && !edgeSet[[2]*types.Var{held.lock, l}] {
+							edges = append(edges, edge{held.lock, l, ev.pos,
+								" (via " + ev.fn.Name() + ")"})
+							edgeSet[[2]*types.Var{held.lock, l}] = true
+						}
+					}
+				}
+			}
+			// Re-acquiring the lock already held: immediate self-deadlock
+			// (sync mutexes are not reentrant) unless the two are provably
+			// distinct instances of the same type.
+			for _, ev := range b.events {
+				if ev.pos > held.from && ev.pos < held.to && ev.kind == "lock" && ev.lock == held.lock {
+					pass.Reportf(ev.pos,
+						"%s acquired while already held: mutexes are not reentrant — "+
+							"a second Lock on the same instance self-deadlocks",
+						lo.name(held.lock))
+				}
+			}
+		}
+	}
+	// Cycle detection: an edge A→B closes a cycle when B reaches A.
+	adj := map[*types.Var][]*types.Var{}
+	for e := range edgeSet {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	for _, e := range edges {
+		if reaches(adj, e.to, e.from) {
+			pass.Reportf(e.pos,
+				"lock cycle: %s acquired while holding %s%s, and %s is (transitively) acquired while %s is held elsewhere",
+				lo.name(e.to), lo.name(e.from), e.via, lo.name(e.from), lo.name(e.to))
+		}
+	}
+	return nil, nil
+}
+
+func reaches(adj map[*types.Var][]*types.Var, from, to *types.Var) bool {
+	seen := map[*types.Var]bool{}
+	stack := []*types.Var{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+type lockorder struct {
+	pass    *analysis.Pass
+	names   map[*types.Var]string
+	decls   map[*types.Func]*body
+	summing map[*types.Func]bool
+	sums    map[*types.Func]*summary
+}
+
+// findLockNames pre-computes "Type.field" display names for the mutex
+// fields of package structs; other mutex vars fall back to their own name.
+func (lo *lockorder) findLockNames() {
+	scope := lo.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fld := st.Field(i); isMutex(fld.Type()) {
+				lo.names[fld] = tn.Name() + "." + fld.Name()
+			}
+		}
+	}
+}
+
+func (lo *lockorder) name(v *types.Var) string {
+	if n, ok := lo.names[v]; ok {
+		return n
+	}
+	return v.Name()
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == "Mutex" || n == "RWMutex"
+}
+
+// mutexVarOf resolves the lock variable of a x.mu.Lock()-shaped selector
+// base: the mutex-typed field or variable being locked, or nil.
+func (lo *lockorder) mutexVarOf(e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := lo.pass.ObjectOf(x.Sel).(*types.Var); ok && isMutex(v.Type()) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := lo.pass.ObjectOf(x).(*types.Var); ok && isMutex(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+// collect splits one declaration into analysis bodies — the declaration
+// itself plus one per function literal — and records each body's events.
+func (lo *lockorder) collect(fd *ast.FuncDecl) []*body {
+	var out []*body
+	var walk func(name string, fn *types.Func, node ast.Node, end token.Pos)
+	walk = func(name string, fn *types.Func, node ast.Node, end token.Pos) {
+		b := &body{fn: fn, name: name, end: end}
+		var lits []*ast.FuncLit
+		skip := map[ast.Node]bool{}
+		ast.Inspect(node, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && n != node {
+				lits = append(lits, fl)
+				return false // a literal's statements are its own body
+			}
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred Unlock runs at return: the lock is held to the
+				// body end, so the unlock event must not close the region
+				// at the defer statement's position.
+				if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") &&
+					lo.mutexVarOf(sel.X) != nil {
+					skip[x.Call] = true
+				}
+			case *ast.GoStmt:
+				// The spawned call runs in a new goroutine, not under any
+				// lock the spawner holds.
+				skip[x.Call] = true
+			}
+			if !skip[n] {
+				lo.record(b, n)
+			}
+			return true
+		})
+		out = append(out, b)
+		for i, fl := range lits {
+			walk(fmt.Sprintf("%s.func%d", name, i+1), nil, fl.Body, fl.Body.End())
+		}
+	}
+	walk(fd.Name.Name, lo.funcObj(fd), fd.Body, fd.Body.End())
+	return out
+}
+
+func (lo *lockorder) funcObj(fd *ast.FuncDecl) *types.Func {
+	fn, _ := lo.pass.ObjectOf(fd.Name).(*types.Func)
+	return fn
+}
+
+// record classifies one node into the body's event stream.
+func (lo *lockorder) record(b *body, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.SendStmt:
+		if !lo.inSelectWithDefault(x) {
+			b.events = append(b.events, event{pos: x.Pos(), kind: "block",
+				desc: "channel send without a default case"})
+		}
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if ok {
+			name := sel.Sel.Name
+			switch name {
+			case "Lock", "RLock":
+				if v := lo.mutexVarOf(sel.X); v != nil {
+					b.events = append(b.events, event{pos: x.Pos(), kind: "lock", lock: v})
+					return
+				}
+			case "Unlock", "RUnlock":
+				if v := lo.mutexVarOf(sel.X); v != nil {
+					b.events = append(b.events, event{pos: x.Pos(), kind: "unlock", lock: v})
+					return
+				}
+			}
+		}
+		obj := lo.pass.CalleeObject(x)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch {
+		case fn.Pkg().Path() == "net" && netBlocking[fn.Name()]:
+			b.events = append(b.events, event{pos: x.Pos(), kind: "block",
+				desc: "network I/O (" + shortName(fn) + ")"})
+		case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+			b.events = append(b.events, event{pos: x.Pos(), kind: "block",
+				desc: shortName(fn) + " (waits for other goroutines)"})
+		case fn.Pkg() == lo.pass.Pkg:
+			b.events = append(b.events, event{pos: x.Pos(), kind: "call", fn: fn})
+		}
+	}
+}
+
+// inSelectWithDefault reports whether the send is the comm statement of
+// a select clause whose select carries a default (i.e. non-blocking).
+func (lo *lockorder) inSelectWithDefault(send *ast.SendStmt) bool {
+	found := false
+	for _, f := range lo.pass.Files {
+		if f.Pos() <= send.Pos() && send.End() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectStmt)
+				if !ok {
+					return true
+				}
+				hasDefault := false
+				isComm := false
+				for _, c := range sel.Body.List {
+					cc := c.(*ast.CommClause)
+					if cc.Comm == nil {
+						hasDefault = true
+					} else if cc.Comm.Pos() == send.Pos() {
+						isComm = true
+					}
+				}
+				if isComm && hasDefault {
+					found = true
+				}
+				return !found
+			})
+			break
+		}
+	}
+	return found
+}
+
+func shortName(fn *types.Func) string {
+	full := fn.FullName() // e.g. "(net.Conn).Read" or "net.DialTimeout"
+	return strings.ReplaceAll(full, "command-line-arguments", fn.Pkg().Name())
+}
+
+// region is one held span of a lock within a body.
+type region struct {
+	lock     *types.Var
+	from, to token.Pos
+}
+
+// heldRegions pairs each lock event with the first later unlock of the
+// same lock (deferred unlocks end at the body end). Events between two
+// paired statements count as "while held".
+func heldRegions(b *body) []region {
+	var out []region
+	used := map[int]bool{}
+	for i, ev := range b.events {
+		if ev.kind != "lock" {
+			continue
+		}
+		end := b.end
+		for j := i + 1; j < len(b.events); j++ {
+			e2 := b.events[j]
+			if e2.kind == "unlock" && e2.lock == ev.lock && !used[j] {
+				used[j] = true
+				end = e2.pos
+				break
+			}
+		}
+		out = append(out, region{lock: ev.lock, from: ev.pos, to: end})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].from < out[j].from })
+	return out
+}
+
+// summarize computes (memoized, cycle-safe) what fn does transitively:
+// locks acquired and blocking operations performed, through same-package
+// callees.
+func (lo *lockorder) summarize(fn *types.Func) *summary {
+	if s, ok := lo.sums[fn]; ok {
+		return s
+	}
+	if lo.summing[fn] {
+		return nil // recursion: the cycle's other frames cover it
+	}
+	b, ok := lo.decls[fn]
+	if !ok {
+		return nil
+	}
+	lo.summing[fn] = true
+	s := &summary{acquires: map[*types.Var]bool{}}
+	seenBlock := map[string]bool{}
+	for _, ev := range b.events {
+		switch ev.kind {
+		case "lock":
+			s.acquires[ev.lock] = true
+		case "block":
+			if !seenBlock[ev.desc] {
+				seenBlock[ev.desc] = true
+				s.blocking = append(s.blocking, ev.desc)
+			}
+		case "call":
+			if sub := lo.summarize(ev.fn); sub != nil {
+				for l := range sub.acquires {
+					s.acquires[l] = true
+				}
+				for _, d := range sub.blocking {
+					via := d + " in " + ev.fn.Name()
+					if !seenBlock[via] {
+						seenBlock[via] = true
+						s.blocking = append(s.blocking, via)
+					}
+				}
+			}
+		}
+	}
+	delete(lo.summing, fn)
+	lo.sums[fn] = s
+	return s
+}

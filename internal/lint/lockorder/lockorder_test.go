@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockorder.Analyzer, "lockorder")
+}

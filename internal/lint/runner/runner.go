@@ -25,6 +25,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -106,12 +107,13 @@ type ignoreDirective struct {
 	line     int
 	file     string
 	pos      token.Pos
+	used     bool // suppressed at least one diagnostic this run
 }
 
 // collectIgnores gathers the suppression directives of one file.
 // Malformed directives (no analyzer, or no reason) are returned
 // separately so the runner can report them.
-func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []ignoreDirective, malformed []analysis.Diagnostic) {
+func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, malformed []analysis.Diagnostic) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, IgnorePrefix) {
@@ -127,7 +129,7 @@ func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []ignoreDirective, m
 				continue
 			}
 			p := fset.Position(c.Pos())
-			dirs = append(dirs, ignoreDirective{
+			dirs = append(dirs, &ignoreDirective{
 				analyzer: fields[0],
 				reason:   strings.Join(fields[1:], " "),
 				line:     p.Line,
@@ -139,11 +141,43 @@ func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []ignoreDirective, m
 	return dirs, malformed
 }
 
+// Options tunes a runner invocation beyond the analyzer suite itself.
+type Options struct {
+	// UnusedIgnores additionally reports every //anclint:ignore directive
+	// that suppressed nothing this run: a dead suppression either
+	// outlived the finding it silenced (delete it) or never matched one
+	// (typo'd analyzer name, wrong line) — both are lies to the reader.
+	UnusedIgnores bool
+}
+
+// Result is everything one runner invocation learned.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Finding
+	// Packages lists the import path of every package the run
+	// type-checked and analyzed, sorted. The scoping test diffs this
+	// against the module's directory tree so new packages cannot
+	// silently escape lint.
+	Packages []string
+	// ModuleDir is the absolute module root the run loaded from;
+	// PrintJSON uses it to emit module-relative file paths.
+	ModuleDir string
+}
+
 // Run loads the packages matching patterns and applies every scoped
 // analyzer whose scope covers them. Findings come back sorted by
 // position; an error means the run itself failed (parse failure, missing
 // directory), not that findings exist.
 func Run(moduleDir string, patterns []string, suite []Scoped) ([]Finding, error) {
+	res, err := RunWithOptions(moduleDir, patterns, suite, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunWithOptions is Run with Options and the full Result.
+func RunWithOptions(moduleDir string, patterns []string, suite []Scoped, opts Options) (*Result, error) {
 	l, err := load.NewLoader(moduleDir)
 	if err != nil {
 		return nil, err
@@ -152,12 +186,14 @@ func Run(moduleDir string, patterns []string, suite []Scoped) ([]Finding, error)
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{ModuleDir: l.ModuleRoot()}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		if pkg.Types == nil {
 			continue
 		}
-		var ignores []ignoreDirective
+		res.Packages = append(res.Packages, pkg.Path)
+		var ignores []*ignoreDirective
 		for _, f := range pkg.Files {
 			dirs, malformed := collectIgnores(pkg.Fset, f)
 			ignores = append(ignores, dirs...)
@@ -200,7 +236,22 @@ func Run(moduleDir string, patterns []string, suite []Scoped) ([]Finding, error)
 				})
 			}
 		}
+		if opts.UnusedIgnores {
+			for _, d := range ignores {
+				if d.used {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: "anclint",
+					Pos:      pkg.Fset.Position(d.pos),
+					Message: fmt.Sprintf(
+						"unused //anclint:ignore %s directive (%q): no finding here to suppress; delete it",
+						d.analyzer, d.reason),
+				})
+			}
+		}
 	}
+	sort.Strings(res.Packages)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -214,13 +265,15 @@ func Run(moduleDir string, patterns []string, suite []Scoped) ([]Finding, error)
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	res.Findings = findings
+	return res, nil
 }
 
-// suppressed reports whether a directive covers the diagnostic: same
+// suppressed reports whether a directive covers the diagnostic — same
 // file, matching analyzer (or "all"), on the directive's line or the one
-// directly below.
-func suppressed(dirs []ignoreDirective, analyzer string, pos token.Position) bool {
+// directly below — and marks the matching directive used so
+// Options.UnusedIgnores can flag the dead ones.
+func suppressed(dirs []*ignoreDirective, analyzer string, pos token.Position) bool {
 	for _, d := range dirs {
 		if d.file != pos.Filename {
 			continue
@@ -229,6 +282,7 @@ func suppressed(dirs []ignoreDirective, analyzer string, pos token.Position) boo
 			continue
 		}
 		if pos.Line == d.line || pos.Line == d.line+1 {
+			d.used = true
 			return true
 		}
 	}
@@ -240,4 +294,47 @@ func Print(w io.Writer, findings []Finding) {
 	for _, f := range findings {
 		fmt.Fprintln(w, f.String())
 	}
+}
+
+// jsonFinding is the machine-readable shape of one finding. File is
+// module-relative when the finding lies under the module root, so CI
+// annotation steps can pass it straight to the source-control host.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// PrintJSON renders the full result as one JSON object:
+//
+//	{"findings": [{"analyzer", "file", "line", "col", "message"}, ...],
+//	 "packages": ["anc", "anc/internal/core", ...]}
+//
+// findings is always an array (never null), so `jq '.findings[]'`
+// consumers need no null guard.
+func PrintJSON(w io.Writer, res *Result) error {
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+		Packages []string      `json:"packages"`
+	}{Findings: make([]jsonFinding, 0, len(res.Findings)), Packages: res.Packages}
+	for _, f := range res.Findings {
+		file := f.Pos.Filename
+		if res.ModuleDir != "" {
+			if rel, err := filepath.Rel(res.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out.Findings = append(out.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

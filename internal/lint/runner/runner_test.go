@@ -1,6 +1,9 @@
 package runner_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -25,9 +28,9 @@ func TestIgnoreDirectives(t *testing.T) {
 	joined := strings.Join(got, "\n")
 
 	wantSubstr := []string{
-		"malformed ignore",           // the reason-less directive
-		"float equality != between",  // the finding it failed to suppress
-		"float equality == between",  // the unsuppressed function
+		"malformed ignore",          // the reason-less directive
+		"float equality != between", // the finding it failed to suppress
+		"float equality == between", // the unsuppressed function
 	}
 	for _, w := range wantSubstr {
 		if !strings.Contains(joined, w) {
@@ -39,6 +42,96 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if len(findings) != 3 {
 		t.Errorf("want 3 findings total, got %d:\n%s", len(findings), joined)
+	}
+}
+
+// TestUnusedIgnores checks the -unused-ignores mode: a directive that
+// suppressed a finding is kept, one that suppressed nothing (wrong site
+// or typo'd analyzer name) is reported — and only in that mode.
+func TestUnusedIgnores(t *testing.T) {
+	suite := []runner.Scoped{{Analyzer: floateq.Analyzer}}
+	pats := []string{"../testdata/src/unusedignores"}
+
+	res, err := runner.RunWithOptions(".", pats, suite, runner.Options{UnusedIgnores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused, other []string
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "unused //anclint:ignore") {
+			unused = append(unused, f.String())
+		} else {
+			other = append(other, f.String())
+		}
+	}
+	if len(unused) != 2 {
+		t.Errorf("want 2 unused-ignore findings (wrong site + typo), got %d:\n%s",
+			len(unused), strings.Join(unused, "\n"))
+	}
+	// The typo'd directive also fails to suppress its floateq finding.
+	if len(other) != 1 || !strings.Contains(other[0], "float equality") {
+		t.Errorf("want exactly the typo'd function's floateq finding, got:\n%s",
+			strings.Join(other, "\n"))
+	}
+
+	// Without the option only the floateq finding surfaces.
+	plain, err := runner.Run(".", pats, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 {
+		t.Errorf("without UnusedIgnores want 1 finding, got %d", len(plain))
+	}
+}
+
+// TestPrintJSON checks the machine-readable output: a findings array
+// (never null) with module-relative slash-separated paths, plus the
+// analyzed-package list.
+func TestPrintJSON(t *testing.T) {
+	suite := []runner.Scoped{{Analyzer: floateq.Analyzer}}
+	res, err := runner.RunWithOptions(".", []string{"../testdata/src/ignores"}, suite, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runner.PrintJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Packages []string `json:"packages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.Findings) != 3 {
+		t.Errorf("want 3 findings, got %d:\n%s", len(out.Findings), buf.String())
+	}
+	for _, f := range out.Findings {
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file %q is not a module-relative slash path", f.File)
+		}
+		if f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding %+v", f)
+		}
+	}
+	if len(out.Packages) != 1 || !strings.HasSuffix(out.Packages[0], "ignores") {
+		t.Errorf("want the single ignores fixture package, got %v", out.Packages)
+	}
+
+	// An empty result still renders an array, so jq needs no null guard.
+	buf.Reset()
+	if err := runner.PrintJSON(&buf, &runner.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty findings must render as [], got:\n%s", buf.String())
 	}
 }
 

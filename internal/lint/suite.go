@@ -9,12 +9,16 @@ import (
 	"anc/internal/lint/determinism"
 	"anc/internal/lint/droppederr"
 	"anc/internal/lint/floateq"
+	"anc/internal/lint/goleak"
+	"anc/internal/lint/hotalloc"
 	"anc/internal/lint/lockdiscipline"
+	"anc/internal/lint/lockorder"
 	"anc/internal/lint/nakedexp"
 	"anc/internal/lint/passes/atomicheck"
 	"anc/internal/lint/passes/copylocks"
 	"anc/internal/lint/passes/lostcancel"
 	"anc/internal/lint/runner"
+	"anc/internal/lint/wirecomplete"
 )
 
 // Suite returns the scoped analyzer suite for this module.
@@ -38,11 +42,15 @@ func Suite() []runner.Scoped {
 		},
 		{
 			// Durability code must not drop Write/Sync/Close/Flush errors:
-			// the WAL, the durable/concurrent wrappers, and the CLIs.
+			// the WAL, the durable/concurrent wrappers, the CLIs, and the
+			// whole serving stack (server, client, replication, obs, bench).
 			Analyzer: droppederr.Analyzer,
 			Include: []string{
 				"anc",
 				"anc/internal/wal",
+				"anc/internal/serve/...",
+				"anc/internal/obs",
+				"anc/internal/bench",
 				"anc/cmd/...",
 			},
 		},
@@ -64,12 +72,47 @@ func Suite() []runner.Scoped {
 				"anc/internal/decay",
 				"anc/internal/graph",
 				"anc/internal/baseline/louvain",
+				// The shared backoff helper: its one wall-clock read (the
+				// seed-0 fallback) must stay explicitly annotated.
+				"anc/internal/serve/backoff",
 			},
 		},
 		{
 			// The concurrency wrappers live in the root package.
 			Analyzer: lockdiscipline.Analyzer,
 			Include:  []string{"anc"},
+		},
+		{
+			// Lock-acquisition ordering and no blocking calls under a held
+			// mutex, in every package that mixes locks with goroutines or
+			// network I/O.
+			Analyzer: lockorder.Analyzer,
+			Include: []string{
+				"anc",
+				"anc/internal/serve/...",
+				"anc/internal/obs",
+				"anc/internal/wal",
+			},
+		},
+		{
+			// Every goroutine needs a provable join/stop path, everywhere
+			// except the lint tree's own fixtures and helpers.
+			Analyzer: goleak.Analyzer,
+			Exclude:  []string{"anc/internal/lint/..."},
+		},
+		{
+			// //anclint:hotpath bodies must not allocate. Module-wide: the
+			// annotation is opt-in per function, so unannotated packages are
+			// free.
+			Analyzer: hotalloc.Analyzer,
+			Exclude:  []string{"anc/internal/lint/..."},
+		},
+		{
+			// The wire-protocol package must keep every Op*/ErrCode*
+			// constant fully wired: names, encoders, decoders, fuzz corpus,
+			// client methods, metrics table.
+			Analyzer: wirecomplete.Analyzer,
+			Include:  []string{"anc/internal/serve"},
 		},
 		// Stock passes run module-wide.
 		{Analyzer: copylocks.Analyzer},

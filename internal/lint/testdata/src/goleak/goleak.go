@@ -1,0 +1,125 @@
+// Package goleak exercises the goroutine-leak analyzer: every go
+// statement needs join/stop evidence in its launched body.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	tasks chan int
+	done  chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// WaitGroup join: the owner waits via wg.Wait.
+func (w *worker) startWG() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for t := range w.tasks {
+			_ = t
+		}
+	}()
+}
+
+// Close-guarded done channel.
+func (w *worker) startDone() {
+	go func() {
+		defer close(w.done)
+		for t := range w.tasks {
+			_ = t
+		}
+	}()
+}
+
+// Stop-channel select.
+func (w *worker) startStop() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case t := <-w.tasks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// Context cancellation.
+func startCtx(ctx context.Context, tasks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-tasks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// Loop-free completion send: the result channel is the join.
+func startResult(compute func() int) chan int {
+	result := make(chan int, 1)
+	go func() {
+		result <- compute()
+	}()
+	return result
+}
+
+// A named method whose body carries the evidence.
+func (w *worker) loop() {
+	defer close(w.done)
+	for range w.tasks {
+	}
+}
+
+func (w *worker) startMethod() {
+	go w.loop()
+}
+
+// Evidence through a same-package helper call.
+func (w *worker) helperDone() {
+	w.wg.Done()
+}
+
+func (w *worker) runHelper() {
+	defer w.helperDone()
+	for range w.tasks {
+	}
+}
+
+func (w *worker) startHelper() {
+	w.wg.Add(1)
+	go w.runHelper()
+}
+
+// Fire-and-forget polling loop: nothing stops it.
+func (w *worker) poll() {}
+
+func (w *worker) leak() {
+	go func() { // want "no provable join or stop path"
+		for {
+			w.poll()
+		}
+	}()
+}
+
+// An infinite producer: a send inside a loop is not a completion signal.
+func leakProducer(out chan int) {
+	go func() { // want "no provable join or stop path"
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}
+
+// A body from outside the package cannot be analyzed.
+func leakExternal(srv interface{ ListenAndServe() error }) {
+	go srv.ListenAndServe() // want "no provable join or stop path"
+}

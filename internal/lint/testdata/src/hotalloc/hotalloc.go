@@ -1,0 +1,134 @@
+// Package hotalloc exercises the hot-path allocation analyzer: bodies
+// marked //anclint:hotpath must not contain allocating constructs;
+// unmarked functions may do whatever they like.
+package hotalloc
+
+type point struct{ x, y int }
+
+type sinkIface interface{ m() }
+
+type impl struct{}
+
+func (impl) m() {}
+
+// ---- passing hot paths ----
+
+//anclint:hotpath
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// putU32 packs in place: index writes into caller storage are free.
+//
+//anclint:hotpath
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// A struct value literal stays on the stack.
+//
+//anclint:hotpath
+func mid(a, b point) point {
+	return point{(a.x + b.x) / 2, (a.y + b.y) / 2}
+}
+
+// Passing an interface value to an interface parameter does not box.
+//
+//anclint:hotpath
+func forward(s sinkIface) {
+	use(s)
+}
+
+// Comparisons and indexing on strings are allocation-free.
+//
+//anclint:hotpath
+func strEq(a, b string) bool {
+	return len(a) == len(b) && (len(a) == 0 || a[0] == b[0]) && a == b
+}
+
+// Unmarked: allocation is fine here.
+func unmarked(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ---- flagged hot paths ----
+
+//anclint:hotpath
+func badMake(n int) []int {
+	return make([]int, n) // want "hotpath badMake: make allocates"
+}
+
+//anclint:hotpath
+func badNew() *int {
+	return new(int) // want "hotpath badNew: new allocates"
+}
+
+//anclint:hotpath
+func badAddrLit() *point {
+	return &point{1, 2} // want "hotpath badAddrLit: &composite-literal allocates"
+}
+
+//anclint:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want "hotpath badSliceLit: slice literal allocates"
+}
+
+//anclint:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "hotpath badMapLit: map literal allocates"
+}
+
+//anclint:hotpath
+func badAppend(xs []int, v int) []int {
+	return append(xs, v) // want "hotpath badAppend: append may \(re\)allocate"
+}
+
+//anclint:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want "hotpath badClosure: closure allocates"
+}
+
+//anclint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "hotpath badConcat: string concatenation allocates"
+}
+
+//anclint:hotpath
+func badBytes(s string) []byte {
+	return []byte(s) // want "hotpath badBytes: string conversion copies and allocates"
+}
+
+//anclint:hotpath
+func badString(b []byte) string {
+	return string(b) // want "hotpath badString: string conversion copies and allocates"
+}
+
+//anclint:hotpath
+func badExplicitIface(v impl) sinkIface {
+	return sinkIface(v) // want "hotpath badExplicitIface: interface conversion boxes the value onto the heap"
+}
+
+//anclint:hotpath
+func badImplicitIface(v int) {
+	sinkAny(v) // want "hotpath badImplicitIface: argument boxed into interface parameter"
+}
+
+//anclint:hotpath
+func badVariadicIface(a, b int) {
+	sinkVariadic(a, b) // want "hotpath badVariadicIface: argument boxed into interface parameter" "hotpath badVariadicIface: argument boxed into interface parameter"
+}
+
+func use(sinkIface)               {}
+func sinkAny(interface{})         {}
+func sinkVariadic(...interface{}) {}

@@ -1,0 +1,192 @@
+// Package lockorder exercises the lock-acquisition-graph analyzer: lock
+// cycles, self-reacquisition, and blocking calls (network I/O, channel
+// send, Wait) made while a lock is held.
+package lockorder
+
+import (
+	"net"
+	"sync"
+)
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ab holds A.mu while taking B.mu; ba does the reverse. Together they
+// form the classic two-lock cycle — both acquisition sites are flagged.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock cycle"
+	b.n++
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "lock cycle"
+	a.n++
+	a.mu.Unlock()
+}
+
+// sequential releases B.mu before taking A.mu: no overlap, no edge, so
+// it does not feed the ab/ba cycle.
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// cd and holdsCallsLockD both order C.mu before D.mu — a consistent
+// hierarchy, so the C→D edges never close a cycle.
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+func holdsCallsLockD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d)
+}
+
+// again re-locks a mutex it already holds: immediate self-deadlock.
+func again(c *C) {
+	c.mu.Lock()
+	c.mu.Lock() // want "acquired while already held"
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// holdsDuringIO reads from the network under the lock.
+func holdsDuringIO(c *C, conn net.Conn, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn.Read(buf) // want "network I/O .* while holding C.mu"
+	c.n++
+}
+
+// ioOutside releases first: fine.
+func ioOutside(c *C, conn net.Conn, buf []byte) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	conn.Read(buf)
+}
+
+// dialHelper blocks on the network; callers holding a lock are flagged
+// through the call-graph summary.
+func dialHelper(addr string) net.Conn {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil
+	}
+	return conn
+}
+
+func holdsDuringDial(c *C, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dialHelper(addr) // want "call to dialHelper, which performs network I/O"
+	c.n++
+}
+
+// sendWhileHeld blocks on an unbuffered peer under the lock; the select
+// with a default in sendNonBlocking cannot block and passes.
+func sendWhileHeld(c *C, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- 1 // want "channel send without a default case while holding C.mu"
+	c.n++
+}
+
+func sendNonBlocking(c *C, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	c.n++
+}
+
+// waitWhileHeld parks under the lock until other goroutines finish —
+// goroutines that may themselves need the lock.
+func waitWhileHeld(c *C, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want "Wait .*while holding C.mu"
+	c.n++
+}
+
+// spawns launches a goroutine while holding the lock: the goroutine's
+// body does not run under the lock, so its network read is fine.
+func spawns(c *C, conn net.Conn, buf []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	go func() {
+		conn.Read(buf)
+	}()
+}
+
+// E/F close a cycle where one direction goes through a helper call.
+type E struct {
+	mu sync.Mutex
+	n  int
+}
+
+type F struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+}
+
+func fThenE(f *F, e *E) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lockE(e) // want "lock cycle"
+}
+
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock() // want "lock cycle"
+	f.n++
+	f.mu.Unlock()
+}

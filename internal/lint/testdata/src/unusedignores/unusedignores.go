@@ -1,0 +1,22 @@
+// Package unusedignores exercises the runner's -unused-ignores check:
+// directives that suppress a real finding survive, directives that
+// suppress nothing are themselves reported.
+package unusedignores
+
+// Live: suppresses a real floateq finding, so -unused-ignores keeps it.
+func live(a, b float64) bool {
+	return a == b //anclint:ignore floateq bit-exact comparison is the point
+}
+
+// Dead: integers never trigger floateq, so this directive has no
+// finding to suppress.
+func deadWrongSite(a, b int) bool {
+	return a == b //anclint:ignore floateq nothing here ever fires
+}
+
+// Dead: the analyzer name is typo'd, so it can never match a finding —
+// and the floateq finding it meant to silence survives.
+func deadTypo(a, b float64) bool {
+	//anclint:ignore floateqq typo'd analyzer name
+	return a == b
+}

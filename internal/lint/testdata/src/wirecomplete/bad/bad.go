@@ -1,0 +1,53 @@
+// Package bad declares wire constants with missing wiring: OpOrphan
+// exists only in the const block, ErrCodeLost has no name case or test
+// coverage, and there is no [opMax]-sized metrics table.
+package bad
+
+// Wire ops.
+const (
+	OpPing uint8 = iota + 1
+	OpOrphan // want "wire op OpOrphan: no case in any .Name function" "wire op OpOrphan: not referenced by any Encode function" "wire op OpOrphan: not referenced by any Decode function" "wire op OpOrphan: not referenced in any package test file" "wire op OpOrphan: no reference under client/"
+	opMax    // want "opMax: no .opMax.-sized array in the package"
+)
+
+// Error codes.
+const (
+	ErrCodeBad  uint8 = iota + 1
+	ErrCodeLost // want "error code ErrCodeLost: no case in any .Name function" "error code ErrCodeLost: not referenced in any package test file"
+)
+
+// OpName labels the ops it knows about.
+func OpName(op uint8) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	}
+	return "unknown"
+}
+
+func errCodeName(code uint8) string {
+	switch code {
+	case ErrCodeBad:
+		return "bad"
+	}
+	return "unknown"
+}
+
+// EncodeRequest knows only OpPing.
+func EncodeRequest(op uint8, buf []byte) []byte {
+	switch op {
+	case OpPing:
+		buf = append(buf, op)
+	}
+	return buf
+}
+
+// DecodeRequest knows only OpPing.
+func DecodeRequest(buf []byte) (uint8, bool) {
+	if len(buf) == 1 && buf[0] == OpPing {
+		return OpPing, true
+	}
+	return 0, false
+}
+
+var _ = errCodeName

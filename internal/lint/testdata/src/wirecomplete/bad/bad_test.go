@@ -1,0 +1,13 @@
+package bad
+
+import "testing"
+
+// TestPing covers OpPing and ErrCodeBad only — OpOrphan and ErrCodeLost
+// are deliberately absent from the corpus.
+func TestPing(t *testing.T) {
+	got, ok := DecodeRequest(EncodeRequest(OpPing, nil))
+	if !ok || got != OpPing {
+		t.Fatal("ping round trip")
+	}
+	_ = errCodeName(ErrCodeBad)
+}

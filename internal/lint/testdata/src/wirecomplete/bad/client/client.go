@@ -1,0 +1,7 @@
+// Package client references only OpPing — OpOrphan has no typed
+// client method.
+package client
+
+var speaks = []uint8{OpPing}
+
+const OpPing uint8 = 1

@@ -1,0 +1,13 @@
+// Package client is the raw-parsed typed client of the good protocol:
+// it references every request op by name.
+package client
+
+// speaks lists the ops this client issues: OpPing and OpGet. The
+// analyzer matches the identifiers; this file is parsed, not compiled.
+var speaks = []uint8{OpPing, OpGet}
+
+// Placeholder declarations so the file parses standalone.
+const (
+	OpPing uint8 = 1
+	OpGet  uint8 = 2
+)

@@ -1,0 +1,68 @@
+// Package good is a fully wired miniature protocol: every op has a
+// name case, encoder and decoder references, a test reference (in
+// good_test.go, raw-parsed) and a client reference (in client/,
+// raw-parsed), and the per-op metrics table is sized by opMax.
+package good
+
+// Wire ops.
+const (
+	OpPing uint8 = iota + 1
+	OpGet
+	opMax
+)
+
+// Error codes.
+const (
+	ErrCodeBad uint8 = iota + 1
+)
+
+// table is the per-op metrics table, sized by the op space.
+var table [opMax]uint64
+
+// OpName labels each op.
+func OpName(op uint8) string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	}
+	return "unknown"
+}
+
+func errCodeName(code uint8) string {
+	switch code {
+	case ErrCodeBad:
+		return "bad"
+	}
+	return "unknown"
+}
+
+// EncodeRequest produces the one-byte wire form.
+func EncodeRequest(op uint8, buf []byte) []byte {
+	switch op {
+	case OpPing, OpGet:
+		buf = append(buf, op)
+	}
+	return buf
+}
+
+// DecodeRequest parses it back.
+func DecodeRequest(buf []byte) (uint8, bool) {
+	if len(buf) == 0 {
+		return 0, false
+	}
+	switch buf[0] {
+	case OpPing, OpGet:
+		return buf[0], true
+	}
+	return 0, false
+}
+
+// touch keeps the table and name helpers referenced.
+func touch(op uint8) string {
+	table[op]++
+	return errCodeName(ErrCodeBad) + OpName(op)
+}
+
+var _ = touch

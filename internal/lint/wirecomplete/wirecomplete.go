@@ -1,0 +1,268 @@
+// Package wirecomplete checks that every wire-protocol constant is
+// fully wired through the serving stack. PR 5's protocol review found
+// the failure mode this automates away: an op constant added for one
+// side of the wire and forgotten everywhere else — decodable but never
+// encodable, invisible in metrics, untested against corruption, or
+// unreachable from the client library.
+//
+// The analyzer activates on packages that declare exported integer
+// constants named Op* together with a lowercase opMax terminator (the
+// shape of internal/serve). For each op constant it requires:
+//
+//   - a reference inside a *Name function (OpName) — per-op metric
+//     series and log lines are labeled by that switch, so a missing
+//     case silently merges the op into "unknown";
+//   - a reference inside an Encode* function and inside a Decode*
+//     function — both directions of the wire must know the op (for
+//     push-only ops the Decode reference is the explicit rejection);
+//   - a reference in some *_test.go of the package directory — the
+//     decode∘encode round-trip/fuzz corpus must include the op;
+//   - a reference anywhere under the package's client/ subdirectory —
+//     a typed client method — or an explicit
+//     //anclint:ignore wirecomplete <reason> exemption on the constant.
+//
+// ErrCode* constants need the *Name case and the test reference.
+// Finally, the package must declare an [opMax]-sized array — the
+// per-op metrics table whose length tracks the op space by
+// construction.
+//
+// Test files and the client/ subdirectory are not loaded by the module
+// loader (it skips _test.go and nested packages), so those two checks
+// parse the files directly from the package directory and match the
+// constant by identifier name.
+package wirecomplete
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anc/internal/lint/analysis"
+)
+
+// Analyzer flags wire constants missing encoder, decoder, name, test,
+// client or metrics wiring.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecomplete",
+	Doc: "every Op*/ErrCode* wire constant needs a *Name case, Encode* " +
+		"and Decode* references, a test-corpus reference, a client " +
+		"method (or explicit exemption), and an [opMax]-sized metrics " +
+		"table in the package",
+	Run: run,
+}
+
+// wireConst is one Op*/ErrCode* constant under audit.
+type wireConst struct {
+	obj *types.Const
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var ops, errCodes []wireConst
+	var term *wireConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.ObjectOf(name).(*types.Const)
+					if !ok || !isInteger(c.Type()) {
+						continue
+					}
+					wc := wireConst{obj: c, pos: name.Pos()}
+					switch {
+					case strings.HasPrefix(name.Name, "Op") && ast.IsExported(name.Name):
+						ops = append(ops, wc)
+					case strings.HasPrefix(name.Name, "ErrCode"):
+						errCodes = append(errCodes, wc)
+					case name.Name == "opMax":
+						t := wc
+						term = &t
+					}
+				}
+			}
+		}
+	}
+	if len(ops) == 0 || term == nil {
+		return nil, nil // not a wire-protocol package
+	}
+
+	named, encoded, decoded := scanFunctions(pass)
+	dir := packageDir(pass)
+	testRefs := identsIn(dir, func(name string) bool {
+		return strings.HasSuffix(name, "_test.go")
+	})
+	clientRefs := identsIn(filepath.Join(dir, "client"), func(name string) bool {
+		return strings.HasSuffix(name, ".go")
+	})
+
+	for _, op := range ops {
+		n := op.obj.Name()
+		if !named[op.obj] {
+			pass.Reportf(op.pos,
+				"wire op %s: no case in any *Name function; per-op metric series and log labels come from that switch", n)
+		}
+		if !encoded[op.obj] {
+			pass.Reportf(op.pos,
+				"wire op %s: not referenced by any Encode function; nothing can produce it on the wire", n)
+		}
+		if !decoded[op.obj] {
+			pass.Reportf(op.pos,
+				"wire op %s: not referenced by any Decode function; not even an explicit rejection parses it", n)
+		}
+		if !testRefs[n] {
+			pass.Reportf(op.pos,
+				"wire op %s: not referenced in any package test file; add it to the round-trip/fuzz corpus", n)
+		}
+		if !clientRefs[n] {
+			pass.Reportf(op.pos,
+				"wire op %s: no reference under client/; add a typed client method or exempt with //anclint:ignore wirecomplete <reason>", n)
+		}
+	}
+	for _, ec := range errCodes {
+		n := ec.obj.Name()
+		if !named[ec.obj] {
+			pass.Reportf(ec.pos,
+				"error code %s: no case in any *Name function; error metrics are labeled by that switch", n)
+		}
+		if !testRefs[n] {
+			pass.Reportf(ec.pos,
+				"error code %s: not referenced in any package test file; error replies need round-trip coverage", n)
+		}
+	}
+	if !hasOpSizedArray(pass, term.obj) {
+		pass.Reportf(term.pos,
+			"%s: no [%s]-sized array in the package; the per-op metrics table must be indexed by wire op so its length tracks the op space",
+			term.obj.Name(), term.obj.Name())
+	}
+	return nil, nil
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// scanFunctions records, for every constant object, whether it is
+// referenced inside a *Name, Encode* or Decode* function of the loaded
+// package files.
+func scanFunctions(pass *analysis.Pass) (named, encoded, decoded map[types.Object]bool) {
+	named = map[types.Object]bool{}
+	encoded = map[types.Object]bool{}
+	decoded = map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fname := fd.Name.Name
+			isName := strings.Contains(fname, "Name")
+			isEnc := hasPrefixFold(fname, "encode")
+			isDec := hasPrefixFold(fname, "decode")
+			if !isName && !isEnc && !isDec {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.ObjectOf(id).(*types.Const)
+				if !ok {
+					return true
+				}
+				if isName {
+					named[obj] = true
+				}
+				if isEnc {
+					encoded[obj] = true
+				}
+				if isDec {
+					decoded[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return named, encoded, decoded
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// packageDir resolves the on-disk directory of the package under
+// analysis from its first file's position.
+func packageDir(pass *analysis.Pass) string {
+	for _, f := range pass.Files {
+		return filepath.Dir(pass.Fset.Position(f.Pos()).Filename)
+	}
+	return ""
+}
+
+// identsIn parses every file of dir accepted by keep (without
+// type-checking — these are files the module loader skips) and returns
+// the set of identifier names appearing in them. A missing or
+// unreadable directory yields an empty set: the absence of references
+// is exactly what the caller then reports.
+func identsIn(dir string, keep func(name string) bool) map[string]bool {
+	names := map[string]bool{}
+	if dir == "" {
+		return names
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return names
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || !keep(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// hasOpSizedArray reports whether any array type in the package uses
+// the terminator constant as its length.
+func hasOpSizedArray(pass *analysis.Pass, term *types.Const) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			at, ok := n.(*ast.ArrayType)
+			if !ok || at.Len == nil {
+				return true
+			}
+			if id, ok := ast.Unparen(at.Len).(*ast.Ident); ok && pass.ObjectOf(id) == term {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,13 @@
+package wirecomplete_test
+
+import (
+	"testing"
+
+	"anc/internal/lint/analysistest"
+	"anc/internal/lint/wirecomplete"
+)
+
+func TestWireComplete(t *testing.T) {
+	analysistest.Run(t, "../testdata", wirecomplete.Analyzer,
+		"wirecomplete/good", "wirecomplete/bad")
+}

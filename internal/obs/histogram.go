@@ -39,6 +39,7 @@ type atomicFloat struct {
 	bits atomic.Uint64
 }
 
+//anclint:hotpath
 func (f *atomicFloat) add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -82,6 +83,8 @@ func newHistogram(upper []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//anclint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// TestHotPathAllocs is the dynamic half of the //anclint:hotpath
+// contract (DESIGN.md §14): the instrument-side handle methods must run
+// allocation-free, both live and with observability off (nil handles).
+func TestHotPathAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("anc_test_hot_counter", "t")
+	g := reg.Gauge("anc_test_hot_gauge", "t")
+	h := reg.Histogram("anc_test_hot_hist", "t", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Inc()
+		g.Dec()
+		g.Add(-2)
+		h.Observe(1.5e-4)
+	}); n != 0 {
+		t.Errorf("live handles: %v allocs/op, want 0", n)
+	}
+
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nc.Add(3)
+		ng.Set(7)
+		ng.Add(-2)
+		nh.Observe(1.5e-4)
+	}); n != 0 {
+		t.Errorf("nil handles: %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkHotPathHandles is run by `make bench-smoke` under -benchmem
+// so a handle-method allocation regression is visible as allocs/op.
+func BenchmarkHotPathHandles(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("anc_bench_hot_counter", "t")
+	h := reg.Histogram("anc_bench_hot_hist", "t", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

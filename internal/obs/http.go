@@ -11,7 +11,7 @@ import (
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
-		r.WritePrometheus(w) //anclint:ignore droppederr a failed scrape write is the scraper's problem; nothing to recover server-side
+		r.WritePrometheus(w)
 	})
 }
 

@@ -35,6 +35,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//anclint:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -42,6 +44,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//anclint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -49,6 +53,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Value returns the current count (0 on a nil handle).
+//
+//anclint:hotpath
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -62,6 +68,8 @@ type Gauge struct {
 }
 
 // Set stores n.
+//
+//anclint:hotpath
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -69,6 +77,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Inc adds one.
+//
+//anclint:hotpath
 func (g *Gauge) Inc() {
 	if g != nil {
 		g.v.Add(1)
@@ -76,6 +86,8 @@ func (g *Gauge) Inc() {
 }
 
 // Dec subtracts one.
+//
+//anclint:hotpath
 func (g *Gauge) Dec() {
 	if g != nil {
 		g.v.Add(-1)
@@ -83,6 +95,8 @@ func (g *Gauge) Dec() {
 }
 
 // Add adds n (which may be negative).
+//
+//anclint:hotpath
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -90,6 +104,8 @@ func (g *Gauge) Add(n int64) {
 }
 
 // Value returns the current value (0 on a nil handle).
+//
+//anclint:hotpath
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0

@@ -1,0 +1,71 @@
+// Package backoff is the capped exponential backoff with jitter shared
+// by the client's idempotent-query retries and the replication
+// follower's reconnect loop. Both sites want the same shape — sleeps
+// drawn from [cur, 2·cur) with cur doubling per failure, everything
+// capped at a maximum, reset to the minimum after progress — and both
+// had grown their own copy; this package is the single implementation.
+//
+// A Backoff is NOT safe for concurrent use: it owns a private
+// *rand.Rand (the global math/rand stream is off-limits under the
+// determinism analyzer) and mutates its current bound on every Next.
+// Create one per retry loop; they are two small words plus a generator,
+// and retry loops are never hot.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces a jittered, capped, exponentially growing sleep
+// sequence. The zero value is unusable; call New.
+type Backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	rng      *rand.Rand
+}
+
+// New returns a Backoff sleeping in [min, 2·min) on the first Next and
+// doubling the bound each call, capped at max. Out-of-range inputs are
+// normalized: a non-positive min becomes 25ms, a max below min becomes
+// min.
+//
+// seed fixes the jitter stream so tests (and the replication follower,
+// which threads Config.Seed through) get reproducible sleep sequences.
+// A zero seed draws one from the wall clock — the right choice for
+// client retries, where reproducibility buys nothing and distinct
+// clients SHOULD jitter differently to avoid thundering herds.
+func New(min, max time.Duration, seed int64) *Backoff {
+	if min <= 0 {
+		min = 25 * time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	if seed == 0 {
+		// Jitter seeding only: backoff sleeps never touch replayed state,
+		// so a wall-clock seed cannot break recovery equivalence.
+		seed = time.Now().UnixNano() //anclint:ignore determinism wall clock seeds retry jitter only, never replayed state
+	}
+	return &Backoff{min: min, max: max, cur: min, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next sleep: the current bound plus jitter in
+// [0, bound], capped at the maximum — i.e. a draw from [cur, 2·cur)
+// clipped to max — and then doubles the bound (also capped). The first
+// call after New or Reset draws from [min, 2·min).
+func (b *Backoff) Next() time.Duration {
+	sleep := b.cur + time.Duration(b.rng.Int63n(int64(b.cur)+1))
+	if sleep > b.max {
+		sleep = b.max
+	}
+	if b.cur *= 2; b.cur > b.max {
+		b.cur = b.max
+	}
+	return sleep
+}
+
+// Reset drops the bound back to the minimum. Call it after a try makes
+// real progress (a successful reply, an acknowledged subscription), so
+// the next failure starts the ramp from scratch.
+func (b *Backoff) Reset() { b.cur = b.min }

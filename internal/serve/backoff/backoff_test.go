@@ -1,0 +1,90 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterministicSeed: identical seeds must yield identical sleep
+// sequences (the follower threads Config.Seed here so chaos tests can
+// reproduce reconnect timing), and distinct seeds should not.
+func TestDeterministicSeed(t *testing.T) {
+	const n = 32
+	seq := func(seed int64) []time.Duration {
+		b := New(10*time.Millisecond, 400*time.Millisecond, seed)
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter sequences")
+	}
+}
+
+// TestBounds: every sleep lies in [cur, 2·cur) clipped to max, with cur
+// the doubling-from-min bound.
+func TestBounds(t *testing.T) {
+	const min, max = 10 * time.Millisecond, 300 * time.Millisecond
+	b := New(min, max, 7)
+	cur := min
+	for i := 0; i < 64; i++ {
+		got := b.Next()
+		lo, hi := cur, 2*cur
+		if lo > max {
+			lo = max
+		}
+		if hi > max {
+			hi = max
+		}
+		if got < lo || got > hi {
+			t.Fatalf("attempt %d: sleep %v outside [%v, %v]", i, got, lo, hi)
+		}
+		if cur *= 2; cur > max {
+			cur = max
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	const min, max = 10 * time.Millisecond, 10 * time.Second
+	b := New(min, max, 1)
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if got := b.Next(); got < min || got >= 2*min {
+		t.Fatalf("after Reset, sleep %v outside [%v, %v)", got, min, 2*min)
+	}
+}
+
+// TestNormalization: degenerate bounds are repaired, and seed 0 still
+// produces a usable generator.
+func TestNormalization(t *testing.T) {
+	b := New(0, -1, 0)
+	if got := b.Next(); got <= 0 {
+		t.Fatalf("normalized backoff returned %v", got)
+	}
+	// min > max collapses to min-only sleeps.
+	b = New(50*time.Millisecond, time.Millisecond, 3)
+	for i := 0; i < 8; i++ {
+		if got := b.Next(); got != 50*time.Millisecond {
+			t.Fatalf("collapsed range returned %v, want 50ms", got)
+		}
+	}
+}

@@ -11,13 +11,13 @@ import (
 	"bufio"
 	"context"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"anc"
 	"anc/internal/serve"
+	"anc/internal/serve/backoff"
 )
 
 // Option configures a Client at Dial time.
@@ -86,7 +86,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	// The mutex is the connection serializer by design: every caller of the
+	// dial path must see a settled conn, and the dial timeout bounds the hold.
+	if err := c.connectLocked(); err != nil { //anclint:ignore lockorder c.mu is the connection serializer; DialTimeout bounds the hold
 		return nil, err
 	}
 	return c, nil
@@ -100,16 +102,16 @@ func (c *Client) connectLocked() error {
 		return err
 	}
 	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		conn.Close()
 		return err
 	}
 	br := bufio.NewReader(conn)
 	if err := serve.WritePreamble(conn); err != nil {
-		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		conn.Close()
 		return err
 	}
 	if err := serve.ReadPreamble(br); err != nil {
-		conn.Close() //anclint:ignore droppederr the dial is being abandoned
+		conn.Close()
 		return err
 	}
 	c.conn = conn
@@ -147,7 +149,7 @@ func (c *Client) call(ctx context.Context, req *serve.Request) (*serve.Response,
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
-		if err := c.connectLocked(); err != nil {
+		if err := c.connectLocked(); err != nil { //anclint:ignore lockorder c.mu is the connection serializer; DialTimeout bounds the hold
 			return nil, err
 		}
 	}
@@ -191,17 +193,15 @@ func (c *Client) call(ctx context.Context, req *serve.Request) (*serve.Response,
 // Without WithRetry it is exactly call.
 func (c *Client) query(ctx context.Context, req *serve.Request) (*serve.Response, error) {
 	resp, err := c.call(ctx, req)
+	if c.retries == 0 || !retryable(err) {
+		return resp, err
+	}
+	// One Backoff per retrying call: queries run concurrently across
+	// goroutines, and a Backoff is single-owner by contract. Seed 0 =
+	// wall-clock jitter, so parallel clients don't retry in lockstep.
+	bo := backoff.New(c.retryMin, c.retryMax, 0)
 	for attempt := 0; attempt < c.retries && retryable(err); attempt++ {
-		// Jittered capped exponential backoff: [d, 2d) doubling per try.
-		d := c.retryMin << attempt
-		if d > c.retryMax {
-			d = c.retryMax
-		}
-		sleep := d + time.Duration(rand.Int63n(int64(d)+1))
-		if sleep > c.retryMax {
-			sleep = c.retryMax
-		}
-		timer := time.NewTimer(sleep)
+		timer := time.NewTimer(bo.Next())
 		select {
 		case <-ctx.Done():
 			timer.Stop()

@@ -69,6 +69,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	return m
 }
 
+//anclint:hotpath
 func (m *serverMetrics) request(op uint8) {
 	if m == nil {
 		return
@@ -85,6 +86,7 @@ func (m *serverMetrics) errored(code uint8) {
 	m.errors.With(errCodeName(code)).Inc()
 }
 
+//anclint:hotpath
 func (m *serverMetrics) observe(op uint8, seconds float64) {
 	if m == nil {
 		return
@@ -96,6 +98,7 @@ func (m *serverMetrics) observe(op uint8, seconds float64) {
 	}
 }
 
+//anclint:hotpath
 func (m *serverMetrics) readBytes(n int) {
 	if m == nil {
 		return
@@ -103,6 +106,7 @@ func (m *serverMetrics) readBytes(n int) {
 	m.bytesRead.Add(uint64(n))
 }
 
+//anclint:hotpath
 func (m *serverMetrics) wroteBytes(n int) {
 	if m == nil {
 		return
@@ -110,6 +114,7 @@ func (m *serverMetrics) wroteBytes(n int) {
 	m.bytesWritten.Add(uint64(n))
 }
 
+//anclint:hotpath
 func (m *serverMetrics) connOpened() {
 	if m == nil {
 		return
@@ -117,6 +122,7 @@ func (m *serverMetrics) connOpened() {
 	m.connections.Inc()
 }
 
+//anclint:hotpath
 func (m *serverMetrics) connClosed() {
 	if m == nil {
 		return
@@ -124,6 +130,7 @@ func (m *serverMetrics) connClosed() {
 	m.connections.Dec()
 }
 
+//anclint:hotpath
 func (m *serverMetrics) slow() {
 	if m == nil {
 		return

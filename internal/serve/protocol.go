@@ -93,19 +93,19 @@ const (
 	// request carries the follower's next frame index, the OK response is
 	// followed by an unbounded sequence of push frames (OpReplFrames /
 	// OpReplStatus / OpReplSnapshot payloads) until either side closes.
-	OpReplSubscribe
+	OpReplSubscribe //anclint:ignore wirecomplete repl.Node is the only subscriber; the query client never opens a stream
 	// OpReplFrames and OpReplSnapshot are push-only: they appear as the
 	// leading byte of server→follower stream payloads and are rejected as
 	// request ops.
-	OpReplFrames
+	OpReplFrames //anclint:ignore wirecomplete push-only stream payload; followers decode it via repl.Node, not the client
 	// OpReplStatus as a request returns the peer's replication status; as a
 	// push payload it is the stream's heartbeat.
 	OpReplStatus
 	// OpPromote seals a follower's replication session and re-enables local
 	// ingest — the failover switch.
 	OpPromote
-	OpReplSnapshot
-	opMax // one past the last valid op
+	OpReplSnapshot //anclint:ignore wirecomplete push-only stream payload; followers decode it via repl.Node, not the client
+	opMax          // one past the last valid op
 )
 
 // Response status bytes.
@@ -301,6 +301,25 @@ type frameError struct {
 
 func (e *frameError) Error() string { return fmt.Sprintf("%s: %s", errCodeName(e.code), e.msg) }
 
+// putFrameHeader packs a frame's length and CRC into hdr. It is the pure
+// kernel of writeFrame, split out so the per-frame arithmetic can be
+// held to the zero-allocation contract (the enclosing writeFrame cannot:
+// passing hdr[:] to an io.Writer makes the buffer escape).
+//
+//anclint:hotpath
+func putFrameHeader(hdr *[frameHeaderSize]byte, length, crc uint32) {
+	binary.LittleEndian.PutUint32(hdr[0:4], length)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+}
+
+// parseFrameHeader is putFrameHeader's inverse: the pure kernel of
+// readFrame.
+//
+//anclint:hotpath
+func parseFrameHeader(hdr *[frameHeaderSize]byte) (length, crc uint32) {
+	return binary.LittleEndian.Uint32(hdr[0:4]), binary.LittleEndian.Uint32(hdr[4:8])
+}
+
 // readFrame reads one length+CRC frame, enforcing maxFrame. It returns a
 // *frameError for malformed or oversized frames and plain I/O errors
 // (including io.EOF on clean close) otherwise.
@@ -309,8 +328,7 @@ func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	length := binary.LittleEndian.Uint32(hdr[0:4])
-	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	length, crc := parseFrameHeader(&hdr)
 	if length == 0 {
 		return nil, &frameError{code: ErrCodeBadFrame, msg: "zero-length frame"}
 	}
@@ -331,8 +349,7 @@ func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 // writeFrame frames payload with its length and CRC32C.
 func writeFrame(w *bufio.Writer, payload []byte) error {
 	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	putFrameHeader(&hdr, uint32(len(payload)), crc32.Checksum(payload, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}

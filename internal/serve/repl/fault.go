@@ -85,7 +85,9 @@ func (f *FaultConn) Read(p []byte) (int, error) {
 		if f.cut {
 			return 0, ErrInjectedCut
 		}
-		if err := f.stage(); err != nil {
+		// Test-harness fault injector: the conn has a single reader and the
+		// staged read is the point of the lock.
+		if err := f.stage(); err != nil { //anclint:ignore lockorder single-reader test harness; staging under the lock is the design
 			return 0, err
 		}
 	}

@@ -45,7 +45,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -55,6 +54,7 @@ import (
 	"anc"
 	"anc/internal/obs"
 	"anc/internal/serve"
+	"anc/internal/serve/backoff"
 	"anc/internal/wal"
 )
 
@@ -88,8 +88,9 @@ type Config struct {
 	// MaxFrame bounds stream frames, matching the serving side (default
 	// serve.DefaultMaxFrame).
 	MaxFrame int
-	// Seed feeds the backoff jitter (and nothing else), keeping the
-	// package's behavior reproducible under test.
+	// Seed feeds the reconnect-backoff jitter (and nothing else) via
+	// internal/serve/backoff, keeping the package's behavior
+	// reproducible under test. Zero draws a wall-clock seed.
 	Seed int64
 	// Logf, when non-nil, receives replication log lines.
 	Logf func(format string, args ...interface{})
@@ -478,8 +479,7 @@ func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan 
 // ends, note the cause, back off, repeat — until stopped or promoted.
 func (n *Node) run() {
 	defer close(n.doneCh)
-	rng := rand.New(rand.NewSource(n.cfg.Seed))
-	backoff := n.cfg.ReconnectMin
+	bo := backoff.New(n.cfg.ReconnectMin, n.cfg.ReconnectMax, n.cfg.Seed)
 	var lostSince time.Time
 	for {
 		if n.isStopped() || n.isPromoted() {
@@ -496,7 +496,7 @@ func (n *Node) run() {
 		n.met.reconnected()
 		n.cfg.Logf("repl: session ended (%s); reconnecting to %s", cause, n.cfg.Upstream)
 		if subscribed {
-			backoff = n.cfg.ReconnectMin
+			bo.Reset()
 			lostSince = time.Time{}
 		}
 		if lostSince.IsZero() {
@@ -509,12 +509,7 @@ func (n *Node) run() {
 			}
 			return
 		}
-		// Capped exponential backoff with jitter in [backoff, 2*backoff).
-		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)+1))
-		if sleep > n.cfg.ReconnectMax {
-			sleep = n.cfg.ReconnectMax
-		}
-		timer := time.NewTimer(sleep)
+		timer := time.NewTimer(bo.Next())
 		select {
 		case <-n.stopCh:
 			timer.Stop()
@@ -523,9 +518,6 @@ func (n *Node) run() {
 			timer.Stop()
 			return
 		case <-timer.C:
-		}
-		if backoff *= 2; backoff > n.cfg.ReconnectMax {
-			backoff = n.cfg.ReconnectMax
 		}
 	}
 }
@@ -544,7 +536,7 @@ func (n *Node) session() (cause string, subscribed bool) {
 	liveness := 4 * n.cfg.Heartbeat
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	conn.SetDeadline(time.Now().Add(liveness)) //anclint:ignore droppederr a deadline failure surfaces in the next read
+	conn.SetDeadline(time.Now().Add(liveness))
 	if err := serve.WritePreamble(conn); err != nil {
 		return "handshake", false
 	}
@@ -576,7 +568,7 @@ func (n *Node) session() (cause string, subscribed bool) {
 		if n.isStopped() || n.isPromoted() {
 			return "stop", true
 		}
-		conn.SetReadDeadline(time.Now().Add(liveness)) //anclint:ignore droppederr a deadline failure surfaces in the read below
+		conn.SetReadDeadline(time.Now().Add(liveness))
 		payload, err := serve.ReadFrame(br, n.cfg.MaxFrame)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {

@@ -206,7 +206,7 @@ func (s *Server) Start(addr string) error {
 	if s.cfg.MetricsAddr != "" {
 		mlis, err := net.Listen("tcp", s.cfg.MetricsAddr)
 		if err != nil {
-			lis.Close() //anclint:ignore droppederr unwinding a failed start; the accept listener never served
+			lis.Close()
 			return fmt.Errorf("serve: metrics listener: %w", err)
 		}
 		s.metricsLis = mlis
@@ -214,7 +214,7 @@ func (s *Server) Start(addr string) error {
 		s.metricsDone = make(chan struct{})
 		go func() {
 			defer close(s.metricsDone)
-			s.metricsSrv.Serve(mlis) //anclint:ignore droppederr returns ErrServerClosed on the stopMetrics path; nothing to recover
+			s.metricsSrv.Serve(mlis)
 		}()
 	}
 	s.lis = lis
@@ -245,7 +245,7 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct { //anclint:ignore droppederr best-effort reply; a failed health write has no one left to tell
+	json.NewEncoder(w).Encode(struct {
 		Status       string  `json:"status"`
 		Nodes        int     `json:"nodes"`
 		Edges        int     `json:"edges"`
@@ -318,7 +318,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// would hang. Each stream then sends its typed drain frame (so
 	// followers can tell drain from crash) before the connection closes.
 	s.drainOnce.Do(func() { close(s.drainCh) })
-	s.lis.Close() //anclint:ignore droppederr the listener is being torn down; nothing to recover
+	s.lis.Close()
 	<-s.acceptDone
 
 	// Unblock connection readers parked in readFrame without yanking the
@@ -327,7 +327,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	for conn := range s.conns {
 		if tc, ok := conn.(*net.TCPConn); ok {
-			tc.CloseRead() //anclint:ignore droppederr best-effort nudge; the final Close below is the real teardown
+			tc.CloseRead()
 		} else {
 			conn.Close() //anclint:ignore droppederr read-side teardown of a draining connection
 		}
@@ -447,7 +447,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// connection.
 			var fe *frameError
 			if errors.As(err, &fe) {
-				s.writeReply(bw, s.errReply(0, fe.code, fe.msg)) //anclint:ignore droppederr best-effort reply on a connection being closed
+				s.writeReply(bw, s.errReply(0, fe.code, fe.msg))
 			}
 			return
 		}
@@ -483,11 +483,11 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request) {
 	s.met.request(req.Op)
 	if s.cfg.Repl == nil {
-		s.writeReply(bw, s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")) //anclint:ignore droppederr best-effort reply on a connection about to close
+		s.writeReply(bw, s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled"))
 		return
 	}
 	if s.draining.Load() {
-		s.writeReply(bw, s.errReply(req.ID, ErrCodeShuttingDown, "server is draining")) //anclint:ignore droppederr best-effort reply on a connection about to close
+		s.writeReply(bw, s.errReply(req.ID, ErrCodeShuttingDown, "server is draining"))
 		return
 	}
 	if err := s.writeReply(bw, EncodeResponse(OpReplSubscribe, &Response{ID: req.ID})); err != nil {
@@ -496,16 +496,16 @@ func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request) {
 	send := func(payload []byte) error {
 		// A per-frame write deadline so a wedged follower cannot park this
 		// goroutine past Shutdown's patience.
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout)) //anclint:ignore droppederr deadline setup on a live conn; a failure surfaces in the write itself
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
 		err := s.writeReply(bw, payload)
-		conn.SetWriteDeadline(time.Time{}) //anclint:ignore droppederr deadline teardown; a failure surfaces in the next write
+		conn.SetWriteDeadline(time.Time{})
 		return err
 	}
 	if err := s.cfg.Repl.Stream(req.From, send, s.drainCh); err != nil {
 		s.cfg.Logf("serve: %s: replication stream: %v", conn.RemoteAddr(), err)
 	}
 	if s.draining.Load() && !s.killed.Load() {
-		send(s.errReply(0, ErrCodeShuttingDown, "server is draining")) //anclint:ignore droppederr final courtesy frame; the connection closes either way
+		send(s.errReply(0, ErrCodeShuttingDown, "server is draining"))
 	}
 }
 

@@ -285,7 +285,6 @@ func (st *Store) BumpNoReinforce(e graph.EdgeID) {
 // batch, before RefreshNodeSigma on the affected nodes.
 func (st *Store) RefreshEdgeNum(e graph.EdgeID) {
 	delta := st.act.Anchored(e) - st.prev[e]
-	//anclint:ignore floateq adding an exact zero is a no-op, so skipping only bit-zero deltas is safe
 	if delta == 0 {
 		return
 	}
