@@ -8,9 +8,9 @@ GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke bench clean
+.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke bench clean
 
-check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -81,8 +81,8 @@ fuzz-smoke:
 # visible in the output.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkIngest$$' -benchtime 1x .
-	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/decay
-	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/decay
+	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache
 
 # serve-smoke drives the serving layer once end to end on an ephemeral
 # port: concurrent TCP ingest + queries into a WAL-backed network, graceful
@@ -105,6 +105,13 @@ repl-smoke:
 # core) — see DESIGN.md §12.
 obs-smoke:
 	$(GO) test -run '^TestObsSmoke$$' -count=1 .
+
+# cache-smoke is the materialized clustering cache's acceptance loop
+# (DESIGN.md §15): every level's cached Clusters/EvenClusters must be
+# byte-identical to a forced recompute, repeat queries must hit, and the
+# hit/miss counters must account for exactly the queries made.
+cache-smoke:
+	$(GO) test -run '^TestCacheSmoke$$' -count=1 .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

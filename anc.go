@@ -36,6 +36,7 @@ import (
 	"math"
 
 	"anc/internal/cluster"
+	clustercache "anc/internal/cluster/cache"
 	"anc/internal/core"
 	"anc/internal/graph"
 	"anc/internal/obs"
@@ -245,6 +246,40 @@ func (nw *Network) Clusters(level int) [][]int {
 // components of vote-surviving edges).
 func (nw *Network) EvenClusters(level int) [][]int {
 	return toInts(nw.inner.EvenClusters(clampLevel(level, nw.Levels())).Clusters)
+}
+
+// EnableClusterCache turns on the materialized clustering cache: Clusters
+// and EvenClusters memoize their per-level results and serve repeats from
+// an atomically swapped snapshot, invalidated only for levels whose edge
+// set actually changed (a net vote-threshold crossing; see DESIGN.md §15).
+// The first call pays the vote tracker's one-time O(K·L·m) initialization
+// if Watch has not already. Cached answers are byte-identical to a
+// recompute. NewConcurrent, NewDurable and Recover enable it
+// automatically.
+func (nw *Network) EnableClusterCache() { nw.inner.EnableClusterCache() }
+
+// clusterCache enables and returns the materialized clustering cache —
+// the probe handle the concurrent facades keep so cache hits bypass their
+// locks entirely.
+func (nw *Network) clusterCache() *clustercache.Cache { return nw.inner.EnableClusterCache() }
+
+// CacheStats returns the clustering cache's cumulative hit, miss and
+// invalidation totals; zeros when the cache was never enabled.
+func (nw *Network) CacheStats() (hits, misses, invalidations uint64) {
+	return nw.inner.ClusterCache().Stats()
+}
+
+// ClustersUncached is Clusters with a forced recompute, bypassing the
+// materialized cache — the equivalence baseline for tests and the cache
+// A/B benchmark. With the cache disabled it is identical to Clusters.
+func (nw *Network) ClustersUncached(level int) [][]int {
+	return toInts(nw.inner.ClustersUncached(clampLevel(level, nw.Levels())).Clusters)
+}
+
+// EvenClustersUncached is EvenClusters with a forced recompute, bypassing
+// the cache.
+func (nw *Network) EvenClustersUncached(level int) [][]int {
+	return toInts(nw.inner.EvenClustersUncached(clampLevel(level, nw.Levels())).Clusters)
 }
 
 // validNode reports whether v names a node of the relation graph. Every

@@ -138,6 +138,9 @@ func BenchmarkServe(b *testing.B) {
 	b.ReportMetric(r.QueryP99ms, "query-p99-ms")
 	b.ReportMetric(r.FollowerQueryP99ms, "follower-query-p99-ms")
 	b.ReportMetric(r.FollowerCatchUpSec*1000, "follower-catchup-ms")
+	b.ReportMetric(r.CacheHitP50ms, "cache-hit-p50-ms")
+	b.ReportMetric(r.CacheRecomputeP50ms, "cache-recompute-p50-ms")
+	b.ReportMetric(r.CacheHitSpeedup, "cache-hit-x")
 	if err := bench.WriteServeJSON("BENCH_serve.json", r); err != nil {
 		b.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	clustercache "anc/internal/cluster/cache"
 	"anc/internal/obs"
 )
 
@@ -20,12 +21,20 @@ type ConcurrentNetwork struct {
 	// lock when bumping it, but Activations() reads it lock-free so metric
 	// scrapes never queue behind a long batch ingest.
 	acts atomic.Uint64
+	// cache is the materialized clustering cache, probed before the lock:
+	// hits are served from an atomically swapped immutable snapshot, so
+	// repeat queries never queue behind ingest. Invalidations fire inside
+	// UpdateEdges — always under the exclusive lock — so a hit can never
+	// observe state newer than the last write that completed before the
+	// probe (see DESIGN.md §15).
+	cache *clustercache.Cache
 }
 
-// NewConcurrent wraps an existing network. The caller must not keep using
-// the wrapped network directly.
+// NewConcurrent wraps an existing network and enables its materialized
+// clustering cache. The caller must not keep using the wrapped network
+// directly.
 func NewConcurrent(net *Network) *ConcurrentNetwork {
-	return &ConcurrentNetwork{net: net}
+	return &ConcurrentNetwork{net: net, cache: net.clusterCache()}
 }
 
 // Activate records an interaction (exclusive lock).
@@ -73,19 +82,55 @@ func (c *ConcurrentNetwork) Snapshot() error {
 	return c.net.Snapshot()
 }
 
-// Clusters reports all clusters at a level (shared lock).
+// Clusters reports all clusters at a level. A cache hit is served
+// lock-free from the materialized snapshot; only a miss takes the shared
+// lock to recompute (and store for the next caller).
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshot is internally synchronized and the miss path locks
 func (c *ConcurrentNetwork) Clusters(level int) [][]int {
+	if cl, ok := c.cache.Power(level); ok {
+		return toInts(cl.Clusters)
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.net.Clusters(level)
 }
 
-// EvenClusters reports all even-clustering clusters at a level (shared
-// lock).
+// EvenClusters reports all even-clustering clusters at a level. Like
+// Clusters, a cache hit bypasses the lock entirely.
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshot is internally synchronized and the miss path locks
 func (c *ConcurrentNetwork) EvenClusters(level int) [][]int {
+	if cl, ok := c.cache.Even(level); ok {
+		return toInts(cl.Clusters)
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.net.EvenClusters(level)
+}
+
+// ClustersUncached is Clusters with a forced recompute under the shared
+// lock, bypassing the materialized cache — the equivalence baseline for
+// tests and the cache A/B benchmark.
+func (c *ConcurrentNetwork) ClustersUncached(level int) [][]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.ClustersUncached(level)
+}
+
+// EvenClustersUncached is EvenClusters with a forced recompute under the
+// shared lock, bypassing the cache.
+func (c *ConcurrentNetwork) EvenClustersUncached(level int) [][]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.EvenClustersUncached(level)
+}
+
+// CacheStats returns the clustering cache's cumulative hit, miss and
+// invalidation totals. Lock-free: the counters are atomics, so metric
+// scrapes never queue behind ingest.
+func (c *ConcurrentNetwork) CacheStats() (hits, misses, invalidations uint64) {
+	return c.cache.Stats()
 }
 
 // SmallestClusterOf reports the finest-granularity cluster containing v
@@ -254,14 +299,18 @@ func (c *ConcurrentNetwork) Levels() int {
 func (c *ConcurrentNetwork) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	hits, misses, inv := c.cache.Stats()
 	return Stats{
-		Nodes:        c.net.N(),
-		Edges:        c.net.M(),
-		Levels:       c.net.Levels(),
-		SqrtLevel:    c.net.SqrtLevel(),
-		Activations:  c.acts.Load(),
-		Now:          c.net.Now(),
-		WatcherDrops: c.net.WatcherDrops(),
+		Nodes:              c.net.N(),
+		Edges:              c.net.M(),
+		Levels:             c.net.Levels(),
+		SqrtLevel:          c.net.SqrtLevel(),
+		Activations:        c.acts.Load(),
+		Now:                c.net.Now(),
+		WatcherDrops:       c.net.WatcherDrops(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheInvalidations: inv,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	clustercache "anc/internal/cluster/cache"
 	"anc/internal/graph"
 	"anc/internal/obs"
 	"anc/internal/wal"
@@ -100,6 +101,10 @@ type DurableNetwork struct {
 	sinceCheckpoint int
 	acts            uint64
 	closed          bool
+	// cache is the materialized clustering cache, probed before the lock
+	// by Clusters/EvenClusters — see ConcurrentNetwork.cache and
+	// DESIGN.md §15 for the synchronization argument.
+	cache *clustercache.Cache
 }
 
 const activationRecordSize = 16 // u uint32, v uint32, t float64 bits
@@ -164,7 +169,8 @@ func NewDurable(net *Network, dir string, cfg DurableConfig) (*DurableNetwork, e
 		return nil, fmt.Errorf("anc: %s already holds durable state; use Recover", dir)
 	}
 	net.Instrument(cfg.Obs)
-	d := &DurableNetwork{net: net, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs)}
+	d := &DurableNetwork{net: net, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs),
+		cache: net.clusterCache()}
 	// Checkpoint first, then open the log: recovery requires a checkpoint
 	// to replay onto, so an empty WAL without one is never observable.
 	if err := d.writeCheckpoint(0); err != nil {
@@ -257,7 +263,8 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 		net.Instrument(cfg.Obs)
 		met := newDurableMetrics(cfg.Obs)
 		met.recovered(replayed)
-		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed}, nil
+		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed,
+			cache: net.clusterCache()}, nil
 	}
 	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
 }
@@ -544,19 +551,55 @@ func (d *DurableNetwork) Now() float64 {
 	return d.net.Now()
 }
 
-// Clusters reports all clusters at a level (shared lock).
+// Clusters reports all clusters at a level. A cache hit is served
+// lock-free from the materialized snapshot; only a miss takes the shared
+// lock to recompute (and store for the next caller).
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshot is internally synchronized and the miss path locks
 func (d *DurableNetwork) Clusters(level int) [][]int {
+	if cl, ok := d.cache.Power(level); ok {
+		return toInts(cl.Clusters)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.net.Clusters(level)
 }
 
-// EvenClusters reports all even-clustering clusters at a level (shared
-// lock).
+// EvenClusters reports all even-clustering clusters at a level. Like
+// Clusters, a cache hit bypasses the lock entirely.
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshot is internally synchronized and the miss path locks
 func (d *DurableNetwork) EvenClusters(level int) [][]int {
+	if cl, ok := d.cache.Even(level); ok {
+		return toInts(cl.Clusters)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.net.EvenClusters(level)
+}
+
+// ClustersUncached is Clusters with a forced recompute under the shared
+// lock, bypassing the materialized cache — the equivalence baseline for
+// tests and the cache A/B benchmark.
+func (d *DurableNetwork) ClustersUncached(level int) [][]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.ClustersUncached(level)
+}
+
+// EvenClustersUncached is EvenClusters with a forced recompute under the
+// shared lock, bypassing the cache.
+func (d *DurableNetwork) EvenClustersUncached(level int) [][]int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.EvenClustersUncached(level)
+}
+
+// CacheStats returns the clustering cache's cumulative hit, miss and
+// invalidation totals. Lock-free: the counters are atomics, so metric
+// scrapes never queue behind ingest.
+func (d *DurableNetwork) CacheStats() (hits, misses, invalidations uint64) {
+	return d.cache.Stats()
 }
 
 // ClusterOf reports the local cluster of v (shared lock).
@@ -640,13 +683,17 @@ func (d *DurableNetwork) DrainEvents() ([]ClusterEvent, uint64) {
 func (d *DurableNetwork) Stats() Stats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	hits, misses, inv := d.cache.Stats()
 	return Stats{
-		Nodes:        d.net.N(),
-		Edges:        d.net.M(),
-		Levels:       d.net.Levels(),
-		SqrtLevel:    d.net.SqrtLevel(),
-		Activations:  d.acts,
-		Now:          d.net.Now(),
-		WatcherDrops: d.net.WatcherDrops(),
+		Nodes:              d.net.N(),
+		Edges:              d.net.M(),
+		Levels:             d.net.Levels(),
+		SqrtLevel:          d.net.SqrtLevel(),
+		Activations:        d.acts,
+		Now:                d.net.Now(),
+		WatcherDrops:       d.net.WatcherDrops(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheInvalidations: inv,
 	}
 }

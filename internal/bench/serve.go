@@ -57,6 +57,26 @@ type ServeResult struct {
 	FollowerLagFrames  uint64
 	FollowerCatchUpSec float64
 
+	// Cache A/B: an in-process prober runs against the durable network for
+	// the whole ingest window, alternating a cached Clusters call at the
+	// √n level with a forced recompute (ClustersUncached). Each cached
+	// call is classified as a hit or miss by the CacheStats hits delta
+	// around it, so the hit percentiles measure exactly the lock-free
+	// snapshot path while ingest churn invalidates levels underneath it.
+	CacheProbeSamples   int
+	CacheHitSamples     int
+	CacheHitP50ms       float64
+	CacheHitP99ms       float64
+	CacheRecomputeP50ms float64
+	CacheRecomputeP99ms float64
+	// CacheHitSpeedup is CacheRecomputeP50ms / CacheHitP50ms.
+	CacheHitSpeedup float64
+	// CacheHits/CacheMisses/CacheInvalidations mirror the run's
+	// anc_cache_* counters (also present in Metrics via the obs snapshot).
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+
 	// Metrics is the obs snapshot of the run itself — server, WAL, core and
 	// pyramid counters from the instrumented stack (per-event atomics are
 	// noise against TCP round trips and fsyncs, so unlike the ingest
@@ -286,6 +306,38 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 		}
 	}()
 
+	// Cache A/B prober: in-process (no wire cost) so the numbers isolate
+	// the materialized-cache path itself. Alternating cached and forced
+	// calls keeps both sides sampled under identical ingest churn; the
+	// prober is the only caller of Clusters on this network, so the hits
+	// delta around a call classifies it unambiguously.
+	var cacheHitLat, cacheRecomputeLat []time.Duration
+	cacheProbes := 0
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		level := d.SqrtLevel()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h0, _, _ := d.CacheStats()
+			start := time.Now()
+			d.Clusters(level)
+			elapsed := time.Since(start)
+			h1, _, _ := d.CacheStats()
+			cacheProbes++
+			if h1 > h0 {
+				cacheHitLat = append(cacheHitLat, elapsed)
+			}
+			start = time.Now()
+			d.ClustersUncached(level)
+			cacheRecomputeLat = append(cacheRecomputeLat, time.Since(start))
+		}
+	}()
+
 	// Ingest side: conns persistent connections; each minute fans its
 	// chunks out and barriers before the next (timestamps rise between
 	// minutes, so the barrier is what keeps the stream contract).
@@ -382,11 +434,24 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	r.FollowerQueries = len(followerLat)
 	r.FollowerQueryP50ms = ms(percentile(followerLat, 0.50))
 	r.FollowerQueryP99ms = ms(percentile(followerLat, 0.99))
+	r.CacheProbeSamples = cacheProbes
+	r.CacheHitSamples = len(cacheHitLat)
+	r.CacheHitP50ms = ms(percentile(cacheHitLat, 0.50))
+	r.CacheHitP99ms = ms(percentile(cacheHitLat, 0.99))
+	r.CacheRecomputeP50ms = ms(percentile(cacheRecomputeLat, 0.50))
+	r.CacheRecomputeP99ms = ms(percentile(cacheRecomputeLat, 0.99))
+	if r.CacheHitP50ms > 0 {
+		r.CacheHitSpeedup = r.CacheRecomputeP50ms / r.CacheHitP50ms
+	}
+	r.CacheHits, r.CacheMisses, r.CacheInvalidations = d.CacheStats()
 	r.Metrics = reg.Snapshot()
 	logf(cfg, w, "# serve: %d acts in %d batches over %d conns: %.0f acts/s, batch p99 %.2fms, %d queries p99 %.2fms\n",
 		r.Activations, r.Batches, conns, r.IngestRate, r.BatchP99ms, r.Queries, r.QueryP99ms)
 	logf(cfg, w, "# serve: follower %d queries p99 %.2fms, lag at ingest end %d frames, caught up in %.2fs\n",
 		r.FollowerQueries, r.FollowerQueryP99ms, r.FollowerLagFrames, r.FollowerCatchUpSec)
+	logf(cfg, w, "# serve: cache %d/%d probes hit (p50 %.4fms vs recompute %.4fms, %.0fx), %d hits / %d misses / %d invalidations\n",
+		r.CacheHitSamples, r.CacheProbeSamples, r.CacheHitP50ms, r.CacheRecomputeP50ms,
+		r.CacheHitSpeedup, r.CacheHits, r.CacheMisses, r.CacheInvalidations)
 	return r
 }
 
@@ -411,6 +476,13 @@ func PrintServe(w io.Writer, r ServeResult) {
 	t.row("follower query p99 ms", r.FollowerQueryP99ms)
 	t.row("follower lag frames", r.FollowerLagFrames)
 	t.row("follower catch-up s", r.FollowerCatchUpSec)
+	t.row("cache probes (hits)", fmt.Sprintf("%d (%d)", r.CacheProbeSamples, r.CacheHitSamples))
+	t.row("cache hit p50 ms", r.CacheHitP50ms)
+	t.row("cache hit p99 ms", r.CacheHitP99ms)
+	t.row("cache recompute p50 ms", r.CacheRecomputeP50ms)
+	t.row("cache recompute p99 ms", r.CacheRecomputeP99ms)
+	t.row("cache hit speedup", r.CacheHitSpeedup)
+	t.row("cache hits/misses/invalidations", fmt.Sprintf("%d/%d/%d", r.CacheHits, r.CacheMisses, r.CacheInvalidations))
 	t.flush()
 }
 

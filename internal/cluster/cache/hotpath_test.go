@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"testing"
+
+	"anc/internal/obs"
+)
+
+// TestHotPathAllocs is the dynamic half of the //anclint:hotpath contract
+// (DESIGN.md §14) for the cache hit path: probing a populated, an empty
+// and a nil cache must not allocate — the hit path runs on every query of
+// every serving connection, outside any lock.
+func TestHotPathAllocs(t *testing.T) {
+	c := New(4)
+	c.Instrument(obs.NewRegistry())
+	c.StorePower(2, mkClustering(2))
+	c.StoreEven(2, mkClustering(-2))
+	var nilCache *Cache
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Power(2) // hit
+		c.Even(2)  // hit
+		c.Power(4) // miss probe
+		c.Even(0)  // clamped miss probe
+		nilCache.Power(1)
+		c.Stats()
+	}); n != 0 {
+		t.Fatalf("cache hit path allocates %v times per run, want 0", n)
+	}
+}
+
+// BenchmarkHotPathCacheHit measures the lock-free probe; run with
+// -benchmem by make bench-smoke so an allocation regression is visible.
+func BenchmarkHotPathCacheHit(b *testing.B) {
+	c := New(4)
+	c.StorePower(2, mkClustering(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Power(2); !ok {
+			b.Fatal("probe missed")
+		}
+	}
+}

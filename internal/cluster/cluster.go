@@ -45,12 +45,41 @@ func voteKeep(ix *pyramid.Index, level int) keepFunc {
 	return func(e graph.EdgeID) bool { return ix.Votes(e, level) >= min }
 }
 
+// keepMemo caches keep decisions in a pair of bitmaps so each undirected
+// edge's vote is evaluated at most once per query, even though the edge
+// appears in both endpoints' neighbor lists. Without tracking, one vote
+// evaluation polls K partitions, so the full-graph traversals of Even and
+// Power would pay that twice per edge; with the memo, vote evaluation is
+// O(m) total.
+type keepMemo struct {
+	fn   keepFunc
+	seen []uint64
+	keep []uint64
+}
+
+func newKeepMemo(m int, fn keepFunc) *keepMemo {
+	words := (m + 63) / 64
+	return &keepMemo{fn: fn, seen: make([]uint64, words), keep: make([]uint64, words)}
+}
+
+func (k *keepMemo) Keep(e graph.EdgeID) bool {
+	w, b := e/64, uint64(1)<<(uint(e)%64)
+	if k.seen[w]&b == 0 {
+		k.seen[w] |= b
+		if k.fn(e) {
+			k.keep[w] |= b
+		}
+	}
+	return k.keep[w]&b != 0
+}
+
 // Even reports the even clustering at the given granularity level: the
 // connected components of the graph restricted to edges whose vote passes
 // the θ·K support threshold. O(n + m) plus vote evaluation (Lemma 8).
 func Even(ix *pyramid.Index, level int) *Clustering {
 	g := ix.Graph()
-	keep := voteKeep(ix, level)
+	memo := newKeepMemo(g.M(), voteKeep(ix, level))
+	keep := memo.Keep
 	labels := make([]int32, g.N())
 	for i := range labels {
 		labels[i] = -1
@@ -90,7 +119,8 @@ func Even(ix *pyramid.Index, level int) *Clustering {
 // mis-voted edge cannot merge two whole clusters. O(n + m) plus votes.
 func Power(ix *pyramid.Index, level int) *Clustering {
 	g := ix.Graph()
-	keep := voteKeep(ix, level)
+	memo := newKeepMemo(g.M(), voteKeep(ix, level))
+	keep := memo.Keep
 	rank := g.DegreeRank()
 	pos := make([]int32, g.N()) // rank position of each node
 	for i, v := range rank {

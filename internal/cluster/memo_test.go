@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"anc/internal/graph"
+	"anc/internal/pyramid"
+)
+
+// countingKeep wraps a keepFunc and counts how often each edge is
+// evaluated.
+func countingKeep(fn keepFunc, calls []int) keepFunc {
+	return func(e graph.EdgeID) bool {
+		calls[e]++
+		return fn(e)
+	}
+}
+
+// TestKeepMemoSingleEvaluation: the memo's whole point — the wrapped
+// function is consulted at most once per edge no matter how often the
+// traversal asks.
+func TestKeepMemoSingleEvaluation(t *testing.T) {
+	const m = 130 // spans three bitmap words
+	calls := make([]int, m)
+	memo := newKeepMemo(m, countingKeep(func(e graph.EdgeID) bool { return e%3 == 0 }, calls))
+	for round := 0; round < 4; round++ {
+		for e := 0; e < m; e++ {
+			if got, want := memo.Keep(graph.EdgeID(e)), e%3 == 0; got != want {
+				t.Fatalf("round %d: Keep(%d) = %v, want %v", round, e, got, want)
+			}
+		}
+	}
+	for e, c := range calls {
+		if c != 1 {
+			t.Fatalf("edge %d evaluated %d times, want 1", e, c)
+		}
+	}
+}
+
+// referenceEven is Even without the keep memo: the direct per-neighbor
+// vote evaluation the memoized traversal must reproduce exactly.
+func referenceEven(ix *pyramid.Index, level int) *Clustering {
+	g := ix.Graph()
+	keep := voteKeep(ix, level)
+	labels := make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var clusters [][]graph.NodeID
+	var queue []graph.NodeID
+	for v := 0; v < g.N(); v++ {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(len(clusters))
+		labels[v] = id
+		queue = append(queue[:0], graph.NodeID(v))
+		var members []graph.NodeID
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			members = append(members, x)
+			for _, h := range g.Neighbors(x) {
+				if labels[h.To] < 0 && keep(h.Edge) {
+					labels[h.To] = id
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		clusters = append(clusters, members)
+	}
+	return &Clustering{Labels: labels, Clusters: clusters}
+}
+
+// referencePower is Power without the keep memo.
+func referencePower(ix *pyramid.Index, level int) *Clustering {
+	g := ix.Graph()
+	keep := voteKeep(ix, level)
+	rank := g.DegreeRank()
+	pos := make([]int32, g.N())
+	for i, v := range rank {
+		pos[v] = int32(i)
+	}
+	labels := make([]int32, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var clusters [][]graph.NodeID
+	var stack []graph.NodeID
+	for _, v := range rank {
+		if labels[v] >= 0 {
+			continue
+		}
+		id := int32(len(clusters))
+		labels[v] = id
+		stack = append(stack[:0], v)
+		var members []graph.NodeID
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, x)
+			for _, h := range g.Neighbors(x) {
+				if pos[x] < pos[h.To] && labels[h.To] < 0 && keep(h.Edge) {
+					labels[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		clusters = append(clusters, members)
+	}
+	return &Clustering{Labels: labels, Clusters: clusters}
+}
+
+// TestMemoizedClusteringsIdentical: memoizing keep decisions changes the
+// cost of vote evaluation, never the output — Even and Power must be
+// byte-identical to the direct-evaluation reference on random graphs at
+// every level.
+func TestMemoizedClusteringsIdentical(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			b.AddEdge(graph.NodeID(v-1), graph.NodeID(v))
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		w := make([]float64, g.M())
+		for e := range w {
+			w[e] = 0.1 + rng.Float64()*5
+		}
+		ix := buildIndex(t, g, w, 4, seed+100)
+		for level := 1; level <= ix.Levels(); level++ {
+			if got, want := Even(ix, level), referenceEven(ix, level); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d level %d: Even diverges from direct evaluation", seed, level)
+			}
+			if got, want := Power(ix, level), referencePower(ix, level); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d level %d: Power diverges from direct evaluation", seed, level)
+			}
+		}
+	}
+}

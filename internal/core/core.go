@@ -22,8 +22,10 @@ import (
 	"math/rand"
 
 	"anc/internal/cluster"
+	clustercache "anc/internal/cluster/cache"
 	"anc/internal/decay"
 	"anc/internal/graph"
+	"anc/internal/obs"
 	"anc/internal/pyramid"
 	"anc/internal/similarity"
 )
@@ -105,7 +107,14 @@ type Network struct {
 	pendingMark []bool
 	lastFlush   float64
 	watcher     *Watcher
-	met         *metrics // nil until Instrument; all methods nil-safe
+	met         *metrics      // nil until Instrument; all methods nil-safe
+	reg         *obs.Registry // the registry Instrument attached, for late cache enablement
+
+	// cache, when enabled, serves Clusters/EvenClusters lock-free from
+	// materialized per-level snapshots, invalidated by vote-threshold
+	// crossings. Nil until EnableClusterCache; every cache method is
+	// nil-safe, so the query path needs no enablement branch.
+	cache *clustercache.Cache
 
 	// Batch-ingest scratch: dirty-edge/node sets of the current batch and
 	// the weight buffer handed to the index. Lazily allocated on the first
@@ -434,17 +443,69 @@ func (nw *Network) Snapshot() error {
 	}
 	nw.pending = nw.pending[:0]
 	nw.ix.Reconstruct()
+	// The reconstruction rebuilds vote counts wholesale without firing
+	// flip events, so the cache cannot invalidate itself level by level —
+	// drop everything.
+	nw.cache.InvalidateAll()
 	return nil
 }
 
+// EnableClusterCache materializes per-level clustering results: Clusters
+// and EvenClusters memoize their answer and serve repeats lock-free from
+// an atomically swapped snapshot until a net vote-threshold crossing
+// invalidates the level (see internal/cluster/cache). The first call pays
+// the vote tracker's one-time O(K·L·m) initialization if Watch has not
+// already; it returns the cache so facades can probe it before taking
+// their locks. Idempotent.
+func (nw *Network) EnableClusterCache() *clustercache.Cache {
+	if nw.cache != nil {
+		return nw.cache
+	}
+	c := clustercache.New(nw.ix.Levels())
+	vt := nw.ix.EnableVoteTracking()
+	vt.OnFlip(func(l int, _ graph.EdgeID, _ bool) { c.Invalidate(l) })
+	c.Instrument(nw.reg)
+	nw.cache = c
+	return c
+}
+
+// ClusterCache returns the materialized clustering cache, or nil if
+// EnableClusterCache was never called. Every cache method is nil-safe.
+func (nw *Network) ClusterCache() *clustercache.Cache { return nw.cache }
+
 // Clusters reports the power clustering (the paper's DirectedCluster) at
-// the given granularity level.
+// the given granularity level, served from the materialized cache when it
+// is enabled and the level is valid since the last vote flip.
 func (nw *Network) Clusters(level int) *cluster.Clustering {
+	if cl, ok := nw.cache.Power(level); ok {
+		return cl
+	}
+	cl := cluster.Power(nw.ix, level)
+	nw.cache.StorePower(level, cl)
+	return cl
+}
+
+// EvenClusters reports the even clustering at the given level, cached like
+// Clusters.
+func (nw *Network) EvenClusters(level int) *cluster.Clustering {
+	if cl, ok := nw.cache.Even(level); ok {
+		return cl
+	}
+	cl := cluster.Even(nw.ix, level)
+	nw.cache.StoreEven(level, cl)
+	return cl
+}
+
+// ClustersUncached recomputes the power clustering directly, bypassing the
+// materialized cache — the forced-recompute baseline of the equivalence
+// tests and the A/B benchmark.
+func (nw *Network) ClustersUncached(level int) *cluster.Clustering {
 	return cluster.Power(nw.ix, level)
 }
 
-// EvenClusters reports the even clustering at the given level.
-func (nw *Network) EvenClusters(level int) *cluster.Clustering {
+// EvenClustersUncached recomputes the even clustering directly, bypassing
+// the cache.
+func (nw *Network) EvenClustersUncached(level int) *cluster.Clustering {
 	return cluster.Even(nw.ix, level)
 }
 

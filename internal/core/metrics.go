@@ -77,9 +77,11 @@ func (nw *Network) Instrument(reg *obs.Registry) {
 		return
 	}
 	nw.met = newMetrics(reg)
+	nw.reg = reg
 	nw.clock.SetRescaleCounter(reg.Counter("anc_core_rescales_total",
 		"batched rescales folding the global decay factor into anchored state"))
 	nw.ix.Instrument(reg)
+	nw.cache.Instrument(reg)
 }
 
 // WatcherDrops returns the cumulative number of cluster events dropped on

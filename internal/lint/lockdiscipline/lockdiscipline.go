@@ -17,11 +17,13 @@
 // Unexported methods (the *Locked helpers) are exempt from 1–2 and are
 // the sanctioned way to share code between locked entry points.
 //
-// Fields whose type is internally synchronized — sync/atomic values and
-// the nil-safe metric handles of anc/internal/obs — do not count as
-// guarded state: reading an atomic snapshot counter or bumping a metric
-// lock-free is the whole point of using those types, and forcing the mu
-// around them would make metric scrapes queue behind long batch ingests.
+// Fields whose type is internally synchronized — sync/atomic values, the
+// nil-safe metric handles of anc/internal/obs, and the lock-free
+// materialized clustering cache of anc/internal/cluster/cache — do not
+// count as guarded state: reading an atomic snapshot counter, bumping a
+// metric, or probing the cache lock-free is the whole point of using
+// those types, and forcing the mu around them would make metric scrapes
+// and cache hits queue behind long batch ingests.
 package lockdiscipline
 
 import (
@@ -148,7 +150,8 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, tname *types.TypeName) {
 
 // touchesGuardedState reports whether the body mentions recv.<field> for
 // any selector other than mu, ignoring fields of internally synchronized
-// types (sync/atomic, anc/internal/obs) which are safe to touch bare.
+// types (sync/atomic, anc/internal/obs, anc/internal/cluster/cache) which
+// are safe to touch bare.
 func touchesGuardedState(pass *analysis.Pass, fd *ast.FuncDecl, recv string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -183,7 +186,7 @@ func internallySynced(t types.Type) bool {
 		return false
 	}
 	switch named.Obj().Pkg().Path() {
-	case "sync/atomic", "anc/internal/obs":
+	case "sync/atomic", "anc/internal/obs", "anc/internal/cluster/cache":
 		return true
 	}
 	return false

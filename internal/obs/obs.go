@@ -136,12 +136,13 @@ const (
 	kindCounter kind = iota + 1
 	kindGauge
 	kindGaugeFunc
+	kindCounterFunc
 	kindHistogram
 )
 
 func (k kind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -190,7 +191,7 @@ func (f *family) childKeys() []string {
 		for k := range f.gauges {
 			keys = append(keys, k)
 		}
-	case kindGaugeFunc:
+	case kindGaugeFunc, kindCounterFunc:
 		for k := range f.fns {
 			keys = append(keys, k)
 		}
@@ -293,6 +294,21 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// CounterFunc registers a counter whose value is sampled by calling fn at
+// scrape time — for monotone totals another subsystem already maintains in
+// its own atomics (the clustering cache's hit/miss counters). fn must be
+// safe for concurrent use and monotonically non-decreasing. Re-registering
+// replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindCounterFunc, "")
+	f.mu.Lock()
+	f.fns[""] = fn
+	f.mu.Unlock()
+}
+
 // Histogram registers (or returns the existing) histogram with the given
 // bucket upper bounds (ascending; an implicit +Inf bucket is appended).
 // Passing nil buckets uses DefaultLatencyBuckets.
@@ -350,7 +366,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 				out[name] = float64(f.counters[key].Value())
 			case kindGauge:
 				out[name] = float64(f.gauges[key].Value())
-			case kindGaugeFunc:
+			case kindGaugeFunc, kindCounterFunc:
 				out[name] = f.fns[key]()
 			case kindHistogram:
 				h := f.hists[key]

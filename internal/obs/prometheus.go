@@ -35,7 +35,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s %d\n", seriesName(f, key), f.counters[key].Value())
 			case kindGauge:
 				fmt.Fprintf(bw, "%s %d\n", seriesName(f, key), f.gauges[key].Value())
-			case kindGaugeFunc:
+			case kindGaugeFunc, kindCounterFunc:
 				fmt.Fprintf(bw, "%s %s\n", seriesName(f, key), formatFloat(f.fns[key]()))
 			case kindHistogram:
 				writeHistogram(bw, f.name, f.hists[key])

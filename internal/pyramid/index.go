@@ -33,6 +33,11 @@ func (c *Config) validate() error {
 	if c.K < 1 {
 		return fmt.Errorf("pyramid: K = %d < 1", c.K)
 	}
+	if c.K > 65535 {
+		// Vote counts are tracked in uint16 (see VoteTracker); a larger
+		// ensemble would overflow them silently.
+		return fmt.Errorf("pyramid: K = %d exceeds the vote-tracking bound 65535", c.K)
+	}
 	if c.Theta <= 0 || c.Theta > 1 {
 		return fmt.Errorf("pyramid: theta %v outside (0,1]", c.Theta)
 	}
@@ -309,6 +314,7 @@ func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
 			for slot := range ix.voteChanged {
 				ix.votes.applyBatch(slot/ix.levels, slot%ix.levels+1, changed, ix.voteChanged[slot])
 			}
+			ix.votes.flushFlips()
 		}
 		t.Stop()
 		return
@@ -323,6 +329,9 @@ func (ix *Index) UpdateEdges(edges []graph.EdgeID, newWeights []float64) {
 				ix.votes.applyBatch(p, l+1, changed, moved)
 			}
 		}
+	}
+	if ix.votes != nil {
+		ix.votes.flushFlips()
 	}
 	t.Stop()
 }

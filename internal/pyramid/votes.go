@@ -15,24 +15,57 @@ import (
 type VoteTracker struct {
 	ix     *Index
 	same   [][][]uint64 // [pyramid][level-1] bitset over edge IDs
-	counts [][]uint8    // [level-1][edge] votes
-	// onFlip, when set, is called whenever an edge's vote count crosses
+	counts [][]uint16   // [level-1][edge] votes; uint16 admits K up to 65535
+	// onFlip listeners are called whenever an edge's vote count crosses
 	// the ⌈θ·K⌉ support threshold — i.e. the edge joins (pass=true) or
 	// leaves (pass=false) the surviving edge set of level l. This is the
 	// primitive behind real-time change reporting on watched nodes (the
-	// paper's Remarks, Section V-C).
-	onFlip func(l int, e graph.EdgeID, pass bool)
+	// paper's Remarks, Section V-C) and the invalidation signal of the
+	// materialized clustering cache.
+	onFlip []func(l int, e graph.EdgeID, pass bool)
+
+	// Flip coalescing state. One repair cycle (UpdateEdges) re-evaluates an
+	// edge once per pyramid, so its count can cross the threshold several
+	// times before settling; listeners must only see the net crossing.
+	// touched marks edges whose count changed this cycle, wasPass records
+	// the pass state each edge had when first touched, and dirty lists the
+	// touched (level, edge) pairs in first-touch order so flush emission is
+	// deterministic. flushFlips compares wasPass against the settled state
+	// and emits at most one event per (level, edge) per cycle.
+	touched [][]uint64 // [level-1] bitset over edge IDs
+	wasPass [][]uint64 // [level-1] bitset over edge IDs
+	dirty   []flipKey
 }
 
-// OnFlip registers the support-threshold crossing callback. Pass nil to
-// unregister. Callbacks fire during UpdateEdge; they must not mutate the
+// flipKey identifies one (level, edge) whose vote count changed during the
+// current update cycle.
+type flipKey struct {
+	l int32
+	e graph.EdgeID
+}
+
+// OnFlip registers a support-threshold crossing listener; multiple
+// listeners (e.g. the watcher and the clustering cache) fire in
+// registration order. Pass nil to unregister all. Listeners fire once per
+// net crossing at the end of each update cycle; they must not mutate the
 // index.
-func (vt *VoteTracker) OnFlip(fn func(l int, e graph.EdgeID, pass bool)) { vt.onFlip = fn }
+func (vt *VoteTracker) OnFlip(fn func(l int, e graph.EdgeID, pass bool)) {
+	if fn == nil {
+		vt.onFlip = nil
+		return
+	}
+	vt.onFlip = append(vt.onFlip, fn)
+}
 
 // EnableVoteTracking attaches a VoteTracker to the index and initializes
 // it from the current partitions. Subsequent UpdateEdge calls keep it
-// exact. Memory: K·Levels·m bits + Levels·m bytes.
+// exact. Idempotent: a second call returns the tracker already attached.
+// Memory: (K+2)·Levels·m bits + 2·Levels·m bytes. K is bounded by 65535
+// (Config.validate) so the uint16 counts cannot overflow.
 func (ix *Index) EnableVoteTracking() *VoteTracker {
+	if ix.votes != nil {
+		return ix.votes
+	}
 	vt := &VoteTracker{ix: ix}
 	words := (ix.g.M() + 63) / 64
 	vt.same = make([][][]uint64, ix.cfg.K)
@@ -42,9 +75,13 @@ func (ix *Index) EnableVoteTracking() *VoteTracker {
 			vt.same[p][l] = make([]uint64, words)
 		}
 	}
-	vt.counts = make([][]uint8, ix.levels)
+	vt.counts = make([][]uint16, ix.levels)
+	vt.touched = make([][]uint64, ix.levels)
+	vt.wasPass = make([][]uint64, ix.levels)
 	for l := range vt.counts {
-		vt.counts[l] = make([]uint8, ix.g.M())
+		vt.counts[l] = make([]uint16, ix.g.M())
+		vt.touched[l] = make([]uint64, words)
+		vt.wasPass[l] = make([]uint64, words)
 	}
 	ix.votes = vt
 	ix.voteChanged = make([][]graph.NodeID, ix.cfg.K*ix.levels)
@@ -77,7 +114,9 @@ func (vt *VoteTracker) set(p, l int, e graph.EdgeID, b bool) {
 }
 
 // refreshEdge re-evaluates one (pyramid, level, edge) membership and fixes
-// the count on change.
+// the count on change. Threshold crossings are not reported here — a count
+// can cross back and forth while the remaining pyramids of the cycle are
+// applied — only recorded for flushFlips to settle.
 func (vt *VoteTracker) refreshEdge(p, l int, e graph.EdgeID) {
 	old := vt.get(p, l, e)
 	now := vt.sameSeed(p, l, e)
@@ -85,17 +124,54 @@ func (vt *VoteTracker) refreshEdge(p, l int, e graph.EdgeID) {
 		return
 	}
 	vt.set(p, l, e, now)
-	min := uint8(vt.ix.MinSupport())
-	before := vt.counts[l-1][e]
+	min := vt.ix.MinSupport()
+	before := int(vt.counts[l-1][e])
 	if now {
 		vt.counts[l-1][e]++
 	} else {
 		vt.counts[l-1][e]--
 	}
-	after := vt.counts[l-1][e]
-	if vt.onFlip != nil && (before >= min) != (after >= min) {
-		vt.onFlip(l, e, after >= min)
+	if len(vt.onFlip) == 0 {
+		return
 	}
+	w, b := e/64, uint64(1)<<(uint(e)%64)
+	if vt.touched[l-1][w]&b == 0 {
+		vt.touched[l-1][w] |= b
+		if before >= min {
+			vt.wasPass[l-1][w] |= b
+		} else {
+			vt.wasPass[l-1][w] &^= b
+		}
+		vt.dirty = append(vt.dirty, flipKey{l: int32(l), e: e})
+	}
+}
+
+// flushFlips ends an update cycle: every edge whose count changed this
+// cycle is compared against the pass state it entered the cycle with, and
+// listeners see exactly the net crossings — an edge that crossed the
+// threshold transiently across pyramids but settled where it started emits
+// nothing. Emission order is first-touch order, which is deterministic
+// (slots are applied in pyramid-major order on both the serial and the
+// parallel path). The coalescing buffers are reused across cycles, so
+// steady ingest allocates nothing here.
+func (vt *VoteTracker) flushFlips() {
+	if len(vt.dirty) == 0 {
+		return
+	}
+	min := vt.ix.MinSupport()
+	for _, d := range vt.dirty {
+		l, e := int(d.l), d.e
+		w, b := e/64, uint64(1)<<(uint(e)%64)
+		vt.touched[l-1][w] &^= b
+		was := vt.wasPass[l-1][w]&b != 0
+		now := int(vt.counts[l-1][e]) >= min
+		if was != now {
+			for _, fn := range vt.onFlip {
+				fn(l, e, now)
+			}
+		}
+	}
+	vt.dirty = vt.dirty[:0]
 }
 
 // applyBatch processes the changed-node set reported by one partition
@@ -104,8 +180,9 @@ func (vt *VoteTracker) refreshEdge(p, l int, e graph.EdgeID) {
 // re-evaluated. refreshEdge is idempotent per current state, so an edge
 // touched through several changed nodes settles once. Counts are shared
 // across the pyramids of a level; callers invoke this serially after the
-// parallel barrier. Cost O(|triggers| + Σ_{x∈changed} deg x) — the same
-// bound as the update itself.
+// parallel barrier, then flushFlips once all slots are applied. Cost
+// O(|triggers| + Σ_{x∈changed} deg x) — the same bound as the update
+// itself.
 func (vt *VoteTracker) applyBatch(p, l int, triggers []graph.EdgeID, changed []graph.NodeID) {
 	for _, e := range triggers {
 		vt.refreshEdge(p, l, e)
@@ -117,7 +194,9 @@ func (vt *VoteTracker) applyBatch(p, l int, triggers []graph.EdgeID, changed []g
 	}
 }
 
-// rebuild recomputes all memberships and counts from the partitions.
+// rebuild recomputes all memberships and counts from the partitions. It
+// fires no flip events (callers that need invalidation after a rebuild —
+// the ANCF reconstruction — handle it wholesale).
 func (vt *VoteTracker) rebuild() {
 	for l := 1; l <= vt.ix.levels; l++ {
 		cs := vt.counts[l-1]
@@ -165,7 +244,9 @@ func (vt *VoteTracker) memoryBytes() int64 {
 		}
 	}
 	for l := range vt.counts {
-		total += int64(len(vt.counts[l]))
+		total += int64(len(vt.counts[l])) * 2
+		total += int64(len(vt.touched[l])) * 8
+		total += int64(len(vt.wasPass[l])) * 8
 	}
 	return total
 }

@@ -246,16 +246,20 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Status       string  `json:"status"`
-		Nodes        int     `json:"nodes"`
-		Edges        int     `json:"edges"`
-		Activations  uint64  `json:"activations"`
-		Now          float64 `json:"now"`
-		WatcherDrops uint64  `json:"watcher_drops"`
-		Inflight     int32   `json:"inflight"`
-		Queued       int32   `json:"queued"`
+		Status             string  `json:"status"`
+		Nodes              int     `json:"nodes"`
+		Edges              int     `json:"edges"`
+		Activations        uint64  `json:"activations"`
+		Now                float64 `json:"now"`
+		WatcherDrops       uint64  `json:"watcher_drops"`
+		Inflight           int32   `json:"inflight"`
+		Queued             int32   `json:"queued"`
+		CacheHits          uint64  `json:"cache_hits"`
+		CacheMisses        uint64  `json:"cache_misses"`
+		CacheInvalidations uint64  `json:"cache_invalidations"`
 	}{status, bs.Nodes, bs.Edges, bs.Activations, bs.Now, bs.WatcherDrops,
-		s.inflight.Load(), s.queued.Load()})
+		s.inflight.Load(), s.queued.Load(),
+		bs.CacheHits, bs.CacheMisses, bs.CacheInvalidations})
 }
 
 // stopMetrics closes the metrics HTTP listener and waits for its serve

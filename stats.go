@@ -20,4 +20,8 @@ type Stats struct {
 	// watcher buffer overflow — never reset by Drain, so loss is observable
 	// without consuming events. Zero when Watch was never called.
 	WatcherDrops uint64
+	// CacheHits, CacheMisses and CacheInvalidations are the materialized
+	// clustering cache's cumulative counters (DESIGN.md §15). All zero when
+	// the cache was never enabled.
+	CacheHits, CacheMisses, CacheInvalidations uint64
 }
