@@ -2,15 +2,15 @@
 # pass: vet, the ANC invariant linter, build, the full test suite, the
 # race detector, a short fuzz smoke over the corruption-facing decoders,
 # the bench and serving-layer smokes, the replication failover smoke,
-# and the observability smoke.
+# the observability smoke, and the cache and analytics smokes.
 
 GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke bench clean
+.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke bench clean
 
-check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +71,8 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzReplFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzReplStatus$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzTieRank$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzEvolution$$' -fuzztime $(FUZZTIME)
 
 # bench-smoke runs the batch-ingest throughput benchmark once (a single
 # iteration, not a measurement) so the batch pipeline compiles and runs —
@@ -81,8 +83,8 @@ fuzz-smoke:
 # visible in the output.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkIngest$$' -benchtime 1x .
-	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache
-	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache
+	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache ./internal/analytics
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache ./internal/analytics
 
 # serve-smoke drives the serving layer once end to end on an ephemeral
 # port: concurrent TCP ingest + queries into a WAL-backed network, graceful
@@ -112,6 +114,14 @@ obs-smoke:
 # hit/miss counters must account for exactly the queries made.
 cache-smoke:
 	$(GO) test -run '^TestCacheSmoke$$' -count=1 .
+
+# analytics-smoke is the analytics subsystem's acceptance loop
+# (DESIGN.md §16): TieRank must match the closed-form eigenvector on a
+# star graph (and serve the repeat query from the rank snapshot cache),
+# and the evolution diff must reproduce a golden
+# split/merge/birth/death/grow event sequence field for field.
+analytics-smoke:
+	$(GO) test -run '^TestAnalyticsSmoke$$' -count=1 .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

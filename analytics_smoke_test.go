@@ -1,0 +1,120 @@
+package anc
+
+import (
+	"math"
+	"testing"
+
+	"anc/internal/analytics"
+	"anc/internal/cluster"
+	"anc/internal/graph"
+)
+
+// mkSmokeClustering builds a Clustering over n nodes from explicit
+// member lists; remaining nodes become trailing singletons.
+func mkSmokeClustering(n int, clusters [][]graph.NodeID) *cluster.Clustering {
+	cl := &cluster.Clustering{Labels: make([]int32, n)}
+	for i := range cl.Labels {
+		cl.Labels[i] = -1
+	}
+	for i, m := range clusters {
+		for _, v := range m {
+			cl.Labels[v] = int32(i)
+		}
+		cl.Clusters = append(cl.Clusters, m)
+	}
+	for v := 0; v < n; v++ {
+		if cl.Labels[v] == -1 {
+			cl.Labels[v] = int32(len(cl.Clusters))
+			cl.Clusters = append(cl.Clusters, []graph.NodeID{graph.NodeID(v)})
+		}
+	}
+	return cl
+}
+
+// TestAnalyticsSmoke is the analytics subsystem's acceptance loop
+// (DESIGN.md §16), in two halves.
+//
+// TieRank oracle: on a 3-leaf star whose edges all carry equal decayed
+// weight, the dominant eigenvector is known in closed form — the center
+// scores 1/√2 and each leaf 1/√6 (for a k-leaf star: center 1/√2,
+// leaves 1/√(2k); eigenvector centrality is invariant to the uniform
+// weight scale, so the decay parameters drop out). The facade's answer
+// must match to near machine precision, and a repeat query must be
+// served from the rank snapshot cache with an identical result.
+//
+// Evolution golden sequence: a hand-built series of clusterings walks
+// the tracker through every event type — split, merge, birth, death,
+// grow — and the emitted sequence must match the expected events
+// exactly, field for field, in order.
+func TestAnalyticsSmoke(t *testing.T) {
+	// --- TieRank vs the closed-form star eigenvector ---
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}}
+	net, err := NewNetwork(4, edges, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.EnableAnalytics()
+	for _, e := range edges {
+		if err := net.Activate(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := net.TieRank(-1, 4)
+	if !r.Converged {
+		t.Fatalf("star did not converge in %d iters", r.Iters)
+	}
+	if len(r.Global) != 4 || r.Global[0].Node != 0 {
+		t.Fatalf("top of a star is its center: %+v", r.Global)
+	}
+	const tol = 1e-9
+	if got, want := r.Global[0].Score, 1/math.Sqrt2; math.Abs(got-want) > tol {
+		t.Errorf("center score %.12f, want %.12f", got, want)
+	}
+	for _, e := range r.Global[1:] {
+		if want := 1 / math.Sqrt(6); math.Abs(e.Score-want) > tol {
+			t.Errorf("leaf %d score %.12f, want %.12f", e.Node, e.Score, want)
+		}
+	}
+	h0, m0, _ := net.RankStats()
+	again := net.TieRank(-1, 4)
+	h1, m1, _ := net.RankStats()
+	if h1 != h0+1 || m1 != m0 {
+		t.Errorf("repeat TieRank hits/misses %d/%d → %d/%d, want a cache hit", h0, m0, h1, m1)
+	}
+	for i := range r.Global {
+		if again.Global[i] != r.Global[i] {
+			t.Errorf("cached TieRank diverged at %d: %+v vs %+v", i, again.Global[i], r.Global[i])
+		}
+	}
+
+	// --- Evolution diff golden sequence ---
+	tr := analytics.NewTracker(1, analytics.DefaultTrackerConfig())
+	const n = 12
+	tr.Seed(mkSmokeClustering(n, [][]graph.NodeID{{0, 1, 2, 3, 4, 5}, {6, 7, 8}}))
+	// t=1: {0..5} splits into {0,1,2} and {3,4,5}.
+	tr.Observe(mkSmokeClustering(n, [][]graph.NodeID{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}), 1)
+	// t=2: the halves merge back, and {9,10,11} is born.
+	tr.Observe(mkSmokeClustering(n, [][]graph.NodeID{{0, 1, 2, 3, 4, 5}, {6, 7, 8}, {9, 10, 11}}), 2)
+	// t=3: {6,7,8} dissolves into singletons and {9,10,11} absorbs 8.
+	tr.Observe(mkSmokeClustering(n, [][]graph.NodeID{{0, 1, 2, 3, 4, 5}, {8, 9, 10, 11}}), 3)
+
+	golden := []analytics.Event{
+		{Seq: 1, Type: analytics.EventSplit, Level: 1, Node: 0, Size: 2, PrevSize: 6, Time: 1},
+		{Seq: 2, Type: analytics.EventMerge, Level: 1, Node: 0, Size: 6, PrevSize: 2, Time: 2},
+		{Seq: 3, Type: analytics.EventBirth, Level: 1, Node: 9, Size: 3, PrevSize: 0, Time: 2},
+		{Seq: 4, Type: analytics.EventDeath, Level: 1, Node: 6, Size: 0, PrevSize: 3, Time: 3},
+		{Seq: 5, Type: analytics.EventGrow, Level: 1, Node: 8, Size: 4, PrevSize: 3, Time: 3},
+	}
+	evs, seq, dropped := tr.Events(0)
+	if seq != uint64(len(golden)) || dropped != 0 {
+		t.Fatalf("seq %d, dropped %d, want %d and 0", seq, dropped, len(golden))
+	}
+	if len(evs) != len(golden) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(golden), evs)
+	}
+	for i, want := range golden {
+		if evs[i] != want {
+			t.Errorf("event %d:\n got %+v\nwant %+v", i, evs[i], want)
+		}
+	}
+}

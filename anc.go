@@ -35,6 +35,7 @@ import (
 	"io"
 	"math"
 
+	"anc/internal/analytics"
 	"anc/internal/cluster"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/core"
@@ -432,6 +433,162 @@ func (nw *Network) Instrument(reg *obs.Registry) { nw.inner.Instrument(reg) }
 // count of DrainEvents it is never reset, so operators can observe loss
 // without consuming events. Zero when Watch was never called.
 func (nw *Network) WatcherDrops() uint64 { return nw.inner.WatcherDrops() }
+
+// RankEntry is one node of a TieRank top-k listing.
+type RankEntry struct {
+	Node  int
+	Score float64
+}
+
+// TieRankResult is one TieRank query answer: the top-k nodes globally
+// and, when a granularity level was requested, the top-k nodes of every
+// cluster at that level.
+type TieRankResult struct {
+	// Global is the network-wide top-k: score descending, node ID
+	// ascending on ties.
+	Global []RankEntry
+	// Level is the clamped granularity level the per-cluster listing was
+	// computed at, or -1 when only the global ranking was requested.
+	Level int
+	// Clusters holds each cluster's top-k in cluster-ID order; nil when
+	// Level is -1.
+	Clusters [][]RankEntry
+	// Iters and Converged describe the power iteration that produced the
+	// scores (see internal/analytics).
+	Iters     int
+	Converged bool
+	// Now is the network time the scores were computed at. They stay
+	// exact until the next ingest — uniform decay cancels under
+	// normalization — so Now identifies the state, not an expiry.
+	Now float64
+}
+
+// EvolutionEventType classifies a cluster-evolution event.
+type EvolutionEventType uint8
+
+// Evolution event kinds, in the order the diff emits them for one
+// transition (see DESIGN.md §16).
+const (
+	EvolutionBirth  = EvolutionEventType(analytics.EventBirth)
+	EvolutionDeath  = EvolutionEventType(analytics.EventDeath)
+	EvolutionSplit  = EvolutionEventType(analytics.EventSplit)
+	EvolutionMerge  = EvolutionEventType(analytics.EventMerge)
+	EvolutionGrow   = EvolutionEventType(analytics.EventGrow)
+	EvolutionShrink = EvolutionEventType(analytics.EventShrink)
+)
+
+// String names the event type: "birth", "death", "split", "merge",
+// "grow" or "shrink".
+func (t EvolutionEventType) String() string { return analytics.EventType(t).String() }
+
+// EvolutionEvent is one typed change in the tracked clustering between
+// successive pyramid repairs.
+type EvolutionEvent struct {
+	// Seq is the event's 1-based position in the tracker's lifetime
+	// stream — the cursor for Evolution(since).
+	Seq  uint64
+	Type EvolutionEventType
+	// Level is the tracked granularity level (the Θ(√n) level).
+	Level int
+	// Node identifies the cluster by its smallest member ID — stable
+	// across repairs for surviving clusters.
+	Node int
+	// Size and PrevSize are the event's cardinalities; their meaning is
+	// per-type (fragment count for a split, source count for a merge,
+	// member counts for grow/shrink — see internal/analytics).
+	Size, PrevSize int
+	// Time is the network time of the transition.
+	Time float64
+}
+
+// EnableAnalytics turns on the live analytics layer: the TieRank
+// snapshot cache (probed lock-free by the concurrent facades) and the
+// cluster-evolution tracker diffing the Θ(√n)-level clustering between
+// pyramid repairs. Idempotent; the first call pays the vote tracker's
+// one-time initialization if Watch or EnableClusterCache has not
+// already. NewConcurrent, NewDurable and Recover enable it
+// automatically.
+func (nw *Network) EnableAnalytics() { nw.inner.EnableAnalytics() }
+
+// rankCache enables analytics and returns the TieRank snapshot cache —
+// the probe handle the concurrent facades keep so cached ranks bypass
+// their locks entirely.
+func (nw *Network) rankCache() *analytics.RankCache { return nw.inner.EnableAnalytics() }
+
+// RankStats returns the TieRank snapshot cache's cumulative hit, miss
+// and invalidation totals — the analytics twin of CacheStats. Lock-free;
+// all zero until EnableAnalytics.
+func (nw *Network) RankStats() (hits, misses, invalidations uint64) {
+	return nw.inner.RankCache().Stats()
+}
+
+// TieRank computes eigenvector centrality over the current decayed
+// weights (see DESIGN.md §16) and returns the top-k nodes globally and,
+// for level >= 0, per cluster at that (clamped) level; level -1 skips
+// the per-cluster listing. k is clamped to the node count. Served from
+// the analytics snapshot cache when one is valid; works without
+// EnableAnalytics, just recomputing every call.
+func (nw *Network) TieRank(level, k int) TieRankResult {
+	r := nw.inner.TieRank()
+	var cl *cluster.Clustering
+	if level >= 0 {
+		level = clampLevel(level, nw.Levels())
+		cl = nw.inner.Clusters(level)
+	} else {
+		level = -1
+	}
+	return tieRankResult(r, cl, level, k)
+}
+
+func tieRankResult(r *analytics.Rank, cl *cluster.Clustering, level, k int) TieRankResult {
+	res := TieRankResult{
+		Global:    toRankEntries(analytics.TopK(r.Scores, k)),
+		Level:     level,
+		Iters:     r.Iters,
+		Converged: r.Converged,
+		Now:       r.Now,
+	}
+	if cl != nil {
+		groups := analytics.TopKGroups(r.Scores, cl, k)
+		res.Clusters = make([][]RankEntry, len(groups))
+		for i, g := range groups {
+			res.Clusters[i] = toRankEntries(g)
+		}
+	}
+	return res
+}
+
+func toRankEntries(s []analytics.NodeScore) []RankEntry {
+	out := make([]RankEntry, len(s))
+	for i, e := range s {
+		out[i] = RankEntry{Node: int(e.Node), Score: e.Score}
+	}
+	return out
+}
+
+// Evolution returns the buffered cluster-evolution events with sequence
+// numbers after since (pass 0 for everything buffered), plus the newest
+// sequence number — the cursor for the next call — and the cumulative
+// count of events overwritten before being read. Non-draining and
+// idempotent: re-reading the same cursor returns the same events. Empty
+// until EnableAnalytics.
+func (nw *Network) Evolution(since uint64) ([]EvolutionEvent, uint64, uint64) {
+	evs, seq, dropped := nw.inner.EvolutionEvents(since)
+	out := make([]EvolutionEvent, len(evs))
+	for i, e := range evs {
+		out[i] = EvolutionEvent{
+			Seq: e.Seq, Type: EvolutionEventType(e.Type), Level: int(e.Level),
+			Node: int(e.Node), Size: int(e.Size), PrevSize: int(e.PrevSize), Time: e.Time,
+		}
+	}
+	return out, seq, dropped
+}
+
+// EvolutionDrops returns the cumulative number of evolution events
+// overwritten in the tracker's ring before being read — the analytics
+// twin of WatcherDrops, never reset by reads. Zero until
+// EnableAnalytics.
+func (nw *Network) EvolutionDrops() uint64 { return nw.inner.EvolutionDrops() }
 
 // Save serializes the network to w: the relation graph, configuration,
 // decayed similarity/activeness state and index seeds, followed by a

@@ -146,6 +146,29 @@ func BenchmarkServe(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalytics drives the analytics read path under write load:
+// TieRank and cluster-evolution queries over TCP against a durable
+// network during concurrent batch ingest, with a replication follower
+// serving (and cross-checked against) the same queries. Emits
+// BENCH_analytics.json with the observed latency percentiles.
+func BenchmarkAnalytics(b *testing.B) {
+	var r bench.AnalyticsResult
+	for i := 0; i < b.N; i++ {
+		r = bench.AnalyticsLoad(benchConfig(), io.Discard, 8, 4)
+	}
+	b.ReportMetric(r.IngestRate, "acts/s")
+	b.ReportMetric(r.GlobalP99ms, "tierank-global-p99-ms")
+	b.ReportMetric(r.ClusterP99ms, "tierank-cluster-p99-ms")
+	b.ReportMetric(r.EvolutionP99ms, "evolution-p99-ms")
+	b.ReportMetric(r.FollowerP99ms, "follower-p99-ms")
+	b.ReportMetric(r.RankHitP50ms, "rank-hit-p50-ms")
+	b.ReportMetric(r.RankComputeP50ms, "rank-compute-p50-ms")
+	b.ReportMetric(r.RankHitSpeedup, "rank-hit-x")
+	if err := bench.WriteAnalyticsJSON("BENCH_analytics.json", r); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCaseStudy regenerates the Figure 11 case study.
 func BenchmarkCaseStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -8,8 +8,8 @@
 //	ancbench -exp exp6batch -effn 16384  # Figure 8 at a larger scale
 //
 // Experiments: table1, exp1, exp2time, exp2quality, exp3, exp4, exp5,
-// exp6batch, exp6day, exp6workload, ingest, serve, casestudy, params,
-// ablation, all.
+// exp6batch, exp6day, exp6workload, ingest, serve, analytics,
+// casestudy, params, ablation, all.
 // See EXPERIMENTS.md for the mapping to the paper's artifacts.
 package main
 
@@ -124,6 +124,9 @@ func main() {
 	})
 	run("serve", "serving layer: concurrent TCP ingest + queries over a durable network", func() {
 		bench.PrintServe(out, bench.ServeLoad(cfg, out, *minutes/24, *conns))
+	})
+	run("analytics", "analytics layer: TieRank + evolution queries under concurrent ingest", func() {
+		bench.PrintAnalytics(out, bench.AnalyticsLoad(cfg, out, *minutes/24, *conns))
 	})
 	run("casestudy", "Figure 11: 30-year collaboration case study", func() {
 		bench.PrintCaseStudy(out, bench.CaseStudy(cfg, out))

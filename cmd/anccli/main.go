@@ -28,6 +28,14 @@
 //
 //	anccli -server 127.0.0.1:7465 -cmd stats
 //	anccli -server follower:7466 -cmd promote
+//
+// The analytics commands work both locally and against a server (followers
+// serve them too): tierank prints eigenvector-centrality top-k listings,
+// evolution the typed cluster-evolution event stream:
+//
+//	anccli -graph g.txt -stream s.txt -cmd tierank -topk 10
+//	anccli -server 127.0.0.1:7465 -cmd tierank -topk 10 -level -1
+//	anccli -server 127.0.0.1:7465 -cmd evolution -since 0
 package main
 
 import (
@@ -57,10 +65,12 @@ func main() {
 		server     = flag.String("server", "", "query a running ancserve at this address instead of building locally")
 		graphPath  = flag.String("graph", "", "edge-list file (required unless -server is set)")
 		streamPath = flag.String("stream", "", "activation stream file (u v t per line)")
-		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance")
-		level      = flag.Int("level", 0, "granularity level (0 = Θ(√n) default)")
+		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance | tierank | evolution")
+		level      = flag.Int("level", 0, "granularity level (0 = Θ(√n) default; -1 for tierank = global only)")
 		node       = flag.Int("node", 0, "query node (original ID) for local/zoom/distance")
 		node2      = flag.Int("node2", 0, "second node for distance")
+		topk       = flag.Int("topk", 10, "listing size for tierank")
+		since      = flag.Uint64("since", 0, "evolution cursor: report events with sequence numbers after this")
 		method     = flag.String("method", "anco", "anco | ancor | ancf")
 		lambda     = flag.Float64("lambda", 0.1, "decay factor λ")
 		rep        = flag.Int("rep", 7, "initialization reinforcement rounds")
@@ -73,7 +83,7 @@ func main() {
 	)
 	flag.Parse()
 	if *server != "" {
-		remote(*server, *cmd, *level, *node, *node2)
+		remote(*server, *cmd, *level, *node, *node2, *topk, *since)
 		return
 	}
 	if *graphPath == "" {
@@ -111,6 +121,12 @@ func main() {
 	rev := make(map[int32]int64, len(ids))
 	for orig, dense := range ids {
 		rev[dense] = orig
+	}
+
+	if *cmd == "tierank" || *cmd == "evolution" {
+		// Enable before any replay so evolution events accumulate from the
+		// start of the stream (the durable paths enable it themselves).
+		net.EnableAnalytics()
 	}
 
 	// A one-shot process can afford always-on instrumentation: the stats
@@ -244,15 +260,59 @@ func main() {
 		d := net.EstimateDistance(int(du), int(dv))
 		fmt.Printf("estimated distance(%d, %d) = %g\n", *node, *node2, d)
 		fmt.Printf("estimated attraction = %g\n", net.EstimateAttraction(int(du), int(dv)))
+	case "tierank":
+		tl := lvl
+		if *level < 0 {
+			tl = -1
+		}
+		r := net.TieRank(tl, *topk)
+		printTieRank(r, func(v int) int64 { return rev[int32(v)] })
+	case "evolution":
+		evs, seq, dropped := net.Evolution(*since)
+		printEvolution(evs, seq, dropped, func(v int) int64 { return rev[int32(v)] })
 	default:
 		fatalf("unknown command %q", *cmd)
+	}
+}
+
+// printTieRank renders a TieRank answer; orig maps dense node IDs back to
+// the graph file's original IDs (identity for remote results — the server
+// translates at its boundary).
+func printTieRank(r anc.TieRankResult, orig func(int) int64) {
+	fmt.Printf("tierank: %d iters, converged %v, t=%v\n", r.Iters, r.Converged, r.Now)
+	fmt.Printf("top %d global:\n", len(r.Global))
+	for i, e := range r.Global {
+		fmt.Printf("  %2d. node %d  %.6g\n", i+1, orig(e.Node), e.Score)
+	}
+	if r.Level < 0 {
+		return
+	}
+	fmt.Printf("per-cluster top at level %d (%d clusters):\n", r.Level, len(r.Clusters))
+	for ci, g := range r.Clusters {
+		if len(g) < 3 {
+			continue // noise per the paper's convention
+		}
+		fmt.Printf("  cluster %d:", ci)
+		for _, e := range g {
+			fmt.Printf(" %d(%.4g)", orig(e.Node), e.Score)
+		}
+		fmt.Println()
+	}
+}
+
+// printEvolution renders an evolution event listing.
+func printEvolution(evs []anc.EvolutionEvent, seq, dropped uint64, orig func(int) int64) {
+	fmt.Printf("evolution: %d events, newest seq %d, dropped %d\n", len(evs), seq, dropped)
+	for _, e := range evs {
+		fmt.Printf("  #%d t=%v level %d %s cluster@%d size %d prev %d\n",
+			e.Seq, e.Time, e.Level, e.Type, orig(e.Node), e.Size, e.PrevSize)
 	}
 }
 
 // remote serves the -server mode: the command runs against a live
 // ancserve over the wire protocol instead of a locally built index.
 // Queries use retries (idempotent); promote does not.
-func remote(addr, cmd string, level, node, node2 int) {
+func remote(addr, cmd string, level, node, node2, topk int, since uint64) {
 	c, err := client.Dial(addr, client.WithRetry(4, 50*time.Millisecond, time.Second))
 	if err != nil {
 		fatalf("%v", err)
@@ -336,8 +396,30 @@ func remote(addr, cmd string, level, node, node2 int) {
 			fatalf("attraction: %v", err)
 		}
 		fmt.Printf("estimated distance(%d, %d) = %g\nestimated attraction = %g\n", node, node2, d, a)
+	case "tierank":
+		if level == 0 {
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				fatalf("stats: %v", err)
+			}
+			level = int(stats.SqrtLevel)
+		}
+		if level < 0 {
+			level = -1
+		}
+		r, err := c.TieRank(ctx, level, topk)
+		if err != nil {
+			fatalf("tierank: %v", err)
+		}
+		printTieRank(r, func(v int) int64 { return int64(v) })
+	case "evolution":
+		evs, seq, dropped, err := c.Evolution(ctx, since)
+		if err != nil {
+			fatalf("evolution: %v", err)
+		}
+		printEvolution(evs, seq, dropped, func(v int) int64 { return int64(v) })
 	default:
-		fatalf("unknown or unsupported remote command %q (stats | clusters | local | distance | promote)", cmd)
+		fatalf("unknown or unsupported remote command %q (stats | clusters | local | distance | tierank | evolution | promote)", cmd)
 	}
 }
 

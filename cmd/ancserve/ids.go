@@ -128,6 +128,32 @@ func (b *translatingBackend) DrainEvents() ([]anc.ClusterEvent, uint64) {
 	return events, dropped
 }
 
+func (b *translatingBackend) TieRank(level, k int) anc.TieRankResult {
+	r := b.inner.TieRank(level, k)
+	translate := func(entries []anc.RankEntry) {
+		for i := range entries {
+			if n := entries[i].Node; n >= 0 && n < len(b.rev) {
+				entries[i].Node = int(b.rev[n])
+			}
+		}
+	}
+	translate(r.Global)
+	for _, g := range r.Clusters {
+		translate(g)
+	}
+	return r
+}
+
+func (b *translatingBackend) Evolution(since uint64) ([]anc.EvolutionEvent, uint64, uint64) {
+	events, seq, dropped := b.inner.Evolution(since)
+	for i := range events {
+		if n := events[i].Node; n >= 0 && n < len(b.rev) {
+			events[i].Node = int(b.rev[n])
+		}
+	}
+	return events, seq, dropped
+}
+
 func (b *translatingBackend) Stats() anc.Stats { return b.inner.Stats() }
 
 // durableTranslatingBackend forwards the durability surface so the

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"anc/internal/analytics"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/obs"
 )
@@ -28,13 +29,18 @@ type ConcurrentNetwork struct {
 	// observe state newer than the last write that completed before the
 	// probe (see DESIGN.md §15).
 	cache *clustercache.Cache
+	// rank is the TieRank snapshot cache, probed before the lock like
+	// cache: a valid snapshot serves the whole query lock-free, and it is
+	// invalidated on every ingest — always under the exclusive lock — so
+	// a hit can never observe stale relative weights (DESIGN.md §16).
+	rank *analytics.RankCache
 }
 
 // NewConcurrent wraps an existing network and enables its materialized
-// clustering cache. The caller must not keep using the wrapped network
-// directly.
+// clustering cache and analytics layer. The caller must not keep using
+// the wrapped network directly.
 func NewConcurrent(net *Network) *ConcurrentNetwork {
-	return &ConcurrentNetwork{net: net, cache: net.clusterCache()}
+	return &ConcurrentNetwork{net: net, cache: net.clusterCache(), rank: net.rankCache()}
 }
 
 // Activate records an interaction (exclusive lock).
@@ -131,6 +137,43 @@ func (c *ConcurrentNetwork) EvenClustersUncached(level int) [][]int {
 // scrapes never queue behind ingest.
 func (c *ConcurrentNetwork) CacheStats() (hits, misses, invalidations uint64) {
 	return c.cache.Stats()
+}
+
+// RankStats returns the TieRank snapshot cache's cumulative hit, miss
+// and invalidation totals — the analytics twin of CacheStats. Lock-free.
+func (c *ConcurrentNetwork) RankStats() (hits, misses, invalidations uint64) {
+	return c.rank.Stats()
+}
+
+// TieRank answers a centrality query (see Network.TieRank). When a
+// cached rank snapshot is valid the query is served without the lock: a
+// global-only query (level -1) needs nothing else, and a per-cluster
+// query additionally probes the materialized clustering snapshot. Only
+// a miss on either takes the shared lock to compute (and store for the
+// next caller).
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshots are internally synchronized and the miss path locks
+func (c *ConcurrentNetwork) TieRank(level, k int) TieRankResult {
+	if r, ok := c.rank.Get(); ok {
+		if level < 0 {
+			return tieRankResult(r, nil, -1, k)
+		}
+		if cl, ok := c.cache.Power(level); ok {
+			return tieRankResult(r, cl, level, k)
+		}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.TieRank(level, k)
+}
+
+// Evolution reads the buffered cluster-evolution events after the given
+// cursor (shared lock: the read is non-draining, so concurrent readers
+// are safe; only ingest appends to the ring).
+func (c *ConcurrentNetwork) Evolution(since uint64) ([]EvolutionEvent, uint64, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.net.Evolution(since)
 }
 
 // SmallestClusterOf reports the finest-granularity cluster containing v
@@ -311,6 +354,7 @@ func (c *ConcurrentNetwork) Stats() Stats {
 		CacheHits:          hits,
 		CacheMisses:        misses,
 		CacheInvalidations: inv,
+		EvolutionDrops:     c.net.EvolutionDrops(),
 	}
 }
 

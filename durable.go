@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"anc/internal/analytics"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/graph"
 	"anc/internal/obs"
@@ -105,6 +106,9 @@ type DurableNetwork struct {
 	// by Clusters/EvenClusters — see ConcurrentNetwork.cache and
 	// DESIGN.md §15 for the synchronization argument.
 	cache *clustercache.Cache
+	// rank is the TieRank snapshot cache, probed before the lock by
+	// TieRank — see ConcurrentNetwork.rank and DESIGN.md §16.
+	rank *analytics.RankCache
 }
 
 const activationRecordSize = 16 // u uint32, v uint32, t float64 bits
@@ -170,7 +174,7 @@ func NewDurable(net *Network, dir string, cfg DurableConfig) (*DurableNetwork, e
 	}
 	net.Instrument(cfg.Obs)
 	d := &DurableNetwork{net: net, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs),
-		cache: net.clusterCache()}
+		cache: net.clusterCache(), rank: net.rankCache()}
 	// Checkpoint first, then open the log: recovery requires a checkpoint
 	// to replay onto, so an empty WAL without one is never observable.
 	if err := d.writeCheckpoint(0); err != nil {
@@ -264,7 +268,7 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 		met := newDurableMetrics(cfg.Obs)
 		met.recovered(replayed)
 		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed,
-			cache: net.clusterCache()}, nil
+			cache: net.clusterCache(), rank: net.rankCache()}, nil
 	}
 	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
 }
@@ -602,6 +606,40 @@ func (d *DurableNetwork) CacheStats() (hits, misses, invalidations uint64) {
 	return d.cache.Stats()
 }
 
+// RankStats returns the TieRank snapshot cache's cumulative hit, miss
+// and invalidation totals — the analytics twin of CacheStats. Lock-free.
+func (d *DurableNetwork) RankStats() (hits, misses, invalidations uint64) {
+	return d.rank.Stats()
+}
+
+// TieRank answers a centrality query (see Network.TieRank and
+// ConcurrentNetwork.TieRank). A valid rank snapshot — plus, for a
+// per-cluster query, a valid clustering snapshot — serves the query
+// lock-free; only a miss takes the shared lock.
+//
+//anclint:ignore lockdiscipline cache probe is lock-free by design; the snapshots are internally synchronized and the miss path locks
+func (d *DurableNetwork) TieRank(level, k int) TieRankResult {
+	if r, ok := d.rank.Get(); ok {
+		if level < 0 {
+			return tieRankResult(r, nil, -1, k)
+		}
+		if cl, ok := d.cache.Power(level); ok {
+			return tieRankResult(r, cl, level, k)
+		}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.TieRank(level, k)
+}
+
+// Evolution reads the buffered cluster-evolution events after the given
+// cursor (shared lock; the read is non-draining).
+func (d *DurableNetwork) Evolution(since uint64) ([]EvolutionEvent, uint64, uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.net.Evolution(since)
+}
+
 // ClusterOf reports the local cluster of v (shared lock).
 func (d *DurableNetwork) ClusterOf(v, level int) []int {
 	d.mu.RLock()
@@ -695,5 +733,6 @@ func (d *DurableNetwork) Stats() Stats {
 		CacheHits:          hits,
 		CacheMisses:        misses,
 		CacheInvalidations: inv,
+		EvolutionDrops:     d.net.EvolutionDrops(),
 	}
 }

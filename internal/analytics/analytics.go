@@ -1,0 +1,231 @@
+// Package analytics is the live analytics layer over the activation
+// stream: continuous-time centrality and cluster-evolution tracking on
+// top of the decayed similarity state and the pyramid clusterings.
+//
+// # TieRank
+//
+// The decayed-weight matrix S_t is exactly a tie-decay temporal network
+// (Ahmad, Porter & Beguerisse-Díaz — see PAPERS.md): every activation
+// adds a unit impulse to its edge and all weights decay as e^{-λΔt}.
+// TieRank is the dominant-eigenvector centrality of that matrix,
+// computed by deterministic power iteration: x ← (S + cI)·x / ‖·‖₂ from
+// the uniform positive vector, with a fixed iteration cap and an
+// epsilon convergence test. S_t is symmetric and non-negative, so the
+// iteration converges to the Perron vector of the dominant component.
+// The diagonal shift c = ½·max_v Σ_{e ∋ v} w(e) changes eigenvalues,
+// never eigenvectors, and makes the Perron eigenvalue strictly dominant
+// in magnitude — plain iteration oscillates forever on bipartite
+// structure (λ_min = −λ_max), which real relation graphs contain.
+//
+// Rescale handling: the similarity store keeps anchored values s*(e)
+// with the true weight s_t(e) = s*(e)·g(t) for a single global factor
+// g(t) (DESIGN.md §3). A uniform positive scalar cancels under the
+// normalization of power iteration, so TieRank runs directly on the
+// anchored values — no rescale coordination, and the result is
+// identical to iterating the true S_t. The shift keeps this exact:
+// c is computed from the same weights, so the true-scale matrix is
+// g·(S* + c*I) — the anchored iteration times a scalar. For the same reason the scores
+// are constant between ingests: decay multiplies S_t uniformly, so a
+// cached Rank stays exact until the next activation changes relative
+// weights. That is what makes the RankCache sound (see rankcache.go).
+//
+// # Cluster evolution
+//
+// The Tracker (evolution.go) diffs successive clusterings between
+// pyramid repairs into typed birth/death/split/merge/grow/shrink events
+// held in a bounded ring, riding the coalesced vote-flip notifications
+// that also drive the materialized clustering cache.
+package analytics
+
+import (
+	"math"
+	"sort"
+
+	"anc/internal/cluster"
+	"anc/internal/graph"
+)
+
+// RankConfig bounds the power iteration.
+type RankConfig struct {
+	// MaxIters caps the number of matrix-vector products.
+	MaxIters int
+	// Tol is the convergence epsilon: the iteration stops when the
+	// max-norm change of the (normalized) vector is at most Tol.
+	Tol float64
+}
+
+// DefaultRankConfig returns the fixed defaults used across the stack —
+// every layer iterating with the same cap and epsilon is part of the
+// determinism contract (identical seeds ⇒ identical vectors). The cap
+// is sized for slowly-mixing graphs (power iteration converges like
+// (λ₂/λ₁)^k, so near-ring topologies need a few hundred products to
+// reach Tol); well-clustered graphs stop far earlier.
+func DefaultRankConfig() RankConfig {
+	return RankConfig{MaxIters: 500, Tol: 1e-12}
+}
+
+// Rank is one TieRank computation: the L2-normalized dominant
+// eigenvector of the decayed-weight matrix, node-indexed. Immutable
+// after construction — snapshots of it are shared lock-free.
+type Rank struct {
+	// Scores[v] is node v's TieRank centrality, ‖Scores‖₂ = 1.
+	Scores []float64
+	// Iters is the number of iterations performed; Converged reports
+	// whether the epsilon test passed before the cap.
+	Iters     int
+	Converged bool
+	// Now is the network time at which the rank was computed. Scores
+	// stay exact until the next ingest (uniform decay cancels), so Now
+	// identifies the state, not an expiry.
+	Now float64
+}
+
+// ComputeRank runs the deterministic power iteration over the graph
+// with the given edge weights (the anchored decayed similarities).
+// Nodes are visited in ID order and neighbors in CSR order, so the
+// float accumulation order — and therefore the result, bit for bit —
+// is a pure function of the graph and the weights.
+func ComputeRank(g *graph.Graph, weight func(e graph.EdgeID) float64, now float64, cfg RankConfig) *Rank {
+	n := g.N()
+	r := &Rank{Scores: make([]float64, n), Now: now}
+	if n == 0 {
+		r.Converged = true
+		return r
+	}
+	if cfg.MaxIters <= 0 {
+		cfg = DefaultRankConfig()
+	}
+	// Spectral shift: half the maximum weighted degree. An upper bound
+	// proportional to ‖S‖ keeps the convergence ratio comparable across
+	// weight scales (and across rescales, which multiply c and S by the
+	// same factor).
+	shift := 0.0
+	for v := 0; v < n; v++ {
+		row := 0.0
+		for _, h := range g.Neighbors(graph.NodeID(v)) {
+			row += weight(h.Edge)
+		}
+		if row > shift {
+			shift = row
+		}
+	}
+	shift *= 0.5
+	x := r.Scores
+	for v := range x {
+		x[v] = 1
+	}
+	normalize(x)
+	y := make([]float64, n)
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		for v := 0; v < n; v++ {
+			acc := shift * x[v]
+			for _, h := range g.Neighbors(graph.NodeID(v)) {
+				acc += weight(h.Edge) * x[h.To]
+			}
+			y[v] = acc
+		}
+		if !normalize(y) {
+			// S·x vanished (no edges): the uniform vector is as good an
+			// answer as any fixed point.
+			r.Iters = iter
+			r.Converged = true
+			return r
+		}
+		delta := 0.0
+		for v := range x {
+			d := y[v] - x[v]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+		}
+		x, y = y, x
+		r.Iters = iter
+		if delta <= cfg.Tol {
+			r.Converged = true
+			break
+		}
+	}
+	copy(r.Scores, x)
+	return r
+}
+
+// normalize scales v to unit L2 norm, returning false (and leaving v
+// untouched) when the norm is zero or non-finite.
+func normalize(v []float64) bool {
+	ss := 0.0
+	for _, x := range v {
+		ss += x * x
+	}
+	if !(ss > 0) || math.IsInf(ss, 0) {
+		return false
+	}
+	inv := 1 / math.Sqrt(ss)
+	for i := range v {
+		v[i] *= inv
+	}
+	return true
+}
+
+// NodeScore is one entry of a top-k ranking.
+type NodeScore struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// TopK returns the k highest-scoring nodes in deterministic order:
+// score descending, node ID ascending on equal scores. k is clamped to
+// [0, len(scores)].
+func TopK(scores []float64, k int) []NodeScore {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]NodeScore, 0, len(scores))
+	for v, s := range scores {
+		out = append(out, NodeScore{Node: graph.NodeID(v), Score: s})
+	}
+	sortScores(out)
+	return out[:k:k]
+}
+
+// TopKGroups returns, for each cluster of cl in cluster-ID order, the
+// cluster's top-k nodes under the same deterministic order as TopK.
+func TopKGroups(scores []float64, cl *cluster.Clustering, k int) [][]NodeScore {
+	if cl == nil {
+		return nil
+	}
+	groups := make([][]NodeScore, len(cl.Clusters))
+	for i, members := range cl.Clusters {
+		g := make([]NodeScore, 0, len(members))
+		for _, v := range members {
+			g = append(g, NodeScore{Node: v, Score: scores[v]})
+		}
+		sortScores(g)
+		kk := k
+		if kk < 0 {
+			kk = 0
+		}
+		if kk > len(g) {
+			kk = len(g)
+		}
+		groups[i] = g[:kk:kk]
+	}
+	return groups
+}
+
+// sortScores orders by score descending, node ascending. The node
+// tie-break makes the order total, so equal scores (common on symmetric
+// graphs) cannot reorder between runs.
+func sortScores(s []NodeScore) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].Node < s[j].Node
+	})
+}

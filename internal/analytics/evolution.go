@@ -1,0 +1,413 @@
+// Cluster-evolution tracking: diffing successive clusterings at one
+// granularity level into typed birth/death/split/merge/grow/shrink
+// events.
+//
+// # Diff algorithm
+//
+// Let P (previous) and C (current) be the power clusterings at the
+// tracked level, restricted to clusters with at least MinSize members
+// (the paper treats smaller clusters as noise, and singleton churn
+// would drown the signal). For an old cluster o and a new cluster n,
+// overlap(o, n) counts shared members. With matching threshold θ
+// (default 0.5):
+//
+//   - o "moved into" n   iff overlap(o, n) ≥ θ·|o|  — most of o's
+//     members land in n;
+//   - n "derives from" o iff overlap(o, n) ≥ θ·|n|  — most of n's
+//     members came from o.
+//
+// Events, in deterministic order (old clusters by ID, then new
+// clusters by ID; members and overlaps are accumulated in member
+// order, so the whole diff is a pure function of the two label
+// arrays):
+//
+//   - Split(o):  ≥ 2 new clusters derive from o. Node is o's smallest
+//     member, PrevSize = |o|, Size = number of fragments.
+//   - Death(o):  o moved nowhere and no new cluster derives from it —
+//     it dissolved below the matching threshold. Size = 0.
+//   - Merge(n):  ≥ 2 old clusters moved into n. Node is n's smallest
+//     member, Size = |n|, PrevSize = number of sources.
+//   - Birth(n):  no old cluster moved into n and n derives from
+//     nothing — it condensed from noise or fragments. PrevSize = 0.
+//   - Grow/Shrink(n): n is mutually matched to exactly the o with the
+//     largest overlap (both directions ≥ θ) and |n| ≠ |o|; same-size
+//     continuations emit nothing, however much membership churned.
+//
+// A cluster consumed by a merge or produced by a split emits only the
+// merge/split event, not a redundant grow/shrink.
+//
+// The event ring reuses the Watcher's bounded-buffer pattern
+// (internal/core/watch.go, cap 1<<16) with one difference: reads do
+// not drain. Events(since) is an idempotent cursor read — safe to
+// retry, identical on a caught-up follower — so the ring overwrites
+// its oldest entry when full and counts the overwrite in DroppedTotal,
+// surfaced through anc.Stats and /healthz like WatcherDrops.
+
+package analytics
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"anc/internal/cluster"
+	"anc/internal/graph"
+	"anc/internal/obs"
+)
+
+// EventType classifies one cluster transition.
+type EventType uint8
+
+const (
+	// EventBirth: a cluster appeared with no majority ancestor.
+	EventBirth EventType = iota + 1
+	// EventDeath: a cluster dissolved below the matching threshold.
+	EventDeath
+	// EventSplit: one cluster broke into ≥ 2 fragments.
+	EventSplit
+	// EventMerge: ≥ 2 clusters fused into one.
+	EventMerge
+	// EventGrow: a matched cluster gained members.
+	EventGrow
+	// EventShrink: a matched cluster lost members.
+	EventShrink
+)
+
+// String returns the stable lower-case name used on the CLI and in logs.
+func (t EventType) String() string {
+	switch t {
+	case EventBirth:
+		return "birth"
+	case EventDeath:
+		return "death"
+	case EventSplit:
+		return "split"
+	case EventMerge:
+		return "merge"
+	case EventGrow:
+		return "grow"
+	case EventShrink:
+		return "shrink"
+	}
+	return fmt.Sprintf("event-%d", uint8(t))
+}
+
+// Event is one typed cluster transition. Seq numbers events from 1 in
+// emission order; Node is the smallest member ID of the cluster
+// concerned (the old cluster for death/split, the new one otherwise).
+// Size and PrevSize are type-dependent — see the file comment.
+type Event struct {
+	Seq      uint64
+	Type     EventType
+	Level    int32
+	Node     graph.NodeID
+	Size     int32
+	PrevSize int32
+	// Time is the network time of the repair that produced the event.
+	Time float64
+}
+
+// DefaultEventCap bounds the ring — the same cap as the Watcher's
+// event buffer.
+const DefaultEventCap = 1 << 16
+
+// TrackerConfig tunes the diff.
+type TrackerConfig struct {
+	// Threshold is the matching fraction θ in (0, 1]; default 0.5.
+	Threshold float64
+	// MinSize filters noise clusters from both sides; default 3.
+	MinSize int
+	// Cap is the ring capacity; default DefaultEventCap.
+	Cap int
+}
+
+// DefaultTrackerConfig returns the defaults shared by every layer.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{Threshold: 0.5, MinSize: 3, Cap: DefaultEventCap}
+}
+
+// Tracker accumulates evolution events at one granularity level.
+// Observe is called from the exclusive-writer (ingest) context only;
+// Events and Seq are called under at least the facade's shared lock.
+// DroppedTotal is an always-on atomic, readable from any goroutine
+// (the metrics scraper samples it without a lock).
+type Tracker struct {
+	level int
+	cfg   TrackerConfig
+
+	prev *cluster.Clustering
+
+	ring  []Event
+	start int // index of the oldest buffered event
+	count int
+
+	seq          uint64
+	droppedTotal atomic.Uint64
+
+	events      *obs.Counter   // nil until Instrument; nil-safe
+	diffSeconds *obs.Histogram // nil until Instrument; nil-safe
+
+	// diff scratch, reused across Observe calls.
+	overlapCnt []int32
+	touched    []int32
+}
+
+// NewTracker returns a tracker for the given level. Zero config fields
+// fall back to the defaults.
+func NewTracker(level int, cfg TrackerConfig) *Tracker {
+	def := DefaultTrackerConfig()
+	if !(cfg.Threshold > 0) || cfg.Threshold > 1 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.MinSize < 1 {
+		cfg.MinSize = def.MinSize
+	}
+	if cfg.Cap < 1 {
+		cfg.Cap = def.Cap
+	}
+	return &Tracker{level: level, cfg: cfg}
+}
+
+// Level returns the tracked granularity level.
+func (t *Tracker) Level() int {
+	if t == nil {
+		return 0
+	}
+	return t.level
+}
+
+// Seed installs the baseline clustering without emitting events — the
+// state at enable time is the ancestor of the first diff, not a storm
+// of births. cl is retained and must not be mutated afterwards.
+func (t *Tracker) Seed(cl *cluster.Clustering) {
+	if t == nil {
+		return
+	}
+	t.prev = cl
+}
+
+// Observe diffs the previous clustering against cur, appending the
+// resulting events at the given network time, and makes cur the new
+// baseline. Exclusive-writer context only. cur is retained and must
+// not be mutated afterwards.
+func (t *Tracker) Observe(cur *cluster.Clustering, now float64) {
+	if t == nil || cur == nil {
+		return
+	}
+	prev := t.prev
+	t.prev = cur
+	if prev == nil {
+		return
+	}
+	w := t.diffSeconds.Start()
+	t.diff(prev, cur, now)
+	w.Stop()
+}
+
+// push appends one event, overwriting the oldest when the ring is full.
+func (t *Tracker) push(e Event) {
+	t.seq++
+	e.Seq = t.seq
+	t.events.Inc()
+	if len(t.ring) < t.cfg.Cap {
+		t.ring = append(t.ring, e)
+		t.count++
+		return
+	}
+	// Full: overwrite the oldest and count the loss.
+	t.ring[t.start] = e
+	t.start = (t.start + 1) % len(t.ring)
+	t.droppedTotal.Add(1)
+}
+
+// Events returns the buffered events with Seq > since, in order,
+// together with the latest sequence number and the cumulative
+// overwrite count. The read is idempotent — nothing drains — so
+// retries and replica comparisons see the same answer.
+func (t *Tracker) Events(since uint64) (events []Event, seq, dropped uint64) {
+	if t == nil {
+		return nil, 0, 0
+	}
+	out := make([]Event, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		e := t.ring[(t.start+i)%len(t.ring)]
+		if e.Seq > since {
+			out = append(out, e)
+		}
+	}
+	return out, t.seq, t.droppedTotal.Load()
+}
+
+// Seq returns the sequence number of the newest event (0 when none).
+func (t *Tracker) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq
+}
+
+// DroppedTotal returns the cumulative number of events overwritten
+// before anyone could read them. Safe from any goroutine.
+func (t *Tracker) DroppedTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.droppedTotal.Load()
+}
+
+// Instrument exposes the tracker under anc_analytics_evolution_*:
+// emitted events, ring overwrites, and diff latency. Idempotent;
+// nil-safe.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.events = reg.Counter("anc_analytics_evolution_events_total",
+		"cluster-evolution events emitted by the tracker")
+	reg.CounterFunc("anc_analytics_evolution_drops_total",
+		"evolution events overwritten in the ring before being read",
+		func() float64 { return float64(t.droppedTotal.Load()) })
+	t.diffSeconds = reg.Histogram("anc_analytics_evolution_diff_seconds",
+		"latency of one clustering diff between pyramid repairs", nil)
+}
+
+// effective lists the cluster IDs of cl with at least MinSize members.
+func (t *Tracker) effective(cl *cluster.Clustering) []int32 {
+	ids := make([]int32, 0, len(cl.Clusters))
+	for i, m := range cl.Clusters {
+		if len(m) >= t.cfg.MinSize {
+			ids = append(ids, int32(i))
+		}
+	}
+	return ids
+}
+
+// rep returns the smallest member ID of a cluster — the stable
+// representative reported in events.
+func rep(members []graph.NodeID) graph.NodeID {
+	r := members[0]
+	for _, v := range members[1:] {
+		if v < r {
+			r = v
+		}
+	}
+	return r
+}
+
+// diff implements the algorithm of the file comment.
+func (t *Tracker) diff(prev, cur *cluster.Clustering, now float64) {
+	oldIDs := t.effective(prev)
+	newIDs := t.effective(cur)
+	if len(oldIDs) == 0 && len(newIDs) == 0 {
+		return
+	}
+	newOK := make([]bool, cur.NumClusters())
+	for _, n := range newIDs {
+		newOK[n] = true
+	}
+
+	// Overlaps, sparse: for each effective old cluster, the effective new
+	// clusters its members land in, in first-touch (member) order; the
+	// transpose accumulates per-new source lists in old-ID order.
+	type edge struct {
+		id  int32
+		cnt int32
+	}
+	fromOld := make(map[int32][]edge, len(oldIDs)) // keyed by old ID, built per old cluster
+	intoNew := make(map[int32][]edge, len(newIDs)) // keyed by new ID
+	if cap(t.overlapCnt) < cur.NumClusters() {
+		t.overlapCnt = make([]int32, cur.NumClusters())
+	}
+	cnt := t.overlapCnt[:cur.NumClusters()]
+	for _, o := range oldIDs {
+		t.touched = t.touched[:0]
+		for _, v := range prev.Clusters[o] {
+			n := cur.Labels[v]
+			if n < 0 || !newOK[n] {
+				continue
+			}
+			if cnt[n] == 0 {
+				t.touched = append(t.touched, n)
+			}
+			cnt[n]++
+		}
+		for _, n := range t.touched {
+			fromOld[o] = append(fromOld[o], edge{id: n, cnt: cnt[n]})
+			intoNew[n] = append(intoNew[n], edge{id: o, cnt: cnt[n]})
+			cnt[n] = 0
+		}
+	}
+
+	θ := t.cfg.Threshold
+	meets := func(c, size int32) bool { return float64(c) >= θ*float64(size) }
+
+	// Pass 1 — old clusters in ID order: splits and deaths.
+	splitOld := make(map[int32]bool)
+	for _, o := range oldIDs {
+		oSize := int32(len(prev.Clusters[o]))
+		fragments := 0
+		moved := false
+		for _, e := range fromOld[o] {
+			if meets(e.cnt, int32(len(cur.Clusters[e.id]))) {
+				fragments++
+			}
+			if meets(e.cnt, oSize) {
+				moved = true
+			}
+		}
+		switch {
+		case fragments >= 2:
+			splitOld[o] = true
+			t.push(Event{Type: EventSplit, Level: int32(t.level),
+				Node: rep(prev.Clusters[o]), Size: int32(fragments),
+				PrevSize: oSize, Time: now})
+		case fragments == 0 && !moved:
+			t.push(Event{Type: EventDeath, Level: int32(t.level),
+				Node: rep(prev.Clusters[o]), Size: 0,
+				PrevSize: oSize, Time: now})
+		}
+	}
+
+	// Pass 2 — new clusters in ID order: merges, births, grow/shrink.
+	for _, n := range newIDs {
+		nSize := int32(len(cur.Clusters[n]))
+		sources := 0
+		derives := false
+		var best edge
+		for _, e := range intoNew[n] {
+			oSize := int32(len(prev.Clusters[e.id]))
+			if meets(e.cnt, oSize) {
+				sources++
+			}
+			if meets(e.cnt, nSize) {
+				derives = true
+			}
+			if e.cnt > best.cnt {
+				best = e
+			}
+		}
+		switch {
+		case sources >= 2:
+			t.push(Event{Type: EventMerge, Level: int32(t.level),
+				Node: rep(cur.Clusters[n]), Size: nSize,
+				PrevSize: int32(sources), Time: now})
+		case sources == 0 && !derives:
+			t.push(Event{Type: EventBirth, Level: int32(t.level),
+				Node: rep(cur.Clusters[n]), Size: nSize,
+				PrevSize: 0, Time: now})
+		default:
+			oSize := int32(len(prev.Clusters[best.id]))
+			if !meets(best.cnt, oSize) || !meets(best.cnt, nSize) || splitOld[best.id] {
+				break // one-sided match or split fragment: no size event
+			}
+			if nSize > oSize {
+				t.push(Event{Type: EventGrow, Level: int32(t.level),
+					Node: rep(cur.Clusters[n]), Size: nSize,
+					PrevSize: oSize, Time: now})
+			} else if nSize < oSize {
+				t.push(Event{Type: EventShrink, Level: int32(t.level),
+					Node: rep(cur.Clusters[n]), Size: nSize,
+					PrevSize: oSize, Time: now})
+			}
+		}
+	}
+}

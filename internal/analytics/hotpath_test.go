@@ -1,0 +1,40 @@
+package analytics
+
+import (
+	"testing"
+
+	"anc/internal/obs"
+)
+
+// TestHotPathAllocs is the dynamic half of the //anclint:hotpath
+// contract (DESIGN.md §14) for the TieRank snapshot probe: probing a
+// populated, an empty and a nil cache must not allocate — facades probe
+// it before taking their locks on every TieRank query.
+func TestHotPathAllocs(t *testing.T) {
+	c := NewRankCache()
+	c.Instrument(obs.NewRegistry())
+	c.Store(&Rank{Scores: []float64{1}, Converged: true})
+	empty := NewRankCache()
+	var nilCache *RankCache
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Get()     // hit
+		empty.Get() // miss probe
+		nilCache.Get()
+		c.Stats()
+	}); n != 0 {
+		t.Fatalf("rank probe allocates %v times per run, want 0", n)
+	}
+}
+
+// BenchmarkHotPathRankProbe measures the lock-free probe; run with
+// -benchmem by make bench-smoke so an allocation regression is visible.
+func BenchmarkHotPathRankProbe(b *testing.B) {
+	c := NewRankCache()
+	c.Store(&Rank{Scores: []float64{1}, Converged: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(); !ok {
+			b.Fatal("probe missed")
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sync"
+	"time"
+
+	"anc"
+	"anc/internal/dataset"
+	"anc/internal/obs"
+	"anc/internal/serve"
+	"anc/internal/serve/client"
+	"anc/internal/serve/repl"
+)
+
+// analyticsTopK is the listing size every TieRank query in the
+// experiment asks for — large enough that the per-cluster grouping does
+// real work, small enough that response encoding stays cheap.
+const analyticsTopK = 10
+
+// AnalyticsResult measures the analytics read path end to end: TieRank
+// and cluster-evolution queries issued over TCP against a durable
+// network while conns connections replay the bursty day into it, plus a
+// replication follower serving the same analytics queries under
+// replication load. Latencies are client-observed round trips; the rank
+// probe figures isolate the in-process snapshot path from the wire.
+type AnalyticsResult struct {
+	Dataset     string
+	N, M        int
+	Minutes     int
+	Conns       int
+	Activations int
+	Batches     int
+
+	IngestSeconds float64
+	IngestRate    float64
+
+	// Wire-level query latency at the primary, split by query kind:
+	// global TieRank (level -1), per-cluster TieRank at the √n level,
+	// and evolution reads with an advancing cursor.
+	GlobalQueries    int
+	GlobalP50ms      float64
+	GlobalP99ms      float64
+	ClusterQueries   int
+	ClusterP50ms     float64
+	ClusterP99ms     float64
+	EvolutionQueries int
+	EvolutionP50ms   float64
+	EvolutionP99ms   float64
+
+	// EvolutionEvents is the newest sequence number at the end of the
+	// run (total events ever appended); EvolutionDropped counts events
+	// overwritten in the ring before any reader saw them.
+	EvolutionEvents  uint64
+	EvolutionDropped uint64
+
+	// Follower-side figures: one connection issuing the same analytics
+	// mix against a replica tailing the primary's WAL throughout the
+	// run. After catch-up the primary's and follower's TieRank answers
+	// are asserted equal byte for byte.
+	FollowerQueries    int
+	FollowerP50ms      float64
+	FollowerP99ms      float64
+	FollowerCatchUpSec float64
+
+	// Rank probe A/B: an in-process prober calls TieRank on the durable
+	// facade for the whole ingest window and classifies each call by the
+	// RankStats delta around it — hit (lock-free snapshot probe) or
+	// compute (miss path under the shared lock). Wire queries touch the
+	// same counters concurrently, so a sample whose delta moved both
+	// hits and misses is ambiguous and discarded; the unambiguous ones
+	// are classified correctly because the probe itself always bumps
+	// exactly one of the two.
+	RankProbeSamples int
+	RankHitSamples   int
+	RankHitP50ms     float64
+	RankHitP99ms     float64
+	RankComputeP50ms float64
+	RankComputeP99ms float64
+	// RankHitSpeedup is RankComputeP50ms / RankHitP50ms.
+	RankHitSpeedup float64
+	// RankHits/RankMisses/RankInvalidations mirror the run's
+	// anc_analytics_rank_* counters.
+	RankHits          uint64
+	RankMisses        uint64
+	RankInvalidations uint64
+
+	// Metrics is the obs snapshot of the run (server, WAL, core and
+	// analytics counters from the instrumented stack).
+	Metrics map[string]float64 `json:",omitempty"`
+}
+
+// AnalyticsLoad runs the analytics load experiment: a server over a
+// durable TW2-counterpart network on an ephemeral port, conns ingest
+// connections replaying the bursty day minute by minute, and three
+// query connections issuing TieRank (global and per-cluster) and
+// evolution reads throughout — every latency datapoint is measured
+// under write load, with the rank cache invalidated by every batch. A
+// replication follower serves the same analytics mix; after ingest it
+// catches up and its TieRank answers must match the primary's exactly.
+func AnalyticsLoad(cfg Config, w io.Writer, minutes, conns int) AnalyticsResult {
+	if conns < 1 {
+		conns = 1
+	}
+	spec, err := dataset.ByName("TW2")
+	if err != nil {
+		panic(err)
+	}
+	pl := genCounterpart(spec, cfg.EffTargetN, cfg.Seed)
+	workload := serveWorkload(pl, minutes, conns, cfg.Seed+7)
+	r := AnalyticsResult{Dataset: "TW2", N: pl.Graph.N(), M: pl.Graph.M(), Minutes: minutes, Conns: conns}
+
+	acfg := anc.DefaultConfig()
+	acfg.Lambda = 0.01
+	acfg.Epsilon = 0.3
+	acfg.Mu = 3
+	acfg.Seed = cfg.Seed
+	acfg.Parallel = true
+	net, err := anc.FromGraph(pl.Graph, acfg)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "ancanalytics-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.NewRegistry()
+	d, err := anc.NewDurable(net, dir, anc.DurableConfig{Obs: reg})
+	if err != nil {
+		panic(err)
+	}
+	setActiveDurable(d)
+	defer setActiveDurable(nil)
+
+	pnode := repl.New(d, repl.Config{Heartbeat: 100 * time.Millisecond})
+	srv := serve.New(pnode, serve.Config{RequestTimeout: 60 * time.Second, Obs: reg, Repl: pnode})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	addr := srv.Addr().String()
+	ctx := context.Background()
+	level := d.SqrtLevel()
+
+	// Follower: its own graph copy and durable directory, tailing the
+	// primary's WAL over TCP, fronted by its own server — replica
+	// analytics reads go through the same wire path as primary reads.
+	fdir, err := os.MkdirTemp("", "ancanalytics-bench-follow-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(fdir)
+	fnet, err := anc.FromGraph(pl.Graph, acfg)
+	if err != nil {
+		panic(err)
+	}
+	fd, err := anc.NewDurable(fnet, fdir, anc.DurableConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fnode := repl.New(fd, repl.Config{Upstream: addr, Heartbeat: 100 * time.Millisecond, Seed: cfg.Seed})
+	fnode.Start()
+	fsrv := serve.New(fnode, serve.Config{RequestTimeout: 60 * time.Second, Repl: fnode})
+	if err := fsrv.Start("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	faddr := fsrv.Addr().String()
+
+	// Query side: one connection per analytics kind, so the percentiles
+	// are per-kind rather than blended.
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	var globalLat, clusterLat, evoLat []time.Duration
+	runQueries := func(lat *[]time.Duration, query func(qc *client.Client) error) {
+		defer qwg.Done()
+		qc, err := client.Dial(addr, client.WithTimeout(60*time.Second))
+		if err != nil {
+			panic(err)
+		}
+		defer qc.Close() //anclint:ignore droppederr benchmark teardown of a query connection
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			if err := query(qc); err != nil {
+				panic(err)
+			}
+			*lat = append(*lat, time.Since(start))
+		}
+	}
+	qwg.Add(3)
+	//anclint:ignore goleak runQueries returns on close(stop); joined via qwg.Wait
+	go runQueries(&globalLat, func(qc *client.Client) error {
+		_, err := qc.TieRank(ctx, -1, analyticsTopK)
+		return err
+	})
+	//anclint:ignore goleak runQueries returns on close(stop); joined via qwg.Wait
+	go runQueries(&clusterLat, func(qc *client.Client) error {
+		_, err := qc.TieRank(ctx, level, analyticsTopK)
+		return err
+	})
+	var cursor uint64
+	//anclint:ignore goleak runQueries returns on close(stop); joined via qwg.Wait
+	go runQueries(&evoLat, func(qc *client.Client) error {
+		_, seq, _, err := qc.Evolution(ctx, cursor)
+		cursor = seq
+		return err
+	})
+
+	// Replica analytics: one connection against the follower's server,
+	// alternating the three kinds. The follower is never wrong, only
+	// late — correctness is asserted after catch-up below.
+	var followerLat []time.Duration
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		fc, err := client.Dial(faddr, client.WithTimeout(60*time.Second),
+			client.WithRetry(3, 5*time.Millisecond, 100*time.Millisecond))
+		if err != nil {
+			panic(err)
+		}
+		defer fc.Close() //anclint:ignore droppederr benchmark teardown of a query connection
+		var fcursor uint64
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			start := time.Now()
+			switch i % 3 {
+			case 0:
+				_, err = fc.TieRank(ctx, -1, analyticsTopK)
+			case 1:
+				_, err = fc.TieRank(ctx, level, analyticsTopK)
+			case 2:
+				var seq uint64
+				_, seq, _, err = fc.Evolution(ctx, fcursor)
+				fcursor = seq
+			}
+			if err != nil {
+				panic(err)
+			}
+			followerLat = append(followerLat, time.Since(start))
+			i++
+		}
+	}()
+
+	// Rank probe: in-process (no wire cost), classified by the RankStats
+	// delta around each call. See the AnalyticsResult field docs for why
+	// discarding ambiguous samples keeps the classification sound.
+	var rankHitLat, rankComputeLat []time.Duration
+	rankProbes := 0
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h0, m0, _ := d.RankStats()
+			start := time.Now()
+			d.TieRank(-1, analyticsTopK)
+			elapsed := time.Since(start)
+			h1, m1, _ := d.RankStats()
+			rankProbes++
+			switch {
+			case h1 > h0 && m1 == m0:
+				rankHitLat = append(rankHitLat, elapsed)
+			case m1 > m0 && h1 == h0:
+				rankComputeLat = append(rankComputeLat, elapsed)
+			}
+		}
+	}()
+
+	// Ingest side: conns persistent connections, one minute at a time
+	// with a barrier between minutes (see serveWorkload).
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(addr, client.WithTimeout(60*time.Second)); err != nil {
+			panic(err)
+		}
+	}
+	ingestStart := time.Now()
+	for m := 0; m < minutes; m++ {
+		var wg sync.WaitGroup
+		for ci := 0; ci < conns; ci++ {
+			chunk := workload[m][ci]
+			if len(chunk) == 0 {
+				continue
+			}
+			r.Activations += len(chunk)
+			r.Batches++
+			wg.Add(1)
+			go func(ci int, chunk []anc.Activation) {
+				defer wg.Done()
+				if err := clients[ci].ActivateBatch(ctx, chunk); err != nil {
+					panic(err)
+				}
+			}(ci, chunk)
+		}
+		wg.Wait()
+	}
+	r.IngestSeconds = time.Since(ingestStart).Seconds()
+	primNext := d.LoggedActivations()
+	close(stop)
+	qwg.Wait()
+	catchUp := time.Now()
+	for deadline := catchUp.Add(120 * time.Second); fnode.Status().Next < primNext; {
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("follower stuck at frame %d of %d", fnode.Status().Next, primNext))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.FollowerCatchUpSec = time.Since(catchUp).Seconds()
+
+	// Correctness at the replica: with ingest stopped and the follower
+	// caught up, both nodes hold the same decayed state, so TieRank —
+	// a pure function of that state — must agree exactly, through the
+	// same wire path the latency numbers used.
+	pc, err := client.Dial(addr, client.WithTimeout(60*time.Second))
+	if err != nil {
+		panic(err)
+	}
+	fc, err := client.Dial(faddr, client.WithTimeout(60*time.Second))
+	if err != nil {
+		panic(err)
+	}
+	for _, lv := range []int{-1, level} {
+		prank, err := pc.TieRank(ctx, lv, analyticsTopK)
+		if err != nil {
+			panic(err)
+		}
+		frank, err := fc.TieRank(ctx, lv, analyticsTopK)
+		if err != nil {
+			panic(err)
+		}
+		if !reflect.DeepEqual(prank, frank) {
+			panic(fmt.Sprintf("follower TieRank(level=%d) diverged from primary after catch-up", lv))
+		}
+	}
+	for _, qc := range []*client.Client{pc, fc} {
+		qc.Close() //anclint:ignore droppederr benchmark teardown of a query connection
+	}
+
+	_, seq, dropped := d.Evolution(0)
+	r.EvolutionEvents = seq
+	r.EvolutionDropped = dropped
+	for _, c := range clients {
+		c.Close() //anclint:ignore droppederr benchmark teardown of an ingest connection
+	}
+	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := fsrv.Shutdown(sctx); err != nil {
+		panic(err)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		panic(err)
+	}
+
+	if r.IngestSeconds > 0 {
+		r.IngestRate = float64(r.Activations) / r.IngestSeconds
+	}
+	r.GlobalQueries = len(globalLat)
+	r.GlobalP50ms = ms(percentile(globalLat, 0.50))
+	r.GlobalP99ms = ms(percentile(globalLat, 0.99))
+	r.ClusterQueries = len(clusterLat)
+	r.ClusterP50ms = ms(percentile(clusterLat, 0.50))
+	r.ClusterP99ms = ms(percentile(clusterLat, 0.99))
+	r.EvolutionQueries = len(evoLat)
+	r.EvolutionP50ms = ms(percentile(evoLat, 0.50))
+	r.EvolutionP99ms = ms(percentile(evoLat, 0.99))
+	r.FollowerQueries = len(followerLat)
+	r.FollowerP50ms = ms(percentile(followerLat, 0.50))
+	r.FollowerP99ms = ms(percentile(followerLat, 0.99))
+	r.RankProbeSamples = rankProbes
+	r.RankHitSamples = len(rankHitLat)
+	r.RankHitP50ms = ms(percentile(rankHitLat, 0.50))
+	r.RankHitP99ms = ms(percentile(rankHitLat, 0.99))
+	r.RankComputeP50ms = ms(percentile(rankComputeLat, 0.50))
+	r.RankComputeP99ms = ms(percentile(rankComputeLat, 0.99))
+	if r.RankHitP50ms > 0 {
+		r.RankHitSpeedup = r.RankComputeP50ms / r.RankHitP50ms
+	}
+	r.RankHits, r.RankMisses, r.RankInvalidations = d.RankStats()
+	r.Metrics = reg.Snapshot()
+	logf(cfg, w, "# analytics: %d acts in %d batches over %d conns: %.0f acts/s under %d/%d/%d tierank-g/tierank-c/evolution queries\n",
+		r.Activations, r.Batches, conns, r.IngestRate, r.GlobalQueries, r.ClusterQueries, r.EvolutionQueries)
+	logf(cfg, w, "# analytics: tierank global p99 %.2fms, cluster p99 %.2fms, evolution p99 %.2fms, follower p99 %.2fms (%d queries, caught up in %.2fs)\n",
+		r.GlobalP99ms, r.ClusterP99ms, r.EvolutionP99ms, r.FollowerP99ms, r.FollowerQueries, r.FollowerCatchUpSec)
+	logf(cfg, w, "# analytics: rank probe %d/%d hit (p50 %.4fms vs compute %.4fms, %.0fx), %d hits / %d misses / %d invalidations, %d evolution events (%d dropped)\n",
+		r.RankHitSamples, r.RankProbeSamples, r.RankHitP50ms, r.RankComputeP50ms,
+		r.RankHitSpeedup, r.RankHits, r.RankMisses, r.RankInvalidations, r.EvolutionEvents, r.EvolutionDropped)
+	return r
+}
+
+// PrintAnalytics renders the analytics load results as a table.
+func PrintAnalytics(w io.Writer, r AnalyticsResult) {
+	t := newTable(w)
+	t.row("metric", "value")
+	t.row("connections", r.Conns)
+	t.row("activations", r.Activations)
+	t.row("batches", r.Batches)
+	t.row("ingest acts/s", r.IngestRate)
+	t.row("tierank global queries", r.GlobalQueries)
+	t.row("tierank global p50 ms", r.GlobalP50ms)
+	t.row("tierank global p99 ms", r.GlobalP99ms)
+	t.row("tierank cluster queries", r.ClusterQueries)
+	t.row("tierank cluster p50 ms", r.ClusterP50ms)
+	t.row("tierank cluster p99 ms", r.ClusterP99ms)
+	t.row("evolution queries", r.EvolutionQueries)
+	t.row("evolution p50 ms", r.EvolutionP50ms)
+	t.row("evolution p99 ms", r.EvolutionP99ms)
+	t.row("evolution events (dropped)", fmt.Sprintf("%d (%d)", r.EvolutionEvents, r.EvolutionDropped))
+	t.row("follower queries", r.FollowerQueries)
+	t.row("follower p50 ms", r.FollowerP50ms)
+	t.row("follower p99 ms", r.FollowerP99ms)
+	t.row("follower catch-up s", r.FollowerCatchUpSec)
+	t.row("rank probes (hits)", fmt.Sprintf("%d (%d)", r.RankProbeSamples, r.RankHitSamples))
+	t.row("rank hit p50 ms", r.RankHitP50ms)
+	t.row("rank hit p99 ms", r.RankHitP99ms)
+	t.row("rank compute p50 ms", r.RankComputeP50ms)
+	t.row("rank compute p99 ms", r.RankComputeP99ms)
+	t.row("rank hit speedup", r.RankHitSpeedup)
+	t.row("rank hits/misses/invalidations", fmt.Sprintf("%d/%d/%d", r.RankHits, r.RankMisses, r.RankInvalidations))
+	t.flush()
+}
+
+// WriteAnalyticsJSON writes the result to path (BENCH_analytics.json)
+// for the CI artifact and the README numbers.
+func WriteAnalyticsJSON(path string, r AnalyticsResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

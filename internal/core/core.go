@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"anc/internal/analytics"
 	"anc/internal/cluster"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/decay"
@@ -115,6 +116,15 @@ type Network struct {
 	// crossings. Nil until EnableClusterCache; every cache method is
 	// nil-safe, so the query path needs no enablement branch.
 	cache *clustercache.Cache
+
+	// Analytics (DESIGN.md §16): the TieRank snapshot cache and the
+	// cluster-evolution tracker. Nil until EnableAnalytics; all methods
+	// on both are nil-safe. evoDirty marks a vote flip at the tracked
+	// level since the last diff; the ingest paths settle it via
+	// afterRepair.
+	rank     *analytics.RankCache
+	evo      *analytics.Tracker
+	evoDirty bool
 
 	// Batch-ingest scratch: dirty-edge/node sets of the current batch and
 	// the weight buffer handed to the index. Lazily allocated on the first
@@ -242,6 +252,7 @@ func (nw *Network) Activate(e graph.EdgeID, t float64) error {
 		nw.sim.ActivateNoReinforce(e, t)
 		nw.addPending(e)
 	}
+	nw.afterRepair()
 	return nil
 }
 
@@ -309,6 +320,7 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 	nw.met.activated(len(batch))
 	nw.met.batched()
 	nw.clock.ActivatedN(len(batch))
+	nw.afterRepair()
 	return nil
 }
 
@@ -421,6 +433,7 @@ func (nw *Network) Flush() {
 func (nw *Network) Snapshot() error {
 	if nw.opts.Method != ANCF {
 		nw.Flush()
+		nw.afterRepair()
 		return nil
 	}
 	for r := 0; r < nw.opts.Rep; r++ {
@@ -445,9 +458,28 @@ func (nw *Network) Snapshot() error {
 	nw.ix.Reconstruct()
 	// The reconstruction rebuilds vote counts wholesale without firing
 	// flip events, so the cache cannot invalidate itself level by level —
-	// drop everything.
+	// drop everything, and force an evolution diff the same way.
 	nw.cache.InvalidateAll()
+	if nw.evo != nil {
+		nw.evoDirty = true
+	}
+	nw.afterRepair()
 	return nil
+}
+
+// afterRepair is the analytics hook at the end of every mutating entry
+// point (Activate, ActivateBatch, Snapshot): any activation moves
+// relative edge weights, so the cached TieRank eigenvector is dropped
+// unconditionally; the evolution tracker diffs only when a vote flip
+// touched its level — clusterings are a pure function of vote pass
+// states, so no flip means no transition to report. Exclusive-writer
+// context, like the cache invalidations it extends.
+func (nw *Network) afterRepair() {
+	nw.rank.Invalidate()
+	if nw.evoDirty {
+		nw.evoDirty = false
+		nw.evo.Observe(nw.Clusters(nw.evo.Level()), nw.clock.Now())
+	}
 }
 
 // EnableClusterCache materializes per-level clustering results: Clusters
@@ -472,6 +504,77 @@ func (nw *Network) EnableClusterCache() *clustercache.Cache {
 // ClusterCache returns the materialized clustering cache, or nil if
 // EnableClusterCache was never called. Every cache method is nil-safe.
 func (nw *Network) ClusterCache() *clustercache.Cache { return nw.cache }
+
+// EnableAnalytics turns on the live analytics layer (DESIGN.md §16): a
+// TieRank snapshot cache invalidated on every ingest, and a
+// cluster-evolution tracker diffing the power clustering at the Θ(√n)
+// level across pyramid repairs, driven by the same coalesced vote-flip
+// notifications as the clustering cache. The current clustering seeds
+// the tracker, so enabling emits no event storm. Like
+// EnableClusterCache it pays the vote tracker's one-time
+// initialization, and it returns the rank cache so facades can probe it
+// before taking their locks. Idempotent.
+func (nw *Network) EnableAnalytics() *analytics.RankCache {
+	if nw.rank != nil {
+		return nw.rank
+	}
+	nw.rank = analytics.NewRankCache()
+	level := pyramid.SqrtLevel(nw.g.N())
+	if max := nw.ix.Levels(); level > max {
+		level = max
+	}
+	if level < 1 {
+		level = 1
+	}
+	nw.evo = analytics.NewTracker(level, analytics.DefaultTrackerConfig())
+	vt := nw.ix.EnableVoteTracking()
+	vt.OnFlip(func(l int, _ graph.EdgeID, _ bool) {
+		if l == level {
+			nw.evoDirty = true
+		}
+	})
+	nw.evo.Seed(nw.Clusters(level))
+	nw.rank.Instrument(nw.reg)
+	nw.evo.Instrument(nw.reg)
+	return nw.rank
+}
+
+// RankCache returns the TieRank snapshot cache, or nil if
+// EnableAnalytics was never called. Every method on it is nil-safe.
+func (nw *Network) RankCache() *analytics.RankCache { return nw.rank }
+
+// EvolutionTracker returns the cluster-evolution tracker, or nil if
+// EnableAnalytics was never called. Every method on it is nil-safe.
+func (nw *Network) EvolutionTracker() *analytics.Tracker { return nw.evo }
+
+// TieRank returns the current TieRank eigenvector, serving the cached
+// snapshot when one is valid (it stays exact between ingests — uniform
+// decay cancels under normalization) and otherwise running the power
+// iteration over the anchored similarities and publishing the result.
+// Works without EnableAnalytics; it just computes every time.
+func (nw *Network) TieRank() *analytics.Rank {
+	if r, ok := nw.rank.Get(); ok {
+		return r
+	}
+	t := nw.rank.ComputeTimer()
+	r := analytics.ComputeRank(nw.g, nw.sim.Anchored, nw.clock.Now(), analytics.DefaultRankConfig())
+	t.Stop()
+	nw.rank.Store(r)
+	return r
+}
+
+// EvolutionEvents returns the buffered cluster-evolution events with
+// sequence numbers after since, plus the newest sequence number and the
+// cumulative ring-overwrite count. Non-draining and idempotent; empty
+// until EnableAnalytics.
+func (nw *Network) EvolutionEvents(since uint64) ([]analytics.Event, uint64, uint64) {
+	return nw.evo.Events(since)
+}
+
+// EvolutionDrops returns the cumulative number of evolution events
+// overwritten in the ring before being read — the analytics twin of
+// WatcherDrops. Zero until EnableAnalytics.
+func (nw *Network) EvolutionDrops() uint64 { return nw.evo.DroppedTotal() }
 
 // Clusters reports the power clustering (the paper's DirectedCluster) at
 // the given granularity level, served from the materialized cache when it

@@ -82,6 +82,8 @@ func (nw *Network) Instrument(reg *obs.Registry) {
 		"batched rescales folding the global decay factor into anchored state"))
 	nw.ix.Instrument(reg)
 	nw.cache.Instrument(reg)
+	nw.rank.Instrument(reg)
+	nw.evo.Instrument(reg)
 }
 
 // WatcherDrops returns the cumulative number of cluster events dropped on

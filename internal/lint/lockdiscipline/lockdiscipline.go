@@ -18,10 +18,11 @@
 // the sanctioned way to share code between locked entry points.
 //
 // Fields whose type is internally synchronized — sync/atomic values, the
-// nil-safe metric handles of anc/internal/obs, and the lock-free
-// materialized clustering cache of anc/internal/cluster/cache — do not
+// nil-safe metric handles of anc/internal/obs, the lock-free
+// materialized clustering cache of anc/internal/cluster/cache, and the
+// analytics rank-snapshot cache of anc/internal/analytics — do not
 // count as guarded state: reading an atomic snapshot counter, bumping a
-// metric, or probing the cache lock-free is the whole point of using
+// metric, or probing a cache lock-free is the whole point of using
 // those types, and forcing the mu around them would make metric scrapes
 // and cache hits queue behind long batch ingests.
 package lockdiscipline
@@ -150,8 +151,8 @@ func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, tname *types.TypeName) {
 
 // touchesGuardedState reports whether the body mentions recv.<field> for
 // any selector other than mu, ignoring fields of internally synchronized
-// types (sync/atomic, anc/internal/obs, anc/internal/cluster/cache) which
-// are safe to touch bare.
+// types (sync/atomic, anc/internal/obs, anc/internal/cluster/cache,
+// anc/internal/analytics) which are safe to touch bare.
 func touchesGuardedState(pass *analysis.Pass, fd *ast.FuncDecl, recv string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -186,7 +187,8 @@ func internallySynced(t types.Type) bool {
 		return false
 	}
 	switch named.Obj().Pkg().Path() {
-	case "sync/atomic", "anc/internal/obs", "anc/internal/cluster/cache":
+	case "sync/atomic", "anc/internal/obs", "anc/internal/cluster/cache",
+		"anc/internal/analytics":
 		return true
 	}
 	return false

@@ -1,19 +1,22 @@
 // Package bad declares wire constants with missing wiring: OpOrphan
-// exists only in the const block, ErrCodeLost has no name case or test
-// coverage, and there is no [opMax]-sized metrics table.
+// exists only in the const block, OpTieRank is wired through the server
+// side (name, codec, tests) but has no typed client method, ErrCodeLost
+// has no name case or test coverage, and there is no [opMax]-sized
+// metrics table.
 package bad
 
 // Wire ops.
 const (
-	OpPing uint8 = iota + 1
-	OpOrphan // want "wire op OpOrphan: no case in any .Name function" "wire op OpOrphan: not referenced by any Encode function" "wire op OpOrphan: not referenced by any Decode function" "wire op OpOrphan: not referenced in any package test file" "wire op OpOrphan: no reference under client/"
-	opMax    // want "opMax: no .opMax.-sized array in the package"
+	OpPing    uint8 = iota + 1
+	OpOrphan        // want "wire op OpOrphan: no case in any .Name function" "wire op OpOrphan: not referenced by any Encode function" "wire op OpOrphan: not referenced by any Decode function" "wire op OpOrphan: not referenced in any package test file" "wire op OpOrphan: no reference under client/"
+	OpTieRank       // want "wire op OpTieRank: no reference under client/"
+	opMax           // want "opMax: no .opMax.-sized array in the package"
 )
 
 // Error codes.
 const (
 	ErrCodeBad  uint8 = iota + 1
-	ErrCodeLost // want "error code ErrCodeLost: no case in any .Name function" "error code ErrCodeLost: not referenced in any package test file"
+	ErrCodeLost       // want "error code ErrCodeLost: no case in any .Name function" "error code ErrCodeLost: not referenced in any package test file"
 )
 
 // OpName labels the ops it knows about.
@@ -21,6 +24,8 @@ func OpName(op uint8) string {
 	switch op {
 	case OpPing:
 		return "ping"
+	case OpTieRank:
+		return "tierank"
 	}
 	return "unknown"
 }
@@ -33,19 +38,19 @@ func errCodeName(code uint8) string {
 	return "unknown"
 }
 
-// EncodeRequest knows only OpPing.
+// EncodeRequest knows OpPing and OpTieRank.
 func EncodeRequest(op uint8, buf []byte) []byte {
 	switch op {
-	case OpPing:
+	case OpPing, OpTieRank:
 		buf = append(buf, op)
 	}
 	return buf
 }
 
-// DecodeRequest knows only OpPing.
+// DecodeRequest knows OpPing and OpTieRank.
 func DecodeRequest(buf []byte) (uint8, bool) {
-	if len(buf) == 1 && buf[0] == OpPing {
-		return OpPing, true
+	if len(buf) == 1 && (buf[0] == OpPing || buf[0] == OpTieRank) {
+		return buf[0], true
 	}
 	return 0, false
 }

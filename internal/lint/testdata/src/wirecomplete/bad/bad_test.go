@@ -2,12 +2,14 @@ package bad
 
 import "testing"
 
-// TestPing covers OpPing and ErrCodeBad only — OpOrphan and ErrCodeLost
-// are deliberately absent from the corpus.
+// TestPing covers OpPing, OpTieRank and ErrCodeBad only — OpOrphan and
+// ErrCodeLost are deliberately absent from the corpus.
 func TestPing(t *testing.T) {
-	got, ok := DecodeRequest(EncodeRequest(OpPing, nil))
-	if !ok || got != OpPing {
-		t.Fatal("ping round trip")
+	for _, op := range []uint8{OpPing, OpTieRank} {
+		got, ok := DecodeRequest(EncodeRequest(op, nil))
+		if !ok || got != op {
+			t.Fatal("round trip")
+		}
 	}
 	_ = errCodeName(ErrCodeBad)
 }

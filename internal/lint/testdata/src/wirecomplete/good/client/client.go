@@ -2,12 +2,14 @@
 // it references every request op by name.
 package client
 
-// speaks lists the ops this client issues: OpPing and OpGet. The
-// analyzer matches the identifiers; this file is parsed, not compiled.
-var speaks = []uint8{OpPing, OpGet}
+// speaks lists the ops this client issues: OpPing, OpGet and OpEvolve.
+// The analyzer matches the identifiers; this file is parsed, not
+// compiled.
+var speaks = []uint8{OpPing, OpGet, OpEvolve}
 
 // Placeholder declarations so the file parses standalone.
 const (
-	OpPing uint8 = 1
-	OpGet  uint8 = 2
+	OpPing   uint8 = 1
+	OpGet    uint8 = 2
+	OpEvolve uint8 = 3
 )

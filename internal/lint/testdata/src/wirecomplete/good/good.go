@@ -8,6 +8,7 @@ package good
 const (
 	OpPing uint8 = iota + 1
 	OpGet
+	OpEvolve
 	opMax
 )
 
@@ -26,6 +27,8 @@ func OpName(op uint8) string {
 		return "ping"
 	case OpGet:
 		return "get"
+	case OpEvolve:
+		return "evolve"
 	}
 	return "unknown"
 }
@@ -41,7 +44,7 @@ func errCodeName(code uint8) string {
 // EncodeRequest produces the one-byte wire form.
 func EncodeRequest(op uint8, buf []byte) []byte {
 	switch op {
-	case OpPing, OpGet:
+	case OpPing, OpGet, OpEvolve:
 		buf = append(buf, op)
 	}
 	return buf
@@ -53,7 +56,7 @@ func DecodeRequest(buf []byte) (uint8, bool) {
 		return 0, false
 	}
 	switch buf[0] {
-	case OpPing, OpGet:
+	case OpPing, OpGet, OpEvolve:
 		return buf[0], true
 	}
 	return 0, false

@@ -3,9 +3,9 @@ package good
 import "testing"
 
 // TestRoundTrip is the raw-parsed test reference for every wire
-// constant: OpPing, OpGet and ErrCodeBad all round-trip.
+// constant: OpPing, OpGet, OpEvolve and ErrCodeBad all round-trip.
 func TestRoundTrip(t *testing.T) {
-	for _, op := range []uint8{OpPing, OpGet} {
+	for _, op := range []uint8{OpPing, OpGet, OpEvolve} {
 		got, ok := DecodeRequest(EncodeRequest(op, nil))
 		if !ok || got != op {
 			t.Fatalf("round trip %d: got %d, %v", op, got, ok)

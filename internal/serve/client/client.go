@@ -288,6 +288,31 @@ func (c *Client) EstimateAttraction(ctx context.Context, u, v int) (float64, err
 	return resp.Value, nil
 }
 
+// TieRank answers an eigenvector-centrality query: the top-k nodes
+// globally and, for level >= 0, per cluster at that level (level -1
+// skips the per-cluster listing). Read-only and idempotent, so it is
+// retried across reconnects and served by followers.
+func (c *Client) TieRank(ctx context.Context, level, k int) (anc.TieRankResult, error) {
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpTieRank, Level: int32(level), K: int32(k)})
+	if err != nil {
+		return anc.TieRankResult{}, err
+	}
+	return resp.Rank, nil
+}
+
+// Evolution reads the server's buffered cluster-evolution events with
+// sequence numbers after since, plus the newest sequence number (the
+// cursor for the next call) and the cumulative overwrite count. The
+// read is non-draining, so it is retried across reconnects without
+// losing events.
+func (c *Client) Evolution(ctx context.Context, since uint64) ([]anc.EvolutionEvent, uint64, uint64, error) {
+	resp, err := c.query(ctx, &serve.Request{Op: serve.OpEvolution, From: since})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return resp.Evo, resp.Seq, resp.Dropped, nil
+}
+
 // Stats reads the server's health snapshot: network shape, ingest
 // progress, and load gauges.
 func (c *Client) Stats(ctx context.Context) (serve.StatsReply, error) {

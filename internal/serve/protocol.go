@@ -105,7 +105,15 @@ const (
 	// ingest — the failover switch.
 	OpPromote
 	OpReplSnapshot //anclint:ignore wirecomplete push-only stream payload; followers decode it via repl.Node, not the client
-	opMax          // one past the last valid op
+	// OpTieRank answers an eigenvector-centrality query: top-K nodes
+	// globally and, for Level >= 0, per cluster at that level. Read-only,
+	// so followers serve it.
+	OpTieRank
+	// OpEvolution reads the buffered cluster-evolution events after the
+	// cursor in From. Non-draining and idempotent (safe to retry), and
+	// read-only, so followers serve it.
+	OpEvolution
+	opMax // one past the last valid op
 )
 
 // Response status bytes.
@@ -195,6 +203,10 @@ func OpName(op uint8) string {
 		return "promote"
 	case OpReplSnapshot:
 		return "repl-snapshot"
+	case OpTieRank:
+		return "tierank"
+	case OpEvolution:
+		return "evolution"
 	}
 	return fmt.Sprintf("op-%d", op)
 }
@@ -242,11 +254,12 @@ type Request struct {
 	ID uint64
 
 	Batch []anc.Activation // OpActivateBatch
-	Level int32            // OpClusters, OpEvenClusters, OpClusterOf
+	Level int32            // OpClusters, OpEvenClusters, OpClusterOf, OpTieRank (-1: global only)
 	Node  uint32           // OpClusterOf, OpSmallestClusterOf, OpWatch, OpUnwatch, OpViewClusterOf
 	U, V  uint32           // OpEstimateDistance, OpEstimateAttraction
 	View  uint32           // OpView*
-	From  uint64           // OpReplSubscribe: the subscriber's next frame index
+	From  uint64           // OpReplSubscribe: next frame index; OpEvolution: event cursor
+	K     int32            // OpTieRank: the top-k size (must be positive)
 }
 
 // StatsReply is the body of an OpStats response: the backend's Stats plus
@@ -277,17 +290,21 @@ type Response struct {
 	ID  uint64
 	Err *WireError
 
-	Clusters [][]int            // cluster-list replies
-	Members  []int              // single-cluster replies
-	Value    float64            // distance / attraction
-	Stats    StatsReply         // OpStats
-	Events   []anc.ClusterEvent // OpDrainEvents
-	Dropped  uint64             // OpDrainEvents
-	View     uint32             // OpViewOpen
-	Level    int32              // view replies
-	Moved    bool               // OpViewZoomIn / OpViewZoomOut
-	Accepted uint32             // OpActivateBatch
-	Repl     ReplStatus         // OpReplStatus
+	Clusters [][]int              // cluster-list replies
+	Members  []int                // single-cluster replies
+	Value    float64              // distance / attraction
+	Stats    StatsReply           // OpStats
+	Events   []anc.ClusterEvent   // OpDrainEvents
+	Dropped  uint64               // OpDrainEvents
+	View     uint32               // OpViewOpen
+	Level    int32                // view replies
+	Moved    bool                 // OpViewZoomIn / OpViewZoomOut
+	Accepted uint32               // OpActivateBatch
+	Repl     ReplStatus           // OpReplStatus
+	Rank     anc.TieRankResult    // OpTieRank
+	Evo      []anc.EvolutionEvent // OpEvolution
+	Seq      uint64               // OpEvolution: newest event sequence number
+	// Dropped doubles as OpEvolution's cumulative ring-overwrite count.
 }
 
 // ---- frame I/O ----------------------------------------------------------
@@ -443,6 +460,11 @@ func EncodeRequest(req *Request) []byte {
 		b = binary.LittleEndian.AppendUint64(b, req.From)
 	case OpReplStatus, OpPromote:
 		// no body
+	case OpTieRank:
+		b = binary.LittleEndian.AppendUint32(b, uint32(req.Level))
+		b = binary.LittleEndian.AppendUint32(b, uint32(req.K))
+	case OpEvolution:
+		b = binary.LittleEndian.AppendUint64(b, req.From)
 	}
 	return b
 }
@@ -539,6 +561,17 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	case OpReplFrames, OpReplSnapshot:
 		// Push-only payloads on a replication stream — never a request.
 		return nil, fmt.Errorf("push-only op %d", req.Op)
+	case OpTieRank:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		req.Level = int32(binary.LittleEndian.Uint32(body[0:4]))
+		req.K = int32(binary.LittleEndian.Uint32(body[4:8]))
+	case OpEvolution:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		req.From = binary.LittleEndian.Uint64(body[0:8])
 	}
 	return req, nil
 }
@@ -631,6 +664,47 @@ func EncodeResponse(op uint8, resp *Response) []byte {
 			b = append(b, 0)
 		}
 		b = binary.LittleEndian.AppendUint32(b, uint32(resp.Level))
+	case OpTieRank:
+		r := &resp.Rank
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Level))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Iters))
+		if r.Converged {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.Now))
+		b = appendRankEntries(b, r.Global)
+		// A global-only answer (Level -1) carries zero groups; decoding
+		// enforces that, so the encoding stays canonical.
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Clusters)))
+		for _, g := range r.Clusters {
+			b = appendRankEntries(b, g)
+		}
+	case OpEvolution:
+		b = binary.LittleEndian.AppendUint64(b, resp.Seq)
+		b = binary.LittleEndian.AppendUint64(b, resp.Dropped)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Evo)))
+		for _, e := range resp.Evo {
+			b = binary.LittleEndian.AppendUint64(b, e.Seq)
+			b = append(b, uint8(e.Type))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.Level))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.Node))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.Size))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevSize))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Time))
+		}
+	}
+	return b
+}
+
+// appendRankEntries serializes one top-k listing: count(4) then
+// node(4) + score(8) per entry.
+func appendRankEntries(b []byte, entries []anc.RankEntry) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.Node))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Score))
 	}
 	return b
 }
@@ -791,6 +865,80 @@ func DecodeResponse(op uint8, payload []byte) (*Response, error) {
 		}
 		resp.Moved = b[0] != 0
 		resp.Level = int32(binary.LittleEndian.Uint32(b[1:5]))
+	case OpTieRank:
+		takeEntries := func() ([]anc.RankEntry, error) {
+			b, err := take(4)
+			if err != nil {
+				return nil, err
+			}
+			count := int(binary.LittleEndian.Uint32(b))
+			// Capacity grows as entries decode — see the Clusters case.
+			out := make([]anc.RankEntry, 0, min(count, 1024))
+			for i := 0; i < count; i++ {
+				e, err := take(12)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, anc.RankEntry{
+					Node:  int(binary.LittleEndian.Uint32(e[0:4])),
+					Score: math.Float64frombits(binary.LittleEndian.Uint64(e[4:12])),
+				})
+			}
+			return out, nil
+		}
+		b, err := take(17)
+		if err != nil {
+			return nil, err
+		}
+		resp.Rank.Level = int(int32(binary.LittleEndian.Uint32(b[0:4])))
+		resp.Rank.Iters = int(binary.LittleEndian.Uint32(b[4:8]))
+		resp.Rank.Converged = b[8] != 0
+		resp.Rank.Now = math.Float64frombits(binary.LittleEndian.Uint64(b[9:17]))
+		if resp.Rank.Global, err = takeEntries(); err != nil {
+			return nil, err
+		}
+		g, err := take(4)
+		if err != nil {
+			return nil, err
+		}
+		groups := int(binary.LittleEndian.Uint32(g))
+		if resp.Rank.Level < 0 && groups != 0 {
+			return nil, fmt.Errorf("tierank: %d groups on a global-only answer", groups)
+		}
+		if groups > 0 {
+			resp.Rank.Clusters = make([][]anc.RankEntry, 0, min(groups, 1024))
+			for i := 0; i < groups; i++ {
+				entries, err := takeEntries()
+				if err != nil {
+					return nil, err
+				}
+				resp.Rank.Clusters = append(resp.Rank.Clusters, entries)
+			}
+		}
+	case OpEvolution:
+		b, err := take(20)
+		if err != nil {
+			return nil, err
+		}
+		resp.Seq = binary.LittleEndian.Uint64(b[0:8])
+		resp.Dropped = binary.LittleEndian.Uint64(b[8:16])
+		count := int(binary.LittleEndian.Uint32(b[16:20]))
+		resp.Evo = make([]anc.EvolutionEvent, 0, min(count, 1024))
+		for i := 0; i < count; i++ {
+			e, err := take(33)
+			if err != nil {
+				return nil, err
+			}
+			resp.Evo = append(resp.Evo, anc.EvolutionEvent{
+				Seq:      binary.LittleEndian.Uint64(e[0:8]),
+				Type:     anc.EvolutionEventType(e[8]),
+				Level:    int(binary.LittleEndian.Uint32(e[9:13])),
+				Node:     int(binary.LittleEndian.Uint32(e[13:17])),
+				Size:     int(binary.LittleEndian.Uint32(e[17:21])),
+				PrevSize: int(binary.LittleEndian.Uint32(e[21:25])),
+				Time:     math.Float64frombits(binary.LittleEndian.Uint64(e[25:33])),
+			})
+		}
 	default:
 		return nil, fmt.Errorf("unknown op %d", op)
 	}

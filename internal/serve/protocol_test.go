@@ -38,6 +38,9 @@ func sampleRequests() []*Request {
 		{Op: OpReplSubscribe, ID: 18, From: 123456},
 		{Op: OpReplStatus, ID: 19},
 		{Op: OpPromote, ID: 20},
+		{Op: OpTieRank, ID: 21, Level: -1, K: 10},
+		{Op: OpTieRank, ID: 22, Level: 2, K: 3},
+		{Op: OpEvolution, ID: 23, From: 42},
 	}
 }
 
@@ -122,6 +125,23 @@ func sampleResponses() []struct {
 			Now: 42.5, PrimaryNow: 42.5, Reconnects: 3, LastReconnect: "stall",
 		}}},
 		{OpPromote, &Response{ID: 20}},
+		{OpTieRank, &Response{ID: 21, Rank: anc.TieRankResult{
+			Global: []anc.RankEntry{{Node: 3, Score: 0.75}, {Node: 0, Score: 0.5}},
+			Level:  -1, Iters: 17, Converged: true, Now: 12.5,
+		}}},
+		{OpTieRank, &Response{ID: 22, Rank: anc.TieRankResult{
+			Global: []anc.RankEntry{{Node: 1, Score: 0.9}},
+			Level:  2,
+			Clusters: [][]anc.RankEntry{
+				{{Node: 1, Score: 0.9}, {Node: 2, Score: 0.1}},
+				{},
+			},
+			Iters: 100, Converged: false, Now: 0,
+		}}},
+		{OpEvolution, &Response{ID: 23, Seq: 6, Dropped: 2, Evo: []anc.EvolutionEvent{
+			{Seq: 5, Type: anc.EvolutionSplit, Level: 2, Node: 0, Size: 2, PrevSize: 8, Time: 3.5},
+			{Seq: 6, Type: anc.EvolutionBirth, Level: 2, Node: 9, Size: 4, PrevSize: 0, Time: 3.5},
+		}}},
 	}
 }
 
@@ -248,6 +268,75 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if re := EncodeRequest(req); !bytes.Equal(re, payload) {
 			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", payload, re)
+		}
+	})
+}
+
+// FuzzTieRank feeds arbitrary payloads through the OpTieRank decoders on
+// both sides of the wire: a request decode must re-encode byte-identically
+// (the request encoding is canonical), and a response decode must survive
+// a canonical re-encode fixed point like FuzzDecodeResponse.
+func FuzzTieRank(f *testing.F) {
+	for _, req := range sampleRequests() {
+		if req.Op == OpTieRank {
+			f.Add(EncodeRequest(req))
+		}
+	}
+	for _, tc := range sampleResponses() {
+		if tc.Op == OpTieRank {
+			f.Add(EncodeResponse(tc.Op, tc.Resp))
+		}
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := DecodeRequest(payload); err == nil && req.Op == OpTieRank {
+			if re := EncodeRequest(req); !bytes.Equal(re, payload) {
+				t.Fatalf("request decode/encode not canonical:\n in  %x\n out %x", payload, re)
+			}
+		}
+		resp, err := DecodeResponse(OpTieRank, payload)
+		if err != nil || resp.Err != nil {
+			return
+		}
+		canon := EncodeResponse(OpTieRank, resp)
+		again, err := DecodeResponse(OpTieRank, canon)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeResponse(OpTieRank, again), canon) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzEvolution is FuzzTieRank for OpEvolution payloads.
+func FuzzEvolution(f *testing.F) {
+	for _, req := range sampleRequests() {
+		if req.Op == OpEvolution {
+			f.Add(EncodeRequest(req))
+		}
+	}
+	for _, tc := range sampleResponses() {
+		if tc.Op == OpEvolution {
+			f.Add(EncodeResponse(tc.Op, tc.Resp))
+		}
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if req, err := DecodeRequest(payload); err == nil && req.Op == OpEvolution {
+			if re := EncodeRequest(req); !bytes.Equal(re, payload) {
+				t.Fatalf("request decode/encode not canonical:\n in  %x\n out %x", payload, re)
+			}
+		}
+		resp, err := DecodeResponse(OpEvolution, payload)
+		if err != nil || resp.Err != nil {
+			return
+		}
+		canon := EncodeResponse(OpEvolution, resp)
+		again, err := DecodeResponse(OpEvolution, canon)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeResponse(OpEvolution, again), canon) {
+			t.Fatal("canonical encoding is not a fixed point")
 		}
 	})
 }

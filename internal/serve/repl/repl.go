@@ -275,7 +275,11 @@ func (n *Node) EstimateAttraction(u, v int) float64       { return n.durable().E
 func (n *Node) Watch(v int)                               { n.durable().Watch(v) }
 func (n *Node) Unwatch(v int)                             { n.durable().Unwatch(v) }
 func (n *Node) DrainEvents() ([]anc.ClusterEvent, uint64) { return n.durable().DrainEvents() }
-func (n *Node) Stats() anc.Stats                          { return n.durable().Stats() }
+func (n *Node) TieRank(level, k int) anc.TieRankResult    { return n.durable().TieRank(level, k) }
+func (n *Node) Evolution(since uint64) ([]anc.EvolutionEvent, uint64, uint64) {
+	return n.durable().Evolution(since)
+}
+func (n *Node) Stats() anc.Stats { return n.durable().Stats() }
 
 // ---- serve.Replicator ---------------------------------------------------
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -240,6 +241,116 @@ func TestFollowerCatchUpMidStream(t *testing.T) {
 
 	if got := saveBytes(t, follower); !bytes.Equal(got, want) {
 		t.Fatalf("follower state diverged: %d vs %d bytes (or content)", len(got), len(want))
+	}
+}
+
+// TestFollowerAnalyticsParity asserts the analytics reads are follower-
+// servable and exact: after catch-up, TieRank (global and per-cluster)
+// and the complete evolution event sequence at a replica equal the
+// primary's, queried through the replica's own server over the wire.
+// Evolution parity is the strong half: it holds because one WAL frame is
+// exactly one Activate/ActivateBatch call, so the follower repairs its
+// pyramid — and diffs successive clusterings — at the primary's cadence,
+// not just toward the primary's final state.
+func TestFollowerAnalyticsParity(t *testing.T) {
+	dcfg := anc.DurableConfig{Sync: anc.SyncNever}
+	primary, server := newPrimary(t, dcfg)
+	batches := testStream(12, 15)
+
+	// Subscribe from frame 0 (default retention keeps the whole log), so
+	// the follower replays every repair the primary ever ran.
+	follower := newFollower(t, server.Addr().String(), "follower", dcfg, nil)
+	defer follower.Close()
+	fsrv := serve.New(follower, serve.Config{Repl: follower, Logf: t.Logf})
+	if err := fsrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(server.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for _, b := range batches {
+		if err := c.ActivateBatch(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn phases so the tracked-level clustering actually moves: a
+	// bridge-heavy phase pulls the two K5s together, then a one-sided
+	// phase lets the bridge decay and pulls them apart again. Each phase
+	// lands in many small batches — one repair (and one diff) per batch.
+	_, edges := barbell()
+	ts := 0.5 * float64(len(batches)*len(batches[0]))
+	for phase := 0; phase < 6; phase++ {
+		for batch := 0; batch < 4; batch++ {
+			churn := make([]anc.Activation, 20)
+			for i := range churn {
+				e := [2]int{4, 5} // the bridge
+				if phase%2 == 1 {
+					e = edges[i%10] // K5-A internal edges only
+				}
+				ts += 0.5
+				churn[i] = anc.Activation{U: e[0], V: e[1], T: ts}
+			}
+			if err := c.ActivateBatch(ctx, churn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitCursor(t, follower, primary.Status().Next)
+
+	fc, err := client.Dial(fsrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	level := primary.Stats().SqrtLevel
+	for _, lv := range []int{-1, level} {
+		want, err := c.TieRank(ctx, lv, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fc.TieRank(ctx, lv, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("follower TieRank(level=%d):\n got %+v\nwant %+v", lv, got, want)
+		}
+	}
+
+	wantEv, wantSeq, wantDrop := primary.Evolution(0)
+	gotEv, gotSeq, gotDrop, err := fc.Evolution(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != wantSeq || gotDrop != wantDrop || !reflect.DeepEqual(gotEv, wantEv) {
+		t.Errorf("follower evolution (%d events, seq %d, dropped %d) diverged from primary (%d events, seq %d, dropped %d)",
+			len(gotEv), gotSeq, gotDrop, len(wantEv), wantSeq, wantDrop)
+	}
+	if wantSeq == 0 {
+		t.Error("stream produced no evolution events; parity check is vacuous")
+	}
+	// Cursor semantics hold over the wire: reads past the newest event
+	// are empty, at the same sequence number.
+	tail, tailSeq, _, err := fc.Evolution(ctx, gotSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 0 || tailSeq != gotSeq {
+		t.Errorf("read past newest event returned %d events, seq %d (want 0 at %d)", len(tail), tailSeq, gotSeq)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fsrv.Shutdown(sctx); err != nil {
+		t.Fatalf("follower shutdown: %v", err)
+	}
+	if err := server.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }
 

@@ -286,6 +286,50 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServerAnalytics drives the analytics ops over TCP and checks every
+// reply against the backend queried directly: global-only and per-cluster
+// TieRank, the k validation, and the idempotent evolution cursor read.
+func TestServerAnalytics(t *testing.T) {
+	backend := anc.NewConcurrent(testNetwork(t))
+	s := startServer(t, backend, Config{})
+	defer shutdownServer(t, s)
+	c := dialTest(t, s.Addr().String())
+
+	for _, b := range testStream(4, 25) {
+		c.rpc(&Request{Op: OpActivateBatch, Batch: b})
+	}
+
+	level := backend.SqrtLevel()
+	if got, want := c.rpc(&Request{Op: OpTieRank, Level: int32(level), K: 5}).Rank,
+		backend.TieRank(level, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tierank(level=%d):\n got  %+v\n want %+v", level, got, want)
+	}
+	if got, want := c.rpc(&Request{Op: OpTieRank, Level: -1, K: 3}).Rank,
+		backend.TieRank(-1, 3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tierank(global):\n got  %+v\n want %+v", got, want)
+	}
+	if resp := c.rpcAllowErr(&Request{Op: OpTieRank, Level: -1, K: 0}); resp.Err == nil ||
+		resp.Err.Code != ErrCodeBadRequest {
+		t.Fatalf("tierank k=0 answered: %+v", resp)
+	}
+
+	wantEvs, wantSeq, wantDropped := backend.Evolution(0)
+	resp := c.rpc(&Request{Op: OpEvolution})
+	if !reflect.DeepEqual(resp.Evo, wantEvs) || resp.Seq != wantSeq || resp.Dropped != wantDropped {
+		t.Fatalf("evolution:\n got  %v seq=%d dropped=%d\n want %v seq=%d dropped=%d",
+			resp.Evo, resp.Seq, resp.Dropped, wantEvs, wantSeq, wantDropped)
+	}
+	// The read is non-draining: the same cursor returns the same events.
+	again := c.rpc(&Request{Op: OpEvolution})
+	if !reflect.DeepEqual(again.Evo, resp.Evo) || again.Seq != resp.Seq {
+		t.Fatalf("evolution re-read differs: %v vs %v", again.Evo, resp.Evo)
+	}
+	// Reading from the newest sequence number returns nothing new.
+	if tail := c.rpc(&Request{Op: OpEvolution, From: resp.Seq}); len(tail.Evo) != 0 {
+		t.Fatalf("evolution from seq %d returned %d events", resp.Seq, len(tail.Evo))
+	}
+}
+
 // TestServerRejectsBadBatch checks that a batch violating the ingest
 // contract produces ErrCodeRejected and leaves the connection usable.
 func TestServerRejectsBadBatch(t *testing.T) {

@@ -31,6 +31,8 @@ type Backend interface {
 	Watch(v int)
 	Unwatch(v int)
 	DrainEvents() ([]anc.ClusterEvent, uint64)
+	TieRank(level, k int) anc.TieRankResult
+	Evolution(since uint64) ([]anc.EvolutionEvent, uint64, uint64)
 	Stats() anc.Stats
 }
 
@@ -252,13 +254,14 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		Activations        uint64  `json:"activations"`
 		Now                float64 `json:"now"`
 		WatcherDrops       uint64  `json:"watcher_drops"`
+		EvolutionDrops     uint64  `json:"evolution_drops"`
 		Inflight           int32   `json:"inflight"`
 		Queued             int32   `json:"queued"`
 		CacheHits          uint64  `json:"cache_hits"`
 		CacheMisses        uint64  `json:"cache_misses"`
 		CacheInvalidations uint64  `json:"cache_invalidations"`
 	}{status, bs.Nodes, bs.Edges, bs.Activations, bs.Now, bs.WatcherDrops,
-		s.inflight.Load(), s.queued.Load(),
+		bs.EvolutionDrops, s.inflight.Load(), s.queued.Load(),
 		bs.CacheHits, bs.CacheMisses, bs.CacheInvalidations})
 }
 
@@ -736,6 +739,13 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		st.mu.Lock()
 		delete(st.views, req.View)
 		st.mu.Unlock()
+	case OpTieRank:
+		if req.K <= 0 {
+			return s.errReply(req.ID, ErrCodeBadRequest, fmt.Sprintf("tierank k %d, want positive", req.K))
+		}
+		resp.Rank = s.backend.TieRank(int(req.Level), int(req.K))
+	case OpEvolution:
+		resp.Evo, resp.Seq, resp.Dropped = s.backend.Evolution(req.From)
 	case OpReplStatus:
 		if s.cfg.Repl == nil {
 			return s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")

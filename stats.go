@@ -24,4 +24,9 @@ type Stats struct {
 	// clustering cache's cumulative counters (DESIGN.md §15). All zero when
 	// the cache was never enabled.
 	CacheHits, CacheMisses, CacheInvalidations uint64
+	// EvolutionDrops is the cumulative count of cluster-evolution events
+	// overwritten in the analytics ring before being read (DESIGN.md §16)
+	// — the analytics twin of WatcherDrops. Zero when analytics was never
+	// enabled.
+	EvolutionDrops uint64
 }
