@@ -2,15 +2,21 @@
 # pass: vet, the ANC invariant linter, build, the full test suite, the
 # race detector, a short fuzz smoke over the corruption-facing decoders,
 # the bench and serving-layer smokes, the replication failover smoke,
-# the observability smoke, and the cache and analytics smokes.
+# the observability smoke, the cache and analytics smokes, and the
+# end-to-end trace smoke.
 
 GO ?= go
 FUZZTIME ?= 10s
 ANCLINT := bin/anclint
 
-.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke bench clean
+# VERSION stamps the binaries (ancserve logs it at startup and /healthz
+# reports it): the nearest git describe, "dev" outside a git checkout.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X anc/internal/obs.BuildVersion=$(VERSION)
 
-check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke
+.PHONY: check vet lint lint-force lint-json tools build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke trace-smoke bench clean
+
+check: vet lint build test race fuzz-smoke bench-smoke serve-smoke repl-smoke obs-smoke cache-smoke analytics-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +59,7 @@ tools:
 	$(GO) version
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
@@ -83,8 +89,8 @@ fuzz-smoke:
 # visible in the output.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkIngest$$' -benchtime 1x .
-	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache ./internal/analytics
-	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/decay ./internal/cluster/cache ./internal/analytics
+	$(GO) test -run '^TestHotPathAllocs$$' -count=1 ./internal/serve ./internal/obs ./internal/obs/trace ./internal/decay ./internal/cluster/cache ./internal/analytics
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchtime 100x -benchmem ./internal/serve ./internal/obs ./internal/obs/trace ./internal/decay ./internal/cluster/cache ./internal/analytics
 
 # serve-smoke drives the serving layer once end to end on an ephemeral
 # port: concurrent TCP ingest + queries into a WAL-backed network, graceful
@@ -122,6 +128,14 @@ cache-smoke:
 # split/merge/birth/death/grow event sequence field for field.
 analytics-smoke:
 	$(GO) test -run '^TestAnalyticsSmoke$$' -count=1 .
+
+# trace-smoke is the tracing subsystem's acceptance loop (DESIGN.md
+# §17): a traced client over TCP must yield one server-side trace under
+# the client's ID stitching queue-wait, WAL append + fsync, core apply,
+# pyramid repair and the reply — and the trace must round-trip over the
+# wire through the traces op, while untraced connections stay untouched.
+trace-smoke:
+	$(GO) test -run '^TestTraceSmoke$$' -count=1 .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -41,6 +41,7 @@ import (
 	"anc/internal/core"
 	"anc/internal/graph"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 	"anc/internal/pyramid"
 	"anc/internal/similarity"
 )
@@ -211,6 +212,13 @@ type Activation struct {
 // one index update, and defers the rescale check to batch end; results are
 // identical to the equivalent sequence of Activate calls.
 func (nw *Network) ActivateBatch(batch []Activation) error {
+	return nw.ActivateBatchTraced(batch, trace.SpanHandle{})
+}
+
+// ActivateBatchTraced is ActivateBatch under an in-flight request span:
+// the core pipeline records its pyramid repair and invalidation stages as
+// children of sp. A zero handle degrades to plain ActivateBatch.
+func (nw *Network) ActivateBatchTraced(batch []Activation, sp trace.SpanHandle) error {
 	acts := make([]core.Activation, len(batch))
 	for i, a := range batch {
 		e := nw.inner.Graph().FindEdge(graph.NodeID(a.U), graph.NodeID(a.V))
@@ -219,7 +227,7 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 		}
 		acts[i] = core.Activation{Edge: e, T: a.T}
 	}
-	return nw.inner.ActivateBatch(acts)
+	return nw.inner.ActivateBatchTraced(acts, sp)
 }
 
 // Close releases the index worker-pool goroutines when the network was

@@ -36,6 +36,13 @@
 //	anccli -graph g.txt -stream s.txt -cmd tierank -topk 10
 //	anccli -server 127.0.0.1:7465 -cmd tierank -topk 10 -level -1
 //	anccli -server 127.0.0.1:7465 -cmd evolution -since 0
+//
+// The trace command reads the server's flight recorder over the wire:
+// without -trace-id it lists the retained traces (slow, errored, and
+// sampled requests), with one it prints that trace's span tree:
+//
+//	anccli -server 127.0.0.1:7465 -cmd trace
+//	anccli -server 127.0.0.1:7465 -cmd trace -trace-id 4ccca047d4b92e5b -json
 package main
 
 import (
@@ -65,12 +72,14 @@ func main() {
 		server     = flag.String("server", "", "query a running ancserve at this address instead of building locally")
 		graphPath  = flag.String("graph", "", "edge-list file (required unless -server is set)")
 		streamPath = flag.String("stream", "", "activation stream file (u v t per line)")
-		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance | tierank | evolution")
+		cmd        = flag.String("cmd", "stats", "stats | clusters | local | zoom | distance | tierank | evolution | trace")
 		level      = flag.Int("level", 0, "granularity level (0 = Θ(√n) default; -1 for tierank = global only)")
 		node       = flag.Int("node", 0, "query node (original ID) for local/zoom/distance")
 		node2      = flag.Int("node2", 0, "second node for distance")
 		topk       = flag.Int("topk", 10, "listing size for tierank")
 		since      = flag.Uint64("since", 0, "evolution cursor: report events with sequence numbers after this")
+		traceID    = flag.String("trace-id", "", "trace: 16-hex-digit trace ID to fetch (empty = flight-recorder index)")
+		jsonOut    = flag.Bool("json", false, "trace: emit JSON instead of the text rendering")
 		method     = flag.String("method", "anco", "anco | ancor | ancf")
 		lambda     = flag.Float64("lambda", 0.1, "decay factor λ")
 		rep        = flag.Int("rep", 7, "initialization reinforcement rounds")
@@ -83,8 +92,11 @@ func main() {
 	)
 	flag.Parse()
 	if *server != "" {
-		remote(*server, *cmd, *level, *node, *node2, *topk, *since)
+		remote(*server, *cmd, *level, *node, *node2, *topk, *since, *traceID, *jsonOut)
 		return
+	}
+	if *cmd == "trace" {
+		fatalf("trace is a remote command: point it at a running ancserve with -server")
 	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "anccli: -graph is required")
@@ -312,7 +324,7 @@ func printEvolution(evs []anc.EvolutionEvent, seq, dropped uint64, orig func(int
 // remote serves the -server mode: the command runs against a live
 // ancserve over the wire protocol instead of a locally built index.
 // Queries use retries (idempotent); promote does not.
-func remote(addr, cmd string, level, node, node2, topk int, since uint64) {
+func remote(addr, cmd string, level, node, node2, topk int, since uint64, traceID string, jsonOut bool) {
 	c, err := client.Dial(addr, client.WithRetry(4, 50*time.Millisecond, time.Second))
 	if err != nil {
 		fatalf("%v", err)
@@ -418,8 +430,27 @@ func remote(addr, cmd string, level, node, node2, topk int, since uint64) {
 			fatalf("evolution: %v", err)
 		}
 		printEvolution(evs, seq, dropped, func(v int) int64 { return int64(v) })
+	case "trace":
+		// -trace-id "" lists the flight recorder's index; a 16-hex-digit ID
+		// (as printed in the index, the slow-query log, or a client span)
+		// fetches that one trace.
+		var id uint64
+		if traceID != "" {
+			var err error
+			if id, err = strconv.ParseUint(traceID, 16, 64); err != nil {
+				fatalf("trace: -trace-id %q is not a hex trace ID: %v", traceID, err)
+			}
+		}
+		out, err := c.Traces(ctx, id, jsonOut)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		os.Stdout.Write(out) //anclint:ignore droppederr CLI stdout; nothing to recover if the pipe broke
+		if len(out) > 0 && out[len(out)-1] != '\n' {
+			fmt.Println()
+		}
 	default:
-		fatalf("unknown or unsupported remote command %q (stats | clusters | local | distance | tierank | evolution | promote)", cmd)
+		fatalf("unknown or unsupported remote command %q (stats | clusters | local | distance | tierank | evolution | trace | promote)", cmd)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"anc"
+	"anc/internal/obs/trace"
 	"anc/internal/serve"
 )
 
@@ -68,6 +69,13 @@ func (b *translatingBackend) toOrig(members []int) []int {
 }
 
 func (b *translatingBackend) ActivateBatch(batch []anc.Activation) error {
+	return b.ActivateBatchTraced(batch, trace.SpanHandle{})
+}
+
+// ActivateBatchTraced keeps the translation boundary transparent to
+// tracing: the span rides through to the wrapped backend's traced path
+// when it has one, so the WAL/repair children still attach.
+func (b *translatingBackend) ActivateBatchTraced(batch []anc.Activation, sp trace.SpanHandle) error {
 	dense := make([]anc.Activation, len(batch))
 	for i, a := range batch {
 		du, ok1 := b.ids[int64(a.U)]
@@ -76,6 +84,9 @@ func (b *translatingBackend) ActivateBatch(batch []anc.Activation) error {
 			return fmt.Errorf("batch[%d]: no node (%d, %d) in graph", i, a.U, a.V)
 		}
 		dense[i] = anc.Activation{U: int(du), V: int(dv), T: a.T}
+	}
+	if tb, ok := b.inner.(serve.TracedBackend); ok && sp.Active() {
+		return tb.ActivateBatchTraced(dense, sp)
 	}
 	return b.inner.ActivateBatch(dense)
 }

@@ -50,6 +50,7 @@ import (
 
 	"anc"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 	"anc/internal/serve"
 	"anc/internal/serve/repl"
 )
@@ -78,8 +79,11 @@ func main() {
 		requestTimeout = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 
-		metricsAddr = flag.String("metrics-addr", "", "HTTP listener serving /metrics, /healthz and /debug/pprof/ (empty = observability off)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listener serving /metrics, /healthz, /debug/traces and /debug/pprof/ (empty = observability off)")
 		slowQuery   = flag.Duration("slow-query", 0, "count and log requests slower than this (0 = disabled)")
+
+		traceSample   = flag.Int("trace-sample", 16, "record every Nth request as a trace; 0 disables tracing (client-propagated traces are always honored while enabled)")
+		traceCapacity = flag.Int("trace-capacity", 256, "completed traces retained in the flight recorder ring")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -124,6 +128,19 @@ func main() {
 	var reg *obs.Registry
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
+		obs.RegisterRuntimeGauges(reg)
+	}
+
+	// The flight recorder: head-sampled spans plus every slow or errored
+	// trace, served on /debug/traces and over the wire (anccli trace). Nil
+	// when -trace-sample is 0 — every span call then degrades to a no-op.
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			Capacity:    *traceCapacity,
+			SampleEvery: *traceSample,
+			Slow:        *slowQuery,
+		})
 	}
 
 	if *follow != "" && *walDir == "" {
@@ -165,6 +182,7 @@ func main() {
 			PromoteAfter: *promoteOnLoss,
 			Logf:         logger.Printf,
 			Obs:          reg,
+			Tracer:       tracer,
 		})
 		replNode.Start()
 		if *follow != "" {
@@ -197,6 +215,7 @@ func main() {
 		Obs:            reg,
 		MetricsAddr:    *metricsAddr,
 		SlowQuery:      *slowQuery,
+		Tracer:         tracer,
 	}
 	if replNode != nil {
 		scfg.Repl = replNode
@@ -205,7 +224,7 @@ func main() {
 	if err := srv.Start(*addr); err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("serving on %s (protocol v%d)", srv.Addr(), serve.Version)
+	logger.Printf("serving on %s (protocol v%d, build %s)", srv.Addr(), serve.Version, obs.BuildVersion)
 	if ma := srv.MetricsAddr(); ma != "" {
 		logger.Printf("metrics on http://%s/metrics (healthz, pprof alongside)", ma)
 	}

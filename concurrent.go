@@ -8,6 +8,7 @@ import (
 	"anc/internal/analytics"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 )
 
 // ConcurrentNetwork wraps a Network with a readers–writer lock so that
@@ -57,10 +58,19 @@ func (c *ConcurrentNetwork) Activate(u, v int, t float64) error {
 // ActivateBatch records a batch of activations under a single lock
 // acquisition — the high-throughput ingest path. Readers observe either
 // none or all of the batch.
+//
+//anclint:ignore lockdiscipline pure delegation with a zero span; ActivateBatchTraced takes the lock itself
 func (c *ConcurrentNetwork) ActivateBatch(batch []Activation) error {
+	return c.ActivateBatchTraced(batch, trace.SpanHandle{}) //anclint:ignore lockdiscipline no lock is held here; the traced variant acquires it
+}
+
+// ActivateBatchTraced is ActivateBatch under an in-flight request span:
+// the core pipeline's pyramid repair and invalidation stages become
+// children of sp. A zero handle degrades to plain ActivateBatch.
+func (c *ConcurrentNetwork) ActivateBatchTraced(batch []Activation, sp trace.SpanHandle) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.net.ActivateBatch(batch)
+	err := c.net.ActivateBatchTraced(batch, sp)
 	if err == nil {
 		c.acts.Add(uint64(len(batch)))
 	}

@@ -9,11 +9,13 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"anc/internal/analytics"
 	clustercache "anc/internal/cluster/cache"
 	"anc/internal/graph"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 	"anc/internal/wal"
 )
 
@@ -109,6 +111,54 @@ type DurableNetwork struct {
 	// rank is the TieRank snapshot cache, probed before the lock by
 	// TieRank — see ConcurrentNetwork.rank and DESIGN.md §16.
 	rank *analytics.RankCache
+	// fsyncAccum collects, under mu, the wall-clock seconds the WAL spent
+	// in fsync while the current batch was being appended (the writer is
+	// only driven with mu held). A traced batch reads it to attribute its
+	// fsync share as a wal.fsync leaf span.
+	fsyncAccum float64
+	// traces remembers which trace ID each recently appended WAL frame was
+	// logged under, so the replication sender can ship the context with the
+	// frame and followers can stitch their apply spans to the primary's
+	// trace. Internally synchronized — the sender reads it off-lock.
+	traces traceRing
+}
+
+// traceRingSize bounds how many appended frames keep their trace ID for
+// replication shipping; older entries are overwritten. Subscribers tail
+// the WAL within a frame or two of the append under normal operation, so
+// a small window loses trace IDs only for followers that are already far
+// behind (they still get the frames — just untraced).
+const traceRingSize = 1024
+
+// traceRing is a fixed-size map from WAL frame index to the trace ID the
+// frame was appended under. It has its own lock so the replication
+// sender's lookups never contend with ingest for the network's mutex.
+type traceRing struct {
+	mu  sync.Mutex
+	idx [traceRingSize]uint64 // frame index + 1; 0 = empty slot
+	ids [traceRingSize]uint64
+	pos int
+}
+
+func (r *traceRing) record(first, next, id uint64) {
+	r.mu.Lock()
+	for i := first; i < next; i++ {
+		r.idx[r.pos] = i + 1
+		r.ids[r.pos] = id
+		r.pos = (r.pos + 1) % traceRingSize
+	}
+	r.mu.Unlock()
+}
+
+func (r *traceRing) lookup(index uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.idx {
+		if r.idx[i] == index+1 {
+			return r.ids[i]
+		}
+	}
+	return 0
 }
 
 const activationRecordSize = 16 // u uint32, v uint32, t float64 bits
@@ -180,13 +230,19 @@ func NewDurable(net *Network, dir string, cfg DurableConfig) (*DurableNetwork, e
 	if err := d.writeCheckpoint(0); err != nil {
 		return nil, err
 	}
-	w, err := wal.OpenWriter(dir, 0, cfg.walOptions())
+	opts := cfg.walOptions()
+	opts.OnFsync = d.noteFsync
+	w, err := wal.OpenWriter(dir, 0, opts)
 	if err != nil {
 		return nil, err
 	}
 	d.w = w
 	return d, nil
 }
+
+// noteFsync is the WAL's fsync-duration hook. It runs on the appending
+// goroutine, which holds d.mu, so the plain field add is safe.
+func (d *DurableNetwork) noteFsync(seconds float64) { d.fsyncAccum += seconds }
 
 // Recover rebuilds the durable network persisted in dir: it loads the
 // newest checkpoint whose CRC verifies (falling back to the previous one
@@ -249,7 +305,14 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 		// any checkpoint yet, so it must survive on disk until the next
 		// checkpoint — passing next would let OpenWriter discard it as
 		// stale, losing acknowledged records on the next crash.
-		w, err := wal.OpenWriter(dir, cp.index, cfg.walOptions())
+		var d *DurableNetwork // the fsync hook captures it; nil until this attempt succeeds
+		opts := cfg.walOptions()
+		opts.OnFsync = func(seconds float64) {
+			if d != nil {
+				d.noteFsync(seconds)
+			}
+		}
+		w, err := wal.OpenWriter(dir, cp.index, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -267,8 +330,9 @@ func Recover(dir string, cfg DurableConfig) (*DurableNetwork, error) {
 		net.Instrument(cfg.Obs)
 		met := newDurableMetrics(cfg.Obs)
 		met.recovered(replayed)
-		return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed,
-			cache: net.clusterCache(), rank: net.rankCache()}, nil
+		d = &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: met, acts: replayed,
+			cache: net.clusterCache(), rank: net.rankCache()}
+		return d, nil
 	}
 	return nil, fmt.Errorf("anc: no usable checkpoint in %s: %w", dir, lastErr)
 }
@@ -328,7 +392,18 @@ const maxBatchFrame = 1 << 16
 // every activation in the batch is applied and, under SyncAlways, durable
 // as a unit; validation failures reject the batch before anything is
 // logged, and WAL errors leave the in-memory network unchanged.
+//anclint:ignore lockdiscipline pure delegation with a zero span; ActivateBatchTraced takes the lock itself
 func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
+	return d.ActivateBatchTraced(batch, trace.SpanHandle{}) //anclint:ignore lockdiscipline no lock is held here; the traced variant acquires it
+}
+
+// ActivateBatchTraced is ActivateBatch under an in-flight request span: the
+// WAL stage is recorded as a "wal.append" child with a "wal.fsync" leaf for
+// the batch's fsync share, the in-memory apply as "core.apply" (under which
+// the core pipeline records pyramid.repair and core.invalidate), and the
+// frames' trace ID is remembered so the replication sender can ship it. A
+// zero handle degrades to plain ActivateBatch.
+func (d *DurableNetwork) ActivateBatchTraced(batch []Activation, sp trace.SpanHandle) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -350,6 +425,14 @@ func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 		}
 		prev = a.T
 	}
+	timed := d.met != nil || sp.Active()
+	var walStart time.Time
+	if timed {
+		walStart = time.Now()
+	}
+	wsp := sp.StartChild("wal.append")
+	d.fsyncAccum = 0
+	first := d.w.NextIndex()
 	for off := 0; off < len(batch); off += maxBatchFrame {
 		end := off + maxBatchFrame
 		if end > len(batch) {
@@ -363,12 +446,31 @@ func (d *DurableNetwork) ActivateBatch(batch []Activation) error {
 			binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(a.T))
 		}
 		if _, err := d.w.Append(frame); err != nil {
+			wsp.Fail()
+			wsp.End()
 			return fmt.Errorf("anc: wal: %w", err)
 		}
 	}
-	if err := d.net.ActivateBatch(batch); err != nil {
+	if wsp.Active() {
+		wsp.AnnotateInt("frames", int64(d.w.NextIndex()-first))
+		if d.fsyncAccum > 0 {
+			wsp.Leaf("wal.fsync", time.Duration(d.fsyncAccum*float64(time.Second)))
+		}
+	}
+	wsp.End()
+	if timed {
+		d.met.walAppend(time.Since(walStart).Seconds())
+	}
+	if tid := sp.TraceID(); tid != 0 {
+		d.traces.record(first, d.w.NextIndex(), tid)
+	}
+	csp := sp.StartChild("core.apply")
+	if err := d.net.ActivateBatchTraced(batch, csp); err != nil {
+		csp.Fail()
+		csp.End()
 		return err
 	}
+	csp.End()
 	d.met.batchLogged(len(batch))
 	d.acts += uint64(len(batch))
 	d.sinceCheckpoint += len(batch)
@@ -495,6 +597,16 @@ func (d *DurableNetwork) LoggedActivations() uint64 {
 	defer d.mu.RUnlock()
 	return d.w.NextIndex()
 }
+
+// TraceOf reports the trace ID under which WAL frame index was appended —
+// 0 when the frame was untraced or has aged out of the bounded recording
+// window. The replication sender uses it to ship trace context alongside
+// frames so follower applies stitch into the primary's trace. Lock-free
+// with respect to the network's mutex (the ring is internally
+// synchronized), so a slow sender never stalls ingest.
+//
+//anclint:ignore lockdiscipline the trace ring carries its own mutex; reading it off d.mu is the point
+func (d *DurableNetwork) TraceOf(index uint64) uint64 { return d.traces.lookup(index) }
 
 // DurableActivations returns how many logged frames are known to have
 // been fsynced.

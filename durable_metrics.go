@@ -14,6 +14,11 @@ type durableMetrics struct {
 	// in activation records — the distribution that explains fsync
 	// amortization.
 	batchRecords *obs.Histogram
+	// walAppendSeconds observes the WAL stage of each group-committed
+	// batch — framing plus Append plus any policy fsyncs — one stage of the
+	// per-request ingest breakdown (queue-wait / wal / fsync / repair /
+	// reply; see DESIGN.md §17).
+	walAppendSeconds *obs.Histogram
 	// recoveries counts successful Recover calls; recoveredRecords counts
 	// the WAL-tail activations they replayed.
 	recoveries       *obs.Counter
@@ -30,6 +35,8 @@ func newDurableMetrics(reg *obs.Registry) *durableMetrics {
 		batchRecords: reg.Histogram("anc_wal_batch_records",
 			"activation records per group-committed batch",
 			obs.ExponentialBuckets(1, 2, 17)),
+		walAppendSeconds: reg.Histogram("anc_durable_wal_append_seconds",
+			"WAL stage of a group-committed batch: framing, appends and policy fsyncs", nil),
 		recoveries: reg.Counter("anc_wal_recoveries_total",
 			"successful crash recoveries"),
 		recoveredRecords: reg.Counter("anc_wal_recovered_records_total",
@@ -42,6 +49,13 @@ func (m *durableMetrics) checkpointStart() obs.Timer {
 		return obs.Timer{}
 	}
 	return m.checkpointSeconds.Start()
+}
+
+func (m *durableMetrics) walAppend(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.walAppendSeconds.Observe(seconds)
 }
 
 func (m *durableMetrics) batchLogged(n int) {

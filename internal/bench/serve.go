@@ -45,6 +45,22 @@ type ServeResult struct {
 	QueryP90ms float64
 	QueryP99ms float64
 
+	// Per-stage ingest breakdown, read off the instrumented stack's stage
+	// histograms at the end of the run. Together the stages decompose a
+	// batch round trip the same way a trace does: time queued behind the
+	// single writer, WAL append (fsync inside it broken out separately),
+	// pyramid repair, and serializing the reply. See DESIGN.md §17.
+	StageQueueWaitP50ms float64
+	StageQueueWaitP99ms float64
+	StageWalAppendP50ms float64
+	StageWalAppendP99ms float64
+	StageFsyncP50ms     float64
+	StageFsyncP99ms     float64
+	StageRepairP50ms    float64
+	StageRepairP99ms    float64
+	StageReplyP50ms     float64
+	StageReplyP99ms     float64
+
 	// Follower-side figures: a repl.Node tails the primary's WAL over TCP
 	// for the whole run, fronted by its own server, with one query
 	// connection measuring read latency at the replica under replication
@@ -445,6 +461,14 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	}
 	r.CacheHits, r.CacheMisses, r.CacheInvalidations = d.CacheStats()
 	r.Metrics = reg.Snapshot()
+	stageMS := func(name string) (p50, p99 float64) {
+		return r.Metrics[name+"_p50"] * 1e3, r.Metrics[name+"_p99"] * 1e3
+	}
+	r.StageQueueWaitP50ms, r.StageQueueWaitP99ms = stageMS("anc_serve_queue_wait_seconds")
+	r.StageWalAppendP50ms, r.StageWalAppendP99ms = stageMS("anc_durable_wal_append_seconds")
+	r.StageFsyncP50ms, r.StageFsyncP99ms = stageMS("anc_wal_fsync_seconds")
+	r.StageRepairP50ms, r.StageRepairP99ms = stageMS("anc_pyramid_update_seconds")
+	r.StageReplyP50ms, r.StageReplyP99ms = stageMS("anc_serve_reply_seconds")
 	logf(cfg, w, "# serve: %d acts in %d batches over %d conns: %.0f acts/s, batch p99 %.2fms, %d queries p99 %.2fms\n",
 		r.Activations, r.Batches, conns, r.IngestRate, r.BatchP99ms, r.Queries, r.QueryP99ms)
 	logf(cfg, w, "# serve: follower %d queries p99 %.2fms, lag at ingest end %d frames, caught up in %.2fs\n",
@@ -452,6 +476,10 @@ func ServeLoad(cfg Config, w io.Writer, minutes, conns int) ServeResult {
 	logf(cfg, w, "# serve: cache %d/%d probes hit (p50 %.4fms vs recompute %.4fms, %.0fx), %d hits / %d misses / %d invalidations\n",
 		r.CacheHitSamples, r.CacheProbeSamples, r.CacheHitP50ms, r.CacheRecomputeP50ms,
 		r.CacheHitSpeedup, r.CacheHits, r.CacheMisses, r.CacheInvalidations)
+	logf(cfg, w, "# serve: stages ms p50/p99: queue %.3f/%.3f, wal %.3f/%.3f, fsync %.3f/%.3f, repair %.3f/%.3f, reply %.3f/%.3f\n",
+		r.StageQueueWaitP50ms, r.StageQueueWaitP99ms, r.StageWalAppendP50ms, r.StageWalAppendP99ms,
+		r.StageFsyncP50ms, r.StageFsyncP99ms, r.StageRepairP50ms, r.StageRepairP99ms,
+		r.StageReplyP50ms, r.StageReplyP99ms)
 	return r
 }
 
@@ -471,6 +499,11 @@ func PrintServe(w io.Writer, r ServeResult) {
 	t.row("query p50 ms", r.QueryP50ms)
 	t.row("query p90 ms", r.QueryP90ms)
 	t.row("query p99 ms", r.QueryP99ms)
+	t.row("stage queue-wait p50/p99 ms", fmt.Sprintf("%.4f / %.4f", r.StageQueueWaitP50ms, r.StageQueueWaitP99ms))
+	t.row("stage wal-append p50/p99 ms", fmt.Sprintf("%.4f / %.4f", r.StageWalAppendP50ms, r.StageWalAppendP99ms))
+	t.row("stage fsync p50/p99 ms", fmt.Sprintf("%.4f / %.4f", r.StageFsyncP50ms, r.StageFsyncP99ms))
+	t.row("stage repair p50/p99 ms", fmt.Sprintf("%.4f / %.4f", r.StageRepairP50ms, r.StageRepairP99ms))
+	t.row("stage reply p50/p99 ms", fmt.Sprintf("%.4f / %.4f", r.StageReplyP50ms, r.StageReplyP99ms))
 	t.row("follower queries", r.FollowerQueries)
 	t.row("follower query p50 ms", r.FollowerQueryP50ms)
 	t.row("follower query p99 ms", r.FollowerQueryP99ms)

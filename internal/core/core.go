@@ -27,6 +27,7 @@ import (
 	"anc/internal/decay"
 	"anc/internal/graph"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 	"anc/internal/pyramid"
 	"anc/internal/similarity"
 )
@@ -277,6 +278,17 @@ type Activation struct {
 // snapshots. ANCOR reinforcement fires at the same interval boundaries as
 // the per-op path and once more at batch end.
 func (nw *Network) ActivateBatch(batch []Activation) error {
+	return nw.ActivateBatchTraced(batch, trace.SpanHandle{})
+}
+
+// ActivateBatchTraced is ActivateBatch carrying the request's span: each
+// settle's pyramid index update is recorded as a "pyramid.repair" child
+// and the end-of-batch analytics invalidation as "core.invalidate". A
+// zero handle (the ActivateBatch path) makes every span call a no-op, so
+// the untraced pipeline is unchanged. The clock stays untouched here —
+// span timing happens inside the trace package, keeping this package
+// deterministic.
+func (nw *Network) ActivateBatchTraced(batch []Activation, sp trace.SpanHandle) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -301,7 +313,7 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 			// Interval boundary mid-batch: settle deferred σ maintenance so
 			// reinforcement reads exact similarities, then flush as the
 			// per-op path would.
-			nw.settleBatch()
+			nw.settleBatch(sp)
 			nw.Flush()
 			nw.lastFlush = a.T
 		}
@@ -311,7 +323,7 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 			nw.addPending(a.Edge)
 		}
 	}
-	nw.settleBatch()
+	nw.settleBatch(sp)
 	if nw.opts.Method == ANCOR {
 		nw.Flush()
 		nw.lastFlush = nw.clock.Now()
@@ -320,7 +332,9 @@ func (nw *Network) ActivateBatch(batch []Activation) error {
 	nw.met.activated(len(batch))
 	nw.met.batched()
 	nw.clock.ActivatedN(len(batch))
+	isp := sp.StartChild("core.invalidate")
 	nw.afterRepair()
+	isp.End()
 	return nil
 }
 
@@ -348,8 +362,9 @@ func (nw *Network) markBatch(e graph.EdgeID) {
 // settleBatch applies the deferred per-distinct work of the running batch:
 // one σ-numerator fold per dirty edge, one σ/active-count refresh per
 // dirty node, and (except for the buffering ANCF) one batched index update
-// over the dirty edges' final weights.
-func (nw *Network) settleBatch() {
+// over the dirty edges' final weights. When the batch is traced, the index
+// update — the pyramid repair — is recorded as a child span.
+func (nw *Network) settleBatch(sp trace.SpanHandle) {
 	if len(nw.batchEdges) == 0 {
 		return
 	}
@@ -365,7 +380,10 @@ func (nw *Network) settleBatch() {
 		for _, e := range nw.batchEdges {
 			nw.batchWeights = append(nw.batchWeights, nw.sim.Weight(e))
 		}
+		rsp := sp.StartChild("pyramid.repair")
 		nw.ix.UpdateEdges(nw.batchEdges, nw.batchWeights)
+		rsp.AnnotateInt("edges", int64(len(nw.batchEdges)))
+		rsp.End()
 	}
 	for _, e := range nw.batchEdges {
 		nw.batchEdgeMark[e] = false

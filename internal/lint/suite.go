@@ -49,7 +49,7 @@ func Suite() []runner.Scoped {
 				"anc",
 				"anc/internal/wal",
 				"anc/internal/serve/...",
-				"anc/internal/obs",
+				"anc/internal/obs/...",
 				"anc/internal/bench",
 				"anc/cmd/...",
 			},
@@ -90,7 +90,7 @@ func Suite() []runner.Scoped {
 			Include: []string{
 				"anc",
 				"anc/internal/serve/...",
-				"anc/internal/obs",
+				"anc/internal/obs/...",
 				"anc/internal/wal",
 			},
 		},

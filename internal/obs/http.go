@@ -16,14 +16,19 @@ func Handler(r *Registry) http.Handler {
 }
 
 // NewMux returns the operational HTTP surface: /metrics (Prometheus
-// exposition of r), /healthz (the given handler, skipped when nil), and
-// the net/http/pprof profiling endpoints under /debug/pprof/. This is
-// what ancserve binds on -metrics-addr.
-func NewMux(r *Registry, healthz http.Handler) *http.ServeMux {
+// exposition of r), /healthz (the given handler, skipped when nil),
+// /debug/traces (the given flight-recorder handler, skipped when nil —
+// pass trace.Tracer.Handler()), and the net/http/pprof profiling
+// endpoints under /debug/pprof/. This is what ancserve binds on
+// -metrics-addr.
+func NewMux(r *Registry, healthz, traces http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	if healthz != nil {
 		mux.Handle("/healthz", healthz)
+	}
+	if traces != nil {
+		mux.Handle("/debug/traces", traces)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level classifies a log line's severity.
+type Level uint8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level-%d", l)
+}
+
+// Logger is the serving stack's one structured logger: leveled key=value
+// lines over a printf-style sink, so every line a subsystem emits has
+// the same grep-able shape (level=… sys=… msg=… op=… trace=…) instead
+// of ad-hoc Printf formats. A nil *Logger discards everything, so
+// subsystems log unconditionally.
+//
+// The sink indirection keeps the logger composable with what callers
+// already have: tests pass t.Logf, ancserve passes its stderr logger's
+// Printf, and the serve/repl Config Logf fields keep working unchanged.
+type Logger struct {
+	name string
+	min  Level
+	sink func(format string, args ...interface{})
+}
+
+// NewLogger builds a logger for the named subsystem that emits lines at
+// or above min through sink. A nil sink returns a nil (discard-all)
+// logger.
+func NewLogger(name string, min Level, sink func(format string, args ...interface{})) *Logger {
+	if sink == nil {
+		return nil
+	}
+	return &Logger{name: name, min: min, sink: sink}
+}
+
+// Named returns a logger sharing l's sink and level under a different
+// subsystem name. Nil-safe.
+func (l *Logger) Named(name string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{name: name, min: l.min, sink: l.sink}
+}
+
+func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, kv...) }
+func (l *Logger) Info(msg string, kv ...interface{})  { l.log(LevelInfo, msg, kv...) }
+func (l *Logger) Warn(msg string, kv ...interface{})  { l.log(LevelWarn, msg, kv...) }
+func (l *Logger) Error(msg string, kv ...interface{}) { l.log(LevelError, msg, kv...) }
+
+// log formats one key=value line. kv alternates keys and values; a
+// dangling key is emitted with the value "(missing)" rather than
+// dropped, so a miscounted call site is visible in the output.
+func (l *Logger) log(level Level, msg string, kv ...interface{}) {
+	if l == nil || level < l.min {
+		return
+	}
+	line := "level=" + level.String() + " sys=" + l.name + " msg=" + quote(msg)
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		val := "(missing)"
+		if i+1 < len(kv) {
+			val = fmt.Sprint(kv[i+1])
+		}
+		line += " " + key + "=" + quote(val)
+	}
+	l.sink("%s", line)
+}
+
+// quote wraps values containing spaces, quotes or equals signs so the
+// line stays unambiguously splittable on spaces.
+func quote(s string) string {
+	if strings.ContainsAny(s, " \"=\t\n") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

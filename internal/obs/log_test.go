@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var lines []string
+	log := NewLogger("serve", LevelInfo, func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	log.Warn("slow request", "op", "clusters", "took", "1.2s", "trace", "00c0ffee00c0ffee")
+	if len(lines) != 1 {
+		t.Fatalf("%d lines, want 1", len(lines))
+	}
+	want := `level=warn sys=serve msg="slow request" op=clusters took=1.2s trace=00c0ffee00c0ffee`
+	if lines[0] != want {
+		t.Fatalf("got  %q\nwant %q", lines[0], want)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var n int
+	log := NewLogger("repl", LevelWarn, func(string, ...interface{}) { n++ })
+	log.Debug("d")
+	log.Info("i")
+	log.Warn("w")
+	log.Error("e")
+	if n != 2 {
+		t.Fatalf("%d lines passed a warn-level filter, want 2", n)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var line string
+	log := NewLogger("s", LevelDebug, func(format string, args ...interface{}) {
+		line = fmt.Sprintf(format, args...)
+	})
+	log.Info("msg", "k", `a "b" = c`, "empty", "")
+	if !strings.Contains(line, `k="a \"b\" = c"`) || !strings.Contains(line, `empty=""`) {
+		t.Fatalf("values not quoted: %q", line)
+	}
+}
+
+func TestLoggerDanglingKey(t *testing.T) {
+	var line string
+	log := NewLogger("s", LevelDebug, func(format string, args ...interface{}) {
+		line = fmt.Sprintf(format, args...)
+	})
+	log.Info("m", "orphan")
+	if !strings.Contains(line, "orphan=(missing)") {
+		t.Fatalf("dangling key not surfaced: %q", line)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var log *Logger
+	log.Info("into the void", "k", "v") // must not panic
+	if NewLogger("x", LevelInfo, nil) != nil {
+		t.Fatal("nil sink must yield the nil logger")
+	}
+	if log.Named("other") != nil {
+		t.Fatal("Named on nil must stay nil")
+	}
+	var lines int
+	real := NewLogger("a", LevelInfo, func(string, ...interface{}) { lines++ })
+	real.Named("b").Info("m")
+	if lines != 1 {
+		t.Fatal("Named logger lost the sink")
+	}
+}

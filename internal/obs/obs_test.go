@@ -248,7 +248,7 @@ func TestRegistryConcurrent(t *testing.T) {
 }
 
 func TestHandler(t *testing.T) {
-	srv := httptest.NewServer(NewMux(goldenRegistry(), nil))
+	srv := httptest.NewServer(NewMux(goldenRegistry(), nil, nil))
 	defer srv.Close()
 	res, err := srv.Client().Get(srv.URL + "/metrics")
 	if err != nil {

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+)
+
+// BuildVersion is the build's version string, stamped by the Makefile
+// via -ldflags "-X anc/internal/obs.BuildVersion=$(VERSION)". It stays
+// "dev" for plain `go build`/`go test` invocations.
+var BuildVersion = "dev"
+
+// runtime/metrics sample names read by the runtime gauges.
+const (
+	heapBytesMetric = "/memory/classes/heap/objects:bytes"
+	gcPausesMetric  = "/sched/pauses/total/gc:seconds"
+)
+
+// RegisterRuntimeGauges attaches process-health gauges to the registry:
+// goroutine count, live heap bytes, and the p99 GC stop-the-world pause.
+// All three are gauge-funcs — sampled at scrape time, zero cost between
+// scrapes. Nil-registry safe.
+func RegisterRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("anc_runtime_goroutines",
+		"number of live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("anc_runtime_heap_bytes",
+		"bytes of live heap objects (runtime/metrics "+heapBytesMetric+")",
+		func() float64 {
+			s := []rtmetrics.Sample{{Name: heapBytesMetric}}
+			rtmetrics.Read(s)
+			if s[0].Value.Kind() != rtmetrics.KindUint64 {
+				return 0
+			}
+			return float64(s[0].Value.Uint64())
+		})
+	r.GaugeFunc("anc_runtime_gc_pause_p99_seconds",
+		"p99 of cumulative GC stop-the-world pauses (runtime/metrics "+gcPausesMetric+")",
+		func() float64 {
+			s := []rtmetrics.Sample{{Name: gcPausesMetric}}
+			rtmetrics.Read(s)
+			if s[0].Value.Kind() != rtmetrics.KindFloat64Histogram {
+				return 0
+			}
+			return histogramQuantile(s[0].Value.Float64Histogram(), 0.99)
+		})
+}
+
+// histogramQuantile computes a quantile from a runtime/metrics
+// Float64Histogram: the upper edge of the bucket where the cumulative
+// count crosses q of the total. Unbounded edges fall back to the
+// nearest finite one.
+func histogramQuantile(h *rtmetrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i+1] is the bucket's upper edge; len(Buckets) ==
+			// len(Counts)+1 by the runtime/metrics contract.
+			edge := h.Buckets[i+1]
+			if edge > 1e300 || edge != edge { // +Inf or NaN edge
+				edge = h.Buckets[i]
+			}
+			if edge < -1e300 {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

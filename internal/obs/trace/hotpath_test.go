@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathAllocs is the dynamic half of the //anclint:hotpath
+// contract for the tracing layer (DESIGN.md §17): with tracing disabled
+// — a nil Tracer and the zero SpanHandle it mints — every
+// instrumentation-site method must run allocation-free, so threading
+// handles through the serve/WAL/core hot paths costs one branch.
+func TestHotPathAllocs(t *testing.T) {
+	var tr *Tracer
+	var sp SpanHandle
+	var ctx Context
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr.ShouldTrace(ctx) {
+			t.Error("nil tracer sampled")
+		}
+		_ = sp.Active()
+		_ = sp.TraceID()
+		_ = sp.Context()
+		_ = ctx.Valid()
+		c := sp.StartChild("stage")
+		c.Annotate("k", "v")
+		c.AnnotateInt("n", 42)
+		c.Leaf("leaf", time.Millisecond)
+		c.Fail()
+		c.End()
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled tracing handles: %v allocs/op, want 0", n)
+	}
+
+	// A live tracer that declines a request must also stay free: the
+	// 1-in-N sampling decision is on the hot path of every request.
+	live := New(Config{SampleEvery: 1 << 30})
+	if n := testing.AllocsPerRun(1000, func() {
+		if live.ShouldTrace(ctx) {
+			t.Error("sampled at 1-in-2^30")
+		}
+	}); n != 0 {
+		t.Errorf("sampling decision: %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkHotPathDisabled is run by `make bench-smoke` under -benchmem
+// so a disabled-path allocation regression is visible as allocs/op.
+func BenchmarkHotPathDisabled(b *testing.B) {
+	var tr *Tracer
+	var sp SpanHandle
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.ShouldTrace(Context{}) {
+			b.Fatal("nil tracer sampled")
+		}
+		c := sp.StartChild("stage")
+		c.End()
+		sp.End()
+	}
+}

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// SpanView is the immutable snapshot of one span, the unit of both the
+// JSON rendering and the text tree.
+type SpanView struct {
+	Op string `json:"op"`
+	// OffsetSeconds is the span's start relative to the trace root.
+	OffsetSeconds   float64 `json:"offset_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Unfinished marks a span still open when the trace completed (e.g.
+	// a stage abandoned at the request deadline).
+	Unfinished bool        `json:"unfinished,omitempty"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanView `json:"children,omitempty"`
+}
+
+// TraceView is the immutable snapshot of one completed trace.
+type TraceView struct {
+	ID string `json:"id"`
+	// Remote marks a trace whose context arrived over the wire (the root
+	// request carried a client-minted trace ID).
+	Remote bool `json:"remote,omitempty"`
+	// Err marks a trace that ended in an error reply.
+	Err bool `json:"err,omitempty"`
+	// Kept marks a trace filed in the always-keep (slow/errored) ring.
+	Kept            bool      `json:"kept,omitempty"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Root            *SpanView `json:"root"`
+}
+
+// view snapshots a trace under its lock.
+func (r *rec) view(kept bool) *TraceView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &TraceView{
+		ID:              FormatID(r.id),
+		Remote:          r.remote,
+		Err:             r.err,
+		Kept:            kept,
+		Start:           r.root.start,
+		DurationSeconds: r.root.dur.Seconds(),
+		Root:            r.root.view(r.root.start),
+	}
+}
+
+func (s *span) view(t0 time.Time) *SpanView {
+	v := &SpanView{
+		Op:              s.op,
+		OffsetSeconds:   s.start.Sub(t0).Seconds(),
+		DurationSeconds: s.dur.Seconds(),
+		Unfinished:      !s.ended,
+	}
+	if len(s.attrs) > 0 {
+		v.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	for _, c := range s.children {
+		v.Children = append(v.Children, c.view(t0))
+	}
+	return v
+}
+
+// Traces snapshots every recorded trace, newest first, kept traces
+// included. Nil tracer returns nil.
+func (t *Tracer) Traces() []*TraceView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := make([]*rec, 0, len(t.recent)+len(t.kept))
+	kept := make(map[*rec]bool, len(t.kept))
+	recs = append(recs, t.recent...)
+	for _, r := range t.kept {
+		kept[r] = true
+		recs = append(recs, r)
+	}
+	t.mu.Unlock()
+	views := make([]*TraceView, 0, len(recs))
+	for _, r := range recs {
+		views = append(views, r.view(kept[r]))
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Start.After(views[j].Start) })
+	return views
+}
+
+// Find snapshots the trace with the given ID, or nil.
+func (t *Tracer) Find(id uint64) *TraceView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var found *rec
+	var kept bool
+	for _, r := range t.recent {
+		if r.id == id {
+			found = r
+		}
+	}
+	for _, r := range t.kept {
+		if r.id == id {
+			found, kept = r, true
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return nil
+	}
+	return found.view(kept)
+}
+
+// Stats reports recorder totals: completed traces recorded and how many
+// were diverted to the always-keep ring.
+func (t *Tracer) Stats() (finished, kept uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finished, t.slow
+}
+
+// Render serializes traces for the wire: the trace with the given ID
+// (or every recorded trace when id is 0), as JSON or as the text tree.
+// A nil tracer renders an empty listing.
+func (t *Tracer) Render(id uint64, asJSON bool) []byte {
+	var views []*TraceView
+	if id != 0 {
+		if v := t.Find(id); v != nil {
+			views = []*TraceView{v}
+		}
+	} else {
+		views = t.Traces()
+	}
+	var buf bytes.Buffer
+	if asJSON {
+		writeJSON(&buf, views) // bytes.Buffer writes cannot fail
+	} else {
+		WriteText(&buf, views) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
+}
+
+func writeJSON(w io.Writer, views []*TraceView) error {
+	if views == nil {
+		views = []*TraceView{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Traces []*TraceView `json:"traces"`
+	}{views})
+}
+
+// WriteText renders traces as indented text trees, one block per trace.
+func WriteText(w io.Writer, views []*TraceView) error {
+	for _, v := range views {
+		flags := ""
+		if v.Remote {
+			flags += " remote"
+		}
+		if v.Err {
+			flags += " err"
+		}
+		if v.Kept {
+			flags += " kept"
+		}
+		if _, err := fmt.Fprintf(w, "trace %s %s%s\n", v.ID,
+			v.Start.Format("2006-01-02T15:04:05.000Z07:00"), flags); err != nil {
+			return err
+		}
+		if err := writeSpanText(w, v.Root, 1); err != nil {
+			return err
+		}
+	}
+	if len(views) == 0 {
+		_, err := fmt.Fprintln(w, "no traces recorded")
+		return err
+	}
+	return nil
+}
+
+func writeSpanText(w io.Writer, s *SpanView, depth int) error {
+	dur := fmt.Sprintf("%.3fms", s.DurationSeconds*1e3)
+	if s.Unfinished {
+		dur = "unfinished"
+	}
+	attrs := ""
+	for _, a := range s.Attrs {
+		attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+	}
+	if _, err := fmt.Fprintf(w, "%*s%s %s%s\n", 2*depth, "", s.Op, dur, attrs); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpanText(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the flight recorder over HTTP: JSON by default,
+// ?format=text for the rendered tree, ?id=<hex> for one trace. This is
+// what the obs mux mounts at /debug/traces. Nil-tracer safe.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var id uint64
+		if s := req.URL.Query().Get("id"); s != "" {
+			v, err := ParseID(s)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			id = v
+		}
+		asJSON := req.URL.Query().Get("format") != "text"
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		w.Write(t.Render(id, asJSON)) //anclint:ignore droppederr a failed scrape write loses no state
+	})
+}

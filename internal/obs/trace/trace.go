@@ -1,0 +1,391 @@
+// Package trace is the serving stack's span recorder: a stdlib-only
+// flight recorder for end-to-end request traces. A trace is a tree of
+// spans (operation, start, duration, attributes, children) rooted at one
+// served request; completed traces land in fixed-capacity rings — a
+// head-sampled ring of recent traces plus an always-keep ring for slow
+// and errored ones — so the interesting traces survive a latency storm
+// that would otherwise evict them.
+//
+// The package owns the wall clock, like its parent obs: determinism-
+// linted packages (core, pyramid, wal) never call time.Now — they thread
+// SpanHandle values whose clock reads happen in here. A zero SpanHandle
+// is a no-op on every method and never reads the clock or allocates
+// (//anclint:hotpath, enforced by the hotalloc analyzer and the
+// AllocsPerRun gate in bench-smoke), so tracing off costs one branch per
+// instrumentation site.
+//
+// The 16-byte Context (trace ID + span ID) is what the wire protocol
+// propagates: a request frame's optional trailer and the replication
+// stream's per-frame trace IDs both decode into one, so a single trace
+// stitches client → writer queue → WAL append/fsync → core apply →
+// pyramid repair → reply, and follower apply spans carry the primary's
+// trace ID.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Context is the wire-propagated trace identity: the 16-byte optional
+// trailer of a request frame. TraceID names the trace; SpanID names the
+// sending span (the remote parent of the receiving server's root span).
+// A zero TraceID means "not traced".
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// ContextWireSize is the encoded size of a Context: traceID(8) +
+// spanID(8), little-endian.
+const ContextWireSize = 16
+
+// Valid reports whether the context names a trace.
+//
+//anclint:hotpath
+func (c Context) Valid() bool { return c.TraceID != 0 }
+
+// AppendContext appends the 16-byte wire encoding of c.
+func AppendContext(b []byte, c Context) []byte {
+	b = binary.LittleEndian.AppendUint64(b, c.TraceID)
+	b = binary.LittleEndian.AppendUint64(b, c.SpanID)
+	return b
+}
+
+// DecodeContext reads a Context from the first ContextWireSize bytes of
+// b. The caller guarantees the length.
+func DecodeContext(b []byte) Context {
+	return Context{
+		TraceID: binary.LittleEndian.Uint64(b[0:8]),
+		SpanID:  binary.LittleEndian.Uint64(b[8:16]),
+	}
+}
+
+// FormatID renders a trace ID the way log lines and the CLI print it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses FormatID's output (with or without leading zeros).
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// span is one live node of a trace tree. All mutation happens under the
+// owning trace's mutex: spans of one trace are touched from several
+// goroutines (the connection goroutine, the writer goroutine, the WAL
+// path), and a request abandoned at its deadline can finalize the root
+// while a child is still being recorded.
+type span struct {
+	op       string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*span
+}
+
+// rec is one trace being recorded.
+type rec struct {
+	mu     sync.Mutex
+	id     uint64
+	remote bool // context arrived over the wire
+	err    bool
+	done   bool
+	root   *span
+}
+
+// Config tunes a Tracer. The zero value is usable; every field has a
+// default.
+type Config struct {
+	// Capacity is the size of each completed-trace ring — the recent
+	// (head-sampled) ring and the always-keep (slow/errored) ring
+	// (default 256 each).
+	Capacity int
+	// SampleEvery is the head-sampling rate for locally-rooted traces:
+	// record 1 in SampleEvery requests (default 16; 1 records every
+	// request). Requests carrying a wire context are always recorded —
+	// the client already made the sampling decision.
+	SampleEvery int
+	// Slow, when positive, diverts any completed trace at least this
+	// slow into the always-keep ring regardless of sampling — the
+	// flight-recorder half of the slow-query log.
+	Slow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 16
+	}
+	return c
+}
+
+// Tracer records traces into its rings. A nil *Tracer is a valid
+// disabled tracer: ShouldTrace is false and every handle it would mint
+// is a no-op.
+type Tracer struct {
+	cfg  Config
+	seed atomic.Uint64 // splitmix64 state for ID minting
+	tick atomic.Uint64 // head-sampling counter
+
+	mu       sync.Mutex
+	recent   []*rec // head-sampled completed traces, ring
+	recentAt int
+	kept     []*rec // slow/errored completed traces, ring
+	keptAt   int
+	finished uint64 // completed traces recorded (both rings)
+	slow     uint64 // completed traces diverted to the keep ring
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	t := &Tracer{cfg: cfg.withDefaults()}
+	t.recent = make([]*rec, 0, t.cfg.Capacity)
+	t.kept = make([]*rec, 0, t.cfg.Capacity)
+	t.seed.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// Slow reports the tracer's always-keep latency threshold (zero when
+// unset or the tracer is nil).
+func (t *Tracer) Slow() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.Slow
+}
+
+// nextID mints a nonzero pseudo-random 64-bit ID (splitmix64 over an
+// atomically advancing state — IDs must be unique, not secret).
+func (t *Tracer) nextID() uint64 {
+	x := t.seed.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// ShouldTrace decides whether the next request is recorded: always for a
+// wire-carried context, 1-in-SampleEvery for locally-rooted ones. Nil
+// tracer — tracing disabled — is always false, without reading the
+// clock.
+//
+//anclint:hotpath
+func (t *Tracer) ShouldTrace(ctx Context) bool {
+	if t == nil {
+		return false
+	}
+	if ctx.TraceID != 0 {
+		return true
+	}
+	return t.tick.Add(1)%uint64(t.cfg.SampleEvery) == 0
+}
+
+// Start begins recording a trace rooted at op. A wire-carried ctx names
+// the trace (and the remote parent span); otherwise a fresh trace ID is
+// minted. Callers gate with ShouldTrace; Start on a nil tracer returns
+// a no-op handle.
+func (t *Tracer) Start(op string, ctx Context) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	r := &rec{id: ctx.TraceID, remote: ctx.TraceID != 0}
+	if r.id == 0 {
+		r.id = t.nextID()
+	}
+	r.root = &span{op: op, start: time.Now()}
+	if ctx.SpanID != 0 {
+		r.root.attrs = append(r.root.attrs, Attr{Key: "parent_span", Value: FormatID(ctx.SpanID)})
+	}
+	return SpanHandle{t: t, r: r, s: r.root}
+}
+
+// finish files a completed trace into the matching ring.
+func (t *Tracer) finish(r *rec) {
+	keep := r.err || (t.cfg.Slow > 0 && r.root.dur >= t.cfg.Slow)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished++
+	ring, at := &t.recent, &t.recentAt
+	if keep {
+		t.slow++
+		ring, at = &t.kept, &t.keptAt
+	}
+	if len(*ring) < t.cfg.Capacity {
+		*ring = append(*ring, r)
+		return
+	}
+	(*ring)[*at] = r
+	*at = (*at + 1) % t.cfg.Capacity
+}
+
+// SpanHandle is the instrumentation-side handle to one span. The zero
+// value is inert: every method is a single-branch no-op that never
+// allocates or reads the clock, so handles thread through hot paths
+// unconditionally.
+type SpanHandle struct {
+	t *Tracer
+	r *rec
+	s *span
+}
+
+// Active reports whether the handle records anything.
+//
+//anclint:hotpath
+func (h SpanHandle) Active() bool { return h.s != nil }
+
+// TraceID returns the owning trace's ID, or 0 for an inert handle.
+//
+//anclint:hotpath
+func (h SpanHandle) TraceID() uint64 {
+	if h.r == nil {
+		return 0
+	}
+	return h.r.id
+}
+
+// Context returns the wire context for propagating this span's trace to
+// a peer (zero for an inert handle).
+//
+//anclint:hotpath
+func (h SpanHandle) Context() Context {
+	if h.r == nil {
+		return Context{}
+	}
+	return Context{TraceID: h.r.id, SpanID: h.t.nextID()}
+}
+
+// StartChild opens a child span under h.
+//
+//anclint:hotpath
+func (h SpanHandle) StartChild(op string) SpanHandle {
+	if h.s == nil {
+		return SpanHandle{}
+	}
+	return h.startChild(op)
+}
+
+func (h SpanHandle) startChild(op string) SpanHandle {
+	now := time.Now()
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	if h.r.done {
+		return SpanHandle{}
+	}
+	c := &span{op: op, start: now}
+	h.s.children = append(h.s.children, c)
+	return SpanHandle{t: h.t, r: h.r, s: c}
+}
+
+// Leaf records an already-measured child span of duration d ending now —
+// for stages timed elsewhere (e.g. the WAL's fsync accumulator).
+//
+//anclint:hotpath
+func (h SpanHandle) Leaf(op string, d time.Duration) {
+	if h.s == nil {
+		return
+	}
+	h.leaf(op, d)
+}
+
+func (h SpanHandle) leaf(op string, d time.Duration) {
+	now := time.Now()
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	if h.r.done {
+		return
+	}
+	h.s.children = append(h.s.children, &span{op: op, start: now.Add(-d), dur: d, ended: true})
+}
+
+// Annotate attaches a key=value attribute to the span.
+//
+//anclint:hotpath
+func (h SpanHandle) Annotate(key, value string) {
+	if h.s == nil {
+		return
+	}
+	h.annotate(key, value)
+}
+
+func (h SpanHandle) annotate(key, value string) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	if h.r.done {
+		return
+	}
+	h.s.attrs = append(h.s.attrs, Attr{Key: key, Value: value})
+}
+
+// AnnotateInt attaches an integer attribute to the span.
+//
+//anclint:hotpath
+func (h SpanHandle) AnnotateInt(key string, v int64) {
+	if h.s == nil {
+		return
+	}
+	h.annotate(key, strconv.FormatInt(v, 10))
+}
+
+// Fail marks the whole trace errored, diverting it to the always-keep
+// ring at End.
+//
+//anclint:hotpath
+func (h SpanHandle) Fail() {
+	if h.r == nil {
+		return
+	}
+	h.fail()
+}
+
+func (h SpanHandle) fail() {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	h.r.err = true
+}
+
+// End closes the span. Ending the root span completes the trace and
+// files it; later operations on the trace's handles are no-ops.
+//
+//anclint:hotpath
+func (h SpanHandle) End() {
+	if h.s == nil {
+		return
+	}
+	h.end()
+}
+
+func (h SpanHandle) end() {
+	now := time.Now()
+	h.r.mu.Lock()
+	if h.r.done {
+		h.r.mu.Unlock()
+		return
+	}
+	if !h.s.ended {
+		h.s.ended = true
+		h.s.dur = now.Sub(h.s.start)
+	}
+	root := h.s == h.r.root
+	if root {
+		h.r.done = true
+	}
+	h.r.mu.Unlock()
+	if root {
+		h.t.finish(h.r)
+	}
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestContextWireRoundTrip(t *testing.T) {
+	in := Context{TraceID: 0xDEADBEEFCAFE, SpanID: 42}
+	b := AppendContext(nil, in)
+	if len(b) != ContextWireSize {
+		t.Fatalf("encoded context of %d bytes, want %d", len(b), ContextWireSize)
+	}
+	if out := DecodeContext(b); out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if (Context{}).Valid() || !in.Valid() {
+		t.Fatal("Valid misreports")
+	}
+	id, err := ParseID(FormatID(in.TraceID))
+	if err != nil || id != in.TraceID {
+		t.Fatalf("ParseID(FormatID): %d, %v", id, err)
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	if !tr.ShouldTrace(Context{}) {
+		t.Fatal("SampleEvery=1 must sample every request")
+	}
+	root := tr.Start("activate-batch", Context{})
+	root.AnnotateInt("batch", 64)
+	q := root.StartChild("queue.wait")
+	q.End()
+	w := root.StartChild("wal.append")
+	w.Leaf("wal.fsync", 3*time.Millisecond)
+	w.End()
+	root.End()
+
+	views := tr.Traces()
+	if len(views) != 1 {
+		t.Fatalf("%d traces recorded, want 1", len(views))
+	}
+	v := views[0]
+	if v.Remote || v.Err || v.Kept {
+		t.Fatalf("unexpected flags on %+v", v)
+	}
+	if v.Root.Op != "activate-batch" || len(v.Root.Children) != 2 {
+		t.Fatalf("bad root: %+v", v.Root)
+	}
+	if v.Root.Attrs[0].Key != "batch" || v.Root.Attrs[0].Value != "64" {
+		t.Fatalf("bad attrs: %+v", v.Root.Attrs)
+	}
+	fsync := v.Root.Children[1].Children[0]
+	if fsync.Op != "wal.fsync" || fsync.DurationSeconds < 0.0029 {
+		t.Fatalf("bad leaf span: %+v", fsync)
+	}
+	id, err := ParseID(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found := tr.Find(id); found == nil || found.ID != v.ID {
+		t.Fatalf("Find(%s) = %+v", v.ID, found)
+	}
+	if tr.Find(id+1) != nil {
+		t.Fatal("Find invented a trace")
+	}
+}
+
+func TestRemoteContextAlwaysTraced(t *testing.T) {
+	tr := New(Config{SampleEvery: 1 << 30})
+	if tr.ShouldTrace(Context{}) {
+		t.Fatal("local request sampled at 1-in-2^30")
+	}
+	ctx := Context{TraceID: 7, SpanID: 9}
+	if !tr.ShouldTrace(ctx) {
+		t.Fatal("wire-carried context must always be traced")
+	}
+	sp := tr.Start("clusters", ctx)
+	if sp.TraceID() != 7 {
+		t.Fatalf("trace id %d, want the wire-carried 7", sp.TraceID())
+	}
+	sp.End()
+	v := tr.Find(7)
+	if v == nil || !v.Remote {
+		t.Fatalf("remote trace not recorded: %+v", v)
+	}
+	if len(v.Root.Attrs) == 0 || v.Root.Attrs[0].Key != "parent_span" {
+		t.Fatalf("remote root must carry parent_span: %+v", v.Root.Attrs)
+	}
+}
+
+func TestSlowAndErroredKept(t *testing.T) {
+	tr := New(Config{Capacity: 2, SampleEvery: 1, Slow: time.Nanosecond})
+	sp := tr.Start("slow-op", Context{})
+	time.Sleep(time.Millisecond)
+	sp.End()
+	views := tr.Traces()
+	if len(views) != 1 || !views[0].Kept {
+		t.Fatalf("slow trace not kept: %+v", views)
+	}
+
+	tr2 := New(Config{Capacity: 2, SampleEvery: 1})
+	sp = tr2.Start("err-op", Context{})
+	sp.Fail()
+	sp.End()
+	if vs := tr2.Traces(); len(vs) != 1 || !vs[0].Kept || !vs[0].Err {
+		t.Fatalf("errored trace not kept: %+v", vs)
+	}
+	if fin, kept := tr2.Stats(); fin != 1 || kept != 1 {
+		t.Fatalf("stats %d/%d, want 1/1", fin, kept)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Capacity: 4, SampleEvery: 1})
+	for i := 0; i < 10; i++ {
+		tr.Start("op", Context{}).End()
+	}
+	if n := len(tr.Traces()); n != 4 {
+		t.Fatalf("%d traces retained, want the ring capacity 4", n)
+	}
+	if fin, _ := tr.Stats(); fin != 10 {
+		t.Fatalf("finished %d, want 10", fin)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if tr.ShouldTrace(Context{}) {
+			sampled++
+		}
+	}
+	if sampled != 16 {
+		t.Fatalf("sampled %d of 64 at 1-in-4, want 16", sampled)
+	}
+}
+
+// TestLateChildAfterFinish covers the deadline-abandonment race: once the
+// root ended (the trace is filed), further child spans and annotations
+// must be silently dropped, not corrupt the published tree.
+func TestLateChildAfterFinish(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	root := tr.Start("op", Context{})
+	child := root.StartChild("stage")
+	root.End()
+	late := root.StartChild("late")
+	if late.Active() {
+		t.Fatal("child opened on a finished trace")
+	}
+	child.Annotate("k", "v")
+	child.End()
+	v := tr.Traces()[0]
+	if len(v.Root.Children) != 1 || !v.Root.Children[0].Unfinished {
+		t.Fatalf("abandoned child must render unfinished: %+v", v.Root.Children)
+	}
+	if len(v.Root.Children[0].Attrs) != 0 {
+		t.Fatal("late annotation mutated a finished trace")
+	}
+}
+
+func TestRenderJSONAndText(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	sp := tr.Start("activate-batch", Context{})
+	sp.StartChild("queue.wait").End()
+	sp.End()
+
+	var decoded struct {
+		Traces []*TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(tr.Render(0, true), &decoded); err != nil {
+		t.Fatalf("JSON rendering did not parse: %v", err)
+	}
+	if len(decoded.Traces) != 1 || decoded.Traces[0].Root.Op != "activate-batch" {
+		t.Fatalf("bad JSON rendering: %+v", decoded.Traces)
+	}
+
+	text := string(tr.Render(0, false))
+	for _, want := range []string{"trace ", "activate-batch", "queue.wait"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+
+	var nilTracer *Tracer
+	if !strings.Contains(string(nilTracer.Render(0, false)), "no traces") {
+		t.Fatal("nil tracer text rendering")
+	}
+	if err := json.Unmarshal(nilTracer.Render(0, true), &decoded); err != nil {
+		t.Fatalf("nil tracer JSON rendering: %v", err)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	sp := tr.Start("stats", Context{})
+	sp.End()
+	id := FormatID(sp.TraceID())
+
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/debug/traces"); code != 200 || !strings.Contains(body, `"traces"`) {
+		t.Fatalf("JSON listing: %d %q", code, body)
+	}
+	if code, body := get("/debug/traces?format=text&id=" + id); code != 200 || !strings.Contains(body, "stats") {
+		t.Fatalf("text by id: %d %q", code, body)
+	}
+	if code, _ := get("/debug/traces?id=zzz"); code != 400 {
+		t.Fatalf("bad id must 400, got %d", code)
+	}
+}
+
+func TestNilTracerAndZeroHandle(t *testing.T) {
+	var tr *Tracer
+	if tr.ShouldTrace(Context{TraceID: 1}) {
+		t.Fatal("nil tracer must never trace")
+	}
+	sp := tr.Start("op", Context{})
+	if sp.Active() || sp.TraceID() != 0 || sp.Context().Valid() {
+		t.Fatal("nil tracer minted a live handle")
+	}
+	// Every method must be a safe no-op on the zero handle.
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("k", 1)
+	sp.Leaf("op", time.Second)
+	sp.Fail()
+	child := sp.StartChild("c")
+	child.End()
+	sp.End()
+	if tr.Traces() != nil || tr.Find(1) != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}

@@ -19,6 +19,14 @@ type serverMetrics struct {
 	// (admission wait included) for OpActivateBatch and everything else.
 	ingestSeconds *obs.Histogram
 	querySeconds  *obs.Histogram
+	// queueWaitSeconds and replySeconds are the serve-side stages of the
+	// per-request breakdown: time a batch sat in the ingest queue before
+	// the writer picked it up, and time spent writing the response frame.
+	// Together with the durable/WAL/pyramid histograms they give the
+	// queue-wait / wal / fsync / repair / reply decomposition reported in
+	// BENCH_serve.json.
+	queueWaitSeconds *obs.Histogram
+	replySeconds     *obs.Histogram
 	// bytesRead / bytesWritten count frame bytes (header + payload) after
 	// the handshake.
 	bytesRead    *obs.Counter
@@ -44,6 +52,10 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"ActivateBatch handling time in seconds, admission to reply", nil),
 		querySeconds: reg.Histogram("anc_serve_query_seconds",
 			"query handling time in seconds, admission to reply", nil),
+		queueWaitSeconds: reg.Histogram("anc_serve_queue_wait_seconds",
+			"time a batch waited in the ingest queue before the writer dequeued it", nil),
+		replySeconds: reg.Histogram("anc_serve_reply_seconds",
+			"time spent framing and flushing one response to the client", nil),
 		bytesRead: reg.Counter("anc_serve_read_bytes_total",
 			"frame bytes read from clients (header + payload)"),
 		bytesWritten: reg.Counter("anc_serve_written_bytes_total",
@@ -96,6 +108,22 @@ func (m *serverMetrics) observe(op uint8, seconds float64) {
 	} else {
 		m.querySeconds.Observe(seconds)
 	}
+}
+
+//anclint:hotpath
+func (m *serverMetrics) queueWait(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.queueWaitSeconds.Observe(seconds)
+}
+
+//anclint:hotpath
+func (m *serverMetrics) replyTime(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.replySeconds.Observe(seconds)
 }
 
 //anclint:hotpath

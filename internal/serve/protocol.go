@@ -46,20 +46,34 @@ import (
 	"math"
 
 	"anc"
+	"anc/internal/obs/trace"
 )
 
 // Protocol identity.
 const (
 	// Magic opens every connection preamble.
 	Magic = "ANCS"
-	// Version is the protocol version spoken by this package. A server
-	// rejects any other version in the client preamble, so incompatible
-	// encodings fail at the handshake, not mid-stream. Version 2 added the
-	// replication ops and the replication fields of StatsReply.
-	Version uint16 = 2
+	// Version is the newest protocol version spoken by this package.
+	// Version 2 added the replication ops and the replication fields of
+	// StatsReply; version 3 added the optional 16-byte trace-context
+	// trailer on request frames, per-frame trace IDs on the replication
+	// stream, and OpTraces.
+	Version uint16 = 3
+	// MinVersion is the oldest version still negotiable. The handshake
+	// settles on min(client, server) within [MinVersion, Version], so a
+	// v2 client round-trips every op against a v3 server — it just never
+	// sees trace trailers.
+	MinVersion uint16 = 2
 	// preambleSize is magic(4) + version(2) + reserved(2).
 	preambleSize = 8
 )
+
+// traceFlag is the request op byte's trace bit: set when the payload
+// carries a 16-byte trace-context trailer after the body. Only sent on
+// connections that negotiated version >= 3 (a v2 server answers an
+// unknown-op error, which the flag's gating makes unreachable). Op
+// values stay well below it.
+const traceFlag uint8 = 0x80
 
 // DefaultMaxFrame bounds a single frame's payload; larger announced
 // lengths are rejected as ErrCodeFrameTooBig before any allocation.
@@ -113,6 +127,11 @@ const (
 	// cursor in From. Non-draining and idempotent (safe to retry), and
 	// read-only, so followers serve it.
 	OpEvolution
+	// OpTraces reads the server's trace flight recorder: From selects a
+	// single trace ID (0 for all recent traces), K selects the rendering
+	// (0 text tree, nonzero JSON). The reply body is the rendered bytes.
+	// Requires protocol version >= 3.
+	OpTraces
 	opMax // one past the last valid op
 )
 
@@ -207,6 +226,8 @@ func OpName(op uint8) string {
 		return "tierank"
 	case OpEvolution:
 		return "evolution"
+	case OpTraces:
+		return "traces"
 	}
 	return fmt.Sprintf("op-%d", op)
 }
@@ -258,8 +279,13 @@ type Request struct {
 	Node  uint32           // OpClusterOf, OpSmallestClusterOf, OpWatch, OpUnwatch, OpViewClusterOf
 	U, V  uint32           // OpEstimateDistance, OpEstimateAttraction
 	View  uint32           // OpView*
-	From  uint64           // OpReplSubscribe: next frame index; OpEvolution: event cursor
-	K     int32            // OpTieRank: the top-k size (must be positive)
+	From  uint64           // OpReplSubscribe: next frame index; OpEvolution: event cursor; OpTraces: trace ID (0 = all)
+	K     int32            // OpTieRank: the top-k size (must be positive); OpTraces: 0 text, nonzero JSON
+
+	// Trace is the request's propagated trace context, carried on the wire
+	// as an optional 16-byte trailer signalled by the op byte's traceFlag
+	// bit. A zero context means the request is untraced.
+	Trace trace.Context
 }
 
 // StatsReply is the body of an OpStats response: the backend's Stats plus
@@ -304,6 +330,7 @@ type Response struct {
 	Rank     anc.TieRankResult    // OpTieRank
 	Evo      []anc.EvolutionEvent // OpEvolution
 	Seq      uint64               // OpEvolution: newest event sequence number
+	Raw      []byte               // OpTraces: rendered trace bytes (text or JSON)
 	// Dropped doubles as OpEvolution's cumulative ring-overwrite count.
 }
 
@@ -376,12 +403,16 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 	return w.Flush()
 }
 
-// WritePreamble writes the client/server side of the 8-byte version
-// handshake — the client-library entry point for the handshake.
-func WritePreamble(w io.Writer) error { return writePreamble(w) }
+// WritePreamble writes the client's side of the 8-byte handshake,
+// announcing the newest version this package speaks — the client-library
+// entry point for the handshake.
+func WritePreamble(w io.Writer) error { return writePreamble(w, Version) }
 
-// ReadPreamble reads and validates the peer's handshake.
-func ReadPreamble(r io.Reader) error { return readPreamble(r) }
+// ReadPreamble reads and validates the peer's handshake, returning the
+// version the peer announced (clamped into [MinVersion, Version] by
+// validation). The caller speaks min(returned, own) from then on; the
+// server echoes exactly that minimum back, so both ends agree.
+func ReadPreamble(r io.Reader) (uint16, error) { return readPreamble(r) }
 
 // WriteRequest frames and flushes one encoded request.
 func WriteRequest(w *bufio.Writer, req *Request) error {
@@ -399,26 +430,39 @@ func ReadResponse(r io.Reader, op uint8, maxFrame int) (*Response, error) {
 }
 
 // writePreamble / readPreamble exchange the 8-byte version handshake.
-func writePreamble(w io.Writer) error {
+// The version written is the speaker's offer (client) or the negotiated
+// answer (server).
+func writePreamble(w io.Writer, version uint16) error {
 	var b [preambleSize]byte
 	copy(b[0:4], Magic)
-	binary.LittleEndian.PutUint16(b[4:6], Version)
+	binary.LittleEndian.PutUint16(b[4:6], version)
 	_, err := w.Write(b[:])
 	return err
 }
 
-func readPreamble(r io.Reader) error {
+func readPreamble(r io.Reader) (uint16, error) {
 	var b [preambleSize]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if string(b[0:4]) != Magic {
-		return fmt.Errorf("serve: bad magic %q", b[0:4])
+		return 0, fmt.Errorf("serve: bad magic %q", b[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
-		return fmt.Errorf("serve: protocol version %d, want %d", v, Version)
+	v := binary.LittleEndian.Uint16(b[4:6])
+	if v < MinVersion {
+		return 0, fmt.Errorf("serve: protocol version %d, want %d..%d", v, MinVersion, Version)
 	}
-	return nil
+	// A peer newer than us is fine: it offered high, we answer (or were
+	// answered) with our own ceiling, and both sides speak the minimum.
+	return v, nil
+}
+
+// negotiate clamps a peer's offered version to what this package speaks.
+func negotiate(peer uint16) uint16 {
+	if peer > Version {
+		return Version
+	}
+	return peer
 }
 
 // ---- request encode/decode ----------------------------------------------
@@ -465,6 +509,13 @@ func EncodeRequest(req *Request) []byte {
 		b = binary.LittleEndian.AppendUint32(b, uint32(req.K))
 	case OpEvolution:
 		b = binary.LittleEndian.AppendUint64(b, req.From)
+	case OpTraces:
+		b = binary.LittleEndian.AppendUint64(b, req.From)
+		b = binary.LittleEndian.AppendUint32(b, uint32(req.K))
+	}
+	if req.Trace.Valid() {
+		b[0] |= traceFlag
+		b = trace.AppendContext(b, req.Trace)
 	}
 	return b
 }
@@ -483,8 +534,20 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	if len(payload) < 9 {
 		return nil, fmt.Errorf("request payload of %d bytes", len(payload))
 	}
-	req := &Request{Op: payload[0], ID: binary.LittleEndian.Uint64(payload[1:9])}
+	req := &Request{Op: payload[0] &^ traceFlag, ID: binary.LittleEndian.Uint64(payload[1:9])}
 	body := payload[9:]
+	if payload[0]&traceFlag != 0 {
+		if len(body) < trace.ContextWireSize {
+			return nil, fmt.Errorf("op %d: trace trailer truncated (%d bytes)", req.Op, len(body))
+		}
+		req.Trace = trace.DecodeContext(body[len(body)-trace.ContextWireSize:])
+		if !req.Trace.Valid() {
+			// A zero trace ID under the flag would not re-encode with the
+			// flag set, breaking decode∘encode byte identity.
+			return nil, fmt.Errorf("op %d: zero trace ID in trailer", req.Op)
+		}
+		body = body[:len(body)-trace.ContextWireSize]
+	}
 	if req.Op == 0 || req.Op >= opMax {
 		return nil, fmt.Errorf("unknown op %d", req.Op)
 	}
@@ -572,6 +635,12 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			return nil, err
 		}
 		req.From = binary.LittleEndian.Uint64(body[0:8])
+	case OpTraces:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		req.From = binary.LittleEndian.Uint64(body[0:8])
+		req.K = int32(binary.LittleEndian.Uint32(body[8:12]))
 	}
 	return req, nil
 }
@@ -694,6 +763,9 @@ func EncodeResponse(op uint8, resp *Response) []byte {
 			b = binary.LittleEndian.AppendUint32(b, uint32(e.PrevSize))
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Time))
 		}
+	case OpTraces:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Raw)))
+		b = append(b, resp.Raw...)
 	}
 	return b
 }
@@ -939,6 +1011,17 @@ func DecodeResponse(op uint8, payload []byte) (*Response, error) {
 				Time:     math.Float64frombits(binary.LittleEndian.Uint64(e[25:33])),
 			})
 		}
+	case OpTraces:
+		b, err := take(4)
+		if err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		raw, err := take(n)
+		if err != nil {
+			return nil, err
+		}
+		resp.Raw = append([]byte(nil), raw...)
 	default:
 		return nil, fmt.Errorf("unknown op %d", op)
 	}

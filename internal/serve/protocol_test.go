@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"anc"
+	"anc/internal/obs/trace"
 )
 
 // sampleRequests covers every op with representative field values.
@@ -41,6 +42,11 @@ func sampleRequests() []*Request {
 		{Op: OpTieRank, ID: 21, Level: -1, K: 10},
 		{Op: OpTieRank, ID: 22, Level: 2, K: 3},
 		{Op: OpEvolution, ID: 23, From: 42},
+		{Op: OpTraces, ID: 24, From: 0, K: 0},
+		{Op: OpTraces, ID: 25, From: 0xdeadbeefcafef00d, K: 1},
+		{Op: OpStats, ID: 26, Trace: trace.Context{TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00}},
+		{Op: OpActivateBatch, ID: 27, Batch: []anc.Activation{{U: 1, V: 2, T: 3.5}},
+			Trace: trace.Context{TraceID: 7, SpanID: 9}},
 	}
 }
 
@@ -142,6 +148,8 @@ func sampleResponses() []struct {
 			{Seq: 5, Type: anc.EvolutionSplit, Level: 2, Node: 0, Size: 2, PrevSize: 8, Time: 3.5},
 			{Seq: 6, Type: anc.EvolutionBirth, Level: 2, Node: 9, Size: 4, PrevSize: 0, Time: 3.5},
 		}}},
+		{OpTraces, &Response{ID: 24, Raw: []byte(`{"traces":[]}`)}},
+		{OpTraces, &Response{ID: 25, Raw: []byte{}}},
 	}
 }
 
@@ -233,21 +241,42 @@ func TestReadFrameRejects(t *testing.T) {
 
 func TestPreamble(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writePreamble(&buf); err != nil {
+	if err := writePreamble(&buf, Version); err != nil {
 		t.Fatal(err)
 	}
-	if err := readPreamble(bytes.NewReader(buf.Bytes())); err != nil {
+	ver, err := readPreamble(bytes.NewReader(buf.Bytes()))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if ver != Version {
+		t.Fatalf("read version %d, want %d", ver, Version)
 	}
 	bad := bytes.Clone(buf.Bytes())
 	bad[0] = 'X'
-	if err := readPreamble(bytes.NewReader(bad)); err == nil {
+	if _, err := readPreamble(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	badVer := bytes.Clone(buf.Bytes())
-	binary.LittleEndian.PutUint16(badVer[4:6], Version+1)
-	if err := readPreamble(bytes.NewReader(badVer)); err == nil {
-		t.Fatal("future version accepted")
+	// A peer announcing a version above ours is fine — both sides settle
+	// on the minimum via negotiate — but one below MinVersion is not.
+	future := bytes.Clone(buf.Bytes())
+	binary.LittleEndian.PutUint16(future[4:6], Version+1)
+	ver, err = readPreamble(bytes.NewReader(future))
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if ver != Version+1 {
+		t.Fatalf("read version %d, want %d", ver, Version+1)
+	}
+	if got := negotiate(Version + 1); got != Version {
+		t.Fatalf("negotiate(%d) = %d, want %d", Version+1, got, Version)
+	}
+	if got := negotiate(MinVersion); got != MinVersion {
+		t.Fatalf("negotiate(%d) = %d, want %d", MinVersion, got, MinVersion)
+	}
+	ancient := bytes.Clone(buf.Bytes())
+	binary.LittleEndian.PutUint16(ancient[4:6], MinVersion-1)
+	if _, err := readPreamble(bytes.NewReader(ancient)); err == nil {
+		t.Fatal("pre-MinVersion peer accepted")
 	}
 }
 

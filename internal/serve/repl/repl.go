@@ -53,6 +53,7 @@ import (
 
 	"anc"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 	"anc/internal/serve"
 	"anc/internal/serve/backoff"
 	"anc/internal/wal"
@@ -92,10 +93,16 @@ type Config struct {
 	// internal/serve/backoff, keeping the package's behavior
 	// reproducible under test. Zero draws a wall-clock seed.
 	Seed int64
-	// Logf, when non-nil, receives replication log lines.
+	// Logf, when non-nil, receives replication log lines (leveled key=value
+	// format, sys=repl).
 	Logf func(format string, args ...interface{})
 	// Obs, when non-nil, attaches the anc_repl_* metric families.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records a follower-side "repl.apply" span for
+	// every replicated frame that carries a trace ID — the frames' IDs are
+	// shipped by v3 primaries — so one distributed trace covers the
+	// primary's ingest and each follower's apply.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -168,12 +175,17 @@ type Node struct {
 
 	subscribers atomic.Int32
 	met         *metrics
+	log         *obs.Logger
 }
 
 // New builds a replication node over d. With cfg.Upstream empty the node
 // is a primary; otherwise it is a read-only follower — call Start to
 // launch its replication loop.
 func New(d *anc.DurableNetwork, cfg Config) *Node {
+	// Build the leveled logger from the raw sink: a nil Logf yields a nil
+	// logger, which discards without formatting — cheaper than logging
+	// through withDefaults' no-op closure.
+	log := obs.NewLogger("repl", obs.LevelInfo, cfg.Logf)
 	cfg = cfg.withDefaults()
 	n := &Node{
 		cfg:      cfg,
@@ -182,6 +194,7 @@ func New(d *anc.DurableNetwork, cfg Config) *Node {
 		promoted: make(chan struct{}),
 		stopCh:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
+		log:      log,
 	}
 	n.readOnly.Store(n.follower)
 	n.met = newMetrics(cfg.Obs, n)
@@ -266,6 +279,18 @@ func (n *Node) ActivateBatch(batch []anc.Activation) error {
 	return n.durable().ActivateBatch(batch)
 }
 
+// ActivateBatchTraced implements serve.TracedBackend: a traced ingest
+// batch flows through the durable network's traced path, so the request
+// span picks up the WAL/fsync/repair children. The read-only refusal
+// matches ActivateBatch.
+func (n *Node) ActivateBatchTraced(batch []anc.Activation, sp trace.SpanHandle) error {
+	if n.readOnly.Load() {
+		return &serve.WireError{Code: serve.ErrCodeReadOnly,
+			Msg: "follower is read-only; ingest at the primary"}
+	}
+	return n.durable().ActivateBatchTraced(batch, sp)
+}
+
 func (n *Node) Clusters(level int) [][]int                { return n.durable().Clusters(level) }
 func (n *Node) EvenClusters(level int) [][]int            { return n.durable().EvenClusters(level) }
 func (n *Node) ClusterOf(v, level int) []int              { return n.durable().ClusterOf(v, level) }
@@ -307,7 +332,7 @@ func (n *Node) Promote() error {
 		err = n.durable().Sync()
 		n.readOnly.Store(false)
 		close(n.promoted)
-		n.cfg.Logf("repl: promoted; log sealed, accepting writes")
+		n.log.Info("promoted; log sealed, accepting writes")
 	})
 	return err
 }
@@ -367,8 +392,11 @@ var errStopTail = errors.New("repl: chunk full")
 
 // Stream implements the primary side of one subscription (also usable on
 // an unpromoted follower for chained topologies — it serves whatever its
-// local log holds).
-func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan struct{}) error {
+// local log holds). When traced is set — the subscriber negotiated
+// protocol v3 — each shipped chunk carries the trace IDs its frames were
+// appended under, so follower applies stitch into the primary's traces;
+// older subscribers get identical frames without the trace section.
+func (n *Node) Stream(from uint64, traced bool, send func(payload []byte) error, stop <-chan struct{}) error {
 	n.subscribers.Add(1)
 	n.met.subscribed()
 	defer n.subscribers.Add(-1)
@@ -431,6 +459,7 @@ func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan 
 		if cur < next {
 			batch := &serve.ReplFrames{First: cur}
 			var bytes int
+			anyTraced := false
 			_, err := wal.Replay(d.Dir(), cur, func(idx uint64, payload []byte) error {
 				if idx != cur+uint64(len(batch.Frames)) {
 					return fmt.Errorf("repl: tail gap: frame %d after %d", idx, cur+uint64(len(batch.Frames)))
@@ -443,6 +472,11 @@ func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan 
 				copy(cp, payload)
 				batch.Frames = append(batch.Frames, cp)
 				bytes += len(cp)
+				if traced {
+					tid := d.TraceOf(idx)
+					batch.Traces = append(batch.Traces, tid)
+					anyTraced = anyTraced || tid != 0
+				}
 				if len(batch.Frames) >= n.cfg.ChunkFrames || bytes >= chunkBytes {
 					return errStopTail
 				}
@@ -450,6 +484,11 @@ func (n *Node) Stream(from uint64, send func(payload []byte) error, stop <-chan 
 			})
 			if err != nil && !errors.Is(err, errStopTail) {
 				return err
+			}
+			if !anyTraced {
+				// All-zero trace sections carry no information — ship the
+				// plain chunk and save 8 bytes per frame.
+				batch.Traces = nil
 			}
 			if len(batch.Frames) == 0 {
 				// The tail below next vanished underneath us (checkpoint
@@ -498,7 +537,7 @@ func (n *Node) run() {
 		n.lastCause = cause
 		n.hmu.Unlock()
 		n.met.reconnected()
-		n.cfg.Logf("repl: session ended (%s); reconnecting to %s", cause, n.cfg.Upstream)
+		n.log.Warn("session ended; reconnecting", "cause", cause, "upstream", n.cfg.Upstream)
 		if subscribed {
 			bo.Reset()
 			lostSince = time.Time{}
@@ -507,9 +546,9 @@ func (n *Node) run() {
 			lostSince = time.Now()
 		}
 		if n.cfg.PromoteAfter > 0 && time.Since(lostSince) >= n.cfg.PromoteAfter {
-			n.cfg.Logf("repl: upstream lost for %v; self-promoting", n.cfg.PromoteAfter)
+			n.log.Warn("upstream lost; self-promoting", "after", n.cfg.PromoteAfter)
 			if err := n.Promote(); err != nil {
-				n.cfg.Logf("repl: self-promotion failed: %v", err)
+				n.log.Error("self-promotion failed", "err", err)
 			}
 			return
 		}
@@ -544,7 +583,7 @@ func (n *Node) session() (cause string, subscribed bool) {
 	if err := serve.WritePreamble(conn); err != nil {
 		return "handshake", false
 	}
-	if err := serve.ReadPreamble(br); err != nil {
+	if _, err := serve.ReadPreamble(br); err != nil {
 		return "handshake", false
 	}
 	from := n.durable().LoggedActivations()
@@ -561,7 +600,7 @@ func (n *Node) session() (cause string, subscribed bool) {
 		}
 		return "rejected", false
 	}
-	n.cfg.Logf("repl: subscribed to %s from frame %d", n.cfg.Upstream, from)
+	n.log.Info("subscribed", "upstream", n.cfg.Upstream, "from", from)
 	n.hmu.Lock()
 	n.lastMsg = time.Now()
 	n.hmu.Unlock()
@@ -582,7 +621,7 @@ func (n *Node) session() (cause string, subscribed bool) {
 		}
 		msg, err := serve.DecodeReplMessage(payload)
 		if err != nil {
-			n.cfg.Logf("repl: bad stream message: %v", err)
+			n.log.Warn("bad stream message", "err", err)
 			return "protocol", true
 		}
 		n.hmu.Lock()
@@ -624,7 +663,10 @@ func (n *Node) session() (cause string, subscribed bool) {
 // applyFrames applies one shipped batch: stale duplicates (below the
 // local cursor — legitimate overlap after a reconnect) are skipped and
 // counted, a gap above the cursor ends the session, everything else goes
-// through ApplyFrame. An empty cause means success.
+// through ApplyFrame. A frame that arrived with a shipped trace ID is
+// applied under a local "repl.apply" span minted into the primary's
+// trace, so the distributed trace shows the follower's replay. An empty
+// cause means success.
 func (n *Node) applyFrames(f *serve.ReplFrames) string {
 	d := n.durable()
 	for i, frame := range f.Frames {
@@ -635,7 +677,7 @@ func (n *Node) applyFrames(f *serve.ReplFrames) string {
 			continue
 		}
 		if idx > next {
-			n.cfg.Logf("repl: frame gap: got %d, log at %d", idx, next)
+			n.log.Warn("frame gap", "got", idx, "log", next)
 			return "gap"
 		}
 		if n.isPromoted() {
@@ -643,8 +685,22 @@ func (n *Node) applyFrames(f *serve.ReplFrames) string {
 			// apply replicated frames over locally accepted writes.
 			return "stop"
 		}
-		if err := d.ApplyFrame(idx, frame); err != nil {
-			n.cfg.Logf("repl: apply frame %d: %v", idx, err)
+		var tid uint64
+		if i < len(f.Traces) {
+			tid = f.Traces[i]
+		}
+		var sp trace.SpanHandle
+		if tid != 0 && n.cfg.Tracer != nil {
+			sp = n.cfg.Tracer.Start("repl.apply", trace.Context{TraceID: tid})
+			sp.AnnotateInt("frame", int64(idx))
+		}
+		err := d.ApplyFrameTraced(idx, frame, sp)
+		if err != nil {
+			sp.Fail()
+		}
+		sp.End()
+		if err != nil {
+			n.log.Error("apply failed", "frame", idx, "err", err, "trace", trace.FormatID(tid))
 			return "apply"
 		}
 		n.met.applied()
@@ -670,16 +726,16 @@ func (n *Node) restore(snap []byte, index uint64) string {
 	}
 	dir, cfg := n.d.Dir(), n.cfg.Durable
 	if err := n.d.Close(); err != nil {
-		n.cfg.Logf("repl: closing pre-snapshot state: %v", err)
+		n.log.Error("closing pre-snapshot state failed", "err", err)
 		return "apply"
 	}
 	d, err := anc.RestoreDurable(snap, index, dir, cfg)
 	if err != nil {
-		n.cfg.Logf("repl: snapshot restore: %v", err)
+		n.log.Error("snapshot restore failed", "err", err)
 		return "apply"
 	}
 	n.d = d
 	n.met.restored()
-	n.cfg.Logf("repl: bootstrapped from snapshot at frame %d", index)
+	n.log.Info("bootstrapped from snapshot", "frame", index)
 	return ""
 }

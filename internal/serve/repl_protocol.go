@@ -79,9 +79,15 @@ func (s *ReplStatus) LagFrames() uint64 {
 // ReplFrames is one batch of shipped WAL frames: contiguous records
 // starting at global index First, each payload exactly as it sits in the
 // primary's log.
+//
+// Traces, when non-nil, carries one trace ID per frame (0 = untraced), so
+// a follower's apply spans stitch into the primary's trace. The section
+// is optional on the wire: the primary only ships it to subscribers that
+// negotiated protocol version >= 3, and an absent section decodes as nil.
 type ReplFrames struct {
 	First  uint64
 	Frames [][]byte
+	Traces []uint64
 }
 
 // ReplSnapshot is one chunk of a checkpoint shipped to bootstrap a
@@ -171,11 +177,16 @@ func DecodeReplStatus(payload []byte) (*ReplStatus, error) {
 }
 
 // EncodeReplFrames serializes a frame-batch push payload: op(1) |
-// first(8) | count(4) | {len(4) | payload}* .
+// first(8) | count(4) | {len(4) | payload}* , followed — only when
+// Traces is non-nil — by a trace-ID section of exactly count uint64s.
+// Traces must then have one entry per frame.
 func EncodeReplFrames(f *ReplFrames) []byte {
 	size := 13
 	for _, fr := range f.Frames {
 		size += 4 + len(fr)
+	}
+	if f.Traces != nil {
+		size += 8 * len(f.Traces)
 	}
 	b := make([]byte, 0, size)
 	b = append(b, OpReplFrames)
@@ -184,6 +195,9 @@ func EncodeReplFrames(f *ReplFrames) []byte {
 	for _, fr := range f.Frames {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(fr)))
 		b = append(b, fr...)
+	}
+	for _, id := range f.Traces {
+		b = binary.LittleEndian.AppendUint64(b, id)
 	}
 	return b
 }
@@ -214,6 +228,15 @@ func DecodeReplFrames(payload []byte) (*ReplFrames, error) {
 		}
 		f.Frames = append(f.Frames, body[:n:n])
 		body = body[n:]
+	}
+	// An optional trace-ID section: either absent or exactly one uint64
+	// per frame (and never empty, so decode∘encode stays byte-identical).
+	if len(body) == 8*count && count > 0 {
+		f.Traces = make([]uint64, count)
+		for i := range f.Traces {
+			f.Traces[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		body = nil
 	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("repl frames: %d trailing bytes", len(body))

@@ -94,10 +94,10 @@ func dialTest(t *testing.T, addr string) *testClient {
 	}
 	t.Cleanup(func() { conn.Close() })
 	c := &testClient{t: t, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-	if err := writePreamble(conn); err != nil {
+	if err := writePreamble(conn, Version); err != nil {
 		t.Fatal(err)
 	}
-	if err := readPreamble(c.br); err != nil {
+	if _, err := readPreamble(c.br); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -485,7 +485,7 @@ func TestHandleWhileDraining(t *testing.T) {
 	backend := anc.NewConcurrent(testNetwork(t))
 	s := New(backend, Config{})
 	s.draining.Store(true)
-	payload := s.handle(&connState{views: map[uint32]int{}}, &Request{Op: OpStats, ID: 7})
+	payload, _ := s.handle(&connState{views: map[uint32]int{}}, &Request{Op: OpStats, ID: 7})
 	resp, err := DecodeResponse(OpStats, payload)
 	if err != nil {
 		t.Fatal(err)

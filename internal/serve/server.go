@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"anc"
 	"anc/internal/obs"
+	"anc/internal/obs/trace"
 )
 
 // Backend is the facade the server fronts: every method must be safe for
@@ -61,10 +63,22 @@ type Replicator interface {
 	// Stream serves one replication subscription from frame index from:
 	// it calls send with encoded push payloads (EncodeReplFrames /
 	// EncodeReplStatus / EncodeReplSnapshot) until send fails or stop
-	// closes. The error is for the connection log only — the subscriber
+	// closes. traced reports whether the subscriber negotiated protocol
+	// version >= 3 and may therefore receive the per-frame trace-ID
+	// section on ReplFrames (a v2 follower's strict decoder would reject
+	// it). The error is for the connection log only — the subscriber
 	// learns about the end of the stream from the close (or the typed
 	// drain frame the server appends).
-	Stream(from uint64, send func(payload []byte) error, stop <-chan struct{}) error
+	Stream(from uint64, traced bool, send func(payload []byte) error, stop <-chan struct{}) error
+}
+
+// TracedBackend is the optional tracing surface a Backend may expose
+// (DurableNetwork does, through repl.Node and the ancserve ID
+// translator): an ActivateBatch that records its WAL-append, fsync and
+// core-apply stages as children of the request's span. The writer
+// goroutine uses it only for requests that are actually being traced.
+type TracedBackend interface {
+	ActivateBatchTraced(batch []anc.Activation, sp trace.SpanHandle) error
 }
 
 // Config tunes a Server. The zero value is usable; every field has a
@@ -90,6 +104,10 @@ type Config struct {
 	MaxViews int
 	// Logf, when non-nil, receives connection-level log lines.
 	Logf func(format string, args ...interface{})
+	// Log, when non-nil, is the structured logger for the server's own
+	// lines (slow requests, handshake failures, stream errors). When nil
+	// it is derived from Logf, so existing callers keep their sink.
+	Log *obs.Logger
 
 	// Obs, when non-nil, attaches the server's metrics (anc_serve_*
 	// families: per-op request counts, error counts by code, handling
@@ -100,10 +118,18 @@ type Config struct {
 	Obs *obs.Registry
 	// MetricsAddr, when non-empty, starts an HTTP listener on that address
 	// (e.g. "127.0.0.1:9100") serving /metrics (Prometheus text exposition
-	// of Obs), /healthz (a JSON health summary from the backend's Stats)
-	// and net/http/pprof under /debug/pprof/. The listener stops with the
+	// of Obs), /healthz (a JSON health summary from the backend's Stats),
+	// /debug/traces (the Tracer's flight recorder, when Tracer is set) and
+	// net/http/pprof under /debug/pprof/. The listener stops with the
 	// server on both Shutdown and Kill.
 	MetricsAddr string
+	// Tracer, when non-nil, records request traces: head-sampled spans
+	// covering the whole request (with queue-wait, WAL, fsync, repair and
+	// reply children on the ingest path), kept in the tracer's flight
+	// recorder and served on /debug/traces and OpTraces. Requests carrying
+	// a wire trace context are always traced. Nil keeps the hot path at
+	// zero allocations.
+	Tracer *trace.Tracer
 	// SlowQuery, when positive, counts every request whose handling takes
 	// at least this long (anc_serve_slow_requests_total) and logs it
 	// through Logf, rate-limited to one line per second so a latency storm
@@ -136,14 +162,24 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
+	if c.Log == nil {
+		c.Log = obs.NewLogger("serve", obs.LevelInfo, c.Logf)
+	}
 	return c
 }
 
 // ingestReq is one batch waiting for the writer goroutine. done is
 // buffered so the writer never blocks on a requester that gave up.
+// enq/qspan/span carry the request's queue-wait instrumentation: enq is
+// the enqueue instant (zero when neither metrics nor tracing are on),
+// qspan the open "queue.wait" child the writer ends on dequeue, span the
+// request's root for the backend's WAL/apply children.
 type ingestReq struct {
 	batch []anc.Activation
 	done  chan error
+	enq   time.Time
+	qspan trace.SpanHandle
+	span  trace.SpanHandle
 }
 
 // Server owns a listener, one writer goroutine, and a goroutine per
@@ -173,6 +209,7 @@ type Server struct {
 	started    bool
 	stopOnce   sync.Once
 
+	startedAt   time.Time      // set by Start; the base of healthz's uptime_seconds
 	met         *serverMetrics // nil unless cfg.Obs was set; all methods nil-safe
 	metricsLis  net.Listener
 	metricsSrv  *http.Server
@@ -205,6 +242,7 @@ func (s *Server) Start(addr string) error {
 	if err != nil {
 		return err
 	}
+	s.startedAt = time.Now()
 	if s.cfg.MetricsAddr != "" {
 		mlis, err := net.Listen("tcp", s.cfg.MetricsAddr)
 		if err != nil {
@@ -212,7 +250,11 @@ func (s *Server) Start(addr string) error {
 			return fmt.Errorf("serve: metrics listener: %w", err)
 		}
 		s.metricsLis = mlis
-		s.metricsSrv = &http.Server{Handler: obs.NewMux(s.cfg.Obs, http.HandlerFunc(s.healthz))}
+		var traces http.Handler
+		if s.cfg.Tracer != nil {
+			traces = s.cfg.Tracer.Handler()
+		}
+		s.metricsSrv = &http.Server{Handler: obs.NewMux(s.cfg.Obs, http.HandlerFunc(s.healthz), traces)}
 		s.metricsDone = make(chan struct{})
 		go func() {
 			defer close(s.metricsDone)
@@ -249,6 +291,9 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		Status             string  `json:"status"`
+		Version            string  `json:"version"`
+		UptimeSeconds      float64 `json:"uptime_seconds"`
+		Goroutines         int     `json:"goroutines"`
 		Nodes              int     `json:"nodes"`
 		Edges              int     `json:"edges"`
 		Activations        uint64  `json:"activations"`
@@ -260,7 +305,8 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		CacheHits          uint64  `json:"cache_hits"`
 		CacheMisses        uint64  `json:"cache_misses"`
 		CacheInvalidations uint64  `json:"cache_invalidations"`
-	}{status, bs.Nodes, bs.Edges, bs.Activations, bs.Now, bs.WatcherDrops,
+	}{status, obs.BuildVersion, time.Since(s.startedAt).Seconds(), runtime.NumGoroutine(),
+		bs.Nodes, bs.Edges, bs.Activations, bs.Now, bs.WatcherDrops,
 		bs.EvolutionDrops, s.inflight.Load(), s.queued.Load(),
 		bs.CacheHits, bs.CacheMisses, bs.CacheInvalidations})
 }
@@ -300,13 +346,22 @@ func (s *Server) acceptLoop() {
 // without applying on Kill.
 func (s *Server) writerLoop() {
 	defer close(s.writerDone)
+	tb, _ := s.backend.(TracedBackend)
 	for req := range s.ingestCh {
 		s.queued.Add(-1)
+		if !req.enq.IsZero() {
+			s.met.queueWait(time.Since(req.enq).Seconds())
+		}
+		req.qspan.End()
 		if s.killed.Load() {
 			req.done <- &WireError{Code: ErrCodeShuttingDown, Msg: "server killed"}
 			continue
 		}
-		req.done <- s.backend.ActivateBatch(req.batch)
+		if req.span.Active() && tb != nil {
+			req.done <- tb.ActivateBatchTraced(req.batch, req.span)
+		} else {
+			req.done <- s.backend.ActivateBatch(req.batch)
+		}
 	}
 }
 
@@ -434,14 +489,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 
 	// Handshake: the client speaks first; a silent or incompatible peer
-	// is cut off rather than parked forever.
+	// is cut off rather than parked forever. The server answers with
+	// min(client, own) version, so old clients keep working untraced.
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if err := readPreamble(br); err != nil {
-		s.cfg.Logf("serve: %s: handshake: %v", conn.RemoteAddr(), err)
+	peerVer, err := readPreamble(br)
+	if err != nil {
+		s.cfg.Log.Warn("handshake failed", "remote", conn.RemoteAddr(), "err", err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	if err := writePreamble(conn); err != nil {
+	ver := negotiate(peerVer)
+	if err := writePreamble(conn, ver); err != nil {
 		return
 	}
 
@@ -472,13 +530,34 @@ func (s *Server) serveConn(conn net.Conn) {
 			// A subscription repurposes the connection as a one-way push
 			// stream; when serveSubscribe returns the stream is over and
 			// framing state is unknown, so the connection closes.
-			s.serveSubscribe(conn, bw, req)
+			s.serveSubscribe(conn, bw, req, ver >= 3)
 			return
 		}
-		if err := s.writeReply(bw, s.handle(st, req)); err != nil {
+		payload, sp := s.handle(st, req)
+		if err := s.reply(bw, payload, sp); err != nil {
 			return
 		}
 	}
+}
+
+// reply writes one response frame, recording the write as the trace's
+// "reply" child and the anc_serve_reply_seconds stage when instrumented;
+// it then finishes the request's root span, failing it for error
+// replies. The untraced, unobserved path stays clock-free.
+func (s *Server) reply(bw *bufio.Writer, payload []byte, sp trace.SpanHandle) error {
+	if s.met == nil && !sp.Active() {
+		return s.writeReply(bw, payload)
+	}
+	child := sp.StartChild("reply")
+	start := time.Now()
+	err := s.writeReply(bw, payload)
+	s.met.replyTime(time.Since(start).Seconds())
+	child.End()
+	if len(payload) > 0 && payload[0] == statusErr {
+		sp.Fail()
+	}
+	sp.End()
+	return err
 }
 
 // serveSubscribe runs one replication stream on the subscriber's
@@ -487,7 +566,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // ends on send failure (peer gone, Kill) or on s.drainCh, in which case
 // a graceful drain appends the typed ErrCodeShuttingDown frame so the
 // follower records "drain", not "crash".
-func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request) {
+func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request, traced bool) {
 	s.met.request(req.Op)
 	if s.cfg.Repl == nil {
 		s.writeReply(bw, s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled"))
@@ -508,8 +587,8 @@ func (s *Server) serveSubscribe(conn net.Conn, bw *bufio.Writer, req *Request) {
 		conn.SetWriteDeadline(time.Time{})
 		return err
 	}
-	if err := s.cfg.Repl.Stream(req.From, send, s.drainCh); err != nil {
-		s.cfg.Logf("serve: %s: replication stream: %v", conn.RemoteAddr(), err)
+	if err := s.cfg.Repl.Stream(req.From, traced, send, s.drainCh); err != nil {
+		s.cfg.Log.Warn("replication stream ended", "remote", conn.RemoteAddr(), "err", err)
 	}
 	if s.draining.Load() && !s.killed.Load() {
 		send(s.errReply(0, ErrCodeShuttingDown, "server is draining"))
@@ -533,42 +612,51 @@ func (s *Server) errReply(id uint64, code uint8, msg string) []byte {
 
 // handle counts, times and dispatches one request: the wrapper observes
 // whole handling latency (admission wait included) into the ingest or
-// query histogram and applies the slow-request threshold. When
-// observability is off and no threshold is set it never reads the clock.
-func (s *Server) handle(st *connState, req *Request) []byte {
+// query histogram, applies the slow-request threshold, and opens the
+// request's root span when the tracer samples it (or the wire context
+// demands it). The caller finishes the span after writing the reply.
+// When observability, tracing and the threshold are all off it never
+// reads the clock.
+func (s *Server) handle(st *connState, req *Request) ([]byte, trace.SpanHandle) {
 	s.met.request(req.Op)
-	if s.met == nil && s.cfg.SlowQuery <= 0 {
-		return s.handleRequest(st, req)
+	var sp trace.SpanHandle
+	if s.cfg.Tracer.ShouldTrace(req.Trace) {
+		sp = s.cfg.Tracer.Start("serve."+OpName(req.Op), req.Trace)
+	}
+	if s.met == nil && s.cfg.SlowQuery <= 0 && !sp.Active() {
+		return s.handleRequest(st, req, sp), sp
 	}
 	start := time.Now()
-	payload := s.handleRequest(st, req)
+	payload := s.handleRequest(st, req, sp)
 	elapsed := time.Since(start)
 	s.met.observe(req.Op, elapsed.Seconds())
 	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
 		s.met.slow()
-		s.logSlow(req.Op, elapsed)
+		s.logSlow(req.Op, elapsed, sp.TraceID())
 	}
-	return payload
+	return payload, sp
 }
 
 // logSlow emits one rate-limited (1/s) log line for a slow request; the
 // CAS keeps concurrent connections from stampeding the log while the
-// counter still records every occurrence.
-func (s *Server) logSlow(op uint8, elapsed time.Duration) {
+// counter still records every occurrence. traceID ties the line to the
+// flight recorder (slow traces are always kept) — zero when untraced.
+func (s *Server) logSlow(op uint8, elapsed time.Duration, traceID uint64) {
 	now := time.Now().UnixNano()
 	last := s.slowLogAt.Load()
 	if now-last < int64(time.Second) || !s.slowLogAt.CompareAndSwap(last, now) {
 		return
 	}
-	s.cfg.Logf("serve: slow request: op=%s took %v (threshold %v)",
-		OpName(op), elapsed, s.cfg.SlowQuery)
+	s.cfg.Log.Warn("slow request",
+		"op", OpName(op), "took", elapsed, "threshold", s.cfg.SlowQuery,
+		"trace", trace.FormatID(traceID))
 }
 
 // handleRequest executes one request and returns the encoded response
 // payload. Responses that would overflow MaxFrame are replaced by an
 // ErrCodeInternal reply so the client's frame reader never faces an
 // oversized frame.
-func (s *Server) handleRequest(st *connState, req *Request) []byte {
+func (s *Server) handleRequest(st *connState, req *Request, sp trace.SpanHandle) []byte {
 	deadline := time.NewTimer(s.cfg.RequestTimeout)
 	defer deadline.Stop()
 
@@ -587,7 +675,7 @@ func (s *Server) handleRequest(st *connState, req *Request) []byte {
 
 	if req.Op == OpActivateBatch {
 		defer func() { <-s.gate; s.inflight.Add(-1) }()
-		return s.handleIngest(req, deadline)
+		return s.handleIngest(req, deadline, sp)
 	}
 
 	// Queries run in their own goroutine so an overlong one cannot hold
@@ -615,7 +703,7 @@ func (s *Server) handleRequest(st *connState, req *Request) []byte {
 // handleIngest funnels a batch into the writer goroutine and waits for
 // the group commit. Backpressure is the bounded queue: when it stays full
 // past the deadline the batch is refused, not applied late and silently.
-func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
+func (s *Server) handleIngest(req *Request, deadline *time.Timer, sp trace.SpanHandle) []byte {
 	if s.cfg.Repl != nil && s.cfg.Repl.ReadOnly() {
 		return s.errReply(req.ID, ErrCodeReadOnly, "follower is read-only; ingest at the primary")
 	}
@@ -623,10 +711,16 @@ func (s *Server) handleIngest(req *Request, deadline *time.Timer) []byte {
 		return EncodeResponse(OpActivateBatch, &Response{ID: req.ID})
 	}
 	ir := ingestReq{batch: req.Batch, done: make(chan error, 1)}
+	if s.met != nil || sp.Active() {
+		ir.enq = time.Now()
+		ir.qspan = sp.StartChild("queue.wait")
+		ir.span = sp
+	}
 	select {
 	case s.ingestCh <- ir:
 		s.queued.Add(1)
 	case <-deadline.C:
+		ir.qspan.End()
 		return s.errReply(req.ID, ErrCodeOverloaded,
 			fmt.Sprintf("ingest queue full for %v", s.cfg.RequestTimeout))
 	}
@@ -746,6 +840,11 @@ func (s *Server) execQuery(st *connState, req *Request) []byte {
 		resp.Rank = s.backend.TieRank(int(req.Level), int(req.K))
 	case OpEvolution:
 		resp.Evo, resp.Seq, resp.Dropped = s.backend.Evolution(req.From)
+	case OpTraces:
+		if s.cfg.Tracer == nil {
+			return s.errReply(req.ID, ErrCodeBadRequest, "tracing not enabled")
+		}
+		resp.Raw = s.cfg.Tracer.Render(req.From, req.K != 0)
 	case OpReplStatus:
 		if s.cfg.Repl == nil {
 			return s.errReply(req.ID, ErrCodeBadRequest, "replication not enabled")

@@ -48,6 +48,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 const (
@@ -101,6 +102,12 @@ type Options struct {
 	OpenFile func(path string) (File, error)
 	// Metrics, when non-nil, receives append and fsync observations.
 	Metrics *Metrics
+	// OnFsync, when non-nil, is called with the wall-clock duration (in
+	// seconds) of every fsync the writer performs — both policy-driven
+	// syncs and the sync before a rotation. It runs on the appending
+	// goroutine, so the owner can attribute fsync time to the batch that
+	// paid for it (the per-request tracing breakdown).
+	OnFsync func(seconds float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -510,10 +517,12 @@ func (w *Writer) Append(rec []byte) (uint64, error) {
 // rotate fsyncs and closes the active segment and opens the next one.
 func (w *Writer) rotate() error {
 	t := w.opts.Metrics.fsyncStart()
+	start := w.fsyncClock()
 	if err := w.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: sync on rotate: %w", err)
 	}
 	t.Stop()
+	w.noteFsync(start)
 	w.opts.Metrics.fsynced()
 	w.acked = w.next
 	if err := w.seg.Close(); err != nil {
@@ -528,15 +537,34 @@ func (w *Writer) Sync() error {
 		return w.broken
 	}
 	t := w.opts.Metrics.fsyncStart()
+	start := w.fsyncClock()
 	if err := w.seg.Sync(); err != nil {
 		w.broken = fmt.Errorf("wal: sync: %w", err)
 		return w.broken
 	}
 	t.Stop()
+	w.noteFsync(start)
 	w.opts.Metrics.fsynced()
 	w.acked = w.next
 	w.unsync = 0
 	return nil
+}
+
+// fsyncClock reads the wall clock when someone subscribed to fsync
+// durations; the zero time otherwise, so the untraced path never touches
+// the clock twice per sync.
+func (w *Writer) fsyncClock() time.Time {
+	if w.opts.OnFsync == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (w *Writer) noteFsync(start time.Time) {
+	if w.opts.OnFsync == nil || start.IsZero() {
+		return
+	}
+	w.opts.OnFsync(time.Since(start).Seconds())
 }
 
 // TruncateBefore removes segments every record of which has index < index

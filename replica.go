@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"anc/internal/obs/trace"
 	"anc/internal/wal"
 )
 
@@ -89,7 +91,16 @@ func decodeFrameActs(rec []byte) ([]Activation, error) {
 // the state untouched. Duplicates are the caller's business to skip
 // (replication sessions may legitimately replay an overlap after a
 // reconnect).
+//anclint:ignore lockdiscipline pure delegation with a zero span; ApplyFrameTraced takes the lock itself
 func (d *DurableNetwork) ApplyFrame(index uint64, payload []byte) error {
+	return d.ApplyFrameTraced(index, payload, trace.SpanHandle{}) //anclint:ignore lockdiscipline no lock is held here; the traced variant acquires it
+}
+
+// ApplyFrameTraced is ApplyFrame under a follower-side span (minted from
+// the trace ID the primary shipped with the frame), recording the local
+// WAL append and the in-memory apply as children just like the primary's
+// traced ingest path does. A zero handle degrades to plain ApplyFrame.
+func (d *DurableNetwork) ApplyFrameTraced(index uint64, payload []byte, sp trace.SpanHandle) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -104,17 +115,29 @@ func (d *DurableNetwork) ApplyFrame(index uint64, payload []byte) error {
 	}
 	// Log-then-apply, exactly like Activate/ActivateBatch: the durable
 	// history stays a superset of the applied one.
+	wsp := sp.StartChild("wal.append")
+	d.fsyncAccum = 0
 	if _, err := d.w.Append(payload); err != nil {
+		wsp.Fail()
+		wsp.End()
 		return fmt.Errorf("anc: wal: %w", err)
 	}
+	if wsp.Active() && d.fsyncAccum > 0 {
+		wsp.Leaf("wal.fsync", time.Duration(d.fsyncAccum*float64(time.Second)))
+	}
+	wsp.End()
+	csp := sp.StartChild("core.apply")
 	if len(acts) == 1 {
 		err = d.net.Activate(acts[0].U, acts[0].V, acts[0].T)
 	} else {
-		err = d.net.ActivateBatch(acts)
+		err = d.net.ActivateBatchTraced(acts, csp)
 	}
 	if err != nil {
+		csp.Fail()
+		csp.End()
 		return err
 	}
+	csp.End()
 	d.met.batchLogged(len(acts))
 	d.acts += uint64(len(acts))
 	d.sinceCheckpoint += len(acts)
@@ -175,9 +198,18 @@ func RestoreDurable(snapshot []byte, index uint64, dir string, cfg DurableConfig
 		return nil, err
 	}
 	net.Instrument(cfg.Obs)
-	w, err := wal.OpenWriter(dir, index, cfg.walOptions())
+	var d *DurableNetwork // the fsync hook captures it; nil until construction below
+	opts := cfg.walOptions()
+	opts.OnFsync = func(seconds float64) {
+		if d != nil {
+			d.noteFsync(seconds)
+		}
+	}
+	w, err := wal.OpenWriter(dir, index, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs)}, nil
+	d = &DurableNetwork{net: net, w: w, dir: dir, cfg: cfg, met: newDurableMetrics(cfg.Obs),
+		cache: net.clusterCache(), rank: net.rankCache()}
+	return d, nil
 }
